@@ -1,0 +1,68 @@
+// Extension beyond the paper's tables: pits whitened-text models against
+// the other ID-based sequence-encoder families from the paper's related
+// work — RNNs (GRU4Rec) and bidirectional Transformers (BERT4Rec) — to show
+// the "are ID embeddings necessary?" conclusion is not an artifact of the
+// SASRec backbone choice.
+
+#include "bench_common.h"
+#include "seqrec/baselines.h"
+#include "seqrec/classic_baselines.h"
+#include "seqrec/extended_baselines.h"
+
+namespace whitenrec {
+namespace {
+
+void RunDataset(const data::DatasetProfile& profile) {
+  const data::GeneratedData gen = bench::LoadDataset(profile);
+  const data::Dataset& ds = gen.dataset;
+  const data::Split split = data::LeaveOneOutSplit(ds);
+  const seqrec::SasRecConfig mc = bench::DefaultModelConfig();
+  const seqrec::TrainConfig tc = bench::DefaultTrainConfig();
+
+  bench::PrintHeader("Extension - " + profile.name + " (encoder families)",
+                     {"R@20", "N@20", "R@50", "N@50"});
+  auto report = [&](const std::string& name, const seqrec::EvalResult& r) {
+    bench::PrintRow(name, {r.recall20, r.ndcg20, r.recall50, r.ndcg50});
+  };
+
+  {
+    auto fpmc = seqrec::MakeFpmc(ds, mc.hidden_dim);
+    fpmc->Fit(split, tc);
+    report(fpmc->name(), seqrec::EvaluateRanking(fpmc.get(), split.test,
+                                                 split.train, mc.max_len));
+  }
+  {
+    auto caser = seqrec::MakeCaser(ds, mc);
+    caser->Fit(split, tc);
+    report(caser->name(), seqrec::EvaluateRanking(caser.get(), split.test,
+                                                  split.train, mc.max_len));
+  }
+  {
+    auto gru = seqrec::MakeGru4Rec(ds, mc);
+    gru->Fit(split, tc);
+    report(gru->name(), seqrec::EvaluateRanking(gru.get(), split.test,
+                                                split.train, mc.max_len));
+  }
+  {
+    auto bert = seqrec::MakeBert4Rec(ds, mc);
+    bert->Fit(split, tc);
+    report(bert->name(), seqrec::EvaluateRanking(bert.get(), split.test,
+                                                 split.train, mc.max_len));
+  }
+  auto run = [&](std::unique_ptr<seqrec::SasRecRecommender> rec) {
+    report(rec->name(), bench::FitAndEvaluate(rec.get(), split, tc, mc.max_len));
+  };
+  run(seqrec::MakeSasRecId(ds, mc));
+  WhitenRecConfig wc;
+  run(seqrec::MakeWhitenRecPlus(ds, mc, wc));
+}
+
+}  // namespace
+}  // namespace whitenrec
+
+int main() {
+  const double scale = whitenrec::bench::EnvScale();
+  whitenrec::RunDataset(whitenrec::data::ArtsProfile(scale));
+  whitenrec::RunDataset(whitenrec::data::FoodProfile(scale));
+  return 0;
+}

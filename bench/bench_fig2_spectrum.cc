@@ -1,0 +1,41 @@
+// Reproduces paper Fig. 2: normalized singular values of the item text
+// embeddings (Arts). Printed as the raw series plus the whitened series for
+// contrast, and a scalar anisotropy summary.
+
+#include "analysis/spectrum.h"
+#include "bench_common.h"
+#include "core/whitening.h"
+#include "linalg/stats.h"
+
+int main() {
+  using namespace whitenrec;
+  const data::GeneratedData gen =
+      bench::LoadDataset(data::ArtsProfile(bench::EnvScale()));
+  const linalg::Matrix& x = gen.dataset.text_embeddings;
+
+  auto raw = analysis::NormalizedSpectrum(x);
+  WR_CHECK(raw.ok());
+  auto z = WhitenMatrix(x, 1, WhiteningKind::kZca);
+  WR_CHECK(z.ok());
+  auto whitened = analysis::NormalizedSpectrum(z.value());
+  WR_CHECK(whitened.ok());
+
+  std::printf("\n=== Fig. 2 - Normalized singular values (Arts) ===\n");
+  std::printf("%6s%14s%14s\n", "index", "raw", "whitened");
+  for (std::size_t i = 0; i < raw.value().size(); ++i) {
+    std::printf("%6zu%14.6f%14.6f\n", i, raw.value()[i],
+                whitened.value()[i]);
+  }
+
+  const analysis::SpectrumSummary rs = analysis::SummarizeSpectrum(raw.value());
+  const analysis::SpectrumSummary ws =
+      analysis::SummarizeSpectrum(whitened.value());
+  linalg::Rng rng(1);
+  std::printf("\nraw:      median ratio %.4f, effective rank %.1f / %zu\n",
+              rs.median_ratio, rs.effective_rank, raw.value().size());
+  std::printf("whitened: median ratio %.4f, effective rank %.1f / %zu\n",
+              ws.median_ratio, ws.effective_rank, whitened.value().size());
+  std::printf("mean pairwise cosine (raw): %.3f (paper reports ~0.85)\n",
+              linalg::MeanPairwiseCosine(x, &rng));
+  return 0;
+}

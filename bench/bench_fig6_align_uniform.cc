@@ -1,0 +1,57 @@
+// Reproduces paper Fig. 6: alignment-uniformity trajectories during
+// training for six models (SASRec^T, UniSRec^T, WhitenRec, WhitenRec+,
+// SASRec^ID, UniSRec^{T+ID}). Prints l_align / l_uniform_user /
+// l_uniform_item per epoch and the converged point per model.
+
+#include "bench_common.h"
+#include "seqrec/baselines.h"
+
+namespace whitenrec {
+namespace {
+
+void RunModel(std::unique_ptr<seqrec::SasRecRecommender> rec,
+              const data::Split& split, seqrec::TrainConfig tc) {
+  tc.record_analysis = true;
+  tc.patience = tc.epochs;  // full trajectory, no early stop
+  const seqrec::TrainResult& result = rec->Fit(split, tc);
+  std::printf("\n-- %s --\n", rec->name().c_str());
+  std::printf("%6s%12s%16s%16s\n", "epoch", "l_align", "l_uniform_user",
+              "l_uniform_item");
+  for (const auto& log : result.epochs) {
+    std::printf("%6zu%12.4f%16.4f%16.4f\n", log.epoch, log.l_align,
+                log.l_uniform_user, log.l_uniform_item);
+  }
+  const auto& last = result.epochs.back();
+  std::printf("converged: align %.4f user-uniform %.4f item-uniform %.4f "
+              "(best N@20 %.4f)\n",
+              last.l_align, last.l_uniform_user, last.l_uniform_item,
+              result.best_valid_ndcg20);
+}
+
+void RunDataset(const data::DatasetProfile& profile) {
+  const data::GeneratedData gen = bench::LoadDataset(profile);
+  const data::Dataset& ds = gen.dataset;
+  const data::Split split = data::LeaveOneOutSplit(ds);
+  const seqrec::SasRecConfig mc = bench::DefaultModelConfig();
+  seqrec::TrainConfig tc = bench::DefaultTrainConfig();
+  tc.epochs = std::min<std::size_t>(tc.epochs, 8);
+
+  std::printf("\n=== Fig. 6 - %s ===\n", profile.name.c_str());
+  WhitenRecConfig wc;
+  RunModel(seqrec::MakeSasRecText(ds, mc), split, tc);
+  RunModel(seqrec::MakeUniSRec(ds, mc, false), split, tc);
+  RunModel(seqrec::MakeWhitenRec(ds, mc, wc), split, tc);
+  RunModel(seqrec::MakeWhitenRecPlus(ds, mc, wc), split, tc);
+  RunModel(seqrec::MakeSasRecId(ds, mc), split, tc);
+  RunModel(seqrec::MakeUniSRec(ds, mc, true), split, tc);
+}
+
+}  // namespace
+}  // namespace whitenrec
+
+int main() {
+  const double scale = whitenrec::bench::EnvScale();
+  whitenrec::RunDataset(whitenrec::data::ArtsProfile(scale));
+  whitenrec::RunDataset(whitenrec::data::FoodProfile(scale));
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Reproduces paper Fig. 7: evolution of the condition number of the
+// projected item-embedding covariance (log10) and the training loss per
+// epoch, for the same six models as Fig. 6.
+
+#include <cmath>
+
+#include "bench_common.h"
+#include "seqrec/baselines.h"
+
+namespace whitenrec {
+namespace {
+
+void RunModel(std::unique_ptr<seqrec::SasRecRecommender> rec,
+              const data::Split& split, seqrec::TrainConfig tc) {
+  tc.record_analysis = true;
+  tc.patience = tc.epochs;
+  const seqrec::TrainResult& result = rec->Fit(split, tc);
+  std::printf("\n-- %s --\n", rec->name().c_str());
+  std::printf("%6s%18s%12s\n", "epoch", "log10(cond)", "loss");
+  for (const auto& log : result.epochs) {
+    std::printf("%6zu%18.3f%12.4f\n", log.epoch,
+                std::log10(log.condition_number), log.train_loss);
+  }
+}
+
+void RunDataset(const data::DatasetProfile& profile) {
+  const data::GeneratedData gen = bench::LoadDataset(profile);
+  const data::Dataset& ds = gen.dataset;
+  const data::Split split = data::LeaveOneOutSplit(ds);
+  const seqrec::SasRecConfig mc = bench::DefaultModelConfig();
+  seqrec::TrainConfig tc = bench::DefaultTrainConfig();
+  tc.epochs = std::min<std::size_t>(tc.epochs, 8);
+
+  std::printf("\n=== Fig. 7 - %s ===\n", profile.name.c_str());
+  WhitenRecConfig wc;
+  RunModel(seqrec::MakeSasRecText(ds, mc), split, tc);
+  RunModel(seqrec::MakeUniSRec(ds, mc, false), split, tc);
+  RunModel(seqrec::MakeWhitenRec(ds, mc, wc), split, tc);
+  RunModel(seqrec::MakeWhitenRecPlus(ds, mc, wc), split, tc);
+  RunModel(seqrec::MakeSasRecId(ds, mc), split, tc);
+  RunModel(seqrec::MakeUniSRec(ds, mc, true), split, tc);
+}
+
+}  // namespace
+}  // namespace whitenrec
+
+int main() {
+  const double scale = whitenrec::bench::EnvScale();
+  whitenrec::RunDataset(whitenrec::data::ArtsProfile(scale));
+  whitenrec::RunDataset(whitenrec::data::FoodProfile(scale));
+  return 0;
+}

@@ -1,0 +1,47 @@
+// Reproduces paper Fig. 8: WhitenRec+ accuracy as a function of the relaxed
+// branch's group count G (the other branch fixed at G=1), swept over
+// {4, 8, 16, 32, 64, Raw}, with WhitenRec (single G=1 branch) as reference.
+
+#include "bench_common.h"
+#include "seqrec/baselines.h"
+
+namespace whitenrec {
+namespace {
+
+void RunDataset(const data::DatasetProfile& profile) {
+  const data::GeneratedData gen = bench::LoadDataset(profile);
+  const data::Dataset& ds = gen.dataset;
+  const data::Split split = data::LeaveOneOutSplit(ds);
+  const seqrec::SasRecConfig mc = bench::DefaultModelConfig();
+  const seqrec::TrainConfig tc = bench::DefaultTrainConfig();
+
+  bench::PrintHeader("Fig. 8 - " + profile.name + " (WhitenRec+ vs relaxed G)",
+                     {"R@20", "N@20"});
+  {
+    WhitenRecConfig wc;
+    auto rec = seqrec::MakeWhitenRec(ds, mc, wc);
+    const seqrec::EvalResult r =
+        bench::FitAndEvaluate(rec.get(), split, tc, mc.max_len);
+    bench::PrintRow("WhitenRec (ref)", {r.recall20, r.ndcg20});
+  }
+  for (std::size_t groups : {4, 8, 16, 32, 64, 0}) {  // 0 = Raw branch
+    WhitenRecConfig wc;
+    wc.relaxed_groups = groups;
+    auto rec = seqrec::MakeWhitenRecPlus(ds, mc, wc);
+    const seqrec::EvalResult r =
+        bench::FitAndEvaluate(rec.get(), split, tc, mc.max_len);
+    bench::PrintRow(groups == 0 ? "G=Raw" : "G=" + std::to_string(groups),
+                    {r.recall20, r.ndcg20});
+  }
+}
+
+}  // namespace
+}  // namespace whitenrec
+
+int main() {
+  const double scale = whitenrec::bench::EnvScale();
+  for (const auto& profile : whitenrec::data::AllProfiles(scale)) {
+    whitenrec::RunDataset(profile);
+  }
+  return 0;
+}

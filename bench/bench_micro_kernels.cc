@@ -1,0 +1,104 @@
+// Micro-benchmarks (google-benchmark) for the computational kernels behind
+// the paper's complexity analysis (Sec. IV-E): dense matmul, symmetric
+// eigendecomposition, whitening fits of each kind, group whitening, flow
+// whitening, and one SASRec training step. These quantify the claim that
+// the whitening transforms are cheap, precomputable preprocessing.
+
+#include <benchmark/benchmark.h>
+
+#include "core/flow_whitening.h"
+#include "core/whitening.h"
+#include "data/generator.h"
+#include "data/split.h"
+#include "linalg/eigen.h"
+#include "linalg/matrix.h"
+#include "linalg/rng.h"
+#include "seqrec/baselines.h"
+
+namespace whitenrec {
+namespace {
+
+void BM_MatMul(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  linalg::Rng rng(1);
+  const linalg::Matrix a = rng.GaussianMatrix(n, n, 1.0);
+  const linalg::Matrix b = rng.GaussianMatrix(n, n, 1.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(linalg::MatMul(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_MatMul)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_SymmetricEigen(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  linalg::Rng rng(2);
+  const linalg::Matrix a = rng.GaussianMatrix(n, n, 1.0);
+  linalg::Matrix sym = linalg::Add(a, linalg::Transpose(a));
+  sym *= 0.5;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(linalg::SymmetricEigen(sym));
+  }
+}
+BENCHMARK(BM_SymmetricEigen)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_WhiteningFit(benchmark::State& state) {
+  const auto kind = static_cast<WhiteningKind>(state.range(0));
+  linalg::Rng rng(3);
+  const linalg::Matrix x = rng.GaussianMatrix(400, 64, 1.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(FitWhitening(x, kind));
+  }
+  state.SetLabel(WhiteningKindName(kind));
+}
+BENCHMARK(BM_WhiteningFit)
+    ->Arg(static_cast<int>(WhiteningKind::kZca))
+    ->Arg(static_cast<int>(WhiteningKind::kPca))
+    ->Arg(static_cast<int>(WhiteningKind::kCholesky))
+    ->Arg(static_cast<int>(WhiteningKind::kBatchNorm));
+
+void BM_GroupWhiten(benchmark::State& state) {
+  const std::size_t groups = static_cast<std::size_t>(state.range(0));
+  linalg::Rng rng(4);
+  const linalg::Matrix x = rng.GaussianMatrix(400, 64, 1.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(WhitenMatrix(x, groups, WhiteningKind::kZca));
+  }
+}
+BENCHMARK(BM_GroupWhiten)->Arg(1)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_FlowWhitenFit(benchmark::State& state) {
+  linalg::Rng rng(5);
+  const linalg::Matrix x = rng.GaussianMatrix(300, 32, 1.0);
+  for (auto _ : state) {
+    FlowWhitening flow;
+    benchmark::DoNotOptimize(flow.Fit(x, 2));
+  }
+}
+BENCHMARK(BM_FlowWhitenFit);
+
+void BM_SasRecTrainStep(benchmark::State& state) {
+  data::DatasetProfile profile = data::ArtsProfile(0.5);
+  profile.plm.calibration_iters = 15;
+  const data::GeneratedData gen = data::GenerateDataset(profile);
+  const data::Split split = data::LeaveOneOutSplit(gen.dataset);
+  seqrec::SasRecConfig mc;
+  mc.hidden_dim = 32;
+  mc.max_len = 12;
+  WhitenRecConfig wc;
+  auto rec = seqrec::MakeWhitenRecPlus(gen.dataset, mc, wc);
+  linalg::Rng rng(6);
+  const auto batches = data::MakeTrainBatches(split.train, mc.max_len, 128,
+                                              &rng);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        rec->model()->TrainStep(batches[i++ % batches.size()]));
+  }
+}
+BENCHMARK(BM_SasRecTrainStep);
+
+}  // namespace
+}  // namespace whitenrec
+
+BENCHMARK_MAIN();

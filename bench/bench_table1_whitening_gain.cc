@@ -1,0 +1,50 @@
+// Reproduces paper Table I: SASRec^ID vs SASRec^T vs WhitenRec (R@20, N@20)
+// on the Arts / Toys / Tools profiles, plus the %improvement of WhitenRec
+// over the best of the two baselines.
+
+#include <algorithm>
+
+#include "bench_common.h"
+#include "seqrec/baselines.h"
+
+namespace whitenrec {
+namespace {
+
+void RunDataset(const data::DatasetProfile& profile) {
+  const data::GeneratedData gen = bench::LoadDataset(profile);
+  const data::Dataset& ds = gen.dataset;
+  const data::Split split = data::LeaveOneOutSplit(ds);
+  const seqrec::SasRecConfig model_config = bench::DefaultModelConfig();
+  const seqrec::TrainConfig train_config = bench::DefaultTrainConfig();
+
+  auto run = [&](std::unique_ptr<seqrec::SasRecRecommender> rec) {
+    const seqrec::EvalResult r = bench::FitAndEvaluate(
+        rec.get(), split, train_config, model_config.max_len);
+    bench::PrintRow(rec->name(), {r.recall20, r.ndcg20});
+    return r;
+  };
+
+  bench::PrintHeader("Table I - " + profile.name, {"R@20", "N@20"});
+  const seqrec::EvalResult id = run(seqrec::MakeSasRecId(ds, model_config));
+  const seqrec::EvalResult text = run(seqrec::MakeSasRecText(ds, model_config));
+  WhitenRecConfig wc;
+  const seqrec::EvalResult whiten =
+      run(seqrec::MakeWhitenRec(ds, model_config, wc));
+
+  const double best_base_r = std::max(id.recall20, text.recall20);
+  const double best_base_n = std::max(id.ndcg20, text.ndcg20);
+  std::printf("%-22s%11.1f%%%11.1f%%\n", "%Improv (R@20, N@20)",
+              100.0 * (whiten.recall20 / best_base_r - 1.0),
+              100.0 * (whiten.ndcg20 / best_base_n - 1.0));
+}
+
+}  // namespace
+}  // namespace whitenrec
+
+int main() {
+  const double scale = whitenrec::bench::EnvScale();
+  whitenrec::RunDataset(whitenrec::data::ArtsProfile(scale));
+  whitenrec::RunDataset(whitenrec::data::ToysProfile(scale));
+  whitenrec::RunDataset(whitenrec::data::ToolsProfile(scale));
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Reproduces paper Table III: warm-start comparison of all models on the
+// four dataset profiles (R@20, R@50, N@20, N@50). Models: GRCN, BM3,
+// SASRec^ID, CL4SRec, SASRec^T, SASRec^{T+ID}, S3-Rec, FDSA, UniSRec^T,
+// UniSRec^{T+ID}, VQRec, WhitenRec, WhitenRec+.
+
+#include "bench_common.h"
+#include "seqrec/baselines.h"
+#include "seqrec/general_rec.h"
+
+namespace whitenrec {
+namespace {
+
+void RunDataset(const data::DatasetProfile& profile) {
+  const data::GeneratedData gen = bench::LoadDataset(profile);
+  const data::Dataset& ds = gen.dataset;
+  const data::Split split = data::LeaveOneOutSplit(ds);
+  const seqrec::SasRecConfig mc = bench::DefaultModelConfig();
+  const seqrec::TrainConfig tc = bench::DefaultTrainConfig();
+
+  bench::PrintHeader("Table III - " + profile.name,
+                     {"R@20", "R@50", "N@20", "N@50"});
+
+  auto report = [&](const std::string& name, const seqrec::EvalResult& r) {
+    bench::PrintRow(name, {r.recall20, r.recall50, r.ndcg20, r.ndcg50});
+  };
+
+  // General recommenders with text features.
+  {
+    auto grcn = seqrec::MakeGrcn(ds, mc.hidden_dim);
+    grcn->Fit(split, tc);
+    report(grcn->name(),
+           seqrec::EvaluateRanking(grcn.get(), split.test, split.train,
+                                   mc.max_len));
+  }
+  {
+    auto bm3 = seqrec::MakeBm3(ds, mc.hidden_dim);
+    bm3->Fit(split, tc);
+    report(bm3->name(),
+           seqrec::EvaluateRanking(bm3.get(), split.test, split.train,
+                                   mc.max_len));
+  }
+
+  // SASRec-backbone models.
+  auto run = [&](std::unique_ptr<seqrec::SasRecRecommender> rec) {
+    report(rec->name(), bench::FitAndEvaluate(rec.get(), split, tc, mc.max_len));
+  };
+  WhitenRecConfig wc;
+  run(seqrec::MakeSasRecId(ds, mc));
+  run(seqrec::MakeCl4SRec(ds, mc));
+  run(seqrec::MakeSasRecText(ds, mc));
+  run(seqrec::MakeSasRecTextId(ds, mc));
+  run(seqrec::MakeS3Rec(ds, mc));
+  {
+    auto fdsa = seqrec::MakeFdsa(ds, mc);
+    fdsa->Fit(split, tc);
+    report(fdsa->name(),
+           seqrec::EvaluateRanking(fdsa.get(), split.test, split.train,
+                                   mc.max_len));
+  }
+  run(seqrec::MakeUniSRec(ds, mc, /*with_id=*/false));
+  run(seqrec::MakeUniSRec(ds, mc, /*with_id=*/true));
+  run(seqrec::MakeVqRec(ds, mc));
+  run(seqrec::MakeWhitenRec(ds, mc, wc));
+  run(seqrec::MakeWhitenRecPlus(ds, mc, wc));
+}
+
+}  // namespace
+}  // namespace whitenrec
+
+int main() {
+  const double scale = whitenrec::bench::EnvScale();
+  for (const auto& profile : whitenrec::data::AllProfiles(scale)) {
+    whitenrec::RunDataset(profile);
+  }
+  return 0;
+}

@@ -1,0 +1,40 @@
+// Reproduces paper Table VIII: WhitenRec and WhitenRec+ trained with text
+// only (T) vs text plus ID embeddings (T+ID). The paper finds the ID
+// addition consistently hurts.
+
+#include "bench_common.h"
+#include "seqrec/baselines.h"
+
+namespace whitenrec {
+namespace {
+
+void RunDataset(const data::DatasetProfile& profile) {
+  const data::GeneratedData gen = bench::LoadDataset(profile);
+  const data::Dataset& ds = gen.dataset;
+  const data::Split split = data::LeaveOneOutSplit(ds);
+  const seqrec::SasRecConfig mc = bench::DefaultModelConfig();
+  const seqrec::TrainConfig tc = bench::DefaultTrainConfig();
+
+  bench::PrintHeader("Table VIII - " + profile.name, {"R@20", "N@20"});
+  WhitenRecConfig wc;
+  auto run = [&](std::unique_ptr<seqrec::SasRecRecommender> rec) {
+    const seqrec::EvalResult r =
+        bench::FitAndEvaluate(rec.get(), split, tc, mc.max_len);
+    bench::PrintRow(rec->name(), {r.recall20, r.ndcg20});
+  };
+  run(seqrec::MakeWhitenRec(ds, mc, wc, /*with_id=*/false));
+  run(seqrec::MakeWhitenRec(ds, mc, wc, /*with_id=*/true));
+  run(seqrec::MakeWhitenRecPlus(ds, mc, wc, /*with_id=*/false));
+  run(seqrec::MakeWhitenRecPlus(ds, mc, wc, /*with_id=*/true));
+}
+
+}  // namespace
+}  // namespace whitenrec
+
+int main() {
+  const double scale = whitenrec::bench::EnvScale();
+  for (const auto& profile : whitenrec::data::AllProfiles(scale)) {
+    whitenrec::RunDataset(profile);
+  }
+  return 0;
+}

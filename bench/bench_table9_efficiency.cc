@@ -1,0 +1,34 @@
+// Reproduces paper Table IX: efficiency on the Tools dataset — parameter
+// counts and seconds per epoch for UniSRec, WhitenRec and WhitenRec+ in
+// their text-only (T) and text+ID (T+ID) variants.
+
+#include "bench_common.h"
+#include "seqrec/baselines.h"
+
+int main() {
+  using namespace whitenrec;
+  const data::GeneratedData gen =
+      bench::LoadDataset(data::ToolsProfile(bench::EnvScale()));
+  const data::Dataset& ds = gen.dataset;
+  const data::Split split = data::LeaveOneOutSplit(ds);
+  const seqrec::SasRecConfig mc = bench::DefaultModelConfig();
+  seqrec::TrainConfig tc = bench::DefaultTrainConfig();
+  tc.epochs = 3;  // timing only needs a few epochs
+  tc.patience = 100;
+
+  std::printf("\n=== Table IX - Efficiency (Tools) ===\n");
+  std::printf("%-22s%12s%12s\n", "model", "#params", "s/epoch");
+  WhitenRecConfig wc;
+  auto run = [&](std::unique_ptr<seqrec::SasRecRecommender> rec) {
+    const seqrec::TrainResult& result = rec->Fit(split, tc);
+    std::printf("%-22s%12zu%12.3f\n", rec->name().c_str(),
+                rec->NumParameters(), result.avg_epoch_seconds);
+  };
+  run(seqrec::MakeUniSRec(ds, mc, /*with_id=*/false));
+  run(seqrec::MakeUniSRec(ds, mc, /*with_id=*/true));
+  run(seqrec::MakeWhitenRec(ds, mc, wc, /*with_id=*/false));
+  run(seqrec::MakeWhitenRec(ds, mc, wc, /*with_id=*/true));
+  run(seqrec::MakeWhitenRecPlus(ds, mc, wc, /*with_id=*/false));
+  run(seqrec::MakeWhitenRecPlus(ds, mc, wc, /*with_id=*/true));
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Cold-start scenario from the paper's introduction: an e-commerce platform
+// introduces new products daily. ID-based recommenders cannot score items
+// they never trained on, but a text-only WhitenRec+ model embeds new items
+// from their descriptions alone.
+//
+// This example holds out 15% of the catalog as "new products", trains
+// WhitenRec+ and SASRec^ID on the remaining interactions, and compares how
+// often each ranks the true (cold) next item into the top 20.
+
+#include <cstdio>
+
+#include "data/generator.h"
+#include "data/split.h"
+#include "seqrec/baselines.h"
+
+int main() {
+  using namespace whitenrec;
+
+  data::DatasetProfile profile = data::ToolsProfile(0.6);
+  const data::GeneratedData gen = data::GenerateDataset(profile);
+  const data::Dataset& ds = gen.dataset;
+
+  linalg::Rng rng(99);
+  const data::ColdSplit cold = data::ColdStartSplit(ds, 0.15, &rng);
+  std::size_t num_cold = 0;
+  for (bool c : cold.is_cold) num_cold += c ? 1 : 0;
+  std::printf("catalog: %zu items, %zu of them are new (cold) products\n",
+              ds.num_items, num_cold);
+  std::printf("test cases whose next purchase is a new product: %zu\n",
+              cold.split.test.size());
+
+  seqrec::SasRecConfig model_config;
+  model_config.hidden_dim = 32;
+  model_config.max_len = 12;
+  seqrec::TrainConfig train_config;
+  train_config.epochs = 10;
+
+  auto evaluate = [&](std::unique_ptr<seqrec::SasRecRecommender> rec) {
+    rec->Fit(cold.split, train_config);
+    const seqrec::EvalResult r = seqrec::EvaluateRanking(
+        rec.get(), cold.split.test, cold.split.train, model_config.max_len);
+    std::printf("  %-18s Recall@20 %.4f  NDCG@20 %.4f\n", rec->name().c_str(),
+                r.recall20, r.ndcg20);
+  };
+
+  std::printf("\ncold-item ranking performance:\n");
+  // The ID model has only randomly-initialized embeddings for cold items.
+  evaluate(seqrec::MakeSasRecId(ds, model_config));
+  WhitenRecConfig wc;
+  evaluate(seqrec::MakeWhitenRecPlus(ds, model_config, wc));
+
+  std::printf(
+      "\nthe text-only model generalizes to unseen products because their\n"
+      "whitened text embeddings live in the same space as the training "
+      "items.\n");
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Model zoo: trains every recommender in the library briefly on one small
+// profile and prints a comparison table — a smoke-testable tour of the
+// public model factories (ID / text / whitened / ensembles / baselines).
+
+#include <cstdio>
+
+#include "data/generator.h"
+#include "data/split.h"
+#include "seqrec/baselines.h"
+#include "seqrec/general_rec.h"
+
+int main() {
+  using namespace whitenrec;
+
+  data::DatasetProfile profile = data::ArtsProfile(0.5);
+  const data::GeneratedData gen = data::GenerateDataset(profile);
+  const data::Dataset& ds = gen.dataset;
+  const data::Split split = data::LeaveOneOutSplit(ds);
+
+  seqrec::SasRecConfig mc;
+  mc.hidden_dim = 32;
+  mc.max_len = 12;
+  seqrec::TrainConfig tc;
+  tc.epochs = 6;
+
+  std::printf("%-20s%10s%10s%12s\n", "model", "R@20", "N@20", "#params");
+
+  auto report = [&](const std::string& name, const seqrec::EvalResult& r,
+                    std::size_t params) {
+    std::printf("%-20s%10.4f%10.4f%12zu\n", name.c_str(), r.recall20, r.ndcg20,
+                params);
+  };
+
+  WhitenRecConfig wc;
+  std::unique_ptr<seqrec::SasRecRecommender> sasrec_models[] = {
+      seqrec::MakeSasRecId(ds, mc),
+      seqrec::MakeSasRecText(ds, mc),
+      seqrec::MakeSasRecTextId(ds, mc),
+      seqrec::MakeCl4SRec(ds, mc),
+      seqrec::MakeS3Rec(ds, mc),
+      seqrec::MakeUniSRec(ds, mc, false),
+      seqrec::MakeVqRec(ds, mc),
+      seqrec::MakeWhitenRec(ds, mc, wc),
+      seqrec::MakeWhitenRecPlus(ds, mc, wc),
+  };
+  for (auto& rec : sasrec_models) {
+    rec->Fit(split, tc);
+    report(rec->name(),
+           seqrec::EvaluateRanking(rec.get(), split.test, split.train,
+                                   mc.max_len),
+           rec->NumParameters());
+  }
+  {
+    auto fdsa = seqrec::MakeFdsa(ds, mc);
+    fdsa->Fit(split, tc);
+    report(fdsa->name(),
+           seqrec::EvaluateRanking(fdsa.get(), split.test, split.train,
+                                   mc.max_len),
+           fdsa->NumParameters());
+  }
+  {
+    auto grcn = seqrec::MakeGrcn(ds, mc.hidden_dim);
+    grcn->Fit(split, tc);
+    report(grcn->name(),
+           seqrec::EvaluateRanking(grcn.get(), split.test, split.train,
+                                   mc.max_len),
+           grcn->NumParameters());
+  }
+  {
+    auto bm3 = seqrec::MakeBm3(ds, mc.hidden_dim);
+    bm3->Fit(split, tc);
+    report(bm3->name(),
+           seqrec::EvaluateRanking(bm3.get(), split.test, split.train,
+                                   mc.max_len),
+           bm3->NumParameters());
+  }
+  return 0;
+}

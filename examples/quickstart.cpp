@@ -1,0 +1,56 @@
+// Quickstart: the full WhitenRec+ pipeline end to end.
+//
+//  1. Generate a synthetic Amazon-like dataset (catalog text -> SimPLM
+//     embeddings -> user interaction sequences).
+//  2. Whiten the pre-trained text embeddings (full + relaxed branches).
+//  3. Train WhitenRec+ (shared projection head + SASRec Transformer).
+//  4. Evaluate full-ranking Recall@K / NDCG@K on the leave-one-out test set.
+
+#include <cstdio>
+
+#include "data/generator.h"
+#include "data/split.h"
+#include "linalg/stats.h"
+#include "seqrec/baselines.h"
+
+int main() {
+  using namespace whitenrec;
+
+  // 1. Data.
+  data::DatasetProfile profile = data::ArtsProfile(0.6);
+  const data::GeneratedData gen = data::GenerateDataset(profile);
+  const data::Dataset& ds = gen.dataset;
+  const data::DatasetStats stats = data::ComputeStats(ds);
+  std::printf("dataset %s: %zu users, %zu items, %zu interactions\n",
+              ds.name.c_str(), stats.num_users, stats.num_items,
+              stats.num_interactions);
+
+  // The embeddings are anisotropic, as pre-trained text embeddings are.
+  linalg::Rng rng(1);
+  std::printf("mean pairwise cosine of text embeddings: %.3f\n",
+              linalg::MeanPairwiseCosine(ds.text_embeddings, &rng));
+
+  // 2+3. WhitenRec+ model (whitening happens inside the factory).
+  const data::Split split = data::LeaveOneOutSplit(ds);
+  seqrec::SasRecConfig model_config;
+  model_config.hidden_dim = 32;
+  model_config.max_len = 12;
+  WhitenRecConfig whiten_config;  // ZCA, G=1 + G=4, Sum ensemble, MLP-2 head
+  auto model = seqrec::MakeWhitenRecPlus(ds, model_config, whiten_config);
+
+  seqrec::TrainConfig train_config;
+  train_config.epochs = 10;
+  train_config.verbose = true;
+  std::printf("\ntraining %s ...\n", model->name().c_str());
+  model->Fit(split, train_config);
+
+  // 4. Evaluate.
+  const seqrec::EvalResult result = seqrec::EvaluateRanking(
+      model.get(), split.test, split.train, model_config.max_len);
+  std::printf("\ntest metrics over %zu users:\n", result.count);
+  std::printf("  Recall@20 %.4f   NDCG@20 %.4f\n", result.recall20,
+              result.ndcg20);
+  std::printf("  Recall@50 %.4f   NDCG@50 %.4f\n", result.recall50,
+              result.ndcg50);
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Streaming catalog growth: the operational loop the paper's cold-start
+// motivation implies. Products arrive in daily batches; the whitening
+// transform is maintained incrementally (no rescan of old embeddings),
+// and the trained model's parameters are checkpointed and restored.
+
+#include <cstdio>
+
+#include "core/incremental_whitening.h"
+#include "data/generator.h"
+#include "data/split.h"
+#include "linalg/stats.h"
+#include "nn/serialize.h"
+#include "seqrec/baselines.h"
+
+int main() {
+  using namespace whitenrec;
+
+  data::DatasetProfile profile = data::ArtsProfile(0.6);
+  const data::GeneratedData gen = data::GenerateDataset(profile);
+  const data::Dataset& ds = gen.dataset;
+  const linalg::Matrix& all_embeddings = ds.text_embeddings;
+  const std::size_t n = all_embeddings.rows();
+
+  // --- Incremental whitening over three "days" of arrivals. -------------
+  IncrementalWhitening acc(all_embeddings.cols());
+  const std::size_t day1 = n / 2;
+  const std::size_t day2 = day1 + n / 4;
+  acc.Add(all_embeddings.RowSlice(0, day1));
+  std::printf("day 1: %zu items accumulated\n", acc.count());
+  acc.Add(all_embeddings.RowSlice(day1, day2));
+  std::printf("day 2: %zu items accumulated\n", acc.count());
+  acc.Add(all_embeddings.RowSlice(day2, n));
+  std::printf("day 3: %zu items accumulated\n", acc.count());
+
+  WhiteningOptions options;  // ZCA with the default epsilon ridge
+  auto fitted = acc.Fit(options);
+  WR_CHECK(fitted.ok());
+  const linalg::Matrix z = ApplyWhitening(fitted.value(), all_embeddings);
+  const IsotropyDiagnostics diag = MeasureIsotropy(z);
+  std::printf("whitened catalog: max |offdiag cov| %.4f, mean row norm %.2f\n",
+              diag.max_offdiag_cov, diag.mean_norm);
+
+  // --- Train, checkpoint, restore, verify identical scores. -------------
+  const data::Split split = data::LeaveOneOutSplit(ds);
+  seqrec::SasRecConfig mc;
+  mc.hidden_dim = 32;
+  mc.max_len = 12;
+  WhitenRecConfig wc;
+  auto model = seqrec::MakeWhitenRecPlus(ds, mc, wc);
+  seqrec::TrainConfig tc;
+  tc.epochs = 6;
+  model->Fit(split, tc);
+  const seqrec::EvalResult before = seqrec::EvaluateRanking(
+      model.get(), split.test, split.train, mc.max_len);
+  std::printf("\ntrained WhitenRec+: R@20 %.4f N@20 %.4f\n", before.recall20,
+              before.ndcg20);
+
+  const std::string ckpt = "whitenrec_plus.ckpt";
+  WR_CHECK(nn::SaveParameters(ckpt, model->model()->Parameters()).ok());
+  std::printf("checkpoint written to %s\n", ckpt.c_str());
+
+  // A fresh model restored from the checkpoint reproduces the metrics.
+  auto restored = seqrec::MakeWhitenRecPlus(ds, mc, wc);
+  WR_CHECK(nn::LoadParameters(ckpt, restored->model()->Parameters()).ok());
+  const seqrec::EvalResult after = seqrec::EvaluateRanking(
+      restored.get(), split.test, split.train, mc.max_len);
+  std::printf("restored model:     R@20 %.4f N@20 %.4f (must match)\n",
+              after.recall20, after.ndcg20);
+  WR_CHECK(before.recall20 == after.recall20);
+  std::remove(ckpt.c_str());
+  return 0;
+}

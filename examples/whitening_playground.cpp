@@ -1,0 +1,69 @@
+// Whitening playground: applies every transform in the library to the same
+// anisotropic embedding cloud and reports isotropy diagnostics — a compact
+// tour of the core/whitening API (ZCA / PCA / CD / BN, group whitening, and
+// the BERT-flow surrogate).
+
+#include <cstdio>
+
+#include "core/flow_whitening.h"
+#include "core/whitening.h"
+#include "data/generator.h"
+#include "linalg/eigen.h"
+#include "linalg/stats.h"
+
+namespace {
+
+void Report(const char* name, const whitenrec::linalg::Matrix& z) {
+  using namespace whitenrec;
+  const IsotropyDiagnostics diag = MeasureIsotropy(z);
+  linalg::Rng rng(5);
+  const double cosine = linalg::MeanPairwiseCosine(z, &rng);
+  const auto kappa = linalg::ConditionNumber(linalg::Covariance(z), 1e-10);
+  std::printf("%-12s max|offdiag| %8.4f  max|diag-1| %8.4f  mean cos %7.3f  "
+              "cond %10.1f\n",
+              name, diag.max_offdiag_cov, diag.max_diag_error, cosine,
+              kappa.ok() ? kappa.value() : -1.0);
+}
+
+}  // namespace
+
+int main() {
+  using namespace whitenrec;
+
+  // Item text embeddings from the Arts profile: the realistic anisotropic
+  // input (mean pairwise cosine calibrated to ~0.85).
+  data::DatasetProfile profile = data::ArtsProfile(0.6);
+  const data::GeneratedData gen = data::GenerateDataset(profile);
+  const linalg::Matrix& x = gen.dataset.text_embeddings;
+  std::printf("input: %zu items x %zu dims\n\n", x.rows(), x.cols());
+
+  Report("raw", x);
+  for (WhiteningKind kind : {WhiteningKind::kZca, WhiteningKind::kPca,
+                             WhiteningKind::kCholesky,
+                             WhiteningKind::kBatchNorm}) {
+    auto z = WhitenMatrix(x, 1, kind);
+    WR_CHECK(z.ok());
+    Report(WhiteningKindName(kind), z.value());
+  }
+  for (std::size_t groups : {4, 16, 64}) {
+    auto z = WhitenMatrix(x, groups, WhiteningKind::kZca);
+    WR_CHECK(z.ok());
+    char label[32];
+    std::snprintf(label, sizeof(label), "ZCA G=%zu", groups);
+    Report(label, z.value());
+  }
+  {
+    FlowWhitening flow;
+    WR_CHECK(flow.Fit(x, 3).ok());
+    Report("flow", flow.Apply(x));
+  }
+
+  std::printf(
+      "\nreading the table: full whitening (ZCA/PCA/CD/flow) collapses the\n"
+      "mean cosine to ~0 and improves conditioning by orders of magnitude;\n"
+      "BN only fixes the diagonal; group whitening interpolates (larger G =\n"
+      "weaker). Residual diag/offdiag error under ZCA/PCA/CD comes from the\n"
+      "epsilon ridge, which intentionally shrinks near-null noise directions\n"
+      "instead of amplifying them (Sigma + eps I in paper Eq. 4).\n");
+  return 0;
+}

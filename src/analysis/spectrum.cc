@@ -1,0 +1,40 @@
+#include "analysis/spectrum.h"
+
+#include <cmath>
+
+#include "linalg/eigen.h"
+
+namespace whitenrec {
+namespace analysis {
+
+Result<std::vector<double>> NormalizedSpectrum(const linalg::Matrix& x) {
+  Result<std::vector<double>> sv = linalg::SingularValues(x);
+  if (!sv.ok()) return sv.status();
+  std::vector<double> values = std::move(sv).ValueOrDie();
+  if (values.empty() || values.front() <= 0.0) {
+    return Status::NumericalError("NormalizedSpectrum: zero top singular value");
+  }
+  const double top = values.front();
+  for (double& v : values) v /= top;
+  return values;
+}
+
+SpectrumSummary SummarizeSpectrum(const std::vector<double>& normalized) {
+  WR_CHECK(!normalized.empty());
+  SpectrumSummary s{};
+  s.top1_ratio = normalized.front();
+  s.median_ratio = normalized[normalized.size() / 2];
+  // Effective rank: exp(H(p)) with p_i = s_i^2 / sum s^2.
+  double total = 0.0;
+  for (double v : normalized) total += v * v;
+  double entropy = 0.0;
+  for (double v : normalized) {
+    const double p = v * v / total;
+    if (p > 1e-300) entropy -= p * std::log(p);
+  }
+  s.effective_rank = std::exp(entropy);
+  return s;
+}
+
+}  // namespace analysis
+}  // namespace whitenrec

@@ -1,0 +1,28 @@
+#ifndef WHITENREC_ANALYSIS_SPECTRUM_H_
+#define WHITENREC_ANALYSIS_SPECTRUM_H_
+
+#include <vector>
+
+#include "core/status.h"
+#include "linalg/matrix.h"
+
+namespace whitenrec {
+namespace analysis {
+
+// Normalized singular-value spectrum of an embedding matrix (paper Fig. 2):
+// singular values sorted descending and divided by the largest. A rapid
+// decay diagnoses anisotropy (one dominant direction).
+Result<std::vector<double>> NormalizedSpectrum(const linalg::Matrix& x);
+
+// Scalar summaries of a normalized spectrum.
+struct SpectrumSummary {
+  double top1_ratio;      // largest normalized value (always 1.0)
+  double median_ratio;    // median / max
+  double effective_rank;  // exp(entropy of the normalized squared spectrum)
+};
+SpectrumSummary SummarizeSpectrum(const std::vector<double>& normalized);
+
+}  // namespace analysis
+}  // namespace whitenrec
+
+#endif  // WHITENREC_ANALYSIS_SPECTRUM_H_

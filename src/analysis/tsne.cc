@@ -1,0 +1,150 @@
+#include "analysis/tsne.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/check.h"
+
+namespace whitenrec {
+namespace analysis {
+
+using linalg::Matrix;
+
+namespace {
+
+// Squared Euclidean distances between all row pairs.
+Matrix PairwiseSquaredDistances(const Matrix& x) {
+  const std::size_t n = x.rows();
+  Matrix d(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      double s = 0.0;
+      const double* a = x.RowPtr(i);
+      const double* b = x.RowPtr(j);
+      for (std::size_t c = 0; c < x.cols(); ++c) {
+        const double diff = a[c] - b[c];
+        s += diff * diff;
+      }
+      d(i, j) = s;
+      d(j, i) = s;
+    }
+  }
+  return d;
+}
+
+// Binary-searches the Gaussian bandwidth of row i so the conditional
+// distribution hits the requested perplexity; writes p_{j|i} into `row`.
+void ConditionalRow(const Matrix& d2, std::size_t i, double perplexity,
+                    std::vector<double>* row) {
+  const std::size_t n = d2.rows();
+  const double target_entropy = std::log(perplexity);
+  double beta = 1.0;
+  double beta_lo = 0.0;
+  double beta_hi = 1e30;
+  for (int iter = 0; iter < 50; ++iter) {
+    double sum = 0.0;
+    double weighted = 0.0;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (j == i) {
+        (*row)[j] = 0.0;
+        continue;
+      }
+      const double p = std::exp(-beta * d2(i, j));
+      (*row)[j] = p;
+      sum += p;
+      weighted += beta * d2(i, j) * p;
+    }
+    if (sum < 1e-300) sum = 1e-300;
+    const double entropy = std::log(sum) + weighted / sum;
+    const double diff = entropy - target_entropy;
+    if (std::fabs(diff) < 1e-5) break;
+    if (diff > 0) {
+      beta_lo = beta;
+      beta = beta_hi > 1e29 ? beta * 2.0 : 0.5 * (beta + beta_hi);
+    } else {
+      beta_hi = beta;
+      beta = 0.5 * (beta + beta_lo);
+    }
+  }
+  double sum = 0.0;
+  for (double p : *row) sum += p;
+  if (sum < 1e-300) sum = 1e-300;
+  for (double& p : *row) p /= sum;
+}
+
+}  // namespace
+
+Matrix Tsne(const Matrix& x, const TsneConfig& config) {
+  const std::size_t n = x.rows();
+  WR_CHECK_GE(n, 4u);
+  const double perplexity =
+      std::min(config.perplexity, static_cast<double>(n - 1) / 3.0);
+
+  // Symmetrized input affinities P.
+  const Matrix d2 = PairwiseSquaredDistances(x);
+  Matrix p(n, n);
+  std::vector<double> row(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    ConditionalRow(d2, i, perplexity, &row);
+    for (std::size_t j = 0; j < n; ++j) p(i, j) = row[j];
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const double pij = (p(i, j) + p(j, i)) / (2.0 * static_cast<double>(n));
+      p(i, j) = std::max(pij, 1e-12);
+      p(j, i) = p(i, j);
+    }
+    p(i, i) = 0.0;
+  }
+
+  linalg::Rng rng(config.seed);
+  Matrix y = rng.GaussianMatrix(n, config.output_dim, 1e-2);
+  Matrix velocity(n, config.output_dim);
+  Matrix grad(n, config.output_dim);
+  Matrix q(n, n);
+
+  const std::size_t exaggeration_iters = config.iterations / 4;
+  for (std::size_t iter = 0; iter < config.iterations; ++iter) {
+    const double exaggeration =
+        iter < exaggeration_iters ? config.early_exaggeration : 1.0;
+
+    // Student-t affinities Q (unnormalized weights w_ij = 1/(1+d^2)).
+    double z = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = i + 1; j < n; ++j) {
+        double s = 0.0;
+        for (std::size_t c = 0; c < config.output_dim; ++c) {
+          const double diff = y(i, c) - y(j, c);
+          s += diff * diff;
+        }
+        const double w = 1.0 / (1.0 + s);
+        q(i, j) = w;
+        q(j, i) = w;
+        z += 2.0 * w;
+      }
+    }
+    if (z < 1e-300) z = 1e-300;
+
+    grad.SetZero();
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < n; ++j) {
+        if (i == j) continue;
+        const double w = q(i, j);
+        const double coeff =
+            4.0 * (exaggeration * p(i, j) - w / z) * w;
+        for (std::size_t c = 0; c < config.output_dim; ++c) {
+          grad(i, c) += coeff * (y(i, c) - y(j, c));
+        }
+      }
+    }
+    for (std::size_t i = 0; i < grad.size(); ++i) {
+      velocity.data()[i] = config.momentum * velocity.data()[i] -
+                           config.learning_rate * grad.data()[i];
+      y.data()[i] += velocity.data()[i];
+    }
+  }
+  return y;
+}
+
+}  // namespace analysis
+}  // namespace whitenrec

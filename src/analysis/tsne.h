@@ -1,0 +1,28 @@
+#ifndef WHITENREC_ANALYSIS_TSNE_H_
+#define WHITENREC_ANALYSIS_TSNE_H_
+
+#include "linalg/matrix.h"
+#include "linalg/rng.h"
+
+namespace whitenrec {
+namespace analysis {
+
+// Exact t-SNE (van der Maaten & Hinton) for the Fig. 3 embedding plots.
+// Suitable for up to ~1k points; O(n^2) per iteration.
+struct TsneConfig {
+  std::size_t output_dim = 2;
+  double perplexity = 30.0;
+  std::size_t iterations = 300;
+  double learning_rate = 100.0;
+  double momentum = 0.8;
+  double early_exaggeration = 4.0;  // applied for the first 1/4 iterations
+  std::uint64_t seed = 3;
+};
+
+// Returns (n, output_dim) low-dimensional coordinates for the rows of `x`.
+linalg::Matrix Tsne(const linalg::Matrix& x, const TsneConfig& config);
+
+}  // namespace analysis
+}  // namespace whitenrec
+
+#endif  // WHITENREC_ANALYSIS_TSNE_H_

@@ -1,0 +1,37 @@
+#ifndef WHITENREC_CORE_CHECK_H_
+#define WHITENREC_CORE_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+// Assertion macros for programming errors (contract violations). These abort
+// the process: a violated precondition means the caller's code is wrong, not
+// that a recoverable runtime condition occurred. Recoverable conditions use
+// Status/Result from core/status.h instead.
+
+#define WR_CHECK(cond)                                                      \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      std::fprintf(stderr, "WR_CHECK failed at %s:%d: %s\n", __FILE__,      \
+                   __LINE__, #cond);                                        \
+      std::abort();                                                         \
+    }                                                                       \
+  } while (0)
+
+#define WR_CHECK_MSG(cond, msg)                                             \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      std::fprintf(stderr, "WR_CHECK failed at %s:%d: %s (%s)\n", __FILE__, \
+                   __LINE__, #cond, msg);                                   \
+      std::abort();                                                         \
+    }                                                                       \
+  } while (0)
+
+#define WR_CHECK_EQ(a, b) WR_CHECK((a) == (b))
+#define WR_CHECK_NE(a, b) WR_CHECK((a) != (b))
+#define WR_CHECK_LT(a, b) WR_CHECK((a) < (b))
+#define WR_CHECK_LE(a, b) WR_CHECK((a) <= (b))
+#define WR_CHECK_GT(a, b) WR_CHECK((a) > (b))
+#define WR_CHECK_GE(a, b) WR_CHECK((a) >= (b))
+
+#endif  // WHITENREC_CORE_CHECK_H_

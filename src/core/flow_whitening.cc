@@ -1,0 +1,122 @@
+#include "core/flow_whitening.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "linalg/eigen.h"
+#include "linalg/stats.h"
+
+namespace whitenrec {
+
+using linalg::Matrix;
+
+double FlowWhitening::InverseNormalCdf(double p) {
+  // Acklam's rational approximation, |relative error| < 1.15e-9.
+  WR_CHECK_GT(p, 0.0);
+  WR_CHECK_LT(p, 1.0);
+  static const double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                             -2.759285104469687e+02, 1.383577518672690e+02,
+                             -3.066479806614716e+01, 2.506628277459239e+00};
+  static const double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                             -1.556989798598866e+02, 6.680131188771972e+01,
+                             -1.328068155288572e+01};
+  static const double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                             -2.400758277161838e+00, -2.549732539343734e+00,
+                             4.374664141464968e+00,  2.938163982698783e+00};
+  static const double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                             2.445134137142996e+00, 3.754408661907416e+00};
+  const double plow = 0.02425;
+  const double phigh = 1 - plow;
+  double q, r;
+  if (p < plow) {
+    q = std::sqrt(-2 * std::log(p));
+    return (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+           ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1);
+  }
+  if (p > phigh) {
+    q = std::sqrt(-2 * std::log(1 - p));
+    return -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+           ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1);
+  }
+  q = p - 0.5;
+  r = q * q;
+  return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5]) *
+         q /
+         (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1);
+}
+
+namespace {
+
+// Maps `v` to its interpolated quantile within the sorted training sample,
+// then through the inverse normal CDF. Values outside the support clamp to
+// the extreme quantiles.
+double RankGaussian(const std::vector<double>& sorted, double v) {
+  const double n = static_cast<double>(sorted.size());
+  const auto it = std::lower_bound(sorted.begin(), sorted.end(), v);
+  double rank = static_cast<double>(it - sorted.begin());
+  // Interpolate between neighbors for smoothness on unseen values.
+  if (it != sorted.begin() && it != sorted.end() && *it != *(it - 1)) {
+    rank -= (*it - v) / (*it - *(it - 1));
+  }
+  // Hazen plotting position keeps quantiles strictly inside (0, 1).
+  double p = (rank + 0.5) / (n + 1.0);
+  p = std::clamp(p, 0.5 / (n + 1.0), (n + 0.5) / (n + 1.0));
+  return FlowWhitening::InverseNormalCdf(p);
+}
+
+}  // namespace
+
+Matrix FlowWhitening::MarginalGaussianize(const Step& step,
+                                          const Matrix& x) const {
+  Matrix out(x.rows(), x.cols());
+  for (std::size_t c = 0; c < x.cols(); ++c) {
+    const std::vector<double>& sorted = step.sorted_dims[c];
+    for (std::size_t r = 0; r < x.rows(); ++r) {
+      out(r, c) = RankGaussian(sorted, x(r, c));
+    }
+  }
+  return out;
+}
+
+Status FlowWhitening::Fit(const Matrix& x, std::size_t iterations,
+                          double epsilon) {
+  if (x.rows() < 8) {
+    return Status::InvalidArgument("FlowWhitening: need >= 8 rows");
+  }
+  steps_.clear();
+  Matrix cur = x;
+  for (std::size_t t = 0; t < iterations; ++t) {
+    Step step;
+    step.sorted_dims.resize(cur.cols());
+    for (std::size_t c = 0; c < cur.cols(); ++c) {
+      step.sorted_dims[c] = cur.Col(c);
+      std::sort(step.sorted_dims[c].begin(), step.sorted_dims[c].end());
+    }
+    Matrix gaussed = MarginalGaussianize(step, cur);
+
+    const Matrix cov = linalg::Covariance(gaussed, epsilon);
+    Result<linalg::EigenDecomposition> eig = linalg::SymmetricEigen(cov);
+    if (!eig.ok()) return eig.status();
+    // Rotation = D^T (rows are eigenvectors): y = D^T g  <=>  Y = G * D.
+    step.rotation = linalg::Transpose(eig.value().vectors);
+    cur = linalg::MatMulTransB(gaussed, step.rotation);
+    steps_.push_back(std::move(step));
+  }
+  // Exact final whitening so the output covariance is the identity.
+  Result<FittedWhitening> fin = FitWhitening(cur, WhiteningKind::kZca, epsilon);
+  if (!fin.ok()) return fin.status();
+  final_ = std::move(fin).ValueOrDie();
+  return Status::OK();
+}
+
+Matrix FlowWhitening::Apply(const Matrix& x) const {
+  WR_CHECK_MSG(fitted(), "FlowWhitening::Apply before Fit");
+  Matrix cur = x;
+  for (const Step& step : steps_) {
+    cur = MarginalGaussianize(step, cur);
+    cur = linalg::MatMulTransB(cur, step.rotation);
+  }
+  return ApplyWhitening(final_, cur);
+}
+
+}  // namespace whitenrec

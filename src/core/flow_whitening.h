@@ -1,0 +1,57 @@
+#ifndef WHITENREC_CORE_FLOW_WHITENING_H_
+#define WHITENREC_CORE_FLOW_WHITENING_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "core/status.h"
+#include "core/whitening.h"
+#include "linalg/matrix.h"
+
+namespace whitenrec {
+
+// BERT-flow surrogate (paper Table VI).
+//
+// BERT-flow learns an invertible normalizing flow that maps the BERT
+// embedding distribution to a latent isotropic Gaussian. We substitute the
+// classic non-parametric equivalent: Rotation-Based Iterative Gaussianization
+// (RBIG) — alternate (a) marginal rank-Gaussianization of every feature
+// dimension with (b) a PCA rotation, for a fixed number of iterations, then
+// finish with one exact ZCA step. Like BERT-flow, the composed map is
+// invertible on the training support and Gaussianizes the distribution; see
+// DESIGN.md for the substitution rationale.
+class FlowWhitening {
+ public:
+  FlowWhitening() = default;
+
+  // Fits the flow on X (rows = items). `iterations` marginal+rotation rounds.
+  Status Fit(const linalg::Matrix& x, std::size_t iterations = 3,
+             double epsilon = 1e-5);
+
+  bool fitted() const { return !steps_.empty() || final_.phi.rows() > 0; }
+
+  // Applies the fitted flow. New rows outside the training support are
+  // clamped to the support edge by the marginal maps.
+  linalg::Matrix Apply(const linalg::Matrix& x) const;
+
+  // Inverse-normal CDF (Acklam's rational approximation), exposed for tests.
+  static double InverseNormalCdf(double p);
+
+ private:
+  struct Step {
+    // Per-dimension sorted training values; maps a value to its Gaussian
+    // quantile by interpolated rank.
+    std::vector<std::vector<double>> sorted_dims;
+    linalg::Matrix rotation;  // d x d orthogonal (PCA eigenvectors^T)
+  };
+
+  linalg::Matrix MarginalGaussianize(const Step& step,
+                                     const linalg::Matrix& x) const;
+
+  std::vector<Step> steps_;
+  FittedWhitening final_;
+};
+
+}  // namespace whitenrec
+
+#endif  // WHITENREC_CORE_FLOW_WHITENING_H_

@@ -1,0 +1,156 @@
+#include "core/incremental_whitening.h"
+
+#include <cmath>
+
+#include "linalg/cholesky.h"
+#include "linalg/eigen.h"
+
+namespace whitenrec {
+
+using linalg::Matrix;
+
+IncrementalWhitening::IncrementalWhitening(std::size_t dims)
+    : dims_(dims), mean_(dims, 0.0), comoment_(dims, dims) {
+  WR_CHECK_GT(dims, 0u);
+}
+
+void IncrementalWhitening::Add(const Matrix& rows) {
+  WR_CHECK_EQ(rows.cols(), dims_);
+  // Welford update per row: exact running mean and centered co-moment.
+  std::vector<double> delta(dims_);
+  for (std::size_t r = 0; r < rows.rows(); ++r) {
+    ++count_;
+    const double* row = rows.RowPtr(r);
+    const double inv = 1.0 / static_cast<double>(count_);
+    for (std::size_t c = 0; c < dims_; ++c) {
+      delta[c] = row[c] - mean_[c];
+      mean_[c] += delta[c] * inv;
+    }
+    // comoment += delta * (x - new_mean)^T; symmetric rank-1 update.
+    for (std::size_t i = 0; i < dims_; ++i) {
+      const double di = delta[i];
+      double* mrow = comoment_.RowPtr(i);
+      for (std::size_t j = 0; j < dims_; ++j) {
+        mrow[j] += di * (row[j] - mean_[j]);
+      }
+    }
+  }
+}
+
+Status IncrementalWhitening::Merge(const IncrementalWhitening& other) {
+  if (other.dims_ != dims_) {
+    return Status::InvalidArgument("IncrementalWhitening::Merge: dims differ");
+  }
+  if (other.count_ == 0) return Status::OK();
+  if (count_ == 0) {
+    *this = other;
+    return Status::OK();
+  }
+  // Chan et al. parallel combination.
+  const double na = static_cast<double>(count_);
+  const double nb = static_cast<double>(other.count_);
+  const double n = na + nb;
+  std::vector<double> delta(dims_);
+  for (std::size_t c = 0; c < dims_; ++c) {
+    delta[c] = other.mean_[c] - mean_[c];
+  }
+  comoment_ += other.comoment_;
+  const double factor = na * nb / n;
+  for (std::size_t i = 0; i < dims_; ++i) {
+    double* row = comoment_.RowPtr(i);
+    for (std::size_t j = 0; j < dims_; ++j) {
+      row[j] += factor * delta[i] * delta[j];
+    }
+  }
+  for (std::size_t c = 0; c < dims_; ++c) {
+    mean_[c] += delta[c] * nb / n;
+  }
+  count_ += other.count_;
+  return Status::OK();
+}
+
+std::vector<double> IncrementalWhitening::Mean() const { return mean_; }
+
+Result<Matrix> IncrementalWhitening::CovarianceMatrix(double epsilon) const {
+  if (count_ < 2) {
+    return Status::InvalidArgument("IncrementalWhitening: need >= 2 samples");
+  }
+  Matrix cov = comoment_;
+  cov *= 1.0 / static_cast<double>(count_);
+  if (epsilon != 0.0) {
+    for (std::size_t i = 0; i < dims_; ++i) cov(i, i) += epsilon;
+  }
+  return cov;
+}
+
+Result<FittedWhitening> IncrementalWhitening::Fit(
+    const WhiteningOptions& options) const {
+  if (options.ledoit_wolf) {
+    return Status::InvalidArgument(
+        "IncrementalWhitening: Ledoit-Wolf needs per-sample moments; "
+        "use FitWhiteningAdvanced on the full matrix instead");
+  }
+  Result<Matrix> cov = CovarianceMatrix(options.epsilon);
+  if (!cov.ok()) return cov.status();
+  const Matrix& sigma = cov.value();
+
+  FittedWhitening out;
+  out.mean = mean_;
+  if (options.newton_iterations > 0) {
+    if (options.kind != WhiteningKind::kZca) {
+      return Status::InvalidArgument(
+          "IncrementalWhitening: Newton-Schulz only applies to ZCA");
+    }
+    Result<Matrix> inv_sqrt =
+        linalg::NewtonSchulzInverseSqrt(sigma, options.newton_iterations);
+    if (!inv_sqrt.ok()) return inv_sqrt.status();
+    out.phi = std::move(inv_sqrt).ValueOrDie();
+    return out;
+  }
+
+  switch (options.kind) {
+    case WhiteningKind::kBatchNorm: {
+      out.phi = Matrix(dims_, dims_);
+      for (std::size_t i = 0; i < dims_; ++i) {
+        const double var = sigma(i, i);
+        if (var <= 0.0) {
+          return Status::NumericalError("IncrementalWhitening: zero variance");
+        }
+        out.phi(i, i) = 1.0 / std::sqrt(var);
+      }
+      return out;
+    }
+    case WhiteningKind::kCholesky: {
+      Result<Matrix> l = linalg::Cholesky(sigma);
+      if (!l.ok()) return l.status();
+      Result<Matrix> linv = linalg::LowerTriangularInverse(l.value());
+      if (!linv.ok()) return linv.status();
+      out.phi = std::move(linv).ValueOrDie();
+      return out;
+    }
+    case WhiteningKind::kZca:
+    case WhiteningKind::kPca: {
+      Result<linalg::EigenDecomposition> eig = linalg::SymmetricEigen(sigma);
+      if (!eig.ok()) return eig.status();
+      const linalg::EigenDecomposition& e = eig.value();
+      Matrix lam_half_inv(dims_, dims_);
+      for (std::size_t i = 0; i < dims_; ++i) {
+        if (e.values[i] <= 0.0) {
+          return Status::NumericalError(
+              "IncrementalWhitening: non-positive eigenvalue");
+        }
+        const double s = 1.0 / std::sqrt(e.values[i]);
+        for (std::size_t j = 0; j < dims_; ++j) {
+          lam_half_inv(i, j) = s * e.vectors(j, i);
+        }
+      }
+      out.phi = options.kind == WhiteningKind::kPca
+                    ? std::move(lam_half_inv)
+                    : linalg::MatMul(e.vectors, lam_half_inv);
+      return out;
+    }
+  }
+  return Status::InvalidArgument("IncrementalWhitening: unknown kind");
+}
+
+}  // namespace whitenrec

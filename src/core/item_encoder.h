@@ -1,0 +1,40 @@
+#ifndef WHITENREC_CORE_ITEM_ENCODER_H_
+#define WHITENREC_CORE_ITEM_ENCODER_H_
+
+#include <string>
+#include <vector>
+
+#include "linalg/matrix.h"
+#include "nn/layers.h"
+
+namespace whitenrec {
+
+// Item encoder f_theta1 (paper Eq. 2): produces the item embedding matrix
+// V (num_items, d) for the entire catalog each training step, and routes the
+// gradient dL/dV back into its trainable parts. Implementations: ID lookup,
+// frozen-text projection, whitened-text projection, ensembles, parametric
+// whitening, etc.
+//
+// One Forward/Backward pair per step (layers cache forward activations).
+class ItemEncoder {
+ public:
+  virtual ~ItemEncoder() = default;
+
+  virtual std::size_t num_items() const = 0;
+  virtual std::size_t output_dim() const = 0;
+
+  // Returns V (num_items, output_dim).
+  virtual linalg::Matrix Forward(bool train) = 0;
+  // Accumulates parameter gradients from dL/dV.
+  virtual void Backward(const linalg::Matrix& dv) = 0;
+
+  virtual void CollectParameters(std::vector<nn::Parameter*>* out) = 0;
+  virtual std::string name() const = 0;
+
+ protected:
+  ItemEncoder() = default;
+};
+
+}  // namespace whitenrec
+
+#endif  // WHITENREC_CORE_ITEM_ENCODER_H_

@@ -1,0 +1,97 @@
+#ifndef WHITENREC_CORE_STATUS_H_
+#define WHITENREC_CORE_STATUS_H_
+
+#include <string>
+#include <utility>
+
+#include "core/check.h"
+
+namespace whitenrec {
+
+// Error code taxonomy, deliberately small. Follows the Arrow/RocksDB idiom:
+// recoverable runtime failures travel through Status/Result, programming
+// errors abort via WR_CHECK.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNumericalError,   // e.g. Cholesky of a non-PD matrix, Jacobi non-convergence
+  kNotConverged,     // iterative method hit its iteration cap
+  kOutOfRange,
+};
+
+// A cheap value type carrying success or an error code plus message.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NumericalError(std::string msg) {
+    return Status(StatusCode::kNumericalError, std::move(msg));
+  }
+  static Status NotConverged(std::string msg) {
+    return Status(StatusCode::kNotConverged, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  std::string ToString() const {
+    if (ok()) return "OK";
+    return message_.empty() ? "error" : message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+// Result<T>: either a value or an error Status. ValueOrDie() aborts on error,
+// for call sites that have already validated their inputs.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : ok_(true), value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  Result(Status status) : ok_(false), status_(std::move(status)) {  // NOLINT
+    WR_CHECK_MSG(!status_.ok(), "Result constructed from OK status");
+  }
+
+  bool ok() const { return ok_; }
+  const Status& status() const { return status_; }
+
+  const T& value() const {
+    WR_CHECK_MSG(ok_, "Result::value() on error result");
+    return value_;
+  }
+  T& value() {
+    WR_CHECK_MSG(ok_, "Result::value() on error result");
+    return value_;
+  }
+  T ValueOrDie() && {
+    WR_CHECK_MSG(ok_, status_.message().c_str());
+    return std::move(value_);
+  }
+
+ private:
+  bool ok_;
+  T value_{};
+  Status status_;
+};
+
+#define WR_RETURN_IF_ERROR(expr)              \
+  do {                                        \
+    ::whitenrec::Status _st = (expr);         \
+    if (!_st.ok()) return _st;                \
+  } while (0)
+
+}  // namespace whitenrec
+
+#endif  // WHITENREC_CORE_STATUS_H_

@@ -1,0 +1,147 @@
+#ifndef WHITENREC_CORE_WHITEN_ENCODER_H_
+#define WHITENREC_CORE_WHITEN_ENCODER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/item_encoder.h"
+#include "core/whitening.h"
+#include "linalg/rng.h"
+#include "nn/layers.h"
+
+namespace whitenrec {
+
+// Projection head variants (paper Table V): a plain linear map, MLPs with
+// 1-3 hidden layers (ReLU on every hidden layer, hidden width = out_dim),
+// or a sparsely-gated Mixture-of-Experts of linear experts.
+enum class HeadKind {
+  kLinear,
+  kMlp1,
+  kMlp2,
+  kMlp3,
+  kMoe,
+};
+const char* HeadKindName(HeadKind kind);
+
+class ProjectionHead {
+ public:
+  ProjectionHead(std::size_t in_dim, std::size_t out_dim, HeadKind kind,
+                 linalg::Rng* rng, std::size_t num_experts = 4,
+                 std::string name = "head");
+
+  linalg::Matrix Forward(const linalg::Matrix& x);
+  linalg::Matrix Backward(const linalg::Matrix& dy);
+  void CollectParameters(std::vector<nn::Parameter*>* out);
+
+  std::size_t in_dim() const { return in_dim_; }
+  std::size_t out_dim() const { return out_dim_; }
+
+ private:
+  std::size_t in_dim_;
+  std::size_t out_dim_;
+  HeadKind kind_;
+
+  // MLP path: linears_[0..k] with ReLU between them.
+  std::vector<std::unique_ptr<nn::Linear>> linears_;
+  std::vector<nn::ReLU> relus_;
+
+  // MoE path.
+  std::unique_ptr<nn::Linear> gate_;
+  std::vector<std::unique_ptr<nn::Linear>> experts_;
+  linalg::Matrix cached_gate_probs_;               // (n, E)
+  std::vector<linalg::Matrix> cached_expert_out_;  // E of (n, out)
+};
+
+// Ensemble combiners for WhitenRec+ (paper Table VII).
+enum class EnsembleKind {
+  kSum,     // V = f(Z_G1) + f(Z_Gk), shared head (paper Eq. 6, default)
+  kConcat,  // V = f([Z_G1 ; Z_Gk]), feature-wise concatenation into one head
+  kAttn,    // V = a1 f(Z_G1) + a2 f(Z_Gk), softmax attention over branches
+};
+const char* EnsembleKindName(EnsembleKind kind);
+
+// WhitenRec item encoder: frozen (whitened) text features -> projection
+// head. With raw features this is SASRec^T's encoder; construction helpers
+// below pick the right preprocessing.
+class TextFeatureEncoder : public ItemEncoder {
+ public:
+  TextFeatureEncoder(linalg::Matrix features, std::size_t out_dim,
+                     HeadKind head, linalg::Rng* rng,
+                     std::string name = "text");
+
+  std::size_t num_items() const override { return features_.rows(); }
+  std::size_t output_dim() const override { return head_.out_dim(); }
+  linalg::Matrix Forward(bool train) override;
+  void Backward(const linalg::Matrix& dv) override;
+  void CollectParameters(std::vector<nn::Parameter*>* out) override;
+  std::string name() const override { return name_; }
+
+  const linalg::Matrix& features() const { return features_; }
+
+ private:
+  linalg::Matrix features_;  // frozen
+  ProjectionHead head_;
+  std::string name_;
+};
+
+// WhitenRec+ item encoder (paper Sec. IV-C): combines a fully whitened
+// branch and a relaxed whitened branch through a shared projection head.
+// For kSum/kAttn the two branches are stacked row-wise so the shared head
+// performs exactly one forward/backward per step; for kConcat the branches
+// are concatenated feature-wise and the head takes 2*d_t inputs.
+class WhitenRecPlusEncoder : public ItemEncoder {
+ public:
+  WhitenRecPlusEncoder(linalg::Matrix z_full, linalg::Matrix z_relaxed,
+                       std::size_t out_dim, EnsembleKind ensemble,
+                       HeadKind head, linalg::Rng* rng,
+                       std::string name = "whitenrec+");
+
+  std::size_t num_items() const override { return z_full_.rows(); }
+  std::size_t output_dim() const override { return out_dim_; }
+  linalg::Matrix Forward(bool train) override;
+  void Backward(const linalg::Matrix& dv) override;
+  void CollectParameters(std::vector<nn::Parameter*>* out) override;
+  std::string name() const override { return name_; }
+
+ private:
+  linalg::Matrix StackedInput() const;
+
+  linalg::Matrix z_full_;
+  linalg::Matrix z_relaxed_;
+  std::size_t out_dim_;
+  EnsembleKind ensemble_;
+  ProjectionHead head_;
+  std::unique_ptr<nn::Linear> attn_scorer_;  // kAttn only: (d -> 1)
+  std::string name_;
+
+  // kAttn caches.
+  linalg::Matrix cached_h_;      // (2N, d) stacked branch outputs
+  linalg::Matrix cached_alpha_;  // (N, 2) branch attention weights
+};
+
+// Configuration used by the factories below.
+struct WhitenRecConfig {
+  std::size_t out_dim = 32;
+  std::size_t full_groups = 1;     // G of the (fully) whitened branch
+  std::size_t relaxed_groups = 4;  // G of the relaxed branch (WhitenRec+)
+  WhiteningKind whitening = WhiteningKind::kZca;
+  double epsilon = 1e-5;
+  HeadKind head = HeadKind::kMlp2;
+  EnsembleKind ensemble = EnsembleKind::kSum;
+};
+
+// WhitenRec: whitens `features` (groups = config.full_groups) and wraps them
+// in a TextFeatureEncoder.
+Result<std::unique_ptr<ItemEncoder>> MakeWhitenRecEncoder(
+    const linalg::Matrix& features, const WhitenRecConfig& config,
+    linalg::Rng* rng);
+
+// WhitenRec+: full + relaxed branches, ensemble per config.
+Result<std::unique_ptr<ItemEncoder>> MakeWhitenRecPlusEncoder(
+    const linalg::Matrix& features, const WhitenRecConfig& config,
+    linalg::Rng* rng);
+
+}  // namespace whitenrec
+
+#endif  // WHITENREC_CORE_WHITEN_ENCODER_H_

@@ -1,0 +1,195 @@
+#include "core/whitening.h"
+
+#include <cmath>
+
+#include "linalg/cholesky.h"
+#include "linalg/eigen.h"
+#include "linalg/stats.h"
+
+namespace whitenrec {
+
+using linalg::Matrix;
+
+const char* WhiteningKindName(WhiteningKind kind) {
+  switch (kind) {
+    case WhiteningKind::kZca: return "ZCA";
+    case WhiteningKind::kPca: return "PCA";
+    case WhiteningKind::kCholesky: return "CD";
+    case WhiteningKind::kBatchNorm: return "BN";
+  }
+  return "?";
+}
+
+namespace {
+
+// Builds phi from an already-estimated covariance.
+Result<FittedWhitening> FitFromCovariance(const Matrix& x, Matrix sigma,
+                                          WhiteningKind kind) {
+  const std::size_t d = x.cols();
+  FittedWhitening out;
+  out.mean = linalg::ColumnMean(x);
+
+  switch (kind) {
+    case WhiteningKind::kBatchNorm: {
+      // Phi = diag(1/sigma_i): standardize, no cross-dim decorrelation.
+      out.phi = Matrix(d, d);
+      for (std::size_t i = 0; i < d; ++i) {
+        const double var = sigma(i, i);
+        if (var <= 0.0) {
+          return Status::NumericalError("FitWhitening/BN: non-positive var");
+        }
+        out.phi(i, i) = 1.0 / std::sqrt(var);
+      }
+      return out;
+    }
+    case WhiteningKind::kCholesky: {
+      // Sigma = L L^T, Phi = L^{-1}; then Phi Sigma Phi^T = I.
+      Result<Matrix> l = linalg::Cholesky(sigma);
+      if (!l.ok()) return l.status();
+      Result<Matrix> linv = linalg::LowerTriangularInverse(l.value());
+      if (!linv.ok()) return linv.status();
+      out.phi = std::move(linv).ValueOrDie();
+      return out;
+    }
+    case WhiteningKind::kZca:
+    case WhiteningKind::kPca: {
+      Result<linalg::EigenDecomposition> eig = linalg::SymmetricEigen(sigma);
+      if (!eig.ok()) return eig.status();
+      const linalg::EigenDecomposition& e = eig.value();
+      // lam_half_inv = Lambda^{-1/2} D^T.
+      Matrix lam_half_inv(d, d);
+      for (std::size_t i = 0; i < d; ++i) {
+        const double lam = e.values[i];
+        if (lam <= 0.0) {
+          return Status::NumericalError(
+              "FitWhitening: non-positive eigenvalue; raise epsilon");
+        }
+        const double s = 1.0 / std::sqrt(lam);
+        for (std::size_t j = 0; j < d; ++j) {
+          lam_half_inv(i, j) = s * e.vectors(j, i);
+        }
+      }
+      if (kind == WhiteningKind::kPca) {
+        out.phi = std::move(lam_half_inv);
+      } else {
+        // ZCA adds the rotation back: Phi = D Lambda^{-1/2} D^T.
+        out.phi = linalg::MatMul(e.vectors, lam_half_inv);
+      }
+      return out;
+    }
+  }
+  return Status::InvalidArgument("FitWhitening: unknown kind");
+}
+
+}  // namespace
+
+Result<FittedWhitening> FitWhitening(const Matrix& x, WhiteningKind kind,
+                                     double epsilon) {
+  WhiteningOptions options;
+  options.kind = kind;
+  options.epsilon = epsilon;
+  return FitWhiteningAdvanced(x, options);
+}
+
+Result<FittedWhitening> FitWhiteningAdvanced(const Matrix& x,
+                                             const WhiteningOptions& options) {
+  if (x.rows() < 2) {
+    return Status::InvalidArgument("FitWhitening: need at least 2 rows");
+  }
+  Matrix sigma = options.ledoit_wolf
+                     ? linalg::LedoitWolfCovariance(x)
+                     : linalg::Covariance(x, options.epsilon);
+  if (options.ledoit_wolf && options.epsilon > 0.0) {
+    for (std::size_t i = 0; i < sigma.rows(); ++i) {
+      sigma(i, i) += options.epsilon;
+    }
+  }
+  if (options.newton_iterations > 0) {
+    if (options.kind != WhiteningKind::kZca) {
+      return Status::InvalidArgument(
+          "FitWhiteningAdvanced: Newton-Schulz only applies to ZCA");
+    }
+    FittedWhitening out;
+    out.mean = linalg::ColumnMean(x);
+    Result<Matrix> inv_sqrt =
+        linalg::NewtonSchulzInverseSqrt(sigma, options.newton_iterations);
+    if (!inv_sqrt.ok()) return inv_sqrt.status();
+    out.phi = std::move(inv_sqrt).ValueOrDie();
+    return out;
+  }
+  return FitFromCovariance(x, std::move(sigma), options.kind);
+}
+
+Matrix ApplyWhitening(const FittedWhitening& w, const Matrix& x) {
+  WR_CHECK_EQ(x.cols(), w.mean.size());
+  Matrix centered = x;
+  for (std::size_t r = 0; r < centered.rows(); ++r) {
+    double* row = centered.RowPtr(r);
+    for (std::size_t c = 0; c < centered.cols(); ++c) row[c] -= w.mean[c];
+  }
+  // z_row = phi * centered_row  <=>  Z = centered * phi^T.
+  return linalg::MatMulTransB(centered, w.phi);
+}
+
+Status GroupWhitening::Fit(const Matrix& x, std::size_t groups,
+                           WhiteningKind kind, double epsilon) {
+  if (groups == 0 || x.cols() % groups != 0) {
+    return Status::InvalidArgument(
+        "GroupWhitening: groups must divide feature dims");
+  }
+  dims_ = x.cols();
+  kind_ = kind;
+  group_transforms_.clear();
+  const std::size_t group_dim = x.cols() / groups;
+  for (std::size_t g = 0; g < groups; ++g) {
+    const Matrix block = x.ColSlice(g * group_dim, (g + 1) * group_dim);
+    Result<FittedWhitening> fitted = FitWhitening(block, kind, epsilon);
+    if (!fitted.ok()) return fitted.status();
+    group_transforms_.push_back(std::move(fitted).ValueOrDie());
+  }
+  return Status::OK();
+}
+
+Matrix GroupWhitening::Apply(const Matrix& x) const {
+  WR_CHECK_MSG(fitted(), "GroupWhitening::Apply before Fit");
+  WR_CHECK_EQ(x.cols(), dims_);
+  const std::size_t group_dim = dims_ / group_transforms_.size();
+  Matrix out(x.rows(), dims_);
+  for (std::size_t g = 0; g < group_transforms_.size(); ++g) {
+    const Matrix block = x.ColSlice(g * group_dim, (g + 1) * group_dim);
+    out.SetColSlice(g * group_dim,
+                    ApplyWhitening(group_transforms_[g], block));
+  }
+  return out;
+}
+
+Result<Matrix> WhitenMatrix(const Matrix& x, std::size_t groups,
+                            WhiteningKind kind, double epsilon) {
+  GroupWhitening gw;
+  Status st = gw.Fit(x, groups, kind, epsilon);
+  if (!st.ok()) return st;
+  return gw.Apply(x);
+}
+
+IsotropyDiagnostics MeasureIsotropy(const Matrix& z) {
+  const Matrix cov = linalg::Covariance(z);
+  IsotropyDiagnostics d{0.0, 0.0, 0.0};
+  for (std::size_t i = 0; i < cov.rows(); ++i) {
+    for (std::size_t j = 0; j < cov.cols(); ++j) {
+      const double v = cov(i, j);
+      if (i == j) {
+        d.max_diag_error = std::max(d.max_diag_error, std::fabs(v - 1.0));
+      } else {
+        d.max_offdiag_cov = std::max(d.max_offdiag_cov, std::fabs(v));
+      }
+    }
+  }
+  double norm_sum = 0.0;
+  for (std::size_t r = 0; r < z.rows(); ++r) {
+    norm_sum += linalg::Norm(z.Row(r));
+  }
+  d.mean_norm = norm_sum / static_cast<double>(z.rows());
+  return d;
+}
+
+}  // namespace whitenrec

@@ -1,0 +1,115 @@
+#ifndef WHITENREC_CORE_WHITENING_H_
+#define WHITENREC_CORE_WHITENING_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "core/status.h"
+#include "linalg/matrix.h"
+
+namespace whitenrec {
+
+// Non-parametric whitening transforms (paper Sec. IV-A, Table VI).
+//
+// Given item text embeddings X (rows = items, cols = d_t dims; transpose of
+// the paper's notation), a whitening transform computes Z = (X - 1 mu^T) Phi^T
+// such that the sample covariance of Z is (approximately) the identity. The
+// variants differ in Phi:
+//   ZCA:  Phi = D Lambda^{-1/2} D^T   (rotates back to the original axes)
+//   PCA:  Phi = Lambda^{-1/2} D^T     (leaves data in eigen-axes)
+//   CD:   Phi = L^{-1}, Sigma = L L^T (Cholesky whitening)
+//   BN:   Phi = diag(sigma_i^{-1})    (per-dimension standardization only;
+//                                      does not decorrelate across dims)
+enum class WhiteningKind {
+  kZca,
+  kPca,
+  kCholesky,
+  kBatchNorm,
+};
+
+const char* WhiteningKindName(WhiteningKind kind);
+
+// A fitted whitening transform for one dimension group: the column means and
+// the d x d matrix phi applied as z = phi * (x - mu).
+struct FittedWhitening {
+  std::vector<double> mean;
+  linalg::Matrix phi;
+};
+
+// Fits a whitening transform on X with covariance regularizer epsilon
+// (Sigma = Cov(X) + epsilon I). Requires rows >= 2 and, for a full-rank
+// covariance, rows >> cols (as the paper assumes |I| >> d_t).
+Result<FittedWhitening> FitWhitening(const linalg::Matrix& x,
+                                     WhiteningKind kind,
+                                     double epsilon = 1e-5);
+
+// Extended fitting controls (library extensions beyond the paper's setup;
+// ablated by bench_ablation_whitening_estimators):
+//  - ledoit_wolf: replace the fixed-epsilon ridge with the closed-form
+//    Ledoit-Wolf shrinkage covariance — principled when the item count is
+//    not much larger than d_t (cold-start-sized fits).
+//  - newton_iterations > 0: compute the ZCA map Sigma^{-1/2} with the
+//    coupled Newton-Schulz iteration (the DBN trick) instead of an exact
+//    eigensolve; only valid for kZca.
+struct WhiteningOptions {
+  WhiteningKind kind = WhiteningKind::kZca;
+  double epsilon = 1e-5;
+  bool ledoit_wolf = false;
+  int newton_iterations = 0;  // 0 = exact eigensolve
+};
+
+Result<FittedWhitening> FitWhiteningAdvanced(const linalg::Matrix& x,
+                                             const WhiteningOptions& options);
+
+// Applies a fitted transform: Z = (X - 1 mu^T) phi^T.
+linalg::Matrix ApplyWhitening(const FittedWhitening& w,
+                              const linalg::Matrix& x);
+
+// Group (relaxed) whitening, paper Eq. 5: the d_t feature dimensions are
+// sliced into `groups` contiguous blocks and each block is whitened
+// independently, so correlation *between* groups is preserved. groups == 1
+// is full whitening; groups == d_t degenerates to per-dimension BN-style
+// scaling (when kind decorrelates within a 1-wide group, it is just 1/sigma).
+//
+// The fitted object supports Apply() on new rows (e.g. cold-start items that
+// were not part of the fit), which simply reuses the stored per-group
+// mean/phi.
+class GroupWhitening {
+ public:
+  GroupWhitening() = default;
+
+  // Fits on X. `groups` must divide x.cols().
+  Status Fit(const linalg::Matrix& x, std::size_t groups, WhiteningKind kind,
+             double epsilon = 1e-5);
+
+  bool fitted() const { return !group_transforms_.empty(); }
+  std::size_t groups() const { return group_transforms_.size(); }
+  std::size_t dims() const { return dims_; }
+  WhiteningKind kind() const { return kind_; }
+
+  // Applies the fitted transform to X (same column count as the fit input).
+  linalg::Matrix Apply(const linalg::Matrix& x) const;
+
+ private:
+  std::size_t dims_ = 0;
+  WhiteningKind kind_ = WhiteningKind::kZca;
+  std::vector<FittedWhitening> group_transforms_;
+};
+
+// Convenience: fit-and-apply in one call (the precomputation path used by
+// WhitenRec; transforms are computed once before training, Sec. IV-E).
+Result<linalg::Matrix> WhitenMatrix(const linalg::Matrix& x,
+                                    std::size_t groups, WhiteningKind kind,
+                                    double epsilon = 1e-5);
+
+// Diagnostics asserting isotropy of a whitened matrix.
+struct IsotropyDiagnostics {
+  double max_offdiag_cov;   // max |Cov_ij|, i != j
+  double max_diag_error;    // max |Cov_ii - 1|
+  double mean_norm;         // mean row L2 norm
+};
+IsotropyDiagnostics MeasureIsotropy(const linalg::Matrix& z);
+
+}  // namespace whitenrec
+
+#endif  // WHITENREC_CORE_WHITENING_H_

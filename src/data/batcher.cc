@@ -1,0 +1,114 @@
+#include "data/batcher.h"
+
+#include <algorithm>
+
+#include "core/check.h"
+
+namespace whitenrec {
+namespace data {
+
+namespace {
+
+// Appends one sequence (already truncated to max_len as inputs) to a batch
+// under construction.
+void AppendSequence(const std::vector<std::size_t>& inputs,
+                    const std::vector<std::size_t>& targets_for_inputs,
+                    std::size_t user, Batch* batch) {
+  const std::size_t L = batch->seq_len;
+  WR_CHECK_LE(inputs.size(), L);
+  WR_CHECK(!inputs.empty());
+  for (std::size_t t = 0; t < L; ++t) {
+    if (t < inputs.size()) {
+      batch->items.push_back(inputs[t]);
+      batch->input_mask.push_back(1.0);
+      if (t < targets_for_inputs.size()) {
+        batch->targets.push_back(targets_for_inputs[t]);
+        batch->target_weights.push_back(1.0);
+      } else {
+        batch->targets.push_back(0);
+        batch->target_weights.push_back(0.0);
+      }
+    } else {
+      batch->items.push_back(0);
+      batch->input_mask.push_back(0.0);
+      batch->targets.push_back(0);
+      batch->target_weights.push_back(0.0);
+    }
+  }
+  batch->last_position.push_back(inputs.size() - 1);
+  batch->users.push_back(user);
+  ++batch->batch_size;
+}
+
+}  // namespace
+
+std::vector<Batch> MakeTrainBatches(
+    const std::vector<std::vector<std::size_t>>& sequences,
+    std::size_t max_len, std::size_t batch_size, linalg::Rng* rng) {
+  WR_CHECK_GT(max_len, 0u);
+  WR_CHECK_GT(batch_size, 0u);
+
+  std::vector<std::size_t> order;
+  order.reserve(sequences.size());
+  for (std::size_t u = 0; u < sequences.size(); ++u) {
+    if (sequences[u].size() >= 2) order.push_back(u);
+  }
+  if (rng != nullptr) rng->Shuffle(&order);
+
+  std::vector<Batch> batches;
+  Batch current;
+  current.seq_len = max_len;
+  for (std::size_t u : order) {
+    const std::vector<std::size_t>& seq = sequences[u];
+    // Inputs: most recent max_len items of seq[0..n-2]; target at position t
+    // is the next item in the original sequence.
+    const std::size_t n = seq.size();
+    const std::size_t input_len = std::min(max_len, n - 1);
+    const std::size_t start = (n - 1) - input_len;
+    std::vector<std::size_t> inputs(seq.begin() + start,
+                                    seq.begin() + (n - 1));
+    std::vector<std::size_t> targets(seq.begin() + start + 1, seq.end());
+    WR_CHECK_EQ(inputs.size(), targets.size());
+    AppendSequence(inputs, targets, u, &current);
+    if (current.batch_size == batch_size) {
+      batches.push_back(std::move(current));
+      current = Batch();
+      current.seq_len = max_len;
+    }
+  }
+  if (current.batch_size > 0) batches.push_back(std::move(current));
+  return batches;
+}
+
+std::vector<Batch> MakeEvalBatches(const std::vector<EvalInstance>& instances,
+                                   std::size_t max_len,
+                                   std::size_t batch_size) {
+  WR_CHECK_GT(max_len, 0u);
+  std::vector<Batch> batches;
+  Batch current;
+  current.seq_len = max_len;
+  for (const EvalInstance& inst : instances) {
+    if (inst.input.empty()) continue;
+    const std::size_t input_len = std::min(max_len, inst.input.size());
+    const std::size_t start = inst.input.size() - input_len;
+    std::vector<std::size_t> inputs(inst.input.begin() + start,
+                                    inst.input.end());
+    // Only the last position is scored: its target is the held-out item.
+    AppendSequence(inputs, {}, inst.user, &current);
+    // Mark the final position's label for metric computation.
+    const std::size_t b = current.batch_size - 1;
+    const std::size_t flat = current.Flat(b, inputs.size() - 1);
+    current.targets[flat] = inst.target;
+    current.target_weights[flat] = 1.0;
+    if (current.batch_size == batch_size) {
+      batches.push_back(std::move(current));
+      current = Batch();
+      current.seq_len = max_len;
+    }
+  }
+  if (current.batch_size > 0) batches.push_back(std::move(current));
+  return batches;
+}
+
+}  // namespace data
+}  // namespace whitenrec

@@ -1,0 +1,49 @@
+#ifndef WHITENREC_DATA_BATCHER_H_
+#define WHITENREC_DATA_BATCHER_H_
+
+#include <vector>
+
+#include "data/split.h"
+#include "linalg/rng.h"
+
+namespace whitenrec {
+namespace data {
+
+// A padded mini-batch of sequences in the layout the nn library expects:
+// flat row-major (batch * seq_len) index/mask vectors. Sequences are
+// right-padded; `input_mask` zeroes padded positions, `target_weights`
+// zeroes positions without a next-item label. Padded slots carry item 0 and
+// must be masked by the consumer before any embedding use.
+struct Batch {
+  std::size_t batch_size = 0;
+  std::size_t seq_len = 0;
+  std::vector<std::size_t> items;          // (batch*seq_len) inputs
+  std::vector<double> input_mask;          // 1.0 valid / 0.0 pad
+  std::vector<std::size_t> targets;        // next item per position
+  std::vector<double> target_weights;      // 1.0 where a label exists
+  std::vector<std::size_t> last_position;  // per sequence, last valid index
+  std::vector<std::size_t> users;          // source user per sequence
+
+  std::size_t Flat(std::size_t b, std::size_t t) const {
+    return b * seq_len + t;
+  }
+};
+
+// Builds shuffled training batches from per-user sequences. Each sequence
+// contributes one instance: inputs are the most recent `max_len` items of
+// seq[0..n-2] and the target at position t is the item at t+1 (SASRec
+// all-position training). Sequences shorter than 2 are skipped.
+std::vector<Batch> MakeTrainBatches(
+    const std::vector<std::vector<std::size_t>>& sequences,
+    std::size_t max_len, std::size_t batch_size, linalg::Rng* rng);
+
+// Builds evaluation batches: inputs are the most recent `max_len` items of
+// each instance's context; only the last position is scored.
+std::vector<Batch> MakeEvalBatches(const std::vector<EvalInstance>& instances,
+                                   std::size_t max_len,
+                                   std::size_t batch_size);
+
+}  // namespace data
+}  // namespace whitenrec
+
+#endif  // WHITENREC_DATA_BATCHER_H_

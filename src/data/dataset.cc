@@ -1,0 +1,102 @@
+#include "data/dataset.h"
+
+#include "core/check.h"
+
+namespace whitenrec {
+namespace data {
+
+DatasetStats ComputeStats(const Dataset& dataset) {
+  DatasetStats s{};
+  s.num_users = dataset.sequences.size();
+  s.num_items = dataset.num_items;
+  s.num_interactions = 0;
+  for (const auto& seq : dataset.sequences) s.num_interactions += seq.size();
+  s.avg_seq_len = s.num_users == 0
+                      ? 0.0
+                      : static_cast<double>(s.num_interactions) /
+                            static_cast<double>(s.num_users);
+  s.avg_item_actions = s.num_items == 0
+                           ? 0.0
+                           : static_cast<double>(s.num_interactions) /
+                                 static_cast<double>(s.num_items);
+  return s;
+}
+
+void FiveCoreFilter(Dataset* dataset, std::size_t core) {
+  WR_CHECK(dataset != nullptr);
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    // Count item occurrences.
+    std::vector<std::size_t> item_count(dataset->num_items, 0);
+    for (const auto& seq : dataset->sequences) {
+      for (std::size_t item : seq) ++item_count[item];
+    }
+    // Drop cold items from all sequences.
+    std::vector<bool> keep_item(dataset->num_items);
+    for (std::size_t i = 0; i < dataset->num_items; ++i) {
+      keep_item[i] = item_count[i] >= core;
+      if (!keep_item[i] && item_count[i] > 0) changed = true;
+    }
+    for (auto& seq : dataset->sequences) {
+      std::vector<std::size_t> kept;
+      kept.reserve(seq.size());
+      for (std::size_t item : seq) {
+        if (keep_item[item]) kept.push_back(item);
+      }
+      seq = std::move(kept);
+    }
+    // Drop users below the core threshold.
+    std::vector<std::vector<std::size_t>> kept_users;
+    kept_users.reserve(dataset->sequences.size());
+    for (auto& seq : dataset->sequences) {
+      if (seq.size() >= core) {
+        kept_users.push_back(std::move(seq));
+      } else if (!seq.empty()) {
+        changed = true;
+      } else {
+        changed = true;
+      }
+    }
+    dataset->sequences = std::move(kept_users);
+  }
+
+  // Compact item ids and remap side data.
+  std::vector<std::size_t> item_count(dataset->num_items, 0);
+  for (const auto& seq : dataset->sequences) {
+    for (std::size_t item : seq) ++item_count[item];
+  }
+  std::vector<std::size_t> remap(dataset->num_items, 0);
+  std::size_t next_id = 0;
+  for (std::size_t i = 0; i < dataset->num_items; ++i) {
+    if (item_count[i] > 0) remap[i] = next_id++;
+  }
+  const std::size_t new_num = next_id;
+  if (new_num == dataset->num_items) return;
+
+  for (auto& seq : dataset->sequences) {
+    for (std::size_t& item : seq) item = remap[item];
+  }
+  std::vector<std::size_t> new_category(new_num, 0);
+  linalg::Matrix new_emb(new_num, dataset->text_embeddings.cols());
+  for (std::size_t i = 0; i < dataset->num_items; ++i) {
+    if (item_count[i] == 0) continue;
+    const std::size_t j = remap[i];
+    if (!dataset->item_category.empty()) {
+      new_category[j] = dataset->item_category[i];
+    }
+    if (dataset->text_embeddings.rows() > 0) {
+      new_emb.SetRow(j, dataset->text_embeddings.Row(i));
+    }
+  }
+  dataset->num_items = new_num;
+  if (!dataset->item_category.empty()) {
+    dataset->item_category = std::move(new_category);
+  }
+  if (dataset->text_embeddings.rows() > 0) {
+    dataset->text_embeddings = std::move(new_emb);
+  }
+}
+
+}  // namespace data
+}  // namespace whitenrec

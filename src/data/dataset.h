@@ -1,0 +1,45 @@
+#ifndef WHITENREC_DATA_DATASET_H_
+#define WHITENREC_DATA_DATASET_H_
+
+#include <string>
+#include <vector>
+
+#include "linalg/matrix.h"
+
+namespace whitenrec {
+namespace data {
+
+// A sequential-recommendation dataset after preprocessing: compact item ids
+// in [0, num_items), one chronological item sequence per user, per-item side
+// information (category — the attribute S3-Rec predicts), and the frozen
+// pre-trained text embedding of every item.
+struct Dataset {
+  std::string name;
+  std::size_t num_items = 0;
+  std::vector<std::vector<std::size_t>> sequences;  // per user
+  std::vector<std::size_t> item_category;           // (num_items)
+  std::size_t num_categories = 0;
+  linalg::Matrix text_embeddings;                   // (num_items, d_t)
+};
+
+// Statistics matching the paper's Table II columns.
+struct DatasetStats {
+  std::size_t num_users;
+  std::size_t num_items;
+  std::size_t num_interactions;
+  double avg_seq_len;      // "Avg. n"
+  double avg_item_actions; // "Avg. i"
+};
+
+DatasetStats ComputeStats(const Dataset& dataset);
+
+// Iterative five-core filter (paper Sec. V-A3): repeatedly removes items
+// with fewer than `core` occurrences and users with fewer than `core`
+// remaining interactions until stable, then compacts item ids. The
+// item-indexed side data (categories, embeddings) is remapped accordingly.
+void FiveCoreFilter(Dataset* dataset, std::size_t core = 5);
+
+}  // namespace data
+}  // namespace whitenrec
+
+#endif  // WHITENREC_DATA_DATASET_H_

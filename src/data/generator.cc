@@ -1,0 +1,188 @@
+#include "data/generator.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace whitenrec {
+namespace data {
+
+using linalg::Matrix;
+
+namespace {
+
+std::size_t Scaled(std::size_t base, double scale) {
+  return std::max<std::size_t>(8, static_cast<std::size_t>(
+                                      std::lround(base * scale)));
+}
+
+DatasetProfile BaseProfile(const std::string& name, double scale) {
+  DatasetProfile p;
+  p.name = name;
+  p.catalog.latent_dim = 8;
+  p.catalog.title_len = 6;
+  p.plm.embed_dim = 64;
+  p.plm.target_mean_cosine = 0.85;
+  p.num_users = Scaled(600, scale);
+  return p;
+}
+
+}  // namespace
+
+// Relative sizes follow paper Table II at ~1/75 scale: Toys and Tools are
+// roughly twice Arts in users/items; Food is the smallest and densest.
+DatasetProfile ArtsProfile(double scale) {
+  DatasetProfile p = BaseProfile("Arts", scale);
+  p.num_users = Scaled(460, scale);
+  p.catalog.num_items = Scaled(260, scale);
+  p.catalog.num_categories = 12;
+  p.catalog.num_brands = 26;
+  p.mean_extra_len = 2.7;  // paper Avg. n = 7.69
+  p.seed = 101;
+  return p;
+}
+
+DatasetProfile ToysProfile(double scale) {
+  DatasetProfile p = BaseProfile("Toys", scale);
+  p.num_users = Scaled(860, scale);
+  p.catalog.num_items = Scaled(480, scale);
+  p.catalog.num_categories = 16;
+  p.catalog.num_brands = 40;
+  p.mean_extra_len = 2.2;  // Avg. n = 7.22
+  p.seed = 102;
+  return p;
+}
+
+DatasetProfile ToolsProfile(double scale) {
+  DatasetProfile p = BaseProfile("Tools", scale);
+  p.num_users = Scaled(900, scale);
+  p.catalog.num_items = Scaled(430, scale);
+  p.catalog.num_categories = 14;
+  p.catalog.num_brands = 36;
+  p.mean_extra_len = 1.9;  // Avg. n = 6.88
+  p.seed = 103;
+  return p;
+}
+
+DatasetProfile FoodProfile(double scale) {
+  DatasetProfile p = BaseProfile("Food", scale);
+  p.num_users = Scaled(300, scale);
+  p.catalog.num_items = Scaled(150, scale);
+  p.catalog.num_categories = 10;
+  p.catalog.num_brands = 12;
+  // Recipe names: very short texts with a small topical vocabulary (paper:
+  // 3.8 words vs 20.5 for Amazon), so text carries less signal.
+  p.catalog.title_len = 2;
+  p.catalog.topic_vocab_size = 120;
+  p.mean_extra_len = 4.5;  // Avg. n = 9.47, densest dataset
+  p.seed = 104;
+  return p;
+}
+
+std::vector<DatasetProfile> AllProfiles(double scale) {
+  return {ArtsProfile(scale), ToysProfile(scale), ToolsProfile(scale),
+          FoodProfile(scale)};
+}
+
+GeneratedData GenerateDataset(const DatasetProfile& profile) {
+  linalg::Rng rng(profile.seed);
+  GeneratedData out;
+  out.catalog = text::GenerateCatalog(profile.catalog, &rng);
+  const text::Catalog& catalog = out.catalog;
+  const std::size_t num_items = catalog.items.size();
+  const std::size_t k = profile.catalog.latent_dim;
+
+  text::SimPlm plm(catalog, profile.plm, &rng);
+
+  Dataset& ds = out.dataset;
+  ds.name = profile.name;
+  ds.num_items = num_items;
+  ds.text_embeddings = plm.EncodeItems(catalog);
+  ds.num_categories = profile.catalog.num_categories;
+  ds.item_category.resize(num_items);
+  for (std::size_t i = 0; i < num_items; ++i) {
+    ds.item_category[i] = catalog.items[i].category;
+  }
+
+  // Zipf-like popularity: a random permutation assigns ranks.
+  std::vector<std::size_t> rank(num_items);
+  for (std::size_t i = 0; i < num_items; ++i) rank[i] = i;
+  rng.Shuffle(&rank);
+  std::vector<double> pop_logit(num_items);
+  for (std::size_t i = 0; i < num_items; ++i) {
+    pop_logit[i] = -std::log(static_cast<double>(rank[i] + 1));
+  }
+
+  // Pre-normalized item latents for the Markov transition term.
+  Matrix unit_latents = catalog.latents;
+  for (std::size_t r = 0; r < unit_latents.rows(); ++r) {
+    const double n = linalg::Norm(unit_latents.Row(r));
+    if (n < 1e-12) continue;
+    double* row = unit_latents.RowPtr(r);
+    for (std::size_t c = 0; c < unit_latents.cols(); ++c) row[c] /= n;
+  }
+
+  ds.sequences.resize(profile.num_users);
+  std::vector<double> logits(num_items);
+  std::vector<bool> used(num_items);
+  for (std::size_t u = 0; u < profile.num_users; ++u) {
+    // User preference: mixture of favorite category centers + noise.
+    std::vector<double> pref(k, 0.0);
+    for (std::size_t f = 0; f < profile.user_num_fav_categories; ++f) {
+      const std::size_t cat = rng.UniformInt(profile.catalog.num_categories);
+      for (std::size_t c = 0; c < k; ++c) {
+        pref[c] += catalog.category_centers(cat, c);
+      }
+    }
+    for (std::size_t c = 0; c < k; ++c) {
+      pref[c] /= static_cast<double>(profile.user_num_fav_categories);
+      pref[c] += rng.Gaussian(0.0, profile.preference_noise);
+    }
+
+    // Sequence length: 5-core minimum plus a geometric tail.
+    std::size_t len = 5;
+    while (len < profile.max_len &&
+           rng.Uniform() <
+               profile.mean_extra_len / (profile.mean_extra_len + 1.0)) {
+      ++len;
+    }
+    len = std::min(len, num_items);  // without-replacement sampling bound
+
+    std::fill(used.begin(), used.end(), false);
+    std::size_t prev = static_cast<std::size_t>(-1);
+    std::vector<std::size_t>& seq = ds.sequences[u];
+    seq.reserve(len);
+    for (std::size_t t = 0; t < len; ++t) {
+      for (std::size_t i = 0; i < num_items; ++i) {
+        if (used[i]) {
+          logits[i] = -1e30;
+          continue;
+        }
+        double score = profile.popularity_weight * pop_logit[i];
+        double pref_dot = 0.0;
+        for (std::size_t c = 0; c < k; ++c) {
+          pref_dot += pref[c] * catalog.latents(i, c);
+        }
+        score += profile.preference_weight * pref_dot /
+                 std::sqrt(static_cast<double>(k));
+        if (prev != static_cast<std::size_t>(-1)) {
+          double trans = 0.0;
+          for (std::size_t c = 0; c < k; ++c) {
+            trans += unit_latents(prev, c) * unit_latents(i, c);
+          }
+          score += profile.markov_weight * trans;
+        }
+        logits[i] = score;
+      }
+      const std::size_t item = rng.SampleLogits(logits);
+      used[item] = true;
+      seq.push_back(item);
+      prev = item;
+    }
+  }
+
+  FiveCoreFilter(&ds);
+  return out;
+}
+
+}  // namespace data
+}  // namespace whitenrec

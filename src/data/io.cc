@@ -1,0 +1,137 @@
+#include "data/io.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace whitenrec {
+namespace data {
+
+Status SaveDataset(const Dataset& dataset, const std::string& prefix) {
+  {
+    std::ofstream meta(prefix + ".meta");
+    if (!meta) {
+      return Status::InvalidArgument("SaveDataset: cannot open " + prefix +
+                                     ".meta");
+    }
+    meta << dataset.num_items << '\t' << dataset.num_categories << '\t'
+         << dataset.text_embeddings.cols() << '\n';
+    meta << dataset.name << '\n';
+  }
+  {
+    std::ofstream seqs(prefix + ".sequences");
+    if (!seqs) {
+      return Status::InvalidArgument("SaveDataset: cannot open " + prefix +
+                                     ".sequences");
+    }
+    for (const auto& seq : dataset.sequences) {
+      for (std::size_t i = 0; i < seq.size(); ++i) {
+        if (i > 0) seqs << ' ';
+        seqs << seq[i];
+      }
+      seqs << '\n';
+    }
+  }
+  {
+    std::ofstream items(prefix + ".items");
+    if (!items) {
+      return Status::InvalidArgument("SaveDataset: cannot open " + prefix +
+                                     ".items");
+    }
+    items.precision(17);
+    for (std::size_t i = 0; i < dataset.num_items; ++i) {
+      items << i << '\t'
+            << (i < dataset.item_category.size() ? dataset.item_category[i]
+                                                 : 0)
+            << '\t';
+      for (std::size_t c = 0; c < dataset.text_embeddings.cols(); ++c) {
+        if (c > 0) items << ' ';
+        items << dataset.text_embeddings(i, c);
+      }
+      items << '\n';
+    }
+  }
+  return Status::OK();
+}
+
+Result<Dataset> LoadDataset(const std::string& prefix) {
+  Dataset dataset;
+  std::size_t embed_dim = 0;
+  {
+    std::ifstream meta(prefix + ".meta");
+    if (!meta) {
+      return Status::InvalidArgument("LoadDataset: cannot open " + prefix +
+                                     ".meta");
+    }
+    if (!(meta >> dataset.num_items >> dataset.num_categories >> embed_dim)) {
+      return Status::InvalidArgument("LoadDataset: malformed .meta header");
+    }
+    meta >> std::ws;
+    std::getline(meta, dataset.name);
+  }
+
+  {
+    std::ifstream seqs(prefix + ".sequences");
+    if (!seqs) {
+      return Status::InvalidArgument("LoadDataset: cannot open " + prefix +
+                                     ".sequences");
+    }
+    std::string line;
+    while (std::getline(seqs, line)) {
+      if (line.empty()) continue;
+      std::istringstream stream(line);
+      std::vector<std::size_t> seq;
+      std::size_t item;
+      while (stream >> item) {
+        if (item >= dataset.num_items) {
+          return Status::OutOfRange("LoadDataset: item id out of range");
+        }
+        seq.push_back(item);
+      }
+      dataset.sequences.push_back(std::move(seq));
+    }
+  }
+
+  dataset.item_category.assign(dataset.num_items, 0);
+  dataset.text_embeddings = linalg::Matrix(dataset.num_items, embed_dim);
+  {
+    std::ifstream items(prefix + ".items");
+    if (!items) {
+      return Status::InvalidArgument("LoadDataset: cannot open " + prefix +
+                                     ".items");
+    }
+    std::string line;
+    std::size_t rows_seen = 0;
+    while (std::getline(items, line)) {
+      if (line.empty()) continue;
+      std::istringstream stream(line);
+      std::size_t id = 0;
+      std::size_t category = 0;
+      if (!(stream >> id >> category)) {
+        return Status::InvalidArgument("LoadDataset: malformed item line");
+      }
+      if (id >= dataset.num_items) {
+        return Status::OutOfRange("LoadDataset: item id out of range");
+      }
+      if (category >= dataset.num_categories && dataset.num_categories > 0) {
+        return Status::OutOfRange("LoadDataset: category out of range");
+      }
+      dataset.item_category[id] = category;
+      for (std::size_t c = 0; c < embed_dim; ++c) {
+        double v;
+        if (!(stream >> v)) {
+          return Status::InvalidArgument(
+              "LoadDataset: embedding row too short");
+        }
+        dataset.text_embeddings(id, c) = v;
+      }
+      ++rows_seen;
+    }
+    if (rows_seen != dataset.num_items) {
+      return Status::InvalidArgument("LoadDataset: item row count mismatch");
+    }
+  }
+  return dataset;
+}
+
+}  // namespace data
+}  // namespace whitenrec

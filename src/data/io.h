@@ -1,0 +1,31 @@
+#ifndef WHITENREC_DATA_IO_H_
+#define WHITENREC_DATA_IO_H_
+
+#include <string>
+
+#include "core/status.h"
+#include "data/dataset.h"
+
+namespace whitenrec {
+namespace data {
+
+// Plain-text interchange for datasets so that real interaction logs and
+// real pre-trained embeddings can be plugged into the pipeline in place of
+// the synthetic generator.
+//
+// Format (tab-separated, one directory with three files):
+//   <prefix>.meta        : num_items <tab> num_categories <tab> embed_dim
+//   <prefix>.sequences   : one user per line, item ids space-separated
+//   <prefix>.items       : one item per line: id <tab> category <tab>
+//                          embed_dim floats (space-separated)
+//
+// Ids must be dense in [0, num_items). Loading validates every id and the
+// embedding dimensionality.
+
+Status SaveDataset(const Dataset& dataset, const std::string& prefix);
+Result<Dataset> LoadDataset(const std::string& prefix);
+
+}  // namespace data
+}  // namespace whitenrec
+
+#endif  // WHITENREC_DATA_IO_H_

@@ -1,0 +1,89 @@
+#include "data/split.h"
+
+#include <algorithm>
+
+#include "core/check.h"
+
+namespace whitenrec {
+namespace data {
+
+Split LeaveOneOutSplit(const Dataset& dataset) {
+  Split split;
+  split.train.reserve(dataset.sequences.size());
+  for (std::size_t u = 0; u < dataset.sequences.size(); ++u) {
+    const std::vector<std::size_t>& seq = dataset.sequences[u];
+    if (seq.size() < 3) {
+      split.train.push_back(seq);
+      continue;
+    }
+    const std::size_t n = seq.size();
+    std::vector<std::size_t> train(seq.begin(), seq.end() - 2);
+    // Validation predicts the second-last item from the training prefix.
+    split.valid.push_back({u, train, seq[n - 2]});
+    // Test predicts the last item from everything before it.
+    std::vector<std::size_t> test_input(seq.begin(), seq.end() - 1);
+    split.test.push_back({u, std::move(test_input), seq[n - 1]});
+    split.train.push_back(std::move(train));
+  }
+  return split;
+}
+
+ColdSplit ColdStartSplit(const Dataset& dataset, double cold_fraction,
+                         linalg::Rng* rng) {
+  WR_CHECK_GT(cold_fraction, 0.0);
+  WR_CHECK_LT(cold_fraction, 1.0);
+  ColdSplit out;
+  out.is_cold.assign(dataset.num_items, false);
+
+  // Mark a random `cold_fraction` of items cold.
+  std::vector<std::size_t> perm(dataset.num_items);
+  for (std::size_t i = 0; i < perm.size(); ++i) perm[i] = i;
+  rng->Shuffle(&perm);
+  const std::size_t num_cold = std::max<std::size_t>(
+      1, static_cast<std::size_t>(cold_fraction *
+                                  static_cast<double>(dataset.num_items)));
+  for (std::size_t i = 0; i < num_cold; ++i) out.is_cold[perm[i]] = true;
+
+  Split& split = out.split;
+  for (std::size_t u = 0; u < dataset.sequences.size(); ++u) {
+    const std::vector<std::size_t>& seq = dataset.sequences[u];
+    // Warm prefix = the sequence with cold interactions removed; this is all
+    // the model ever trains on.
+    std::vector<std::size_t> warm;
+    warm.reserve(seq.size());
+    for (std::size_t item : seq) {
+      if (!out.is_cold[item]) warm.push_back(item);
+    }
+
+    // Sequences ending in a cold item become test instances; a cold item in
+    // the second-to-last position yields a validation instance. The input
+    // context is the warm part preceding the target.
+    if (seq.size() >= 3 && out.is_cold[seq.back()]) {
+      std::vector<std::size_t> input;
+      for (std::size_t t = 0; t + 1 < seq.size(); ++t) {
+        if (!out.is_cold[seq[t]]) input.push_back(seq[t]);
+      }
+      if (input.size() >= 2) {
+        split.test.push_back({u, std::move(input), seq.back()});
+      }
+    }
+    if (seq.size() >= 4 && out.is_cold[seq[seq.size() - 2]]) {
+      std::vector<std::size_t> input;
+      for (std::size_t t = 0; t + 2 < seq.size(); ++t) {
+        if (!out.is_cold[seq[t]]) input.push_back(seq[t]);
+      }
+      if (input.size() >= 2) {
+        split.valid.push_back({u, std::move(input), seq[seq.size() - 2]});
+      }
+    }
+
+    // Keep one (possibly short) training entry per user so that train
+    // sequences stay index-aligned with user ids; the batcher skips
+    // sequences shorter than 2.
+    split.train.push_back(std::move(warm));
+  }
+  return out;
+}
+
+}  // namespace data
+}  // namespace whitenrec

@@ -1,0 +1,46 @@
+#ifndef WHITENREC_DATA_SPLIT_H_
+#define WHITENREC_DATA_SPLIT_H_
+
+#include <vector>
+
+#include "data/dataset.h"
+#include "linalg/rng.h"
+
+namespace whitenrec {
+namespace data {
+
+// One validation/test instance: the (chronological) input context and the
+// held-out next item to rank.
+struct EvalInstance {
+  std::size_t user;
+  std::vector<std::size_t> input;
+  std::size_t target;
+};
+
+// A train/valid/test split. `train` holds the per-user training prefix;
+// instances rank the full item set (minus the user's training items).
+struct Split {
+  std::vector<std::vector<std::size_t>> train;
+  std::vector<EvalInstance> valid;
+  std::vector<EvalInstance> test;
+};
+
+// Leave-one-out (paper warm-start setting): per user, last item = test,
+// second-last = validation, remainder = training. Users with < 3 items are
+// skipped for eval but kept for training.
+Split LeaveOneOutSplit(const Dataset& dataset);
+
+// Cold-start setting (paper Sec. V-A3): 15% of items are marked cold and
+// all their interactions are removed from training; sequences whose held-out
+// target is a cold item form the validation/test sets.
+struct ColdSplit {
+  Split split;
+  std::vector<bool> is_cold;  // per item
+};
+ColdSplit ColdStartSplit(const Dataset& dataset, double cold_fraction,
+                         linalg::Rng* rng);
+
+}  // namespace data
+}  // namespace whitenrec
+
+#endif  // WHITENREC_DATA_SPLIT_H_

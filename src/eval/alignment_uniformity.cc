@@ -1,0 +1,82 @@
+#include "eval/alignment_uniformity.h"
+
+#include <cmath>
+
+#include "core/check.h"
+#include "nn/tensor.h"
+
+namespace whitenrec {
+namespace eval {
+
+using linalg::Matrix;
+
+namespace {
+
+double SquaredDistance(const Matrix& a, std::size_t i, const Matrix& b,
+                       std::size_t j) {
+  const double* x = a.RowPtr(i);
+  const double* y = b.RowPtr(j);
+  double s = 0.0;
+  for (std::size_t c = 0; c < a.cols(); ++c) {
+    const double d = x[c] - y[c];
+    s += d * d;
+  }
+  return s;
+}
+
+// log E exp(-2 d^2) over sampled same-matrix pairs, computed with a running
+// log-sum-exp for numerical stability.
+double LogMeanExpNeg2(const Matrix& reps, linalg::Rng* rng,
+                      std::size_t max_pairs) {
+  const std::size_t n = reps.rows();
+  WR_CHECK_GE(n, 2u);
+  const std::size_t total = n * (n - 1) / 2;
+  double sum = 0.0;
+  std::size_t count = 0;
+  if (total <= max_pairs) {
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = i + 1; j < n; ++j) {
+        sum += std::exp(-2.0 * SquaredDistance(reps, i, reps, j));
+        ++count;
+      }
+    }
+  } else {
+    for (std::size_t k = 0; k < max_pairs; ++k) {
+      std::size_t i = rng->UniformInt(n);
+      std::size_t j = rng->UniformInt(n);
+      while (j == i) j = rng->UniformInt(n);
+      sum += std::exp(-2.0 * SquaredDistance(reps, i, reps, j));
+      ++count;
+    }
+  }
+  return std::log(sum / static_cast<double>(count));
+}
+
+}  // namespace
+
+AlignmentUniformity MeasureAlignmentUniformity(
+    const Matrix& user_reps, const Matrix& item_reps,
+    const std::vector<std::size_t>& positives, linalg::Rng* rng,
+    std::size_t max_pairs) {
+  WR_CHECK_EQ(user_reps.rows(), positives.size());
+  Matrix users = user_reps;
+  Matrix items = item_reps;
+  nn::RowL2NormalizeInPlace(&users);
+  nn::RowL2NormalizeInPlace(&items);
+
+  double align = 0.0;
+  for (std::size_t u = 0; u < users.rows(); ++u) {
+    WR_CHECK_LT(positives[u], items.rows());
+    align += SquaredDistance(users, u, items, positives[u]);
+  }
+  align /= static_cast<double>(users.rows());
+
+  AlignmentUniformity out;
+  out.l_align = align;
+  out.l_uniform_user = LogMeanExpNeg2(users, rng, max_pairs);
+  out.l_uniform_item = LogMeanExpNeg2(items, rng, max_pairs);
+  return out;
+}
+
+}  // namespace eval
+}  // namespace whitenrec

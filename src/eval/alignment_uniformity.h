@@ -1,0 +1,35 @@
+#ifndef WHITENREC_EVAL_ALIGNMENT_UNIFORMITY_H_
+#define WHITENREC_EVAL_ALIGNMENT_UNIFORMITY_H_
+
+#include <vector>
+
+#include "linalg/matrix.h"
+#include "linalg/rng.h"
+
+namespace whitenrec {
+namespace eval {
+
+// Representation-quality measures from paper Eq. 7 (Wang & Isola adapted to
+// recommendation). All representations are L2-normalized internally.
+//   l_align        = E_(u,i)~pos ||f(s_u) - f(v_i)||^2
+//   l_uniform_user = log E_(u,u') exp(-2 ||f(s_u) - f(s_u')||^2)
+//   l_uniform_item = log E_(i,i') exp(-2 ||f(v_i) - f(v_i')||^2)
+// Lower is better for all three.
+struct AlignmentUniformity {
+  double l_align;
+  double l_uniform_user;
+  double l_uniform_item;
+};
+
+// `user_reps` (n_u, d) and `item_reps` (n_items, d); positive pairs are
+// (row u of user_reps, item positives[u]). Uniformity expectations are
+// estimated over up to `max_pairs` sampled pairs.
+AlignmentUniformity MeasureAlignmentUniformity(
+    const linalg::Matrix& user_reps, const linalg::Matrix& item_reps,
+    const std::vector<std::size_t>& positives, linalg::Rng* rng,
+    std::size_t max_pairs = 20000);
+
+}  // namespace eval
+}  // namespace whitenrec
+
+#endif  // WHITENREC_EVAL_ALIGNMENT_UNIFORMITY_H_

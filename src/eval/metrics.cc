@@ -1,0 +1,85 @@
+#include "eval/metrics.h"
+
+#include <cmath>
+
+namespace whitenrec {
+namespace eval {
+
+void MetricAccumulator::AddRank(std::size_t rank) {
+  ++count_;
+  mrr_sum_ += 1.0 / static_cast<double>(rank + 1);
+  for (std::size_t i = 0; i < ks_.size(); ++i) {
+    if (rank < ks_[i]) {
+      recall_hits_[i] += 1.0;
+      ndcg_sum_[i] += 1.0 / std::log2(static_cast<double>(rank) + 2.0);
+    }
+  }
+}
+
+std::vector<TopKMetrics> MetricAccumulator::Compute() const {
+  std::vector<TopKMetrics> out;
+  const double n = count_ == 0 ? 1.0 : static_cast<double>(count_);
+  for (std::size_t i = 0; i < ks_.size(); ++i) {
+    out.push_back({ks_[i], recall_hits_[i] / n, ndcg_sum_[i] / n});
+  }
+  return out;
+}
+
+double MetricAccumulator::Mrr() const {
+  const double n = count_ == 0 ? 1.0 : static_cast<double>(count_);
+  return mrr_sum_ / n;
+}
+
+std::size_t MetricAccumulator::IndexOfK(std::size_t k) const {
+  for (std::size_t i = 0; i < ks_.size(); ++i) {
+    if (ks_[i] == k) return i;
+  }
+  WR_CHECK_MSG(false, "k not tracked by this accumulator");
+  return 0;
+}
+
+double MetricAccumulator::RecallAt(std::size_t k) const {
+  const double n = count_ == 0 ? 1.0 : static_cast<double>(count_);
+  return recall_hits_[IndexOfK(k)] / n;
+}
+
+double MetricAccumulator::NdcgAt(std::size_t k) const {
+  const double n = count_ == 0 ? 1.0 : static_cast<double>(count_);
+  return ndcg_sum_[IndexOfK(k)] / n;
+}
+
+std::size_t SampledRankOfTarget(const std::vector<double>& scores,
+                                std::size_t target,
+                                const std::vector<char>& excluded,
+                                std::size_t num_negatives, linalg::Rng* rng) {
+  WR_CHECK_LT(target, scores.size());
+  WR_CHECK_EQ(scores.size(), excluded.size());
+  const double target_score = scores[target];
+  std::size_t rank = 0;
+  std::size_t drawn = 0;
+  std::size_t attempts = 0;
+  const std::size_t max_attempts = 50 * (num_negatives + 1);
+  while (drawn < num_negatives && attempts++ < max_attempts) {
+    const std::size_t i = rng->UniformInt(scores.size());
+    if (i == target || excluded[i]) continue;
+    ++drawn;
+    if (scores[i] > target_score) ++rank;
+  }
+  return rank;
+}
+
+std::size_t RankOfTarget(const std::vector<double>& scores, std::size_t target,
+                         const std::vector<char>& excluded) {
+  WR_CHECK_LT(target, scores.size());
+  WR_CHECK_EQ(scores.size(), excluded.size());
+  const double target_score = scores[target];
+  std::size_t rank = 0;
+  for (std::size_t i = 0; i < scores.size(); ++i) {
+    if (i == target || excluded[i]) continue;
+    if (scores[i] > target_score) ++rank;
+  }
+  return rank;
+}
+
+}  // namespace eval
+}  // namespace whitenrec

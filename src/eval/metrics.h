@@ -1,0 +1,74 @@
+#ifndef WHITENREC_EVAL_METRICS_H_
+#define WHITENREC_EVAL_METRICS_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "core/check.h"
+#include "linalg/rng.h"
+
+namespace whitenrec {
+namespace eval {
+
+// Full-ranking top-K metrics (paper Sec. V-A3: every method is evaluated on
+// the entire item set without sampling). With a single held-out target per
+// instance, Recall@K is the hit rate and NDCG@K is 1/log2(rank + 2) for
+// hits, 0 otherwise.
+struct TopKMetrics {
+  std::size_t k;
+  double recall;
+  double ndcg;
+};
+
+// Accumulates ranks of held-out targets and reports metrics at several Ks.
+class MetricAccumulator {
+ public:
+  explicit MetricAccumulator(std::vector<std::size_t> ks) : ks_(std::move(ks)) {
+    WR_CHECK(!ks_.empty());
+    recall_hits_.assign(ks_.size(), 0.0);
+    ndcg_sum_.assign(ks_.size(), 0.0);
+  }
+
+  // `rank` is the 0-based position of the target in the ranked candidate
+  // list (0 = top).
+  void AddRank(std::size_t rank);
+
+  std::size_t count() const { return count_; }
+  std::vector<TopKMetrics> Compute() const;
+
+  // Metric value at a specific k (must be one of the constructor ks).
+  double RecallAt(std::size_t k) const;
+  double NdcgAt(std::size_t k) const;
+  // Mean reciprocal rank over all accumulated instances (no cut-off).
+  double Mrr() const;
+
+ private:
+  std::size_t IndexOfK(std::size_t k) const;
+
+  std::vector<std::size_t> ks_;
+  std::vector<double> recall_hits_;
+  std::vector<double> ndcg_sum_;
+  double mrr_sum_ = 0.0;
+  std::size_t count_ = 0;
+};
+
+// Rank of `target` given per-item scores: the number of non-excluded items
+// scoring strictly higher than the target. `excluded[i] != 0` removes item i
+// from the candidate pool (e.g. items already in the user's training
+// sequence); the target itself is always a candidate.
+std::size_t RankOfTarget(const std::vector<double>& scores, std::size_t target,
+                         const std::vector<char>& excluded);
+
+// Sampled-metrics variant (implemented to reproduce the inconsistency the
+// paper's protocol deliberately avoids, following Krichene & Rendle): ranks
+// the target against `num_negatives` uniformly sampled non-excluded,
+// non-target items instead of the whole catalog.
+std::size_t SampledRankOfTarget(const std::vector<double>& scores,
+                                std::size_t target,
+                                const std::vector<char>& excluded,
+                                std::size_t num_negatives, linalg::Rng* rng);
+
+}  // namespace eval
+}  // namespace whitenrec
+
+#endif  // WHITENREC_EVAL_METRICS_H_

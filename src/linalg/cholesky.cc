@@ -1,0 +1,69 @@
+#include "linalg/cholesky.h"
+
+#include <cmath>
+
+namespace whitenrec {
+namespace linalg {
+
+Result<Matrix> Cholesky(const Matrix& a) {
+  if (a.rows() != a.cols()) {
+    return Status::InvalidArgument("Cholesky: matrix not square");
+  }
+  const std::size_t n = a.rows();
+  Matrix l(n, n);
+  for (std::size_t j = 0; j < n; ++j) {
+    double diag = a(j, j);
+    for (std::size_t k = 0; k < j; ++k) diag -= l(j, k) * l(j, k);
+    if (diag <= 0.0) {
+      return Status::NumericalError("Cholesky: matrix not positive definite");
+    }
+    l(j, j) = std::sqrt(diag);
+    for (std::size_t i = j + 1; i < n; ++i) {
+      double sum = a(i, j);
+      for (std::size_t k = 0; k < j; ++k) sum -= l(i, k) * l(j, k);
+      l(i, j) = sum / l(j, j);
+    }
+  }
+  return l;
+}
+
+Result<Matrix> LowerTriangularInverse(const Matrix& l) {
+  if (l.rows() != l.cols()) {
+    return Status::InvalidArgument("LowerTriangularInverse: not square");
+  }
+  const std::size_t n = l.rows();
+  Matrix inv(n, n);
+  for (std::size_t j = 0; j < n; ++j) {
+    if (l(j, j) == 0.0) {
+      return Status::NumericalError("LowerTriangularInverse: zero diagonal");
+    }
+    inv(j, j) = 1.0 / l(j, j);
+    for (std::size_t i = j + 1; i < n; ++i) {
+      double sum = 0.0;
+      for (std::size_t k = j; k < i; ++k) sum += l(i, k) * inv(k, j);
+      inv(i, j) = -sum / l(i, i);
+    }
+  }
+  return inv;
+}
+
+Result<std::vector<double>> ForwardSolve(const Matrix& l,
+                                         const std::vector<double>& b) {
+  if (l.rows() != l.cols() || l.rows() != b.size()) {
+    return Status::InvalidArgument("ForwardSolve: dimension mismatch");
+  }
+  const std::size_t n = l.rows();
+  std::vector<double> x(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (l(i, i) == 0.0) {
+      return Status::NumericalError("ForwardSolve: zero diagonal");
+    }
+    double sum = b[i];
+    for (std::size_t k = 0; k < i; ++k) sum -= l(i, k) * x[k];
+    x[i] = sum / l(i, i);
+  }
+  return x;
+}
+
+}  // namespace linalg
+}  // namespace whitenrec

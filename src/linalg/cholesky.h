@@ -1,0 +1,25 @@
+#ifndef WHITENREC_LINALG_CHOLESKY_H_
+#define WHITENREC_LINALG_CHOLESKY_H_
+
+#include "core/status.h"
+#include "linalg/matrix.h"
+
+namespace whitenrec {
+namespace linalg {
+
+// Cholesky factorization A = L * L^T of a symmetric positive-definite matrix.
+// Returns the lower-triangular L; fails with kNumericalError if a pivot is
+// non-positive (A not PD within tolerance).
+Result<Matrix> Cholesky(const Matrix& a);
+
+// Inverse of a lower-triangular matrix via forward substitution.
+Result<Matrix> LowerTriangularInverse(const Matrix& l);
+
+// Solves L * x = b for lower-triangular L.
+Result<std::vector<double>> ForwardSolve(const Matrix& l,
+                                         const std::vector<double>& b);
+
+}  // namespace linalg
+}  // namespace whitenrec
+
+#endif  // WHITENREC_LINALG_CHOLESKY_H_

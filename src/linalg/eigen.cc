@@ -1,0 +1,142 @@
+#include "linalg/eigen.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace whitenrec {
+namespace linalg {
+
+Result<EigenDecomposition> SymmetricEigen(const Matrix& a, int max_sweeps,
+                                          double tol) {
+  if (a.rows() != a.cols()) {
+    return Status::InvalidArgument("SymmetricEigen: matrix not square");
+  }
+  const std::size_t n = a.rows();
+  Matrix m = a;  // Working copy, driven to diagonal form.
+  Matrix v = Matrix::Identity(n);
+
+  // Scale-aware tolerance: off-diagonal mass relative to the Frobenius norm.
+  const double fro = std::max(a.FrobeniusNorm(), 1e-300);
+
+  auto off_diag_norm = [&m, n]() {
+    double sum = 0.0;
+    for (std::size_t i = 0; i < n; ++i)
+      for (std::size_t j = i + 1; j < n; ++j) sum += 2.0 * m(i, j) * m(i, j);
+    return std::sqrt(sum);
+  };
+
+  bool converged = false;
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    if (off_diag_norm() <= tol * fro) {
+      converged = true;
+      break;
+    }
+    for (std::size_t p = 0; p + 1 < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) {
+        const double apq = m(p, q);
+        if (std::fabs(apq) <= 1e-300) continue;
+        const double app = m(p, p);
+        const double aqq = m(q, q);
+        // Classic Jacobi rotation parameters.
+        const double theta = (aqq - app) / (2.0 * apq);
+        const double t = (theta >= 0.0 ? 1.0 : -1.0) /
+                         (std::fabs(theta) + std::sqrt(theta * theta + 1.0));
+        const double c = 1.0 / std::sqrt(t * t + 1.0);
+        const double s = t * c;
+
+        // Apply rotation to rows/cols p and q of m.
+        for (std::size_t k = 0; k < n; ++k) {
+          const double mkp = m(k, p);
+          const double mkq = m(k, q);
+          m(k, p) = c * mkp - s * mkq;
+          m(k, q) = s * mkp + c * mkq;
+        }
+        for (std::size_t k = 0; k < n; ++k) {
+          const double mpk = m(p, k);
+          const double mqk = m(q, k);
+          m(p, k) = c * mpk - s * mqk;
+          m(q, k) = s * mpk + c * mqk;
+        }
+        // Accumulate eigenvectors.
+        for (std::size_t k = 0; k < n; ++k) {
+          const double vkp = v(k, p);
+          const double vkq = v(k, q);
+          v(k, p) = c * vkp - s * vkq;
+          v(k, q) = s * vkp + c * vkq;
+        }
+      }
+    }
+  }
+  if (!converged && off_diag_norm() > tol * fro) {
+    return Status::NotConverged("SymmetricEigen: Jacobi sweeps exhausted");
+  }
+
+  // Sort eigenpairs descending by eigenvalue.
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::vector<double> diag(n);
+  for (std::size_t i = 0; i < n; ++i) diag[i] = m(i, i);
+  std::sort(order.begin(), order.end(),
+            [&diag](std::size_t x, std::size_t y) { return diag[x] > diag[y]; });
+
+  EigenDecomposition out;
+  out.values.resize(n);
+  out.vectors = Matrix(n, n);
+  for (std::size_t j = 0; j < n; ++j) {
+    out.values[j] = diag[order[j]];
+    for (std::size_t i = 0; i < n; ++i) out.vectors(i, j) = v(i, order[j]);
+  }
+  return out;
+}
+
+Result<std::vector<double>> SingularValues(const Matrix& x) {
+  if (x.empty()) return Status::InvalidArgument("SingularValues: empty matrix");
+  const Matrix gram = MatMulTransA(x, x);  // d x d
+  Result<EigenDecomposition> eig = SymmetricEigen(gram);
+  if (!eig.ok()) return eig.status();
+  std::vector<double> sv(eig.value().values.size());
+  for (std::size_t i = 0; i < sv.size(); ++i) {
+    sv[i] = std::sqrt(std::max(eig.value().values[i], 0.0));
+  }
+  return sv;
+}
+
+Result<Matrix> NewtonSchulzInverseSqrt(const Matrix& a, int iterations) {
+  if (a.rows() != a.cols()) {
+    return Status::InvalidArgument("NewtonSchulzInverseSqrt: not square");
+  }
+  const std::size_t n = a.rows();
+  double trace = 0.0;
+  for (std::size_t i = 0; i < n; ++i) trace += a(i, i);
+  if (trace <= 0.0) {
+    return Status::NumericalError("NewtonSchulzInverseSqrt: trace <= 0");
+  }
+  // Trace normalization keeps the spectrum of A/t in (0, 1], the coupled
+  // iteration's convergence region.
+  Matrix y = Scale(a, 1.0 / trace);
+  Matrix z = Matrix::Identity(n);
+  const Matrix eye3 = Scale(Matrix::Identity(n), 3.0);
+  for (int it = 0; it < iterations; ++it) {
+    Matrix t = Sub(eye3, MatMul(z, y));
+    t *= 0.5;
+    y = MatMul(y, t);
+    z = MatMul(t, z);
+  }
+  // A^{-1/2} = (A/t)^{-1/2} / sqrt(t).
+  z *= 1.0 / std::sqrt(trace);
+  return z;
+}
+
+Result<double> ConditionNumber(const Matrix& a, double floor) {
+  Result<EigenDecomposition> eig = SymmetricEigen(a);
+  if (!eig.ok()) return eig.status();
+  const std::vector<double>& vals = eig.value().values;
+  if (vals.empty()) return Status::InvalidArgument("ConditionNumber: empty");
+  const double lo = std::max(vals.back(), floor);
+  const double hi = std::max(vals.front(), floor);
+  return hi / lo;
+}
+
+}  // namespace linalg
+}  // namespace whitenrec

@@ -1,0 +1,46 @@
+#ifndef WHITENREC_LINALG_EIGEN_H_
+#define WHITENREC_LINALG_EIGEN_H_
+
+#include <vector>
+
+#include "core/status.h"
+#include "linalg/matrix.h"
+
+namespace whitenrec {
+namespace linalg {
+
+// Eigendecomposition of a symmetric matrix A = V * diag(values) * V^T.
+// `vectors` holds eigenvectors as columns, `values` is sorted descending.
+struct EigenDecomposition {
+  std::vector<double> values;
+  Matrix vectors;
+};
+
+// Cyclic Jacobi eigendecomposition for symmetric matrices. Robust and exact
+// enough for the covariance sizes used here (d <= ~256); O(d^3) per sweep.
+// Fails with kNotConverged if off-diagonal mass does not vanish within
+// `max_sweeps` sweeps.
+Result<EigenDecomposition> SymmetricEigen(const Matrix& a,
+                                          int max_sweeps = 64,
+                                          double tol = 1e-12);
+
+// Singular values of an arbitrary matrix X (rows = samples, cols = dims),
+// computed from the eigenvalues of the d x d Gram matrix X^T X. Returned
+// sorted descending. Suitable when cols <= rows (our whitening setting).
+Result<std::vector<double>> SingularValues(const Matrix& x);
+
+// Condition number lambda_max / lambda_min of a symmetric PSD matrix,
+// with eigenvalues clamped at `floor` to keep the ratio finite.
+Result<double> ConditionNumber(const Matrix& a, double floor = 1e-12);
+
+// Inverse matrix square root A^{-1/2} of a symmetric positive-definite
+// matrix via the coupled Newton-Schulz iteration (as used by Decorrelated
+// Batch Normalization to avoid a full eigensolve). Converges quadratically
+// after trace normalization; a handful of iterations approximates the exact
+// ZCA transform. Fails on non-square or trace<=0 inputs.
+Result<Matrix> NewtonSchulzInverseSqrt(const Matrix& a, int iterations = 7);
+
+}  // namespace linalg
+}  // namespace whitenrec
+
+#endif  // WHITENREC_LINALG_EIGEN_H_

@@ -1,0 +1,208 @@
+#include "linalg/matrix.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace whitenrec {
+namespace linalg {
+
+Matrix Matrix::FromRows(const std::vector<std::vector<double>>& rows) {
+  WR_CHECK(!rows.empty());
+  Matrix m(rows.size(), rows[0].size());
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    WR_CHECK_EQ(rows[r].size(), m.cols());
+    std::copy(rows[r].begin(), rows[r].end(), m.RowPtr(r));
+  }
+  return m;
+}
+
+void Matrix::Fill(double v) { std::fill(data_.begin(), data_.end(), v); }
+
+std::vector<double> Matrix::Row(std::size_t r) const {
+  WR_CHECK_LT(r, rows_);
+  return std::vector<double>(RowPtr(r), RowPtr(r) + cols_);
+}
+
+std::vector<double> Matrix::Col(std::size_t c) const {
+  WR_CHECK_LT(c, cols_);
+  std::vector<double> out(rows_);
+  for (std::size_t r = 0; r < rows_; ++r) out[r] = (*this)(r, c);
+  return out;
+}
+
+void Matrix::SetRow(std::size_t r, const std::vector<double>& v) {
+  WR_CHECK_LT(r, rows_);
+  WR_CHECK_EQ(v.size(), cols_);
+  std::copy(v.begin(), v.end(), RowPtr(r));
+}
+
+Matrix Matrix::RowSlice(std::size_t begin, std::size_t end) const {
+  WR_CHECK_LE(begin, end);
+  WR_CHECK_LE(end, rows_);
+  Matrix out(end - begin, cols_);
+  std::copy(RowPtr(begin), RowPtr(begin) + (end - begin) * cols_, out.data());
+  return out;
+}
+
+Matrix Matrix::ColSlice(std::size_t begin, std::size_t end) const {
+  WR_CHECK_LE(begin, end);
+  WR_CHECK_LE(end, cols_);
+  Matrix out(rows_, end - begin);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    const double* src = RowPtr(r) + begin;
+    std::copy(src, src + (end - begin), out.RowPtr(r));
+  }
+  return out;
+}
+
+void Matrix::SetColSlice(std::size_t begin, const Matrix& block) {
+  WR_CHECK_EQ(block.rows(), rows_);
+  WR_CHECK_LE(begin + block.cols(), cols_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    std::copy(block.RowPtr(r), block.RowPtr(r) + block.cols(),
+              RowPtr(r) + begin);
+  }
+}
+
+Matrix& Matrix::operator+=(const Matrix& other) {
+  WR_CHECK_EQ(rows_, other.rows_);
+  WR_CHECK_EQ(cols_, other.cols_);
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator-=(const Matrix& other) {
+  WR_CHECK_EQ(rows_, other.rows_);
+  WR_CHECK_EQ(cols_, other.cols_);
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= other.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator*=(double s) {
+  for (double& v : data_) v *= s;
+  return *this;
+}
+
+double Matrix::FrobeniusNorm() const {
+  double sum = 0.0;
+  for (double v : data_) sum += v * v;
+  return std::sqrt(sum);
+}
+
+double Matrix::MaxAbs() const {
+  double m = 0.0;
+  for (double v : data_) m = std::max(m, std::fabs(v));
+  return m;
+}
+
+Matrix MatMul(const Matrix& a, const Matrix& b) {
+  WR_CHECK_EQ(a.cols(), b.rows());
+  Matrix c(a.rows(), b.cols());
+  // ikj loop order: streams through b and c rows for cache friendliness.
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    const double* arow = a.RowPtr(i);
+    double* crow = c.RowPtr(i);
+    for (std::size_t k = 0; k < a.cols(); ++k) {
+      const double aik = arow[k];
+      if (aik == 0.0) continue;
+      const double* brow = b.RowPtr(k);
+      for (std::size_t j = 0; j < b.cols(); ++j) crow[j] += aik * brow[j];
+    }
+  }
+  return c;
+}
+
+Matrix MatMulTransA(const Matrix& a, const Matrix& b) {
+  WR_CHECK_EQ(a.rows(), b.rows());
+  Matrix c(a.cols(), b.cols());
+  for (std::size_t k = 0; k < a.rows(); ++k) {
+    const double* arow = a.RowPtr(k);
+    const double* brow = b.RowPtr(k);
+    for (std::size_t i = 0; i < a.cols(); ++i) {
+      const double aki = arow[i];
+      if (aki == 0.0) continue;
+      double* crow = c.RowPtr(i);
+      for (std::size_t j = 0; j < b.cols(); ++j) crow[j] += aki * brow[j];
+    }
+  }
+  return c;
+}
+
+Matrix MatMulTransB(const Matrix& a, const Matrix& b) {
+  WR_CHECK_EQ(a.cols(), b.cols());
+  Matrix c(a.rows(), b.rows());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    const double* arow = a.RowPtr(i);
+    double* crow = c.RowPtr(i);
+    for (std::size_t j = 0; j < b.rows(); ++j) {
+      const double* brow = b.RowPtr(j);
+      double sum = 0.0;
+      for (std::size_t k = 0; k < a.cols(); ++k) sum += arow[k] * brow[k];
+      crow[j] = sum;
+    }
+  }
+  return c;
+}
+
+std::vector<double> MatVec(const Matrix& a, const std::vector<double>& x) {
+  WR_CHECK_EQ(a.cols(), x.size());
+  std::vector<double> y(a.rows(), 0.0);
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    const double* arow = a.RowPtr(i);
+    double sum = 0.0;
+    for (std::size_t k = 0; k < a.cols(); ++k) sum += arow[k] * x[k];
+    y[i] = sum;
+  }
+  return y;
+}
+
+Matrix Transpose(const Matrix& a) {
+  Matrix t(a.cols(), a.rows());
+  for (std::size_t i = 0; i < a.rows(); ++i)
+    for (std::size_t j = 0; j < a.cols(); ++j) t(j, i) = a(i, j);
+  return t;
+}
+
+Matrix Add(const Matrix& a, const Matrix& b) {
+  Matrix c = a;
+  c += b;
+  return c;
+}
+
+Matrix Sub(const Matrix& a, const Matrix& b) {
+  Matrix c = a;
+  c -= b;
+  return c;
+}
+
+Matrix Scale(const Matrix& a, double s) {
+  Matrix c = a;
+  c *= s;
+  return c;
+}
+
+Matrix Hadamard(const Matrix& a, const Matrix& b) {
+  WR_CHECK_EQ(a.rows(), b.rows());
+  WR_CHECK_EQ(a.cols(), b.cols());
+  Matrix c(a.rows(), a.cols());
+  for (std::size_t i = 0; i < a.size(); ++i) c.data()[i] = a.data()[i] * b.data()[i];
+  return c;
+}
+
+void Axpy(double s, const Matrix& b, Matrix* a) {
+  WR_CHECK_EQ(a->rows(), b.rows());
+  WR_CHECK_EQ(a->cols(), b.cols());
+  for (std::size_t i = 0; i < b.size(); ++i) a->data()[i] += s * b.data()[i];
+}
+
+double Dot(const std::vector<double>& a, const std::vector<double>& b) {
+  WR_CHECK_EQ(a.size(), b.size());
+  double sum = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) sum += a[i] * b[i];
+  return sum;
+}
+
+double Norm(const std::vector<double>& a) { return std::sqrt(Dot(a, a)); }
+
+}  // namespace linalg
+}  // namespace whitenrec

@@ -1,0 +1,126 @@
+#include "linalg/rng.h"
+
+#include <cmath>
+
+namespace whitenrec {
+namespace linalg {
+
+namespace {
+
+// SplitMix64, used only to expand the seed into xoshiro state.
+std::uint64_t SplitMix64(std::uint64_t* state) {
+  std::uint64_t z = (*state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t Rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t sm = seed;
+  for (int i = 0; i < 4; ++i) s_[i] = SplitMix64(&sm);
+  // Avoid the all-zero state, which xoshiro cannot escape.
+  if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;
+}
+
+std::uint64_t Rng::NextU64() {
+  const std::uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::Uniform() {
+  // 53-bit mantissa trick for uniform double in [0, 1).
+  return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::Uniform(double lo, double hi) { return lo + (hi - lo) * Uniform(); }
+
+std::size_t Rng::UniformInt(std::size_t n) {
+  WR_CHECK_GT(n, 0u);
+  // Rejection-free modulo is fine here: n << 2^64 so bias is negligible for
+  // simulation purposes.
+  return static_cast<std::size_t>(NextU64() % n);
+}
+
+double Rng::Gaussian() {
+  if (has_cached_gaussian_) {
+    has_cached_gaussian_ = false;
+    return cached_gaussian_;
+  }
+  // Box-Muller; u1 bounded away from 0 to keep log finite.
+  double u1 = Uniform();
+  if (u1 < 1e-300) u1 = 1e-300;
+  const double u2 = Uniform();
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  const double theta = 2.0 * M_PI * u2;
+  cached_gaussian_ = r * std::sin(theta);
+  has_cached_gaussian_ = true;
+  return r * std::cos(theta);
+}
+
+double Rng::Gaussian(double mean, double stddev) {
+  return mean + stddev * Gaussian();
+}
+
+std::size_t Rng::Categorical(const std::vector<double>& weights) {
+  WR_CHECK(!weights.empty());
+  double total = 0.0;
+  for (double w : weights) {
+    WR_CHECK_GE(w, 0.0);
+    total += w;
+  }
+  WR_CHECK_GT(total, 0.0);
+  double u = Uniform() * total;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    u -= weights[i];
+    if (u <= 0.0) return i;
+  }
+  return weights.size() - 1;
+}
+
+std::size_t Rng::SampleLogits(const std::vector<double>& logits) {
+  WR_CHECK(!logits.empty());
+  // Gumbel-max: argmax(logit_i + G_i) is a softmax sample without
+  // exponentiating (robust to large logits).
+  std::size_t best = 0;
+  double best_val = -1e300;
+  for (std::size_t i = 0; i < logits.size(); ++i) {
+    double u = Uniform();
+    if (u < 1e-300) u = 1e-300;
+    const double g = -std::log(-std::log(u));
+    const double v = logits[i] + g;
+    if (v > best_val) {
+      best_val = v;
+      best = i;
+    }
+  }
+  return best;
+}
+
+Matrix Rng::GaussianMatrix(std::size_t rows, std::size_t cols, double stddev) {
+  Matrix m(rows, cols);
+  for (std::size_t i = 0; i < m.size(); ++i) m.data()[i] = Gaussian(0.0, stddev);
+  return m;
+}
+
+Matrix Rng::UniformMatrix(std::size_t rows, std::size_t cols, double limit) {
+  Matrix m(rows, cols);
+  for (std::size_t i = 0; i < m.size(); ++i)
+    m.data()[i] = Uniform(-limit, limit);
+  return m;
+}
+
+}  // namespace linalg
+}  // namespace whitenrec

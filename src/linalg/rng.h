@@ -1,0 +1,60 @@
+#ifndef WHITENREC_LINALG_RNG_H_
+#define WHITENREC_LINALG_RNG_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "linalg/matrix.h"
+
+namespace whitenrec {
+namespace linalg {
+
+// Deterministic xoshiro256** pseudo-random generator. All stochastic parts
+// of the library (data generation, weight init, dropout, sampling) draw from
+// an explicitly passed Rng so that every experiment is reproducible from a
+// single seed.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed);
+
+  // Uniform in [0, 2^64).
+  std::uint64_t NextU64();
+  // Uniform in [0, 1).
+  double Uniform();
+  // Uniform in [lo, hi).
+  double Uniform(double lo, double hi);
+  // Uniform integer in [0, n).
+  std::size_t UniformInt(std::size_t n);
+  // Standard normal via Box-Muller (caches the second deviate).
+  double Gaussian();
+  double Gaussian(double mean, double stddev);
+
+  // Samples an index proportionally to non-negative weights.
+  std::size_t Categorical(const std::vector<double>& weights);
+  // Samples an index from unnormalized logits (Gumbel-max, numerically safe).
+  std::size_t SampleLogits(const std::vector<double>& logits);
+
+  // Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    for (std::size_t i = v->size(); i > 1; --i) {
+      std::size_t j = UniformInt(i);
+      std::swap((*v)[i - 1], (*v)[j]);
+    }
+  }
+
+  // Matrix filled with N(0, stddev^2) entries.
+  Matrix GaussianMatrix(std::size_t rows, std::size_t cols, double stddev);
+  // Matrix filled with U(-limit, limit) entries (e.g. Xavier init).
+  Matrix UniformMatrix(std::size_t rows, std::size_t cols, double limit);
+
+ private:
+  std::uint64_t s_[4];
+  bool has_cached_gaussian_ = false;
+  double cached_gaussian_ = 0.0;
+};
+
+}  // namespace linalg
+}  // namespace whitenrec
+
+#endif  // WHITENREC_LINALG_RNG_H_

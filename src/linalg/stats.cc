@@ -1,0 +1,212 @@
+#include "linalg/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace whitenrec {
+namespace linalg {
+
+std::vector<double> ColumnMean(const Matrix& x) {
+  WR_CHECK_GT(x.rows(), 0u);
+  std::vector<double> mean(x.cols(), 0.0);
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    const double* row = x.RowPtr(r);
+    for (std::size_t c = 0; c < x.cols(); ++c) mean[c] += row[c];
+  }
+  const double inv_n = 1.0 / static_cast<double>(x.rows());
+  for (double& m : mean) m *= inv_n;
+  return mean;
+}
+
+std::vector<double> CenterColumns(Matrix* x) {
+  std::vector<double> mean = ColumnMean(*x);
+  for (std::size_t r = 0; r < x->rows(); ++r) {
+    double* row = x->RowPtr(r);
+    for (std::size_t c = 0; c < x->cols(); ++c) row[c] -= mean[c];
+  }
+  return mean;
+}
+
+Matrix Covariance(const Matrix& x, double epsilon) {
+  Matrix centered = x;
+  CenterColumns(&centered);
+  Matrix cov = MatMulTransA(centered, centered);
+  cov *= 1.0 / static_cast<double>(x.rows());
+  if (epsilon != 0.0) {
+    for (std::size_t i = 0; i < cov.rows(); ++i) cov(i, i) += epsilon;
+  }
+  return cov;
+}
+
+Matrix LedoitWolfCovariance(const Matrix& x, double* rho_out) {
+  WR_CHECK_GE(x.rows(), 2u);
+  const std::size_t n = x.rows();
+  const std::size_t d = x.cols();
+  Matrix centered = x;
+  CenterColumns(&centered);
+  Matrix s = MatMulTransA(centered, centered);
+  s *= 1.0 / static_cast<double>(n);
+
+  // Target: mu * I with mu = tr(S) / d.
+  double mu = 0.0;
+  for (std::size_t i = 0; i < d; ++i) mu += s(i, i);
+  mu /= static_cast<double>(d);
+
+  // delta^2 = ||S - mu I||_F^2 / d (dispersion of S around the target).
+  double delta2 = 0.0;
+  for (std::size_t i = 0; i < d; ++i) {
+    for (std::size_t j = 0; j < d; ++j) {
+      const double diff = s(i, j) - (i == j ? mu : 0.0);
+      delta2 += diff * diff;
+    }
+  }
+  delta2 /= static_cast<double>(d);
+
+  // beta^2 = (1/n^2) sum_k ||x_k x_k^T - S||_F^2 / d, clipped by delta^2.
+  double beta2 = 0.0;
+  for (std::size_t k = 0; k < n; ++k) {
+    const double* row = centered.RowPtr(k);
+    double norm2 = 0.0;
+    for (std::size_t c = 0; c < d; ++c) norm2 += row[c] * row[c];
+    // ||x x^T||_F^2 = (x.x)^2; cross term uses x^T S x.
+    double xsx = 0.0;
+    for (std::size_t i = 0; i < d; ++i) {
+      double acc = 0.0;
+      for (std::size_t j = 0; j < d; ++j) acc += s(i, j) * row[j];
+      xsx += row[i] * acc;
+    }
+    beta2 += norm2 * norm2 - 2.0 * xsx;
+  }
+  double s_fro2 = 0.0;
+  for (std::size_t i = 0; i < s.size(); ++i) s_fro2 += s.data()[i] * s.data()[i];
+  beta2 = beta2 / static_cast<double>(n) / static_cast<double>(n) +
+          s_fro2 / static_cast<double>(n);
+  beta2 /= static_cast<double>(d);
+  beta2 = std::max(0.0, std::min(beta2, delta2));
+
+  const double rho = delta2 <= 0.0 ? 1.0 : beta2 / delta2;
+  if (rho_out != nullptr) *rho_out = rho;
+
+  s *= (1.0 - rho);
+  for (std::size_t i = 0; i < d; ++i) s(i, i) += rho * mu;
+  return s;
+}
+
+double CosineSimilarity(const std::vector<double>& a,
+                        const std::vector<double>& b) {
+  const double na = Norm(a);
+  const double nb = Norm(b);
+  if (na < 1e-12 || nb < 1e-12) return 0.0;
+  return Dot(a, b) / (na * nb);
+}
+
+namespace {
+
+// Row norms, precomputed once for pairwise sweeps.
+std::vector<double> RowNorms(const Matrix& x) {
+  std::vector<double> norms(x.rows());
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    const double* row = x.RowPtr(r);
+    double s = 0.0;
+    for (std::size_t c = 0; c < x.cols(); ++c) s += row[c] * row[c];
+    norms[r] = std::sqrt(s);
+  }
+  return norms;
+}
+
+double RowCosine(const Matrix& x, const std::vector<double>& norms,
+                 std::size_t i, std::size_t j) {
+  if (norms[i] < 1e-12 || norms[j] < 1e-12) return 0.0;
+  const double* a = x.RowPtr(i);
+  const double* b = x.RowPtr(j);
+  double dot = 0.0;
+  for (std::size_t c = 0; c < x.cols(); ++c) dot += a[c] * b[c];
+  return dot / (norms[i] * norms[j]);
+}
+
+}  // namespace
+
+double MeanPairwiseCosine(const Matrix& x, Rng* rng, std::size_t max_pairs) {
+  const std::size_t n = x.rows();
+  WR_CHECK_GE(n, 2u);
+  const std::vector<double> norms = RowNorms(x);
+  const std::size_t total_pairs = n * (n - 1) / 2;
+  double sum = 0.0;
+  std::size_t count = 0;
+  if (total_pairs <= max_pairs) {
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = i + 1; j < n; ++j) {
+        sum += RowCosine(x, norms, i, j);
+        ++count;
+      }
+    }
+  } else {
+    for (std::size_t k = 0; k < max_pairs; ++k) {
+      std::size_t i = rng->UniformInt(n);
+      std::size_t j = rng->UniformInt(n);
+      while (j == i) j = rng->UniformInt(n);
+      sum += RowCosine(x, norms, i, j);
+      ++count;
+    }
+  }
+  return sum / static_cast<double>(count);
+}
+
+std::vector<double> PairwiseCosines(const Matrix& x, Rng* rng,
+                                    std::size_t max_pairs) {
+  const std::size_t n = x.rows();
+  WR_CHECK_GE(n, 2u);
+  const std::vector<double> norms = RowNorms(x);
+  std::vector<double> out;
+  const std::size_t total_pairs = n * (n - 1) / 2;
+  if (total_pairs <= max_pairs) {
+    out.reserve(total_pairs);
+    for (std::size_t i = 0; i < n; ++i)
+      for (std::size_t j = i + 1; j < n; ++j)
+        out.push_back(RowCosine(x, norms, i, j));
+  } else {
+    out.reserve(max_pairs);
+    for (std::size_t k = 0; k < max_pairs; ++k) {
+      std::size_t i = rng->UniformInt(n);
+      std::size_t j = rng->UniformInt(n);
+      while (j == i) j = rng->UniformInt(n);
+      out.push_back(RowCosine(x, norms, i, j));
+    }
+  }
+  return out;
+}
+
+std::vector<CdfPoint> EmpiricalCdf(std::vector<double> samples,
+                                   std::size_t num_points, double lo,
+                                   double hi) {
+  WR_CHECK(!samples.empty());
+  WR_CHECK_GE(num_points, 2u);
+  WR_CHECK_LT(lo, hi);
+  std::sort(samples.begin(), samples.end());
+  std::vector<CdfPoint> points(num_points);
+  const double n = static_cast<double>(samples.size());
+  for (std::size_t k = 0; k < num_points; ++k) {
+    const double t =
+        lo + (hi - lo) * static_cast<double>(k) / static_cast<double>(num_points - 1);
+    const auto it = std::upper_bound(samples.begin(), samples.end(), t);
+    points[k] = {t, static_cast<double>(it - samples.begin()) / n};
+  }
+  return points;
+}
+
+double Mean(const std::vector<double>& v) {
+  WR_CHECK(!v.empty());
+  double s = 0.0;
+  for (double x : v) s += x;
+  return s / static_cast<double>(v.size());
+}
+
+double Variance(const std::vector<double>& v) {
+  const double m = Mean(v);
+  double s = 0.0;
+  for (double x : v) s += (x - m) * (x - m);
+  return s / static_cast<double>(v.size());
+}
+
+}  // namespace linalg
+}  // namespace whitenrec

@@ -1,0 +1,60 @@
+#ifndef WHITENREC_LINALG_STATS_H_
+#define WHITENREC_LINALG_STATS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "linalg/matrix.h"
+#include "linalg/rng.h"
+
+namespace whitenrec {
+namespace linalg {
+
+// Column means of X (rows = samples, cols = dims); length = cols.
+std::vector<double> ColumnMean(const Matrix& x);
+
+// Centers X in place by subtracting per-column means; returns the means.
+std::vector<double> CenterColumns(Matrix* x);
+
+// Sample covariance (1/n) * (X - mu)^T (X - mu) + epsilon * I, a d x d
+// matrix. Uses the biased 1/n normalizer, matching the paper's Sigma.
+Matrix Covariance(const Matrix& x, double epsilon = 0.0);
+
+// Ledoit-Wolf shrinkage covariance: (1 - rho) * S + rho * mu * I with the
+// closed-form optimal shrinkage intensity rho. A principled alternative to
+// the fixed epsilon ridge when n is not much larger than d (the cold-start
+// regime). If `rho_out` is non-null it receives the chosen intensity.
+Matrix LedoitWolfCovariance(const Matrix& x, double* rho_out = nullptr);
+
+// Cosine similarity between two equal-length vectors (0 if either is ~0).
+double CosineSimilarity(const std::vector<double>& a,
+                        const std::vector<double>& b);
+
+// Mean pairwise cosine similarity over up to `max_pairs` random row pairs of
+// X. Exact over all pairs when n*(n-1)/2 <= max_pairs.
+double MeanPairwiseCosine(const Matrix& x, Rng* rng,
+                          std::size_t max_pairs = 200000);
+
+// All (or up to max_pairs sampled) pairwise cosine similarities, for CDF
+// plots (paper Fig. 4).
+std::vector<double> PairwiseCosines(const Matrix& x, Rng* rng,
+                                    std::size_t max_pairs = 20000);
+
+// Empirical CDF of `samples` evaluated at `num_points` equally spaced
+// thresholds across [lo, hi]. Returns (threshold, fraction <= threshold).
+struct CdfPoint {
+  double x;
+  double cdf;
+};
+std::vector<CdfPoint> EmpiricalCdf(std::vector<double> samples,
+                                   std::size_t num_points, double lo,
+                                   double hi);
+
+// Summary stats helpers.
+double Mean(const std::vector<double>& v);
+double Variance(const std::vector<double>& v);
+
+}  // namespace linalg
+}  // namespace whitenrec
+
+#endif  // WHITENREC_LINALG_STATS_H_

@@ -1,0 +1,145 @@
+#include "nn/attention.h"
+
+#include <cmath>
+
+namespace whitenrec {
+namespace nn {
+
+using linalg::Matrix;
+
+MultiHeadSelfAttention::MultiHeadSelfAttention(std::size_t dim,
+                                               std::size_t num_heads,
+                                               linalg::Rng* rng,
+                                               std::string name, bool causal)
+    : dim_(dim),
+      num_heads_(num_heads),
+      head_dim_(dim / num_heads),
+      causal_(causal),
+      wq_(dim, dim, rng, name + ".wq"),
+      wk_(dim, dim, rng, name + ".wk"),
+      wv_(dim, dim, rng, name + ".wv"),
+      wo_(dim, dim, rng, name + ".wo") {
+  WR_CHECK_MSG(dim % num_heads == 0, "dim must be divisible by num_heads");
+}
+
+Matrix MultiHeadSelfAttention::Forward(const Matrix& x, std::size_t batch,
+                                       std::size_t seq_len) {
+  WR_CHECK_EQ(x.rows(), batch * seq_len);
+  WR_CHECK_EQ(x.cols(), dim_);
+  batch_ = batch;
+  seq_len_ = seq_len;
+
+  cached_q_ = wq_.Forward(x);
+  cached_k_ = wk_.Forward(x);
+  cached_v_ = wv_.Forward(x);
+  cached_probs_.assign(batch * num_heads_, Matrix());
+
+  const double scale = 1.0 / std::sqrt(static_cast<double>(head_dim_));
+  Matrix mixed(x.rows(), dim_);  // concatenated head outputs
+
+  for (std::size_t b = 0; b < batch; ++b) {
+    const std::size_t base = b * seq_len;
+    for (std::size_t h = 0; h < num_heads_; ++h) {
+      const std::size_t off = h * head_dim_;
+      Matrix& probs = cached_probs_[b * num_heads_ + h];
+      probs = Matrix(seq_len, seq_len);
+      // Masked scores + row softmax: causal attends to positions <= i,
+      // bidirectional to every position.
+      for (std::size_t i = 0; i < seq_len; ++i) {
+        const std::size_t jmax = causal_ ? i : seq_len - 1;
+        const double* qi = cached_q_.RowPtr(base + i) + off;
+        double max_s = -1e300;
+        for (std::size_t j = 0; j <= jmax; ++j) {
+          const double* kj = cached_k_.RowPtr(base + j) + off;
+          double s = 0.0;
+          for (std::size_t c = 0; c < head_dim_; ++c) s += qi[c] * kj[c];
+          s *= scale;
+          probs(i, j) = s;
+          if (s > max_s) max_s = s;
+        }
+        double sum = 0.0;
+        for (std::size_t j = 0; j <= jmax; ++j) {
+          probs(i, j) = std::exp(probs(i, j) - max_s);
+          sum += probs(i, j);
+        }
+        const double inv = 1.0 / sum;
+        for (std::size_t j = 0; j <= jmax; ++j) probs(i, j) *= inv;
+        // Mix values: out_i = sum_j probs_ij * v_j.
+        double* out = mixed.RowPtr(base + i) + off;
+        for (std::size_t c = 0; c < head_dim_; ++c) out[c] = 0.0;
+        for (std::size_t j = 0; j <= jmax; ++j) {
+          const double p = probs(i, j);
+          const double* vj = cached_v_.RowPtr(base + j) + off;
+          for (std::size_t c = 0; c < head_dim_; ++c) out[c] += p * vj[c];
+        }
+      }
+    }
+  }
+  return wo_.Forward(mixed);
+}
+
+Matrix MultiHeadSelfAttention::Backward(const Matrix& dy) {
+  WR_CHECK_EQ(dy.rows(), batch_ * seq_len_);
+  const Matrix dmixed = wo_.Backward(dy);
+
+  Matrix dq(dy.rows(), dim_);
+  Matrix dk(dy.rows(), dim_);
+  Matrix dv(dy.rows(), dim_);
+  const double scale = 1.0 / std::sqrt(static_cast<double>(head_dim_));
+
+  std::vector<double> dprob_row;
+  for (std::size_t b = 0; b < batch_; ++b) {
+    const std::size_t base = b * seq_len_;
+    for (std::size_t h = 0; h < num_heads_; ++h) {
+      const std::size_t off = h * head_dim_;
+      const Matrix& probs = cached_probs_[b * num_heads_ + h];
+      for (std::size_t i = 0; i < seq_len_; ++i) {
+        const std::size_t jmax = causal_ ? i : seq_len_ - 1;
+        const double* dout = dmixed.RowPtr(base + i) + off;
+        // dprobs_ij = dout . v_j ; dv_j += probs_ij * dout.
+        dprob_row.assign(jmax + 1, 0.0);
+        for (std::size_t j = 0; j <= jmax; ++j) {
+          const double p = probs(i, j);
+          const double* vj = cached_v_.RowPtr(base + j) + off;
+          double* dvj = dv.RowPtr(base + j) + off;
+          double dp = 0.0;
+          for (std::size_t c = 0; c < head_dim_; ++c) {
+            dp += dout[c] * vj[c];
+            dvj[c] += p * dout[c];
+          }
+          dprob_row[j] = dp;
+        }
+        // Softmax backward over the (masked) row.
+        double inner = 0.0;
+        for (std::size_t j = 0; j <= jmax; ++j)
+          inner += dprob_row[j] * probs(i, j);
+        const double* qi = cached_q_.RowPtr(base + i) + off;
+        double* dqi = dq.RowPtr(base + i) + off;
+        for (std::size_t j = 0; j <= jmax; ++j) {
+          const double ds = probs(i, j) * (dprob_row[j] - inner) * scale;
+          const double* kj = cached_k_.RowPtr(base + j) + off;
+          double* dkj = dk.RowPtr(base + j) + off;
+          for (std::size_t c = 0; c < head_dim_; ++c) {
+            dqi[c] += ds * kj[c];
+            dkj[c] += ds * qi[c];
+          }
+        }
+      }
+    }
+  }
+
+  Matrix dx = wq_.Backward(dq);
+  dx += wk_.Backward(dk);
+  dx += wv_.Backward(dv);
+  return dx;
+}
+
+void MultiHeadSelfAttention::CollectParameters(std::vector<Parameter*>* out) {
+  wq_.CollectParameters(out);
+  wk_.CollectParameters(out);
+  wv_.CollectParameters(out);
+  wo_.CollectParameters(out);
+}
+
+}  // namespace nn
+}  // namespace whitenrec

@@ -1,0 +1,57 @@
+#ifndef WHITENREC_NN_ATTENTION_H_
+#define WHITENREC_NN_ATTENTION_H_
+
+#include <string>
+#include <vector>
+
+#include "nn/layers.h"
+
+namespace whitenrec {
+namespace nn {
+
+// Multi-head self-attention over a batch of equal-length sequences.
+// Input/output activations have shape (batch * seq_len, dim); sequence b
+// occupies rows [b * seq_len, (b + 1) * seq_len). With `causal` (the SASRec
+// default) position i attends to positions <= i; without it attention is
+// bidirectional (the BERT4Rec setting). Dropout is applied by the
+// surrounding Transformer block on the sublayer output, not on the attention
+// probabilities.
+class MultiHeadSelfAttention : public Layer {
+ public:
+  MultiHeadSelfAttention(std::size_t dim, std::size_t num_heads,
+                         linalg::Rng* rng, std::string name = "mhsa",
+                         bool causal = true);
+
+  linalg::Matrix Forward(const linalg::Matrix& x, std::size_t batch,
+                         std::size_t seq_len);
+  linalg::Matrix Backward(const linalg::Matrix& dy);
+
+  void CollectParameters(std::vector<Parameter*>* out) override;
+
+  std::size_t num_heads() const { return num_heads_; }
+
+ private:
+  std::size_t dim_;
+  std::size_t num_heads_;
+  std::size_t head_dim_;
+  bool causal_;
+  std::size_t batch_ = 0;
+  std::size_t seq_len_ = 0;
+
+  Linear wq_;
+  Linear wk_;
+  Linear wv_;
+  Linear wo_;
+
+  // Forward caches: projected Q/K/V (batch*L, dim) and, per (sequence, head),
+  // the (L, L) causal-masked attention probabilities.
+  linalg::Matrix cached_q_;
+  linalg::Matrix cached_k_;
+  linalg::Matrix cached_v_;
+  std::vector<linalg::Matrix> cached_probs_;
+};
+
+}  // namespace nn
+}  // namespace whitenrec
+
+#endif  // WHITENREC_NN_ATTENTION_H_

@@ -1,0 +1,158 @@
+#include "nn/gru.h"
+
+#include <cmath>
+
+namespace whitenrec {
+namespace nn {
+
+using linalg::Matrix;
+
+namespace {
+
+double Sigmoid(double x) { return 1.0 / (1.0 + std::exp(-x)); }
+
+// Extracts the rows of timestep t from the flat (batch*L, dim) layout.
+Matrix TimestepRows(const Matrix& flat, std::size_t batch, std::size_t seq_len,
+                    std::size_t t, std::size_t dim) {
+  Matrix out(batch, dim);
+  for (std::size_t bq = 0; bq < batch; ++bq) {
+    const double* src = flat.RowPtr(bq * seq_len + t);
+    std::copy(src, src + dim, out.RowPtr(bq));
+  }
+  return out;
+}
+
+}  // namespace
+
+Gru::Gru(std::size_t dim, linalg::Rng* rng, std::string name)
+    : dim_(dim),
+      wx_(name + ".wx",
+          rng->UniformMatrix(dim, 3 * dim,
+                             std::sqrt(6.0 / static_cast<double>(4 * dim)))),
+      wh_(name + ".wh",
+          rng->UniformMatrix(dim, 3 * dim,
+                             std::sqrt(6.0 / static_cast<double>(4 * dim)))),
+      b_(name + ".b", Matrix(1, 3 * dim)) {}
+
+Matrix Gru::Forward(const Matrix& x, std::size_t batch, std::size_t seq_len) {
+  WR_CHECK_EQ(x.rows(), batch * seq_len);
+  WR_CHECK_EQ(x.cols(), dim_);
+  batch_ = batch;
+  seq_len_ = seq_len;
+  cached_x_ = x;
+  h_prev_.assign(seq_len, Matrix());
+  r_.assign(seq_len, Matrix());
+  z_.assign(seq_len, Matrix());
+  n_.assign(seq_len, Matrix());
+  ah_n_.assign(seq_len, Matrix());
+
+  Matrix out(batch * seq_len, dim_);
+  Matrix h(batch, dim_);
+  for (std::size_t t = 0; t < seq_len; ++t) {
+    h_prev_[t] = h;
+    const Matrix xt = TimestepRows(x, batch, seq_len, t, dim_);
+    Matrix ax = linalg::MatMul(xt, wx_.value);  // (batch, 3d)
+    const Matrix ah = linalg::MatMul(h, wh_.value);
+    r_[t] = Matrix(batch, dim_);
+    z_[t] = Matrix(batch, dim_);
+    n_[t] = Matrix(batch, dim_);
+    ah_n_[t] = Matrix(batch, dim_);
+    for (std::size_t bq = 0; bq < batch; ++bq) {
+      const double* axr = ax.RowPtr(bq);
+      const double* ahr = ah.RowPtr(bq);
+      const double* bias = b_.value.RowPtr(0);
+      double* r = r_[t].RowPtr(bq);
+      double* zg = z_[t].RowPtr(bq);
+      double* n = n_[t].RowPtr(bq);
+      double* ahn = ah_n_[t].RowPtr(bq);
+      double* hrow = h.RowPtr(bq);
+      double* orow = out.RowPtr(bq * seq_len + t);
+      for (std::size_t c = 0; c < dim_; ++c) {
+        r[c] = Sigmoid(axr[c] + ahr[c] + bias[c]);
+        zg[c] = Sigmoid(axr[dim_ + c] + ahr[dim_ + c] + bias[dim_ + c]);
+        ahn[c] = ahr[2 * dim_ + c];
+        n[c] = std::tanh(axr[2 * dim_ + c] + r[c] * ahn[c] +
+                         bias[2 * dim_ + c]);
+        hrow[c] = (1.0 - zg[c]) * n[c] + zg[c] * hrow[c];
+        orow[c] = hrow[c];
+      }
+    }
+  }
+  return out;
+}
+
+Matrix Gru::Backward(const Matrix& dh_all) {
+  WR_CHECK_EQ(dh_all.rows(), batch_ * seq_len_);
+  Matrix dx(batch_ * seq_len_, dim_);
+  Matrix dh(batch_, dim_);  // gradient flowing into h_t from the future
+
+  for (std::size_t t = seq_len_; t-- > 0;) {
+    // Add the direct gradient on this timestep's output.
+    for (std::size_t bq = 0; bq < batch_; ++bq) {
+      const double* src = dh_all.RowPtr(bq * seq_len_ + t);
+      double* dst = dh.RowPtr(bq);
+      for (std::size_t c = 0; c < dim_; ++c) dst[c] += src[c];
+    }
+
+    Matrix dax(batch_, 3 * dim_);
+    Matrix dah(batch_, 3 * dim_);
+    Matrix dh_prev(batch_, dim_);
+    for (std::size_t bq = 0; bq < batch_; ++bq) {
+      const double* r = r_[t].RowPtr(bq);
+      const double* zg = z_[t].RowPtr(bq);
+      const double* n = n_[t].RowPtr(bq);
+      const double* ahn = ah_n_[t].RowPtr(bq);
+      const double* hp = h_prev_[t].RowPtr(bq);
+      const double* d = dh.RowPtr(bq);
+      double* daxr = dax.RowPtr(bq);
+      double* dahr = dah.RowPtr(bq);
+      double* dhp = dh_prev.RowPtr(bq);
+      for (std::size_t c = 0; c < dim_; ++c) {
+        // h = (1-z) n + z h_prev.
+        const double dz = d[c] * (hp[c] - n[c]) * zg[c] * (1.0 - zg[c]);
+        const double dn = d[c] * (1.0 - zg[c]) * (1.0 - n[c] * n[c]);
+        dhp[c] = d[c] * zg[c];
+        // n = tanh(ax_n + r * ah_n + b_n).
+        const double dr = dn * ahn[c] * r[c] * (1.0 - r[c]);
+        daxr[c] = dr;
+        daxr[dim_ + c] = dz;
+        daxr[2 * dim_ + c] = dn;
+        dahr[c] = dr;
+        dahr[dim_ + c] = dz;
+        dahr[2 * dim_ + c] = dn * r[c];
+      }
+    }
+
+    const Matrix xt = TimestepRows(cached_x_, batch_, seq_len_, t, dim_);
+    wx_.grad += linalg::MatMulTransA(xt, dax);
+    wh_.grad += linalg::MatMulTransA(h_prev_[t], dah);
+    // dax holds d(pre-activation) for every gate, which is exactly the bias
+    // gradient.
+    const std::vector<double> db = ColumnSum(dax);
+    for (std::size_t c = 0; c < 3 * dim_; ++c) b_.grad(0, c) += db[c];
+
+    const Matrix dxt = linalg::MatMulTransB(dax, wx_.value);
+    Matrix dh_from_ah = linalg::MatMulTransB(dah, wh_.value);
+    for (std::size_t bq = 0; bq < batch_; ++bq) {
+      const double* src = dxt.RowPtr(bq);
+      double* dst = dx.RowPtr(bq * seq_len_ + t);
+      std::copy(src, src + dim_, dst);
+      double* dhrow = dh.RowPtr(bq);
+      const double* dprev = dh_prev.RowPtr(bq);
+      const double* dah_row = dh_from_ah.RowPtr(bq);
+      for (std::size_t c = 0; c < dim_; ++c) {
+        dhrow[c] = dprev[c] + dah_row[c];
+      }
+    }
+  }
+  return dx;
+}
+
+void Gru::CollectParameters(std::vector<Parameter*>* out) {
+  out->push_back(&wx_);
+  out->push_back(&wh_);
+  out->push_back(&b_);
+}
+
+}  // namespace nn
+}  // namespace whitenrec

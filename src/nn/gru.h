@@ -1,0 +1,58 @@
+#ifndef WHITENREC_NN_GRU_H_
+#define WHITENREC_NN_GRU_H_
+
+#include <string>
+#include <vector>
+
+#include "nn/layers.h"
+
+namespace whitenrec {
+namespace nn {
+
+// Gated Recurrent Unit layer over a batch of equal-length sequences, with
+// full backpropagation through time. Used by the GRU4Rec baseline (an
+// extension beyond the paper's compared set; GRU4Rec anchors the RNN family
+// in its related-work discussion).
+//
+// Input/output shape matches the Transformer convention: (batch * seq_len,
+// dim), sequence b in rows [b*L, (b+1)*L). The initial hidden state is zero.
+//
+// Gate equations (PyTorch convention):
+//   r_t = sigmoid(x_t Wx_r + h_{t-1} Wh_r + b_r)
+//   z_t = sigmoid(x_t Wx_z + h_{t-1} Wh_z + b_z)
+//   n_t = tanh(x_t Wx_n + r_t .* (h_{t-1} Wh_n) + b_n)
+//   h_t = (1 - z_t) .* n_t + z_t .* h_{t-1}
+class Gru : public Layer {
+ public:
+  Gru(std::size_t dim, linalg::Rng* rng, std::string name = "gru");
+
+  // x: (batch * seq_len, dim). Returns hidden states at every position.
+  linalg::Matrix Forward(const linalg::Matrix& x, std::size_t batch,
+                         std::size_t seq_len);
+  // dh: gradient w.r.t. every position's hidden state. Returns dx.
+  linalg::Matrix Backward(const linalg::Matrix& dh);
+
+  void CollectParameters(std::vector<Parameter*>* out) override;
+
+ private:
+  std::size_t dim_;
+  std::size_t batch_ = 0;
+  std::size_t seq_len_ = 0;
+
+  Parameter wx_;  // (dim, 3*dim): [r | z | n] blocks
+  Parameter wh_;  // (dim, 3*dim)
+  Parameter b_;   // (1, 3*dim)
+
+  // Per-timestep caches for BPTT.
+  linalg::Matrix cached_x_;
+  std::vector<linalg::Matrix> h_prev_;  // (batch, dim) per t
+  std::vector<linalg::Matrix> r_;
+  std::vector<linalg::Matrix> z_;
+  std::vector<linalg::Matrix> n_;
+  std::vector<linalg::Matrix> ah_n_;    // h_{t-1} Wh_n before gating
+};
+
+}  // namespace nn
+}  // namespace whitenrec
+
+#endif  // WHITENREC_NN_GRU_H_

@@ -1,0 +1,147 @@
+#include "nn/loss.h"
+
+#include <cmath>
+
+#include "core/check.h"
+#include "nn/tensor.h"
+
+namespace whitenrec {
+namespace nn {
+
+using linalg::Matrix;
+
+double SoftmaxCrossEntropy(const Matrix& logits,
+                           const std::vector<std::size_t>& targets,
+                           const std::vector<double>& weights,
+                           Matrix* dlogits) {
+  WR_CHECK_EQ(logits.rows(), targets.size());
+  WR_CHECK_EQ(logits.rows(), weights.size());
+  WR_CHECK(dlogits != nullptr);
+
+  double weight_total = 0.0;
+  for (double w : weights) weight_total += w;
+  WR_CHECK_GT(weight_total, 0.0);
+
+  Matrix probs = logits;
+  RowSoftmaxInPlace(&probs);
+
+  double loss = 0.0;
+  *dlogits = Matrix(logits.rows(), logits.cols());
+  const double inv_total = 1.0 / weight_total;
+  for (std::size_t r = 0; r < logits.rows(); ++r) {
+    const double w = weights[r];
+    if (w == 0.0) continue;
+    WR_CHECK_LT(targets[r], logits.cols());
+    const double p = std::max(probs(r, targets[r]), 1e-300);
+    loss += -w * std::log(p);
+    double* drow = dlogits->RowPtr(r);
+    const double* prow = probs.RowPtr(r);
+    const double scale = w * inv_total;
+    for (std::size_t c = 0; c < logits.cols(); ++c) drow[c] = scale * prow[c];
+    drow[targets[r]] -= scale;
+  }
+  return loss * inv_total;
+}
+
+double SoftmaxCrossEntropy(const Matrix& logits,
+                           const std::vector<std::size_t>& targets,
+                           Matrix* dlogits) {
+  return SoftmaxCrossEntropy(logits, targets,
+                             std::vector<double>(logits.rows(), 1.0), dlogits);
+}
+
+namespace {
+
+// Normalizes rows; returns norms. Rows with ~0 norm stay zero.
+Matrix NormalizedRows(const Matrix& x, std::vector<double>* norms) {
+  Matrix out = x;
+  norms->assign(x.rows(), 0.0);
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    double s = 0.0;
+    const double* row = x.RowPtr(r);
+    for (std::size_t c = 0; c < x.cols(); ++c) s += row[c] * row[c];
+    const double norm = std::sqrt(s);
+    (*norms)[r] = norm;
+    if (norm < 1e-12) continue;
+    double* orow = out.RowPtr(r);
+    for (std::size_t c = 0; c < x.cols(); ++c) orow[c] /= norm;
+  }
+  return out;
+}
+
+// Backward through row normalization: da = (dahat - ahat * (ahat . dahat)) / norm.
+void NormalizeBackward(const Matrix& ahat, const Matrix& dahat,
+                       const std::vector<double>& norms, Matrix* da) {
+  *da = Matrix(ahat.rows(), ahat.cols());
+  for (std::size_t r = 0; r < ahat.rows(); ++r) {
+    if (norms[r] < 1e-12) continue;
+    const double* h = ahat.RowPtr(r);
+    const double* dh = dahat.RowPtr(r);
+    double inner = 0.0;
+    for (std::size_t c = 0; c < ahat.cols(); ++c) inner += h[c] * dh[c];
+    double* out = da->RowPtr(r);
+    const double inv = 1.0 / norms[r];
+    for (std::size_t c = 0; c < ahat.cols(); ++c) {
+      out[c] = (dh[c] - h[c] * inner) * inv;
+    }
+  }
+}
+
+}  // namespace
+
+double InfoNce(const Matrix& a, const Matrix& b, double temperature,
+               Matrix* da, Matrix* db) {
+  WR_CHECK_EQ(a.rows(), b.rows());
+  WR_CHECK_EQ(a.cols(), b.cols());
+  WR_CHECK_GT(temperature, 0.0);
+  const std::size_t n = a.rows();
+
+  std::vector<double> na, nb;
+  const Matrix ah = NormalizedRows(a, &na);
+  const Matrix bh = NormalizedRows(b, &nb);
+
+  Matrix sim = linalg::MatMulTransB(ah, bh);  // (n, n)
+  sim *= 1.0 / temperature;
+
+  // Symmetric InfoNCE: CE over rows (a -> b) and over columns (b -> a).
+  std::vector<std::size_t> diag(n);
+  for (std::size_t i = 0; i < n; ++i) diag[i] = i;
+  Matrix dsim_rows, dsim_cols_t;
+  const double loss_ab = SoftmaxCrossEntropy(sim, diag, &dsim_rows);
+  const Matrix sim_t = linalg::Transpose(sim);
+  const double loss_ba = SoftmaxCrossEntropy(sim_t, diag, &dsim_cols_t);
+
+  Matrix dsim = dsim_rows;
+  dsim += linalg::Transpose(dsim_cols_t);
+  dsim *= 0.5 / temperature;
+
+  const Matrix dah = linalg::MatMul(dsim, bh);
+  const Matrix dbh = linalg::MatMulTransA(dsim, ah);
+  NormalizeBackward(ah, dah, na, da);
+  NormalizeBackward(bh, dbh, nb, db);
+  return 0.5 * (loss_ab + loss_ba);
+}
+
+double BprLoss(const std::vector<double>& pos_scores,
+               const std::vector<double>& neg_scores,
+               std::vector<double>* dpos, std::vector<double>* dneg) {
+  WR_CHECK_EQ(pos_scores.size(), neg_scores.size());
+  WR_CHECK(!pos_scores.empty());
+  const std::size_t n = pos_scores.size();
+  dpos->assign(n, 0.0);
+  dneg->assign(n, 0.0);
+  double loss = 0.0;
+  const double inv_n = 1.0 / static_cast<double>(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double diff = pos_scores[i] - neg_scores[i];
+    // -log sigmoid(diff); d/ddiff = -sigmoid(-diff).
+    const double sig_neg = 1.0 / (1.0 + std::exp(diff));
+    loss += diff < -30.0 ? -diff : std::log1p(std::exp(-diff));
+    (*dpos)[i] = -sig_neg * inv_n;
+    (*dneg)[i] = sig_neg * inv_n;
+  }
+  return loss * inv_n;
+}
+
+}  // namespace nn
+}  // namespace whitenrec

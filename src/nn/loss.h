@@ -1,0 +1,42 @@
+#ifndef WHITENREC_NN_LOSS_H_
+#define WHITENREC_NN_LOSS_H_
+
+#include <vector>
+
+#include "linalg/matrix.h"
+
+namespace whitenrec {
+namespace nn {
+
+// Full-softmax cross-entropy over the item catalog (paper Eq. 1).
+// logits: (n, C); targets: length n class indices; weights: per-row weight
+// (0 masks a row, e.g. padding positions). Returns the weighted mean loss;
+// *dlogits receives the gradient of that mean.
+double SoftmaxCrossEntropy(const linalg::Matrix& logits,
+                           const std::vector<std::size_t>& targets,
+                           const std::vector<double>& weights,
+                           linalg::Matrix* dlogits);
+
+// Convenience overload with all-ones weights.
+double SoftmaxCrossEntropy(const linalg::Matrix& logits,
+                           const std::vector<std::size_t>& targets,
+                           linalg::Matrix* dlogits);
+
+// InfoNCE contrastive loss between two views (CL4SRec's auxiliary task).
+// a, b: (B, d) representations; row i of a is positive with row i of b, all
+// other rows of b are negatives (and symmetrically). Representations are
+// L2-normalized internally; `temperature` scales similarities. Gradients are
+// written into *da and *db (same shapes as a/b, overwritten).
+double InfoNce(const linalg::Matrix& a, const linalg::Matrix& b,
+               double temperature, linalg::Matrix* da, linalg::Matrix* db);
+
+// BPR pairwise loss: mean of -log sigmoid(pos - neg); *dpos/*dneg receive
+// the per-element gradients.
+double BprLoss(const std::vector<double>& pos_scores,
+               const std::vector<double>& neg_scores,
+               std::vector<double>* dpos, std::vector<double>* dneg);
+
+}  // namespace nn
+}  // namespace whitenrec
+
+#endif  // WHITENREC_NN_LOSS_H_

@@ -1,0 +1,69 @@
+#include "nn/optimizer.h"
+
+#include <cmath>
+
+namespace whitenrec {
+namespace nn {
+
+Adam::Adam(std::vector<Parameter*> params, Options options)
+    : params_(std::move(params)), options_(options) {
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (Parameter* p : params_) {
+    m_.emplace_back(p->value.rows(), p->value.cols());
+    v_.emplace_back(p->value.rows(), p->value.cols());
+  }
+}
+
+void Adam::Step() {
+  ++t_;
+  // Global-norm clipping across all parameters.
+  double scale = 1.0;
+  if (options_.clip_norm > 0.0) {
+    double total = 0.0;
+    for (Parameter* p : params_) {
+      for (std::size_t i = 0; i < p->grad.size(); ++i) {
+        const double g = p->grad.data()[i];
+        total += g * g;
+      }
+    }
+    const double norm = std::sqrt(total);
+    if (norm > options_.clip_norm) scale = options_.clip_norm / norm;
+  }
+
+  const double bc1 = 1.0 - std::pow(options_.beta1, static_cast<double>(t_));
+  const double bc2 = 1.0 - std::pow(options_.beta2, static_cast<double>(t_));
+  for (std::size_t k = 0; k < params_.size(); ++k) {
+    Parameter* p = params_[k];
+    double* val = p->value.data();
+    double* grad = p->grad.data();
+    double* m = m_[k].data();
+    double* v = v_[k].data();
+    for (std::size_t i = 0; i < p->value.size(); ++i) {
+      const double g = grad[i] * scale;
+      m[i] = options_.beta1 * m[i] + (1.0 - options_.beta1) * g;
+      v[i] = options_.beta2 * v[i] + (1.0 - options_.beta2) * g * g;
+      const double mhat = m[i] / bc1;
+      const double vhat = v[i] / bc2;
+      double update = mhat / (std::sqrt(vhat) + options_.epsilon);
+      if (options_.weight_decay > 0.0) {
+        update += options_.weight_decay * val[i];
+      }
+      val[i] -= options_.learning_rate * update;
+    }
+  }
+  ZeroGrad();
+}
+
+void Adam::ZeroGrad() {
+  for (Parameter* p : params_) p->ZeroGrad();
+}
+
+std::size_t Adam::NumParameters() const {
+  std::size_t n = 0;
+  for (const Parameter* p : params_) n += p->NumElements();
+  return n;
+}
+
+}  // namespace nn
+}  // namespace whitenrec

@@ -1,0 +1,46 @@
+#ifndef WHITENREC_NN_OPTIMIZER_H_
+#define WHITENREC_NN_OPTIMIZER_H_
+
+#include <vector>
+
+#include "nn/layers.h"
+
+namespace whitenrec {
+namespace nn {
+
+// Adam optimizer (Kingma & Ba) with optional decoupled weight decay and
+// global-norm gradient clipping. The paper trains all models with Adam and
+// tunes weight decay in {0, 1e-4, 1e-6}.
+class Adam {
+ public:
+  struct Options {
+    double learning_rate = 1e-3;
+    double beta1 = 0.9;
+    double beta2 = 0.999;
+    double epsilon = 1e-8;
+    double weight_decay = 0.0;   // decoupled (AdamW-style)
+    double clip_norm = 5.0;      // 0 disables clipping
+  };
+
+  Adam(std::vector<Parameter*> params, Options options);
+
+  // Applies one update from accumulated grads, then zeroes the grads.
+  void Step();
+  void ZeroGrad();
+
+  std::size_t NumParameters() const;  // total scalar count
+  const Options& options() const { return options_; }
+  void set_learning_rate(double lr) { options_.learning_rate = lr; }
+
+ private:
+  std::vector<Parameter*> params_;
+  Options options_;
+  std::vector<linalg::Matrix> m_;
+  std::vector<linalg::Matrix> v_;
+  long long t_ = 0;
+};
+
+}  // namespace nn
+}  // namespace whitenrec
+
+#endif  // WHITENREC_NN_OPTIMIZER_H_

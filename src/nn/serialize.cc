@@ -1,0 +1,90 @@
+#include "nn/serialize.h"
+
+#include <cstdint>
+#include <fstream>
+
+namespace whitenrec {
+namespace nn {
+
+namespace {
+
+constexpr std::uint64_t kMagic = 0x57524543504b5431ULL;  // "WRECPKT1"
+
+void WriteU64(std::ofstream& out, std::uint64_t v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+bool ReadU64(std::ifstream& in, std::uint64_t* v) {
+  in.read(reinterpret_cast<char*>(v), sizeof(*v));
+  return static_cast<bool>(in);
+}
+
+}  // namespace
+
+Status SaveParameters(const std::string& path,
+                      const std::vector<Parameter*>& params) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    return Status::InvalidArgument("SaveParameters: cannot open " + path);
+  }
+  WriteU64(out, kMagic);
+  WriteU64(out, params.size());
+  for (const Parameter* p : params) {
+    WriteU64(out, p->name.size());
+    out.write(p->name.data(), static_cast<std::streamsize>(p->name.size()));
+    WriteU64(out, p->value.rows());
+    WriteU64(out, p->value.cols());
+    out.write(reinterpret_cast<const char*>(p->value.data()),
+              static_cast<std::streamsize>(p->value.size() * sizeof(double)));
+  }
+  out.flush();
+  if (!out) {
+    return Status::InvalidArgument("SaveParameters: write failed for " + path);
+  }
+  return Status::OK();
+}
+
+Status LoadParameters(const std::string& path,
+                      const std::vector<Parameter*>& params) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::InvalidArgument("LoadParameters: cannot open " + path);
+  }
+  std::uint64_t magic = 0;
+  std::uint64_t count = 0;
+  if (!ReadU64(in, &magic) || magic != kMagic) {
+    return Status::InvalidArgument("LoadParameters: bad magic in " + path);
+  }
+  if (!ReadU64(in, &count) || count != params.size()) {
+    return Status::InvalidArgument(
+        "LoadParameters: parameter count mismatch in " + path);
+  }
+  for (Parameter* p : params) {
+    std::uint64_t name_len = 0;
+    if (!ReadU64(in, &name_len) || name_len > 4096) {
+      return Status::InvalidArgument("LoadParameters: corrupt name length");
+    }
+    std::string name(name_len, '\0');
+    in.read(name.data(), static_cast<std::streamsize>(name_len));
+    std::uint64_t rows = 0;
+    std::uint64_t cols = 0;
+    if (!in || !ReadU64(in, &rows) || !ReadU64(in, &cols)) {
+      return Status::InvalidArgument("LoadParameters: truncated header");
+    }
+    if (name != p->name || rows != p->value.rows() ||
+        cols != p->value.cols()) {
+      return Status::InvalidArgument(
+          "LoadParameters: checkpoint entry '" + name +
+          "' does not match parameter '" + p->name + "'");
+    }
+    in.read(reinterpret_cast<char*>(p->value.data()),
+            static_cast<std::streamsize>(p->value.size() * sizeof(double)));
+    if (!in) {
+      return Status::InvalidArgument("LoadParameters: truncated values");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace nn
+}  // namespace whitenrec

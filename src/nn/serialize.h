@@ -1,0 +1,31 @@
+#ifndef WHITENREC_NN_SERIALIZE_H_
+#define WHITENREC_NN_SERIALIZE_H_
+
+#include <string>
+#include <vector>
+
+#include "core/status.h"
+#include "nn/layers.h"
+
+namespace whitenrec {
+namespace nn {
+
+// Binary checkpointing of model parameters (library extension; every model
+// exposes its parameters via CollectParameters/Parameters). The format is a
+// versioned little-endian stream: per parameter its name, shape, and raw
+// doubles. Loading validates name and shape so a checkpoint cannot be
+// silently applied to the wrong architecture.
+
+// Writes all parameter values to `path`. Overwrites existing files.
+Status SaveParameters(const std::string& path,
+                      const std::vector<Parameter*>& params);
+
+// Restores parameter values in place. Fails (leaving already-copied values
+// in place) if the file is missing/corrupt or any name/shape mismatches.
+Status LoadParameters(const std::string& path,
+                      const std::vector<Parameter*>& params);
+
+}  // namespace nn
+}  // namespace whitenrec
+
+#endif  // WHITENREC_NN_SERIALIZE_H_

@@ -1,0 +1,79 @@
+#ifndef WHITENREC_NN_TRANSFORMER_H_
+#define WHITENREC_NN_TRANSFORMER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/attention.h"
+#include "nn/layers.h"
+
+namespace whitenrec {
+namespace nn {
+
+// Position-wise feed-forward: Linear(d, hidden) -> ReLU -> Linear(hidden, d).
+class FeedForward : public Layer {
+ public:
+  FeedForward(std::size_t dim, std::size_t hidden_dim, linalg::Rng* rng,
+              std::string name = "ffn");
+
+  linalg::Matrix Forward(const linalg::Matrix& x);
+  linalg::Matrix Backward(const linalg::Matrix& dy);
+  void CollectParameters(std::vector<Parameter*>* out) override;
+
+ private:
+  Linear fc1_;
+  ReLU relu_;
+  Linear fc2_;
+};
+
+// Pre-LN Transformer block (SASRec sequence-encoder unit):
+//   h = x + Dropout(MHSA(LN(x)))
+//   y = h + Dropout(FFN(LN(h)))
+class TransformerBlock : public Layer {
+ public:
+  TransformerBlock(std::size_t dim, std::size_t num_heads,
+                   std::size_t ffn_hidden, double dropout_rate,
+                   linalg::Rng* rng, std::string name = "block",
+                   bool causal = true);
+
+  linalg::Matrix Forward(const linalg::Matrix& x, std::size_t batch,
+                         std::size_t seq_len, bool train);
+  linalg::Matrix Backward(const linalg::Matrix& dy);
+  void CollectParameters(std::vector<Parameter*>* out) override;
+
+ private:
+  LayerNorm ln1_;
+  MultiHeadSelfAttention attn_;
+  Dropout drop1_;
+  LayerNorm ln2_;
+  FeedForward ffn_;
+  Dropout drop2_;
+};
+
+// Stack of Transformer blocks with a final LayerNorm. The caller supplies
+// item + positional embeddings already summed; this class is purely the
+// sequence encoder f_theta2 from the paper.
+class TransformerEncoder : public Layer {
+ public:
+  TransformerEncoder(std::size_t dim, std::size_t num_blocks,
+                     std::size_t num_heads, std::size_t ffn_hidden,
+                     double dropout_rate, linalg::Rng* rng,
+                     std::string name = "encoder", bool causal = true);
+
+  linalg::Matrix Forward(const linalg::Matrix& x, std::size_t batch,
+                         std::size_t seq_len, bool train);
+  linalg::Matrix Backward(const linalg::Matrix& dy);
+  void CollectParameters(std::vector<Parameter*>* out) override;
+
+  std::size_t num_blocks() const { return blocks_.size(); }
+
+ private:
+  std::vector<std::unique_ptr<TransformerBlock>> blocks_;
+  LayerNorm final_ln_;
+};
+
+}  // namespace nn
+}  // namespace whitenrec
+
+#endif  // WHITENREC_NN_TRANSFORMER_H_

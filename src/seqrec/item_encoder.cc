@@ -1,0 +1,45 @@
+#include "seqrec/item_encoder.h"
+
+namespace whitenrec {
+namespace seqrec {
+
+using linalg::Matrix;
+
+IdEncoder::IdEncoder(std::size_t num_items, std::size_t dim, linalg::Rng* rng,
+                     std::string name)
+    : table_(name + ".table", rng->GaussianMatrix(num_items, dim, 0.02)),
+      name_(std::move(name)) {}
+
+Matrix IdEncoder::Forward(bool /*train*/) { return table_.value; }
+
+void IdEncoder::Backward(const Matrix& dv) { table_.grad += dv; }
+
+void IdEncoder::CollectParameters(std::vector<nn::Parameter*>* out) {
+  out->push_back(&table_);
+}
+
+SumEncoder::SumEncoder(std::unique_ptr<ItemEncoder> a,
+                       std::unique_ptr<ItemEncoder> b, std::string name)
+    : a_(std::move(a)), b_(std::move(b)), name_(std::move(name)) {
+  WR_CHECK_EQ(a_->num_items(), b_->num_items());
+  WR_CHECK_EQ(a_->output_dim(), b_->output_dim());
+}
+
+Matrix SumEncoder::Forward(bool train) {
+  Matrix v = a_->Forward(train);
+  v += b_->Forward(train);
+  return v;
+}
+
+void SumEncoder::Backward(const Matrix& dv) {
+  a_->Backward(dv);
+  b_->Backward(dv);
+}
+
+void SumEncoder::CollectParameters(std::vector<nn::Parameter*>* out) {
+  a_->CollectParameters(out);
+  b_->CollectParameters(out);
+}
+
+}  // namespace seqrec
+}  // namespace whitenrec

@@ -1,0 +1,58 @@
+#ifndef WHITENREC_SEQREC_ITEM_ENCODER_H_
+#define WHITENREC_SEQREC_ITEM_ENCODER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/item_encoder.h"
+#include "linalg/rng.h"
+#include "nn/layers.h"
+
+namespace whitenrec {
+namespace seqrec {
+
+// Trainable ID-embedding item encoder (SASRec^ID): V is the embedding table
+// itself.
+class IdEncoder : public ItemEncoder {
+ public:
+  IdEncoder(std::size_t num_items, std::size_t dim, linalg::Rng* rng,
+            std::string name = "id");
+
+  std::size_t num_items() const override { return table_.value.rows(); }
+  std::size_t output_dim() const override { return table_.value.cols(); }
+  linalg::Matrix Forward(bool train) override;
+  void Backward(const linalg::Matrix& dv) override;
+  void CollectParameters(std::vector<nn::Parameter*>* out) override;
+  std::string name() const override { return name_; }
+
+  nn::Parameter& table() { return table_; }
+
+ private:
+  nn::Parameter table_;
+  std::string name_;
+};
+
+// Element-wise sum of two encoders (the paper's T+ID combination, Sec. V-G).
+class SumEncoder : public ItemEncoder {
+ public:
+  SumEncoder(std::unique_ptr<ItemEncoder> a, std::unique_ptr<ItemEncoder> b,
+             std::string name = "sum");
+
+  std::size_t num_items() const override { return a_->num_items(); }
+  std::size_t output_dim() const override { return a_->output_dim(); }
+  linalg::Matrix Forward(bool train) override;
+  void Backward(const linalg::Matrix& dv) override;
+  void CollectParameters(std::vector<nn::Parameter*>* out) override;
+  std::string name() const override { return name_; }
+
+ private:
+  std::unique_ptr<ItemEncoder> a_;
+  std::unique_ptr<ItemEncoder> b_;
+  std::string name_;
+};
+
+}  // namespace seqrec
+}  // namespace whitenrec
+
+#endif  // WHITENREC_SEQREC_ITEM_ENCODER_H_

@@ -1,0 +1,140 @@
+#include "seqrec/model.h"
+
+#include "nn/loss.h"
+#include "nn/tensor.h"
+
+namespace whitenrec {
+namespace seqrec {
+
+using linalg::Matrix;
+
+SasRecModel::SasRecModel(std::unique_ptr<ItemEncoder> encoder,
+                         const SasRecConfig& config)
+    : encoder_(std::move(encoder)),
+      config_(config),
+      rng_(config.seed),
+      pos_emb_(config.max_len, config.hidden_dim, &rng_, "pos"),
+      input_dropout_(config.dropout, &rng_),
+      transformer_(config.hidden_dim, config.num_blocks, config.num_heads,
+                   config.ffn_hidden, config.dropout, &rng_) {
+  WR_CHECK_EQ(encoder_->output_dim(), config.hidden_dim);
+}
+
+std::vector<nn::Parameter*> SasRecModel::Parameters() {
+  std::vector<nn::Parameter*> params;
+  encoder_->CollectParameters(&params);
+  pos_emb_.CollectParameters(&params);
+  transformer_.CollectParameters(&params);
+  return params;
+}
+
+std::size_t SasRecModel::NumParameters() {
+  std::size_t n = 0;
+  for (nn::Parameter* p : Parameters()) n += p->NumElements();
+  return n;
+}
+
+Matrix SasRecModel::EncodeItems(bool train) { return encoder_->Forward(train); }
+
+Matrix SasRecModel::EmbedInputs(const data::Batch& batch, const Matrix& v,
+                                bool train) {
+  cached_input_mask_ = batch.input_mask;
+  cached_items_ = batch.items;
+
+  Matrix x = nn::GatherRows(v, batch.items);
+  // Positional embeddings: position index within the sequence.
+  std::vector<std::size_t> positions(batch.items.size());
+  for (std::size_t b = 0; b < batch.batch_size; ++b) {
+    for (std::size_t t = 0; t < batch.seq_len; ++t) {
+      positions[batch.Flat(b, t)] = t;
+    }
+  }
+  x += pos_emb_.Forward(positions);
+  // Zero padded positions so they contribute nothing downstream.
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    if (batch.input_mask[r] == 0.0) {
+      double* row = x.RowPtr(r);
+      for (std::size_t c = 0; c < x.cols(); ++c) row[c] = 0.0;
+    }
+  }
+  return input_dropout_.Forward(x, train);
+}
+
+Matrix SasRecModel::EncodeSequences(const data::Batch& batch, const Matrix& v,
+                                    bool train) {
+  const Matrix x = EmbedInputs(batch, v, train);
+  return transformer_.Forward(x, batch.batch_size, batch.seq_len, train);
+}
+
+double SasRecModel::SequenceLossAndGrad(const data::Batch& batch,
+                                        const Matrix& h, const Matrix& v,
+                                        Matrix* dh, Matrix* dv) {
+  WR_CHECK(dh != nullptr);
+  WR_CHECK(dv != nullptr);
+  // Logits over the catalog at every position: (batch*L, num_items).
+  const Matrix logits = linalg::MatMulTransB(h, v);
+  Matrix dlogits;
+  const double loss = nn::SoftmaxCrossEntropy(logits, batch.targets,
+                                              batch.target_weights, &dlogits);
+  *dh = linalg::MatMul(dlogits, v);
+  if (dv->rows() == 0) *dv = Matrix(v.rows(), v.cols());
+  *dv += linalg::MatMulTransA(dlogits, h);
+  return loss;
+}
+
+void SasRecModel::BackwardSequences(const data::Batch& /*batch*/,
+                                    const Matrix& dh, Matrix* dv) {
+  // The forward pass cached the batch's mask and item ids; the parameter is
+  // kept so call sites read naturally as the mirror of EncodeSequences.
+  Matrix dx = transformer_.Backward(dh);
+  dx = input_dropout_.Backward(dx);
+  // The padding mask was applied after embedding: zero those grads.
+  for (std::size_t r = 0; r < dx.rows(); ++r) {
+    if (cached_input_mask_[r] == 0.0) {
+      double* row = dx.RowPtr(r);
+      for (std::size_t c = 0; c < dx.cols(); ++c) row[c] = 0.0;
+    }
+  }
+  pos_emb_.Backward(dx);
+  if (dv->rows() == 0) {
+    *dv = Matrix(encoder_->num_items(), config_.hidden_dim);
+  }
+  nn::ScatterAddRows(dx, cached_items_, dv);
+}
+
+void SasRecModel::BackwardItems(const Matrix& dv) { encoder_->Backward(dv); }
+
+double SasRecModel::TrainStep(const data::Batch& batch) {
+  const Matrix v = EncodeItems(/*train=*/true);
+  const Matrix h = EncodeSequences(batch, v, /*train=*/true);
+  Matrix dh, dv;
+  const double loss = SequenceLossAndGrad(batch, h, v, &dh, &dv);
+  BackwardSequences(batch, dh, &dv);
+  BackwardItems(dv);
+  return loss;
+}
+
+Matrix GatherLastPositions(const Matrix& h, const data::Batch& batch) {
+  Matrix out(batch.batch_size, h.cols());
+  for (std::size_t b = 0; b < batch.batch_size; ++b) {
+    const std::size_t flat = batch.Flat(b, batch.last_position[b]);
+    out.SetRow(b, h.Row(flat));
+  }
+  return out;
+}
+
+Matrix SasRecModel::ScoreLastPositions(const data::Batch& batch) {
+  const Matrix v = EncodeItems(/*train=*/false);
+  const Matrix h = EncodeSequences(batch, v, /*train=*/false);
+  const Matrix s = GatherLastPositions(h, batch);
+  return linalg::MatMulTransB(s, v);
+}
+
+Matrix SasRecModel::UserRepresentations(const data::Batch& batch) {
+  const Matrix v = EncodeItems(/*train=*/false);
+  const Matrix h = EncodeSequences(batch, v, /*train=*/false);
+  return GatherLastPositions(h, batch);
+}
+
+}  // namespace seqrec
+}  // namespace whitenrec

@@ -1,0 +1,105 @@
+#ifndef WHITENREC_SEQREC_MODEL_H_
+#define WHITENREC_SEQREC_MODEL_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/item_encoder.h"
+#include "data/batcher.h"
+#include "linalg/rng.h"
+#include "nn/optimizer.h"
+#include "nn/transformer.h"
+
+namespace whitenrec {
+namespace seqrec {
+
+// Hyper-parameters of the SASRec backbone (paper Sec. V-A4: 2 self-attention
+// blocks, 2 heads, 2 projection MLP layers; our sizes are scaled down for
+// the 1-core reproduction).
+struct SasRecConfig {
+  std::size_t hidden_dim = 32;
+  std::size_t num_blocks = 2;
+  std::size_t num_heads = 2;
+  std::size_t ffn_hidden = 64;
+  double dropout = 0.2;
+  std::size_t max_len = 12;
+  std::uint64_t seed = 42;
+};
+
+// The general sequential-recommendation framework of paper Fig. 1: an item
+// encoder f_theta1 (pluggable — ID, text, whitened text, ensembles), a
+// Transformer sequence encoder f_theta2, and an inner-product prediction
+// layer trained with full-softmax cross-entropy over the catalog.
+//
+// The granular Encode*/Loss*/Backward* methods are public so that baseline
+// variants (CL4SRec, S3-Rec, FDSA) can compose additional objectives around
+// the same backbone; TrainStep() is the plain SASRec step.
+class SasRecModel {
+ public:
+  SasRecModel(std::unique_ptr<ItemEncoder> encoder, const SasRecConfig& config);
+
+  std::size_t num_items() const { return encoder_->num_items(); }
+  const SasRecConfig& config() const { return config_; }
+  ItemEncoder* encoder() { return encoder_.get(); }
+  linalg::Rng* rng() { return &rng_; }
+
+  std::vector<nn::Parameter*> Parameters();
+  std::size_t NumParameters();
+
+  // --- Granular API ------------------------------------------------------
+  // Item representations V (num_items, d).
+  linalg::Matrix EncodeItems(bool train);
+  // Hidden states H (batch*L, d) for a batch given V.
+  linalg::Matrix EncodeSequences(const data::Batch& batch,
+                                 const linalg::Matrix& v, bool train);
+  // Full-softmax CE over all positions with a target; fills dH and adds the
+  // logits' contribution into dV.
+  double SequenceLossAndGrad(const data::Batch& batch, const linalg::Matrix& h,
+                             const linalg::Matrix& v, linalg::Matrix* dh,
+                             linalg::Matrix* dv);
+  // Backprop dH through the sequence encoder and input embeddings; adds the
+  // gather contribution into dV.
+  void BackwardSequences(const data::Batch& batch, const linalg::Matrix& dh,
+                         linalg::Matrix* dv);
+  // Backprop dV into the item encoder parameters.
+  void BackwardItems(const linalg::Matrix& dv);
+
+  // --- Convenience -------------------------------------------------------
+  // One SASRec training step; returns the batch loss. Caller steps the
+  // optimizer.
+  double TrainStep(const data::Batch& batch);
+
+  // Scores (batch_size, num_items) for the last position of each sequence;
+  // eval mode, no caches disturbed for training.
+  linalg::Matrix ScoreLastPositions(const data::Batch& batch);
+
+  // Last-position user representations (batch_size, d), eval mode.
+  linalg::Matrix UserRepresentations(const data::Batch& batch);
+
+ private:
+  // Gathers item rows, adds positional embeddings, masks padding.
+  linalg::Matrix EmbedInputs(const data::Batch& batch, const linalg::Matrix& v,
+                             bool train);
+
+  std::unique_ptr<ItemEncoder> encoder_;
+  SasRecConfig config_;
+  linalg::Rng rng_;
+  nn::Embedding pos_emb_;
+  nn::Dropout input_dropout_;
+  nn::TransformerEncoder transformer_;
+
+  // Cache for BackwardSequences (the batch's input mask and item indices).
+  std::vector<double> cached_input_mask_;
+  std::vector<std::size_t> cached_items_;
+};
+
+// Extracts the per-sequence rows at the last valid position from a
+// (batch*L, d) activation.
+linalg::Matrix GatherLastPositions(const linalg::Matrix& h,
+                                   const data::Batch& batch);
+
+}  // namespace seqrec
+}  // namespace whitenrec
+
+#endif  // WHITENREC_SEQREC_MODEL_H_

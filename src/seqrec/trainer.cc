@@ -1,0 +1,321 @@
+#include "seqrec/trainer.h"
+
+#include <chrono>
+#include <cstdio>
+
+#include "eval/alignment_uniformity.h"
+#include "eval/conditioning.h"
+#include "eval/metrics.h"
+
+namespace whitenrec {
+namespace seqrec {
+
+using linalg::Matrix;
+
+namespace {
+
+double Now() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// Internal full-ranking pass shared by EvaluateRanking / ValidationNdcg20.
+eval::MetricAccumulator RankInstances(
+    Recommender* recommender, const std::vector<data::EvalInstance>& instances,
+    const std::vector<std::vector<std::size_t>>& train_sequences,
+    std::size_t max_len, std::size_t batch_size,
+    std::vector<std::size_t> ks) {
+  eval::MetricAccumulator acc(std::move(ks));
+  const std::size_t num_items = recommender->num_items();
+  const std::vector<data::Batch> batches =
+      data::MakeEvalBatches(instances, max_len, batch_size);
+  std::size_t inst_idx = 0;
+  std::vector<char> excluded(num_items, 0);
+  for (const data::Batch& batch : batches) {
+    const Matrix scores = recommender->ScoreLastPositions(batch);
+    for (std::size_t b = 0; b < batch.batch_size; ++b) {
+      const data::EvalInstance& inst = instances[inst_idx++];
+      std::fill(excluded.begin(), excluded.end(), 0);
+      if (inst.user < train_sequences.size()) {
+        for (std::size_t item : train_sequences[inst.user]) {
+          excluded[item] = 1;
+        }
+      }
+      const std::size_t rank = eval::RankOfTarget(
+          std::vector<double>(scores.RowPtr(b), scores.RowPtr(b) + num_items),
+          inst.target, excluded);
+      acc.AddRank(rank);
+    }
+  }
+  return acc;
+}
+
+// Snapshot / restore of parameter values for best-epoch restoration.
+std::vector<Matrix> SnapshotParams(const std::vector<nn::Parameter*>& params) {
+  std::vector<Matrix> out;
+  out.reserve(params.size());
+  for (const nn::Parameter* p : params) out.push_back(p->value);
+  return out;
+}
+
+void RestoreParams(const std::vector<Matrix>& snapshot,
+                   const std::vector<nn::Parameter*>& params) {
+  WR_CHECK_EQ(snapshot.size(), params.size());
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    params[i]->value = snapshot[i];
+  }
+}
+
+}  // namespace
+
+TrainResult TrainSasRec(SasRecModel* model, nn::Adam* optimizer,
+                        const data::Split& split, const TrainConfig& config,
+                        StepFn step) {
+  TrainResult result;
+  result.num_parameters = optimizer->NumParameters();
+  linalg::Rng shuffle_rng(config.seed);
+  linalg::Rng analysis_rng(config.seed + 17);
+
+  // A lightweight wrapper so early stopping can reuse ValidationNdcg20.
+  class ModelView : public Recommender {
+   public:
+    explicit ModelView(SasRecModel* m) : m_(m) {}
+    std::string name() const override { return "view"; }
+    std::size_t num_items() const override { return m_->num_items(); }
+    Matrix ScoreLastPositions(const data::Batch& batch) override {
+      return m_->ScoreLastPositions(batch);
+    }
+
+   private:
+    SasRecModel* m_;
+  } view(model);
+
+  std::vector<nn::Parameter*> params = model->Parameters();
+  std::vector<Matrix> best_snapshot;
+  double best_ndcg = -1.0;
+  std::size_t best_epoch = 0;
+  std::size_t stall = 0;
+  double total_seconds = 0.0;
+
+  for (std::size_t epoch = 0; epoch < config.epochs; ++epoch) {
+    const double t0 = Now();
+    const std::vector<data::Batch> batches = data::MakeTrainBatches(
+        split.train, model->config().max_len, config.batch_size, &shuffle_rng);
+    double loss_sum = 0.0;
+    std::size_t loss_count = 0;
+    for (const data::Batch& batch : batches) {
+      const double loss =
+          step ? step(model, batch) : model->TrainStep(batch);
+      optimizer->Step();
+      loss_sum += loss;
+      ++loss_count;
+    }
+    const double epoch_seconds = Now() - t0;
+    total_seconds += epoch_seconds;
+
+    EpochLog log;
+    log.epoch = epoch;
+    log.train_loss = loss_count == 0 ? 0.0 : loss_sum / loss_count;
+    log.seconds = epoch_seconds;
+    log.valid_ndcg20 =
+        split.valid.empty()
+            ? 0.0
+            : ValidationNdcg20(&view, split.valid, split.train,
+                               model->config().max_len);
+
+    if (config.record_analysis && !split.valid.empty()) {
+      const Matrix v = model->EncodeItems(/*train=*/false);
+      log.condition_number = eval::ItemEmbeddingConditionNumber(v);
+      // User representations + positives over the validation instances.
+      const std::vector<data::Batch> vb = data::MakeEvalBatches(
+          split.valid, model->config().max_len, /*batch_size=*/512);
+      std::vector<std::vector<double>> rep_rows;
+      std::vector<std::size_t> positives;
+      std::size_t idx = 0;
+      for (const data::Batch& batch : vb) {
+        const Matrix reps = model->UserRepresentations(batch);
+        for (std::size_t b = 0; b < batch.batch_size; ++b) {
+          rep_rows.push_back(reps.Row(b));
+          positives.push_back(split.valid[idx++].target);
+        }
+      }
+      Matrix user_reps(rep_rows.size(), model->config().hidden_dim);
+      for (std::size_t r = 0; r < rep_rows.size(); ++r) {
+        user_reps.SetRow(r, rep_rows[r]);
+      }
+      const eval::AlignmentUniformity au = eval::MeasureAlignmentUniformity(
+          user_reps, v, positives, &analysis_rng);
+      log.l_align = au.l_align;
+      log.l_uniform_user = au.l_uniform_user;
+      log.l_uniform_item = au.l_uniform_item;
+    }
+
+    result.epochs.push_back(log);
+    if (config.verbose) {
+      std::printf("  epoch %2zu loss %.4f valid N@20 %.4f (%.2fs)\n", epoch,
+                  log.train_loss, log.valid_ndcg20, epoch_seconds);
+    }
+
+    // Early stopping on validation N@20.
+    if (log.valid_ndcg20 > best_ndcg) {
+      best_ndcg = log.valid_ndcg20;
+      best_epoch = epoch;
+      stall = 0;
+      if (config.restore_best) best_snapshot = SnapshotParams(params);
+    } else {
+      ++stall;
+      if (!split.valid.empty() && stall >= config.patience) break;
+    }
+  }
+
+  if (config.restore_best && !best_snapshot.empty()) {
+    RestoreParams(best_snapshot, params);
+  }
+  result.best_epoch = best_epoch;
+  result.best_valid_ndcg20 = best_ndcg < 0.0 ? 0.0 : best_ndcg;
+  result.avg_epoch_seconds =
+      result.epochs.empty() ? 0.0
+                            : total_seconds / static_cast<double>(
+                                                  result.epochs.size());
+  return result;
+}
+
+SasRecRecommender::SasRecRecommender(std::string name,
+                                     std::unique_ptr<ItemEncoder> encoder,
+                                     const SasRecConfig& model_config)
+    : name_(std::move(name)),
+      model_(std::make_unique<SasRecModel>(std::move(encoder), model_config)) {}
+
+void SasRecRecommender::AddExtraParameters(
+    const std::vector<nn::Parameter*>& params) {
+  extra_params_.insert(extra_params_.end(), params.begin(), params.end());
+}
+
+const TrainResult& SasRecRecommender::Fit(const data::Split& split,
+                                          const TrainConfig& config) {
+  std::vector<nn::Parameter*> params = model_->Parameters();
+  params.insert(params.end(), extra_params_.begin(), extra_params_.end());
+  nn::Adam::Options opts;
+  opts.learning_rate = config.learning_rate;
+  opts.weight_decay = config.weight_decay;
+  nn::Adam optimizer(params, opts);
+  result_ = TrainSasRec(model_.get(), &optimizer, split, config, step_);
+  return result_;
+}
+
+std::size_t SasRecRecommender::NumParameters() const {
+  std::size_t n = model_->NumParameters();
+  for (const nn::Parameter* p : extra_params_) n += p->NumElements();
+  return n;
+}
+
+EvalResult EvaluateRanking(
+    Recommender* recommender, const std::vector<data::EvalInstance>& instances,
+    const std::vector<std::vector<std::size_t>>& train_sequences,
+    std::size_t max_len, std::size_t batch_size) {
+  eval::MetricAccumulator acc =
+      RankInstances(recommender, instances, train_sequences, max_len,
+                    batch_size, {20, 50});
+  EvalResult r;
+  r.recall20 = acc.RecallAt(20);
+  r.ndcg20 = acc.NdcgAt(20);
+  r.recall50 = acc.RecallAt(50);
+  r.ndcg50 = acc.NdcgAt(50);
+  r.count = acc.count();
+  return r;
+}
+
+double ValidationNdcg20(
+    Recommender* recommender, const std::vector<data::EvalInstance>& instances,
+    const std::vector<std::vector<std::size_t>>& train_sequences,
+    std::size_t max_len, std::size_t batch_size) {
+  eval::MetricAccumulator acc = RankInstances(
+      recommender, instances, train_sequences, max_len, batch_size, {20});
+  return acc.NdcgAt(20);
+}
+
+namespace {
+
+EvalResult ResultFromAccumulator(const eval::MetricAccumulator& acc) {
+  EvalResult r;
+  r.recall20 = acc.RecallAt(20);
+  r.ndcg20 = acc.NdcgAt(20);
+  r.recall50 = acc.RecallAt(50);
+  r.ndcg50 = acc.NdcgAt(50);
+  r.count = acc.count();
+  return r;
+}
+
+}  // namespace
+
+EvalResult EvaluateRankingSampled(
+    Recommender* recommender, const std::vector<data::EvalInstance>& instances,
+    const std::vector<std::vector<std::size_t>>& train_sequences,
+    std::size_t max_len, std::size_t num_negatives, std::uint64_t seed,
+    std::size_t batch_size) {
+  eval::MetricAccumulator acc({20, 50});
+  linalg::Rng rng(seed);
+  const std::size_t num_items = recommender->num_items();
+  const std::vector<data::Batch> batches =
+      data::MakeEvalBatches(instances, max_len, batch_size);
+  std::size_t inst_idx = 0;
+  std::vector<char> excluded(num_items, 0);
+  for (const data::Batch& batch : batches) {
+    const Matrix scores = recommender->ScoreLastPositions(batch);
+    for (std::size_t b = 0; b < batch.batch_size; ++b) {
+      const data::EvalInstance& inst = instances[inst_idx++];
+      std::fill(excluded.begin(), excluded.end(), 0);
+      if (inst.user < train_sequences.size()) {
+        for (std::size_t item : train_sequences[inst.user]) excluded[item] = 1;
+      }
+      acc.AddRank(eval::SampledRankOfTarget(
+          std::vector<double>(scores.RowPtr(b), scores.RowPtr(b) + num_items),
+          inst.target, excluded, num_negatives, &rng));
+    }
+  }
+  return ResultFromAccumulator(acc);
+}
+
+StratifiedEvalResult EvaluateRankingByPopularity(
+    Recommender* recommender, const std::vector<data::EvalInstance>& instances,
+    const std::vector<std::vector<std::size_t>>& train_sequences,
+    std::size_t max_len, double head_fraction, std::size_t batch_size) {
+  WR_CHECK_GT(head_fraction, 0.0);
+  WR_CHECK_LT(head_fraction, 1.0);
+  const std::size_t num_items = recommender->num_items();
+  // Popularity = training interaction count per item.
+  std::vector<std::size_t> pop(num_items, 0);
+  for (const auto& seq : train_sequences) {
+    for (std::size_t item : seq) ++pop[item];
+  }
+  std::vector<std::size_t> order(num_items);
+  for (std::size_t i = 0; i < num_items; ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&pop](std::size_t a, std::size_t b) {
+    return pop[a] > pop[b];
+  });
+  std::vector<char> is_head(num_items, 0);
+  const std::size_t head_count = std::max<std::size_t>(
+      1, static_cast<std::size_t>(head_fraction *
+                                  static_cast<double>(num_items)));
+  for (std::size_t i = 0; i < head_count; ++i) is_head[order[i]] = 1;
+
+  std::vector<data::EvalInstance> head_instances;
+  std::vector<data::EvalInstance> tail_instances;
+  for (const data::EvalInstance& inst : instances) {
+    (is_head[inst.target] ? head_instances : tail_instances).push_back(inst);
+  }
+  StratifiedEvalResult out;
+  if (!head_instances.empty()) {
+    out.head = EvaluateRanking(recommender, head_instances, train_sequences,
+                               max_len, batch_size);
+  }
+  if (!tail_instances.empty()) {
+    out.tail = EvaluateRanking(recommender, tail_instances, train_sequences,
+                               max_len, batch_size);
+  }
+  return out;
+}
+
+}  // namespace seqrec
+}  // namespace whitenrec

@@ -1,0 +1,154 @@
+#ifndef WHITENREC_SEQREC_TRAINER_H_
+#define WHITENREC_SEQREC_TRAINER_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "data/split.h"
+#include "nn/optimizer.h"
+#include "seqrec/model.h"
+
+namespace whitenrec {
+namespace seqrec {
+
+// Training schedule (paper Sec. V-A4: Adam, early stopping when validation
+// N@20 stalls for `patience` epochs, weight decay in {0, 1e-4, 1e-6}).
+struct TrainConfig {
+  std::size_t epochs = 20;
+  std::size_t batch_size = 128;
+  double learning_rate = 1e-3;
+  double weight_decay = 0.0;
+  std::size_t patience = 3;
+  bool restore_best = true;
+  // When set, per-epoch conditioning and alignment/uniformity measurements
+  // are recorded (paper Figs. 6-7); costs one extra eval pass per epoch.
+  bool record_analysis = false;
+  std::uint64_t seed = 7;
+  bool verbose = false;
+};
+
+struct EpochLog {
+  std::size_t epoch = 0;
+  double train_loss = 0.0;
+  double valid_ndcg20 = 0.0;
+  double seconds = 0.0;
+  // Analysis fields (populated when record_analysis is on).
+  double condition_number = 0.0;
+  double l_align = 0.0;
+  double l_uniform_user = 0.0;
+  double l_uniform_item = 0.0;
+};
+
+struct TrainResult {
+  std::vector<EpochLog> epochs;
+  std::size_t best_epoch = 0;
+  double best_valid_ndcg20 = 0.0;
+  double avg_epoch_seconds = 0.0;
+  std::size_t num_parameters = 0;
+};
+
+// Ranking evaluation result at K = 20 and 50 (paper's reported cut-offs).
+struct EvalResult {
+  double recall20 = 0.0;
+  double ndcg20 = 0.0;
+  double recall50 = 0.0;
+  double ndcg50 = 0.0;
+  std::size_t count = 0;
+};
+
+// A custom per-batch step for baselines that add auxiliary objectives
+// (CL4SRec, S3-Rec). Returns the batch loss; gradients must be accumulated
+// into the parameters the optimizer owns.
+using StepFn = std::function<double(SasRecModel*, const data::Batch&)>;
+
+// Trains `model` with `optimizer` on split.train, early-stopping on
+// validation N@20. If `step` is empty, the plain SASRec step is used.
+TrainResult TrainSasRec(SasRecModel* model, nn::Adam* optimizer,
+                        const data::Split& split, const TrainConfig& config,
+                        StepFn step = {});
+
+// Generic recommender interface used by benches: anything that can score
+// the full catalog for a batch of contexts.
+class Recommender {
+ public:
+  virtual ~Recommender() = default;
+  virtual std::string name() const = 0;
+  virtual std::size_t num_items() const = 0;
+  // Scores (batch_size, num_items) for each sequence's last position.
+  virtual linalg::Matrix ScoreLastPositions(const data::Batch& batch) = 0;
+};
+
+// SASRec-backbone recommender: owns the model + optimizer, trains via
+// TrainSasRec. Extra trainable parameters from auxiliary tasks can be added
+// before Fit().
+class SasRecRecommender : public Recommender {
+ public:
+  SasRecRecommender(std::string name, std::unique_ptr<ItemEncoder> encoder,
+                    const SasRecConfig& model_config);
+
+  std::string name() const override { return name_; }
+  std::size_t num_items() const override { return model_->num_items(); }
+  linalg::Matrix ScoreLastPositions(const data::Batch& batch) override {
+    return model_->ScoreLastPositions(batch);
+  }
+
+  SasRecModel* model() { return model_.get(); }
+  void AddExtraParameters(const std::vector<nn::Parameter*>& params);
+  void SetStep(StepFn step) { step_ = std::move(step); }
+
+  const TrainResult& Fit(const data::Split& split, const TrainConfig& config);
+  const TrainResult& train_result() const { return result_; }
+  std::size_t NumParameters() const;
+
+ private:
+  std::string name_;
+  std::unique_ptr<SasRecModel> model_;
+  std::vector<nn::Parameter*> extra_params_;
+  StepFn step_;
+  TrainResult result_;
+};
+
+// Full-ranking evaluation over `instances`; items in the user's training
+// sequence (train_sequences[user]) are excluded from the candidate pool.
+EvalResult EvaluateRanking(
+    Recommender* recommender, const std::vector<data::EvalInstance>& instances,
+    const std::vector<std::vector<std::size_t>>& train_sequences,
+    std::size_t max_len, std::size_t batch_size = 256);
+
+// Validation N@20 only (used for early stopping).
+double ValidationNdcg20(
+    Recommender* recommender, const std::vector<data::EvalInstance>& instances,
+    const std::vector<std::vector<std::size_t>>& train_sequences,
+    std::size_t max_len, std::size_t batch_size = 256);
+
+// Sampled-metrics evaluation (Krichene & Rendle): each target is ranked
+// against `num_negatives` uniformly sampled candidates instead of the whole
+// catalog. Provided to demonstrate the protocol inconsistency the paper
+// avoids (bench_ext_sampled_metrics); the headline tables always use
+// EvaluateRanking.
+EvalResult EvaluateRankingSampled(
+    Recommender* recommender, const std::vector<data::EvalInstance>& instances,
+    const std::vector<std::vector<std::size_t>>& train_sequences,
+    std::size_t max_len, std::size_t num_negatives = 100,
+    std::uint64_t seed = 5, std::size_t batch_size = 256);
+
+// Popularity-stratified full-ranking evaluation: instances whose target is
+// among the most-interacted `head_fraction` of items form the head stratum,
+// the rest the tail. Quantifies where a model's wins come from (text-based
+// models typically win the tail).
+struct StratifiedEvalResult {
+  EvalResult head;
+  EvalResult tail;
+};
+StratifiedEvalResult EvaluateRankingByPopularity(
+    Recommender* recommender, const std::vector<data::EvalInstance>& instances,
+    const std::vector<std::vector<std::size_t>>& train_sequences,
+    std::size_t max_len, double head_fraction = 0.2,
+    std::size_t batch_size = 256);
+
+}  // namespace seqrec
+}  // namespace whitenrec
+
+#endif  // WHITENREC_SEQREC_TRAINER_H_

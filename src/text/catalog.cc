@@ -1,0 +1,111 @@
+#include "text/catalog.h"
+
+#include <cmath>
+#include <string>
+
+namespace whitenrec {
+namespace text {
+
+using linalg::Matrix;
+
+namespace {
+
+// Deterministic pseudo-word for topic vocab entry t: "w<t>". Readability of
+// the strings does not matter; their latent vectors do.
+std::string TopicWord(std::size_t t) { return "w" + std::to_string(t); }
+
+}  // namespace
+
+Catalog GenerateCatalog(const CatalogConfig& config, linalg::Rng* rng) {
+  WR_CHECK_GT(config.num_items, 0u);
+  WR_CHECK_GT(config.num_categories, 0u);
+  WR_CHECK_GT(config.num_brands, 0u);
+  WR_CHECK_GT(config.topic_vocab_size, 0u);
+
+  Catalog catalog;
+  catalog.config = config;
+  const std::size_t k = config.latent_dim;
+
+  // Category centers and brand offsets in latent space.
+  catalog.category_centers = rng->GaussianMatrix(config.num_categories, k, 1.0);
+  Matrix brand_offsets = rng->GaussianMatrix(config.num_brands, k,
+                                             config.brand_strength);
+
+  // Topic vocabulary: each word carries a latent direction; words whose
+  // direction aligns with an item's latent are likely in its title.
+  Matrix word_latents = rng->GaussianMatrix(config.topic_vocab_size, k, 1.0);
+  // Token latents are collected as tokens enter the vocabulary (topic words
+  // first, category/brand tokens as items introduce them).
+  std::vector<std::vector<double>> token_latents;
+  for (std::size_t t = 0; t < config.topic_vocab_size; ++t) {
+    const TokenId id = catalog.vocab.GetOrAdd(TopicWord(t));
+    WR_CHECK_EQ(id, token_latents.size());
+    token_latents.push_back(word_latents.Row(t));
+  }
+
+  catalog.latents = Matrix(config.num_items, k);
+  catalog.items.resize(config.num_items);
+
+  for (std::size_t i = 0; i < config.num_items; ++i) {
+    ItemMeta& item = catalog.items[i];
+    item.category = rng->UniformInt(config.num_categories);
+    item.brand = rng->UniformInt(config.num_brands);
+
+    // Item latent = category center + brand offset + idiosyncratic noise.
+    std::vector<double> z(k);
+    for (std::size_t c = 0; c < k; ++c) {
+      z[c] = catalog.category_centers(item.category, c) +
+             brand_offsets(item.brand, c) +
+             rng->Gaussian(0.0, config.category_spread);
+      catalog.latents(i, c) = z[c];
+    }
+
+    // Title: words sampled with probability ~ exp(<word_latent, z>).
+    std::vector<double> logits(config.topic_vocab_size);
+    for (std::size_t t = 0; t < config.topic_vocab_size; ++t) {
+      double dot = 0.0;
+      for (std::size_t c = 0; c < k; ++c) dot += word_latents(t, c) * z[c];
+      logits[t] = dot;
+    }
+    // Title length ~ 1 + Poisson-ish around the configured mean.
+    std::size_t len = 1;
+    if (config.title_len > 1) {
+      const double u = rng->Gaussian(static_cast<double>(config.title_len),
+                                     0.3 * static_cast<double>(config.title_len));
+      len = static_cast<std::size_t>(std::max(1.0, std::round(u)));
+    }
+    std::string title;
+    for (std::size_t w = 0; w < len; ++w) {
+      const std::size_t t = rng->SampleLogits(logits);
+      if (!title.empty()) title += ' ';
+      title += TopicWord(t);
+    }
+    item.title = title;
+
+    // Concatenated description: title + category token + brand token,
+    // mirroring the paper's "titles, categories and brands" concatenation.
+    const std::string cat_tok = "cat" + std::to_string(item.category);
+    const std::string brand_tok = "brand" + std::to_string(item.brand);
+    if (catalog.vocab.Find(cat_tok) == Vocab::kNotFound) {
+      const TokenId id = catalog.vocab.GetOrAdd(cat_tok);
+      WR_CHECK_EQ(id, token_latents.size());
+      token_latents.push_back(catalog.category_centers.Row(item.category));
+    }
+    if (catalog.vocab.Find(brand_tok) == Vocab::kNotFound) {
+      const TokenId id = catalog.vocab.GetOrAdd(brand_tok);
+      WR_CHECK_EQ(id, token_latents.size());
+      token_latents.push_back(brand_offsets.Row(item.brand));
+    }
+    item.tokens = catalog.vocab.Tokenize(title + " " + cat_tok + " " + brand_tok,
+                                         /*add_new=*/false);
+  }
+
+  catalog.token_latents = Matrix(token_latents.size(), k);
+  for (std::size_t t = 0; t < token_latents.size(); ++t) {
+    catalog.token_latents.SetRow(t, token_latents[t]);
+  }
+  return catalog;
+}
+
+}  // namespace text
+}  // namespace whitenrec

@@ -1,0 +1,64 @@
+#ifndef WHITENREC_TEXT_CATALOG_H_
+#define WHITENREC_TEXT_CATALOG_H_
+
+#include <string>
+#include <vector>
+
+#include "linalg/matrix.h"
+#include "linalg/rng.h"
+#include "text/vocab.h"
+
+namespace whitenrec {
+namespace text {
+
+// Metadata of one catalog item. Mirrors the Amazon fields the paper uses:
+// title, category, brand; the "text description" fed to the language model
+// is their concatenation.
+struct ItemMeta {
+  std::string title;
+  std::size_t category;
+  std::size_t brand;
+  // Tokenized concatenated description (title + category + brand tokens).
+  std::vector<TokenId> tokens;
+};
+
+// Parameters of the synthetic catalog. Items live in a latent semantic space
+// of dimension `latent_dim`: categories are Gaussian centers, brands add an
+// offset, items scatter around their category/brand composite. Title words
+// are drawn from a topical vocabulary so that items with similar latents get
+// overlapping vocabularies — this is what gives SimPLM embeddings genuine
+// semantic structure.
+struct CatalogConfig {
+  std::size_t num_items = 300;
+  std::size_t num_categories = 12;
+  std::size_t num_brands = 30;
+  std::size_t latent_dim = 8;
+  std::size_t topic_vocab_size = 400;
+  std::size_t title_len = 6;       // mean words per title
+  double category_spread = 0.45;   // item scatter around its category center
+  double brand_strength = 0.35;
+};
+
+// A generated catalog: per-item metadata, the shared vocabulary, and the
+// ground-truth latent matrix (num_items x latent_dim) that also drives the
+// interaction generator.
+struct Catalog {
+  CatalogConfig config;
+  Vocab vocab;
+  std::vector<ItemMeta> items;
+  linalg::Matrix latents;            // (num_items, latent_dim)
+  linalg::Matrix category_centers;   // (num_categories, latent_dim)
+  // Latent direction of every vocabulary token (vocab.size() x latent_dim):
+  // topic words carry their topical direction, category/brand tokens carry
+  // the category center / brand offset. SimPLM builds its token embeddings
+  // from these.
+  linalg::Matrix token_latents;
+};
+
+// Generates a catalog deterministically from `rng`.
+Catalog GenerateCatalog(const CatalogConfig& config, linalg::Rng* rng);
+
+}  // namespace text
+}  // namespace whitenrec
+
+#endif  // WHITENREC_TEXT_CATALOG_H_

@@ -1,0 +1,198 @@
+#include "text/sim_plm.h"
+
+#include <cmath>
+
+#include "linalg/eigen.h"
+#include "linalg/stats.h"
+
+namespace whitenrec {
+namespace text {
+
+using linalg::Matrix;
+
+namespace {
+
+// Random orthogonal matrix: eigenvectors of a random symmetric matrix.
+Matrix RandomOrthogonal(std::size_t n, linalg::Rng* rng) {
+  Matrix a = rng->GaussianMatrix(n, n, 1.0);
+  Matrix sym = linalg::Add(a, linalg::Transpose(a));
+  sym *= 0.5;
+  auto eig = linalg::SymmetricEigen(sym);
+  WR_CHECK_MSG(eig.ok(), "RandomOrthogonal: eigen failed");
+  return eig.value().vectors;
+}
+
+std::uint64_t Mix64(std::uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+// Deterministic standard-normal deviate from a document's tokens and a
+// direction index. Hash-based so that re-encoding the same text (e.g. a
+// cold item) reproduces the same corpus-noise coefficients.
+double HashGaussian(const std::vector<TokenId>& tokens, std::size_t k) {
+  std::uint64_t h = 0x9e3779b97f4a7c15ULL ^ (k * 0xd1342543de82ef95ULL);
+  for (const TokenId t : tokens) {
+    h = Mix64(h ^ (static_cast<std::uint64_t>(t) + 0x2545f4914f6cdd1dULL));
+  }
+  const std::uint64_t h2 = Mix64(h ^ 0x94d049bb133111ebULL);
+  double u1 = static_cast<double>(h >> 11) * 0x1.0p-53;
+  const double u2 = static_cast<double>(h2 >> 11) * 0x1.0p-53;
+  if (u1 < 1e-300) u1 = 1e-300;
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * M_PI * u2);
+}
+
+}  // namespace
+
+SimPlm::SimPlm(const Catalog& catalog, const SimPlmConfig& config,
+               linalg::Rng* rng)
+    : config_(config) {
+  const std::size_t d = config.embed_dim;
+  const std::size_t k = catalog.config.latent_dim;
+  WR_CHECK_GE(d, k);
+  WR_CHECK_EQ(catalog.token_latents.rows(), catalog.vocab.size());
+
+  // Token embeddings: random expansion of the token latents + noise.
+  const Matrix expansion = rng->GaussianMatrix(
+      k, d, 1.0 / std::sqrt(static_cast<double>(k)));
+  token_emb_ = linalg::MatMul(catalog.token_latents, expansion);
+  for (std::size_t i = 0; i < token_emb_.size(); ++i) {
+    token_emb_.data()[i] += rng->Gaussian(0.0, config.token_noise);
+  }
+
+  // Degeneration operator B = Q1 diag(s_j) Q2^T with s_j = (j+1)^-decay,
+  // emulating the rapidly decaying spectrum of pre-trained encoders.
+  const Matrix q1 = RandomOrthogonal(d, rng);
+  const Matrix q2 = RandomOrthogonal(d, rng);
+  Matrix scaled_q2t(d, d);
+  for (std::size_t i = 0; i < d; ++i) {
+    const double s =
+        std::pow(static_cast<double>(i + 1), -config.spectrum_decay);
+    for (std::size_t j = 0; j < d; ++j) scaled_q2t(i, j) = s * q2(j, i);
+  }
+  degen_ = linalg::MatMul(q1, scaled_q2t);
+
+  // Common direction g (unit norm).
+  common_dir_.resize(d);
+  double norm = 0.0;
+  for (std::size_t i = 0; i < d; ++i) {
+    common_dir_[i] = rng->Gaussian();
+    norm += common_dir_[i] * common_dir_[i];
+  }
+  norm = std::sqrt(norm);
+  for (double& v : common_dir_) v /= norm;
+
+  // Corpus-noise directions: unit vectors carrying high-variance,
+  // semantically meaningless variation.
+  corpus_dirs_ = Matrix(config.corpus_noise_rank, d);
+  for (std::size_t r = 0; r < config.corpus_noise_rank; ++r) {
+    std::vector<double> dir(d);
+    double dn = 0.0;
+    for (std::size_t c = 0; c < d; ++c) {
+      dir[c] = rng->Gaussian();
+      dn += dir[c] * dir[c];
+    }
+    dn = std::sqrt(dn);
+    for (std::size_t c = 0; c < d; ++c) corpus_dirs_(r, c) = dir[c] / dn;
+  }
+
+  // Scale the corpus noise relative to the semantic signal RMS norm.
+  std::vector<std::vector<TokenId>> docs;
+  docs.reserve(catalog.items.size());
+  for (const ItemMeta& item : catalog.items) docs.push_back(item.tokens);
+  const Matrix raw = EncodeRaw(docs);
+  double signal_norm = 0.0;
+  for (std::size_t r = 0; r < raw.rows(); ++r) {
+    signal_norm += linalg::Norm(raw.Row(r));
+  }
+  signal_norm /= static_cast<double>(raw.rows());
+  corpus_sigma_ = config.corpus_noise_scale * signal_norm /
+                  std::sqrt(std::max<double>(1.0, config.corpus_noise_rank));
+
+  // Calibrate bias_scale by bisection so the mean pairwise cosine of the
+  // item embeddings (signal + corpus noise + bias) hits the target. Cosine
+  // is monotonically increasing in the bias magnitude, so bisection
+  // converges.
+  const Matrix unbiased = AddCorpusNoise(raw, docs);
+  linalg::Rng measure_rng(12345);
+  double item_norm = 0.0;
+  for (std::size_t r = 0; r < unbiased.rows(); ++r) {
+    item_norm += linalg::Norm(unbiased.Row(r));
+  }
+  item_norm /= static_cast<double>(unbiased.rows());
+  double lo = 0.0;
+  double hi = 50.0 * std::max(item_norm, 1e-6);
+
+  for (std::size_t it = 0; it < config.calibration_iters; ++it) {
+    bias_scale_ = 0.5 * (lo + hi);
+    Matrix x = unbiased;
+    for (std::size_t r = 0; r < x.rows(); ++r) {
+      double* row = x.RowPtr(r);
+      for (std::size_t c = 0; c < x.cols(); ++c) {
+        row[c] += bias_scale_ * common_dir_[c];
+      }
+    }
+    const double cosine =
+        linalg::MeanPairwiseCosine(x, &measure_rng, /*max_pairs=*/20000);
+    if (cosine < config.target_mean_cosine) {
+      lo = bias_scale_;
+    } else {
+      hi = bias_scale_;
+    }
+  }
+  bias_scale_ = 0.5 * (lo + hi);
+}
+
+Matrix SimPlm::EncodeRaw(const std::vector<std::vector<TokenId>>& docs) const {
+  const std::size_t d = config_.embed_dim;
+  Matrix mean_emb(docs.size(), d);
+  for (std::size_t i = 0; i < docs.size(); ++i) {
+    double* row = mean_emb.RowPtr(i);
+    if (docs[i].empty()) continue;
+    for (const TokenId t : docs[i]) {
+      WR_CHECK_LT(t, token_emb_.rows());
+      const double* emb = token_emb_.RowPtr(t);
+      for (std::size_t c = 0; c < d; ++c) row[c] += emb[c];
+    }
+    const double inv = 1.0 / static_cast<double>(docs[i].size());
+    for (std::size_t c = 0; c < d; ++c) row[c] *= inv;
+  }
+  // Spectral filter: X = M B^T.
+  return linalg::MatMulTransB(mean_emb, degen_);
+}
+
+Matrix SimPlm::AddCorpusNoise(
+    const Matrix& x, const std::vector<std::vector<TokenId>>& docs) const {
+  Matrix out = x;
+  for (std::size_t i = 0; i < docs.size(); ++i) {
+    double* row = out.RowPtr(i);
+    for (std::size_t r = 0; r < corpus_dirs_.rows(); ++r) {
+      const double coef = corpus_sigma_ * HashGaussian(docs[i], r);
+      const double* dir = corpus_dirs_.RowPtr(r);
+      for (std::size_t c = 0; c < out.cols(); ++c) row[c] += coef * dir[c];
+    }
+  }
+  return out;
+}
+
+Matrix SimPlm::Encode(const std::vector<std::vector<TokenId>>& docs) const {
+  Matrix x = AddCorpusNoise(EncodeRaw(docs), docs);
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    double* row = x.RowPtr(r);
+    for (std::size_t c = 0; c < x.cols(); ++c) {
+      row[c] += bias_scale_ * common_dir_[c];
+    }
+  }
+  return x;
+}
+
+Matrix SimPlm::EncodeItems(const Catalog& catalog) const {
+  std::vector<std::vector<TokenId>> docs;
+  docs.reserve(catalog.items.size());
+  for (const ItemMeta& item : catalog.items) docs.push_back(item.tokens);
+  return Encode(docs);
+}
+
+}  // namespace text
+}  // namespace whitenrec

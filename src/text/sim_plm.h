@@ -1,0 +1,83 @@
+#ifndef WHITENREC_TEXT_SIM_PLM_H_
+#define WHITENREC_TEXT_SIM_PLM_H_
+
+#include <vector>
+
+#include "linalg/matrix.h"
+#include "linalg/rng.h"
+#include "text/catalog.h"
+
+namespace whitenrec {
+namespace text {
+
+// SimPLM — a simulated pre-trained language model standing in for BERT
+// (see DESIGN.md, substitutions).
+//
+// Real BERT [CLS] embeddings of item descriptions have two properties the
+// paper's experiments hinge on:
+//  1. *Semantic structure*: items with related text are close.
+//  2. *Anisotropy* (representation degeneration): a dominant common
+//     direction and a fast-decaying singular-value spectrum, producing an
+//     average pairwise cosine similarity of ~0.85 (paper Sec. III-B).
+//
+// SimPLM reproduces both by construction:
+//  - Every token carries a latent topical direction (from the Catalog).
+//    Token embeddings lift these latents into d_t dimensions through a
+//    random expansion plus token-specific noise; a sentence embedding is the
+//    mean over its token embeddings — so related texts land close together.
+//  - A fixed "degeneration operator" then emulates the anisotropy of a
+//    pre-trained encoder: a spectral filter with power-law decaying singular
+//    values plus a large common bias direction. The bias magnitude is
+//    auto-calibrated by bisection so the measured mean pairwise cosine of
+//    the item embeddings hits `target_mean_cosine`.
+struct SimPlmConfig {
+  std::size_t embed_dim = 64;       // d_t
+  double token_noise = 0.25;        // token-specific embedding noise
+  double spectrum_decay = 1.3;      // power-law exponent of the filter
+  double target_mean_cosine = 0.85; // calibration target (paper: ~0.85)
+  std::size_t calibration_iters = 40;
+  // High-variance correlated "corpus" directions: low-rank, semantically
+  // meaningless variation (style/syntax in real PLMs) whose variance
+  // dominates the semantic signal. Per-dimension standardization cannot
+  // remove it (it is spread across dimensions by random rotations); only
+  // full decorrelation demotes it — the mechanism behind the paper's Fig. 5
+  // (smaller G is better) and the BN < ZCA/CD gap in Table VI.
+  std::size_t corpus_noise_rank = 6;
+  double corpus_noise_scale = 2.0;  // stddev multiple of the signal RMS
+};
+
+class SimPlm {
+ public:
+  // Builds the frozen encoder and calibrates anisotropy against the items
+  // in `catalog`. Deterministic given `rng`.
+  SimPlm(const Catalog& catalog, const SimPlmConfig& config, linalg::Rng* rng);
+
+  // Encodes token sequences into (n, embed_dim) embeddings. Empty token
+  // lists encode to the pure bias direction.
+  linalg::Matrix Encode(const std::vector<std::vector<TokenId>>& docs) const;
+
+  // Encodes all items of a catalog (their concatenated descriptions).
+  linalg::Matrix EncodeItems(const Catalog& catalog) const;
+
+  double bias_scale() const { return bias_scale_; }
+  std::size_t embed_dim() const { return config_.embed_dim; }
+
+ private:
+  linalg::Matrix EncodeRaw(const std::vector<std::vector<TokenId>>& docs) const;
+  linalg::Matrix AddCorpusNoise(
+      const linalg::Matrix& x,
+      const std::vector<std::vector<TokenId>>& docs) const;
+
+  SimPlmConfig config_;
+  linalg::Matrix token_emb_;        // (vocab, d_t)
+  linalg::Matrix degen_;            // (d_t, d_t) spectral filter B
+  std::vector<double> common_dir_;  // unit-norm g
+  linalg::Matrix corpus_dirs_;      // (noise_rank, d_t) unit rows
+  double corpus_sigma_ = 0.0;
+  double bias_scale_ = 0.0;
+};
+
+}  // namespace text
+}  // namespace whitenrec
+
+#endif  // WHITENREC_TEXT_SIM_PLM_H_

@@ -1,0 +1,43 @@
+#include "text/vocab.h"
+
+#include <algorithm>
+#include <cctype>
+#include <sstream>
+
+namespace whitenrec {
+namespace text {
+
+TokenId Vocab::GetOrAdd(const std::string& token) {
+  auto it = index_.find(token);
+  if (it != index_.end()) return it->second;
+  const TokenId id = tokens_.size();
+  tokens_.push_back(token);
+  index_.emplace(token, id);
+  return id;
+}
+
+TokenId Vocab::Find(const std::string& token) const {
+  auto it = index_.find(token);
+  return it == index_.end() ? kNotFound : it->second;
+}
+
+std::vector<TokenId> Vocab::Tokenize(const std::string& sentence,
+                                     bool add_new) {
+  std::vector<TokenId> out;
+  std::istringstream stream(sentence);
+  std::string word;
+  while (stream >> word) {
+    std::transform(word.begin(), word.end(), word.begin(),
+                   [](unsigned char c) { return std::tolower(c); });
+    if (add_new) {
+      out.push_back(GetOrAdd(word));
+    } else {
+      const TokenId id = Find(word);
+      if (id != kNotFound) out.push_back(id);
+    }
+  }
+  return out;
+}
+
+}  // namespace text
+}  // namespace whitenrec

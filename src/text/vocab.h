@@ -1,0 +1,45 @@
+#ifndef WHITENREC_TEXT_VOCAB_H_
+#define WHITENREC_TEXT_VOCAB_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/check.h"
+
+namespace whitenrec {
+namespace text {
+
+// Token id type; tokens are dense ids into the vocabulary.
+using TokenId = std::size_t;
+
+// A simple append-only vocabulary mapping token strings <-> dense ids.
+class Vocab {
+ public:
+  Vocab() = default;
+
+  // Returns the id for `token`, inserting it if new.
+  TokenId GetOrAdd(const std::string& token);
+  // Returns the id or npos if absent.
+  static constexpr TokenId kNotFound = static_cast<TokenId>(-1);
+  TokenId Find(const std::string& token) const;
+
+  const std::string& TokenString(TokenId id) const {
+    WR_CHECK_LT(id, tokens_.size());
+    return tokens_[id];
+  }
+  std::size_t size() const { return tokens_.size(); }
+
+  // Whitespace tokenizer with lowercasing; unknown tokens are added when
+  // `add_new` is true, otherwise skipped.
+  std::vector<TokenId> Tokenize(const std::string& sentence, bool add_new);
+
+ private:
+  std::unordered_map<std::string, TokenId> index_;
+  std::vector<std::string> tokens_;
+};
+
+}  // namespace text
+}  // namespace whitenrec
+
+#endif  // WHITENREC_TEXT_VOCAB_H_

@@ -1,0 +1,134 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "analysis/spectrum.h"
+#include "analysis/tsne.h"
+#include "core/whitening.h"
+#include "linalg/rng.h"
+#include "linalg/stats.h"
+
+namespace whitenrec {
+namespace analysis {
+namespace {
+
+using linalg::Matrix;
+using linalg::Rng;
+
+TEST(SpectrumTest, IsotropicDataFlatSpectrum) {
+  Rng rng(1);
+  const Matrix x = rng.GaussianMatrix(3000, 6, 1.0);
+  auto spectrum = NormalizedSpectrum(x);
+  ASSERT_TRUE(spectrum.ok());
+  EXPECT_DOUBLE_EQ(spectrum.value().front(), 1.0);
+  EXPECT_GT(spectrum.value().back(), 0.8);  // near-flat for isotropic data
+}
+
+TEST(SpectrumTest, AnisotropicDataDecays) {
+  Rng rng(2);
+  Matrix x = rng.GaussianMatrix(500, 6, 1.0);
+  for (std::size_t r = 0; r < x.rows(); ++r) x(r, 0) *= 50.0;
+  auto spectrum = NormalizedSpectrum(x);
+  ASSERT_TRUE(spectrum.ok());
+  EXPECT_LT(spectrum.value()[1], 0.1);  // fast decay after the top value
+}
+
+TEST(SpectrumTest, SortedDescending) {
+  Rng rng(3);
+  const Matrix x = rng.GaussianMatrix(100, 8, 1.0);
+  auto spectrum = NormalizedSpectrum(x);
+  ASSERT_TRUE(spectrum.ok());
+  for (std::size_t i = 1; i < spectrum.value().size(); ++i)
+    EXPECT_LE(spectrum.value()[i], spectrum.value()[i - 1] + 1e-12);
+}
+
+TEST(SpectrumTest, WhiteningFlattensSpectrum) {
+  // The paper's Fig. 2 story: raw embeddings decay fast; whitened ones are
+  // flat.
+  Rng rng(4);
+  Matrix x = rng.GaussianMatrix(400, 8, 1.0);
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    for (std::size_t c = 0; c < 8; ++c) {
+      x(r, c) /= static_cast<double>(c + 1);
+      x(r, c) += 3.0;
+    }
+  }
+  auto raw = NormalizedSpectrum(x);
+  auto z = WhitenMatrix(x, 1, WhiteningKind::kZca, 1e-8);
+  ASSERT_TRUE(raw.ok());
+  ASSERT_TRUE(z.ok());
+  Matrix zc = z.value();
+  auto whitened = NormalizedSpectrum(zc);
+  ASSERT_TRUE(whitened.ok());
+  EXPECT_LT(raw.value().back(), 0.2);
+  EXPECT_GT(whitened.value().back(), 0.8);
+}
+
+TEST(SpectrumTest, SummaryEffectiveRank) {
+  // Flat spectrum of length 5 -> effective rank ~5; one dominant value -> ~1.
+  const std::vector<double> flat(5, 1.0);
+  EXPECT_NEAR(SummarizeSpectrum(flat).effective_rank, 5.0, 1e-9);
+  const std::vector<double> spiky = {1.0, 1e-8, 1e-8, 1e-8};
+  EXPECT_NEAR(SummarizeSpectrum(spiky).effective_rank, 1.0, 1e-3);
+}
+
+TEST(TsneTest, OutputShape) {
+  Rng rng(5);
+  const Matrix x = rng.GaussianMatrix(40, 8, 1.0);
+  TsneConfig config;
+  config.iterations = 50;
+  const Matrix y = Tsne(x, config);
+  EXPECT_EQ(y.rows(), 40u);
+  EXPECT_EQ(y.cols(), 2u);
+  for (std::size_t i = 0; i < y.size(); ++i)
+    EXPECT_TRUE(std::isfinite(y.data()[i]));
+}
+
+TEST(TsneTest, PreservesClusterStructure) {
+  // Two well-separated clusters must stay separated in the embedding.
+  Rng rng(6);
+  Matrix x(60, 5);
+  for (std::size_t r = 0; r < 60; ++r) {
+    const double offset = r < 30 ? 0.0 : 30.0;
+    for (std::size_t c = 0; c < 5; ++c)
+      x(r, c) = rng.Gaussian(offset, 1.0);
+  }
+  TsneConfig config;
+  config.iterations = 200;
+  const Matrix y = Tsne(x, config);
+  // Mean intra-cluster distance should be far below inter-cluster distance.
+  auto dist = [&y](std::size_t i, std::size_t j) {
+    const double dx = y(i, 0) - y(j, 0);
+    const double dy = y(i, 1) - y(j, 1);
+    return std::sqrt(dx * dx + dy * dy);
+  };
+  double intra = 0.0, inter = 0.0;
+  std::size_t n_intra = 0, n_inter = 0;
+  for (std::size_t i = 0; i < 60; ++i) {
+    for (std::size_t j = i + 1; j < 60; ++j) {
+      if ((i < 30) == (j < 30)) {
+        intra += dist(i, j);
+        ++n_intra;
+      } else {
+        inter += dist(i, j);
+        ++n_inter;
+      }
+    }
+  }
+  EXPECT_LT(intra / n_intra, inter / n_inter);
+}
+
+TEST(TsneTest, DeterministicGivenSeed) {
+  Rng rng(7);
+  const Matrix x = rng.GaussianMatrix(20, 4, 1.0);
+  TsneConfig config;
+  config.iterations = 30;
+  const Matrix a = Tsne(x, config);
+  const Matrix b = Tsne(x, config);
+  for (std::size_t i = 0; i < a.size(); ++i)
+    EXPECT_DOUBLE_EQ(a.data()[i], b.data()[i]);
+}
+
+}  // namespace
+}  // namespace analysis
+}  // namespace whitenrec

@@ -1,0 +1,279 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "data/generator.h"
+#include "data/split.h"
+#include "grad_check.h"
+#include "nn/gru.h"
+#include "seqrec/classic_baselines.h"
+#include "seqrec/extended_baselines.h"
+
+namespace whitenrec {
+namespace {
+
+using linalg::Matrix;
+using linalg::Rng;
+using ::whitenrec::testing::MaxInputGradError;
+using ::whitenrec::testing::MaxParamGradError;
+using ::whitenrec::testing::WeightedSum;
+
+// ---------------------------------------------------------------------------
+// GRU layer
+// ---------------------------------------------------------------------------
+
+TEST(GruTest, ForwardShapeAndFiniteness) {
+  Rng rng(1);
+  nn::Gru gru(6, &rng);
+  const Matrix x = rng.GaussianMatrix(8, 6, 1.0);  // batch=2, L=4
+  const Matrix h = gru.Forward(x, 2, 4);
+  EXPECT_EQ(h.rows(), 8u);
+  EXPECT_EQ(h.cols(), 6u);
+  for (std::size_t i = 0; i < h.size(); ++i)
+    EXPECT_TRUE(std::isfinite(h.data()[i]));
+  // GRU hidden state is a convex-ish combination bounded by tanh range.
+  EXPECT_LT(h.MaxAbs(), 1.5);
+}
+
+TEST(GruTest, HiddenStateCarriesHistory) {
+  // Same last input but different first input must give different final
+  // hidden states (recurrence is live).
+  Rng rng(2);
+  nn::Gru gru(4, &rng);
+  Matrix x1 = rng.GaussianMatrix(3, 4, 1.0);  // batch=1, L=3
+  Matrix x2 = x1;
+  x2(0, 0) += 2.0;
+  const Matrix h1 = gru.Forward(x1, 1, 3);
+  const std::vector<double> last1 = h1.Row(2);
+  const Matrix h2 = gru.Forward(x2, 1, 3);
+  const std::vector<double> last2 = h2.Row(2);
+  double diff = 0.0;
+  for (std::size_t c = 0; c < 4; ++c) diff += std::fabs(last1[c] - last2[c]);
+  EXPECT_GT(diff, 1e-6);
+}
+
+TEST(GruTest, CausalityWithinSequence) {
+  // Changing a later input must not affect earlier hidden states.
+  Rng rng(3);
+  nn::Gru gru(4, &rng);
+  Matrix x = rng.GaussianMatrix(4, 4, 1.0);
+  const Matrix h1 = gru.Forward(x, 1, 4);
+  x(3, 1) += 5.0;
+  const Matrix h2 = gru.Forward(x, 1, 4);
+  for (std::size_t t = 0; t < 3; ++t)
+    for (std::size_t c = 0; c < 4; ++c)
+      EXPECT_DOUBLE_EQ(h1(t, c), h2(t, c));
+}
+
+TEST(GruTest, SequencesIndependentAcrossBatch) {
+  Rng rng(4);
+  nn::Gru gru(4, &rng);
+  Matrix x = rng.GaussianMatrix(6, 4, 1.0);  // batch=2, L=3
+  const Matrix h1 = gru.Forward(x, 2, 3);
+  x(0, 0) += 3.0;  // perturb sequence 0 only
+  const Matrix h2 = gru.Forward(x, 2, 3);
+  for (std::size_t t = 3; t < 6; ++t)  // sequence 1 rows unchanged
+    for (std::size_t c = 0; c < 4; ++c)
+      EXPECT_DOUBLE_EQ(h1(t, c), h2(t, c));
+}
+
+TEST(GruTest, GradCheckInput) {
+  Rng rng(5);
+  nn::Gru gru(3, &rng);
+  Matrix x = rng.GaussianMatrix(6, 3, 0.8);  // batch=2, L=3
+  const Matrix w = rng.GaussianMatrix(6, 3, 1.0);
+  gru.Forward(x, 2, 3);
+  std::vector<nn::Parameter*> params;
+  gru.CollectParameters(&params);
+  for (nn::Parameter* p : params) p->ZeroGrad();
+  const Matrix dx = gru.Backward(w);
+  auto loss = [&]() { return WeightedSum(gru.Forward(x, 2, 3), w); };
+  EXPECT_LT(MaxInputGradError(&x, dx, loss), 1e-4);
+}
+
+TEST(GruTest, GradCheckParameters) {
+  Rng rng(6);
+  nn::Gru gru(3, &rng);
+  Matrix x = rng.GaussianMatrix(4, 3, 0.8);  // batch=1, L=4 (deep BPTT)
+  const Matrix w = rng.GaussianMatrix(4, 3, 1.0);
+  gru.Forward(x, 1, 4);
+  std::vector<nn::Parameter*> params;
+  gru.CollectParameters(&params);
+  for (nn::Parameter* p : params) p->ZeroGrad();
+  gru.Backward(w);
+  auto loss = [&]() { return WeightedSum(gru.Forward(x, 1, 4), w); };
+  for (nn::Parameter* p : params)
+    EXPECT_LT(MaxParamGradError(p, p->grad, loss), 1e-4) << p->name;
+}
+
+// ---------------------------------------------------------------------------
+// Bidirectional attention (BERT4Rec mode)
+// ---------------------------------------------------------------------------
+
+TEST(BidirectionalAttentionTest, LaterPositionsAffectEarlierOutputs) {
+  Rng rng(7);
+  nn::MultiHeadSelfAttention attn(8, 2, &rng, "bi", /*causal=*/false);
+  Matrix x = rng.GaussianMatrix(5, 8, 1.0);
+  const Matrix y1 = attn.Forward(x, 1, 5);
+  x(4, 0) += 5.0;
+  const Matrix y2 = attn.Forward(x, 1, 5);
+  double diff = 0.0;
+  for (std::size_t c = 0; c < 8; ++c) diff += std::fabs(y1(0, c) - y2(0, c));
+  EXPECT_GT(diff, 1e-9);  // position 0 sees position 4
+}
+
+TEST(BidirectionalAttentionTest, GradCheckInput) {
+  Rng rng(8);
+  nn::MultiHeadSelfAttention attn(4, 2, &rng, "bi", /*causal=*/false);
+  Matrix x = rng.GaussianMatrix(6, 4, 0.7);
+  const Matrix w = rng.GaussianMatrix(6, 4, 1.0);
+  attn.Forward(x, 2, 3);
+  std::vector<nn::Parameter*> params;
+  attn.CollectParameters(&params);
+  for (nn::Parameter* p : params) p->ZeroGrad();
+  const Matrix dx = attn.Backward(w);
+  auto loss = [&]() { return WeightedSum(attn.Forward(x, 2, 3), w); };
+  EXPECT_LT(MaxInputGradError(&x, dx, loss), 1e-4);
+}
+
+// ---------------------------------------------------------------------------
+// GRU4Rec / BERT4Rec end to end
+// ---------------------------------------------------------------------------
+
+const data::GeneratedData& TinyData() {
+  static const data::GeneratedData* data = [] {
+    data::DatasetProfile p = data::ArtsProfile(0.3);
+    p.plm.embed_dim = 16;
+    p.plm.calibration_iters = 15;
+    return new data::GeneratedData(data::GenerateDataset(p));
+  }();
+  return *data;
+}
+
+seqrec::SasRecConfig TinyConfig() {
+  seqrec::SasRecConfig config;
+  config.hidden_dim = 16;
+  config.num_blocks = 1;
+  config.num_heads = 2;
+  config.ffn_hidden = 32;
+  config.dropout = 0.1;
+  config.max_len = 8;
+  return config;
+}
+
+TEST(Gru4RecTest, TrainsAndRanks) {
+  const data::Dataset& ds = TinyData().dataset;
+  auto rec = seqrec::MakeGru4Rec(ds, TinyConfig());
+  const data::Split split = data::LeaveOneOutSplit(ds);
+  seqrec::TrainConfig tc;
+  tc.epochs = 4;
+  const seqrec::TrainResult& result = rec->Fit(split, tc);
+  EXPECT_FALSE(result.epochs.empty());
+  EXPECT_GT(result.epochs.front().train_loss,
+            result.epochs.back().train_loss);
+  const seqrec::EvalResult r =
+      seqrec::EvaluateRanking(rec.get(), split.test, split.train, 8);
+  EXPECT_GE(r.recall20, 0.0);
+  EXPECT_LE(r.recall50, 1.0);
+  EXPECT_GT(rec->NumParameters(), 0u);
+}
+
+TEST(Bert4RecTest, TrainsAndRanks) {
+  const data::Dataset& ds = TinyData().dataset;
+  auto rec = seqrec::MakeBert4Rec(ds, TinyConfig());
+  const data::Split split = data::LeaveOneOutSplit(ds);
+  seqrec::TrainConfig tc;
+  tc.epochs = 4;
+  const seqrec::TrainResult& result = rec->Fit(split, tc);
+  EXPECT_FALSE(result.epochs.empty());
+  for (const auto& log : result.epochs)
+    EXPECT_TRUE(std::isfinite(log.train_loss));
+  const seqrec::EvalResult r =
+      seqrec::EvaluateRanking(rec.get(), split.test, split.train, 8);
+  EXPECT_GE(r.recall20, 0.0);
+}
+
+TEST(Bert4RecTest, ScoreShapeMatchesCatalog) {
+  const data::Dataset& ds = TinyData().dataset;
+  auto rec = seqrec::MakeBert4Rec(ds, TinyConfig());
+  const data::Split split = data::LeaveOneOutSplit(ds);
+  const auto batches = data::MakeEvalBatches(split.valid, 8, 16);
+  const Matrix scores = rec->ScoreLastPositions(batches[0]);
+  EXPECT_EQ(scores.rows(), batches[0].batch_size);
+  EXPECT_EQ(scores.cols(), ds.num_items);
+}
+
+TEST(Gru4RecTest, BeatsRandomRanking) {
+  const data::Dataset& ds = TinyData().dataset;
+  auto rec = seqrec::MakeGru4Rec(ds, TinyConfig());
+  const data::Split split = data::LeaveOneOutSplit(ds);
+  seqrec::TrainConfig tc;
+  tc.epochs = 8;
+  rec->Fit(split, tc);
+  const seqrec::EvalResult r =
+      seqrec::EvaluateRanking(rec.get(), split.test, split.train, 8);
+  EXPECT_GT(r.recall20, 20.0 / static_cast<double>(ds.num_items));
+}
+
+// ---------------------------------------------------------------------------
+// FPMC / Caser
+// ---------------------------------------------------------------------------
+
+TEST(FpmcTest, TrainsAndRanks) {
+  const data::Dataset& ds = TinyData().dataset;
+  auto rec = seqrec::MakeFpmc(ds, 16);
+  const data::Split split = data::LeaveOneOutSplit(ds);
+  seqrec::TrainConfig tc;
+  tc.epochs = 5;
+  const seqrec::TrainResult& result = rec->Fit(split, tc);
+  EXPECT_FALSE(result.epochs.empty());
+  EXPECT_GT(result.epochs.front().train_loss,
+            result.epochs.back().train_loss);
+  const seqrec::EvalResult r =
+      seqrec::EvaluateRanking(rec.get(), split.test, split.train, 8);
+  EXPECT_GE(r.recall20, 0.0);
+  // 4 factor matrices: users + 3x items.
+  EXPECT_EQ(rec->NumParameters(),
+            16 * (ds.sequences.size() + 3 * ds.num_items));
+}
+
+TEST(FpmcTest, BeatsRandomRanking) {
+  const data::Dataset& ds = TinyData().dataset;
+  auto rec = seqrec::MakeFpmc(ds, 16);
+  const data::Split split = data::LeaveOneOutSplit(ds);
+  seqrec::TrainConfig tc;
+  tc.epochs = 10;
+  rec->Fit(split, tc);
+  const seqrec::EvalResult r =
+      seqrec::EvaluateRanking(rec.get(), split.test, split.train, 8);
+  EXPECT_GT(r.recall20, 20.0 / static_cast<double>(ds.num_items));
+}
+
+TEST(CaserTest, TrainsAndRanks) {
+  const data::Dataset& ds = TinyData().dataset;
+  auto rec = seqrec::MakeCaser(ds, TinyConfig());
+  const data::Split split = data::LeaveOneOutSplit(ds);
+  seqrec::TrainConfig tc;
+  tc.epochs = 4;
+  const seqrec::TrainResult& result = rec->Fit(split, tc);
+  EXPECT_FALSE(result.epochs.empty());
+  EXPECT_GT(result.epochs.front().train_loss,
+            result.epochs.back().train_loss);
+  const seqrec::EvalResult r =
+      seqrec::EvaluateRanking(rec.get(), split.test, split.train, 8);
+  EXPECT_GE(r.recall20, 0.0);
+  EXPECT_GT(rec->NumParameters(), 0u);
+}
+
+TEST(CaserTest, ScoreShapeMatchesCatalog) {
+  const data::Dataset& ds = TinyData().dataset;
+  auto rec = seqrec::MakeCaser(ds, TinyConfig());
+  const data::Split split = data::LeaveOneOutSplit(ds);
+  const auto batches = data::MakeEvalBatches(split.valid, 8, 16);
+  const linalg::Matrix scores = rec->ScoreLastPositions(batches[0]);
+  EXPECT_EQ(scores.rows(), batches[0].batch_size);
+  EXPECT_EQ(scores.cols(), ds.num_items);
+}
+
+}  // namespace
+}  // namespace whitenrec

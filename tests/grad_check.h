@@ -1,0 +1,80 @@
+#ifndef WHITENREC_TESTS_GRAD_CHECK_H_
+#define WHITENREC_TESTS_GRAD_CHECK_H_
+
+#include <cmath>
+#include <functional>
+
+#include "linalg/matrix.h"
+#include "nn/layers.h"
+
+namespace whitenrec {
+namespace testing {
+
+// Utilities for finite-difference gradient verification of nn layers.
+//
+// The standard recipe: define loss(x) = sum(W .* Forward(x)) for a fixed
+// random weighting W; then dLoss/dOutput = W, so Backward(W) must produce
+// the analytic input/parameter gradients, which are compared against central
+// differences.
+
+// Central-difference derivative of `loss` w.r.t. one scalar location.
+inline double NumericalDerivative(const std::function<double()>& loss,
+                                  double* location, double eps = 1e-5) {
+  const double saved = *location;
+  *location = saved + eps;
+  const double up = loss();
+  *location = saved - eps;
+  const double down = loss();
+  *location = saved;
+  return (up - down) / (2.0 * eps);
+}
+
+// Max relative error between analytic and numeric gradients of a parameter.
+// `loss` must recompute the full forward pass from current parameter values.
+inline double MaxParamGradError(nn::Parameter* param,
+                                const linalg::Matrix& analytic_grad,
+                                const std::function<double()>& loss,
+                                double eps = 1e-5) {
+  double worst = 0.0;
+  for (std::size_t i = 0; i < param->value.size(); ++i) {
+    const double numeric =
+        NumericalDerivative(loss, param->value.data() + i, eps);
+    const double analytic = analytic_grad.data()[i];
+    const double scale =
+        std::max({std::fabs(numeric), std::fabs(analytic), 1e-6});
+    worst = std::max(worst, std::fabs(numeric - analytic) / scale);
+  }
+  return worst;
+}
+
+// Same for an input activation matrix.
+inline double MaxInputGradError(linalg::Matrix* input,
+                                const linalg::Matrix& analytic_grad,
+                                const std::function<double()>& loss,
+                                double eps = 1e-5) {
+  double worst = 0.0;
+  for (std::size_t i = 0; i < input->size(); ++i) {
+    const double numeric =
+        NumericalDerivative(loss, input->data() + i, eps);
+    const double analytic = analytic_grad.data()[i];
+    const double scale =
+        std::max({std::fabs(numeric), std::fabs(analytic), 1e-6});
+    worst = std::max(worst, std::fabs(numeric - analytic) / scale);
+  }
+  return worst;
+}
+
+// Weighted-sum objective: sum(weights .* output).
+inline double WeightedSum(const linalg::Matrix& output,
+                          const linalg::Matrix& weights) {
+  double s = 0.0;
+  for (std::size_t i = 0; i < output.size(); ++i) {
+    s += output.data()[i] * weights.data()[i];
+  }
+  return s;
+}
+
+}  // namespace testing
+}  // namespace whitenrec
+
+#endif  // WHITENREC_TESTS_GRAD_CHECK_H_

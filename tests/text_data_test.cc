@@ -1,0 +1,487 @@
+#include <set>
+#include <unordered_set>
+
+#include <gtest/gtest.h>
+
+#include "data/batcher.h"
+#include "data/dataset.h"
+#include "data/generator.h"
+#include "data/split.h"
+#include "linalg/stats.h"
+#include "text/catalog.h"
+#include "text/sim_plm.h"
+#include "text/vocab.h"
+
+namespace whitenrec {
+namespace {
+
+using linalg::Matrix;
+using linalg::Rng;
+
+// ---------------------------------------------------------------------------
+// Vocab
+// ---------------------------------------------------------------------------
+
+TEST(VocabTest, GetOrAddAssignsDenseIds) {
+  text::Vocab vocab;
+  EXPECT_EQ(vocab.GetOrAdd("apple"), 0u);
+  EXPECT_EQ(vocab.GetOrAdd("banana"), 1u);
+  EXPECT_EQ(vocab.GetOrAdd("apple"), 0u);
+  EXPECT_EQ(vocab.size(), 2u);
+}
+
+TEST(VocabTest, FindMissingReturnsNotFound) {
+  text::Vocab vocab;
+  EXPECT_EQ(vocab.Find("nope"), text::Vocab::kNotFound);
+}
+
+TEST(VocabTest, TokenizeLowercasesAndSplits) {
+  text::Vocab vocab;
+  const auto ids = vocab.Tokenize("Hello World hello", /*add_new=*/true);
+  ASSERT_EQ(ids.size(), 3u);
+  EXPECT_EQ(ids[0], ids[2]);  // "Hello" == "hello"
+  EXPECT_EQ(vocab.size(), 2u);
+}
+
+TEST(VocabTest, TokenizeWithoutAddSkipsUnknown) {
+  text::Vocab vocab;
+  vocab.GetOrAdd("known");
+  const auto ids = vocab.Tokenize("known unknown", /*add_new=*/false);
+  EXPECT_EQ(ids.size(), 1u);
+}
+
+TEST(VocabTest, TokenString) {
+  text::Vocab vocab;
+  const auto id = vocab.GetOrAdd("token");
+  EXPECT_EQ(vocab.TokenString(id), "token");
+}
+
+// ---------------------------------------------------------------------------
+// Catalog
+// ---------------------------------------------------------------------------
+
+text::CatalogConfig SmallCatalogConfig() {
+  text::CatalogConfig config;
+  config.num_items = 80;
+  config.num_categories = 5;
+  config.num_brands = 8;
+  config.latent_dim = 4;
+  config.topic_vocab_size = 60;
+  config.title_len = 4;
+  return config;
+}
+
+TEST(CatalogTest, GeneratesRequestedItems) {
+  Rng rng(1);
+  const text::Catalog catalog = text::GenerateCatalog(SmallCatalogConfig(), &rng);
+  EXPECT_EQ(catalog.items.size(), 80u);
+  EXPECT_EQ(catalog.latents.rows(), 80u);
+  EXPECT_EQ(catalog.latents.cols(), 4u);
+}
+
+TEST(CatalogTest, CategoriesAndBrandsInRange) {
+  Rng rng(2);
+  const text::Catalog catalog = text::GenerateCatalog(SmallCatalogConfig(), &rng);
+  for (const auto& item : catalog.items) {
+    EXPECT_LT(item.category, 5u);
+    EXPECT_LT(item.brand, 8u);
+    EXPECT_FALSE(item.tokens.empty());
+  }
+}
+
+TEST(CatalogTest, TokenLatentsCoverVocab) {
+  Rng rng(3);
+  const text::Catalog catalog = text::GenerateCatalog(SmallCatalogConfig(), &rng);
+  EXPECT_EQ(catalog.token_latents.rows(), catalog.vocab.size());
+  EXPECT_EQ(catalog.token_latents.cols(), 4u);
+}
+
+TEST(CatalogTest, DeterministicGivenSeed) {
+  Rng rng1(7), rng2(7);
+  const text::Catalog a = text::GenerateCatalog(SmallCatalogConfig(), &rng1);
+  const text::Catalog b = text::GenerateCatalog(SmallCatalogConfig(), &rng2);
+  ASSERT_EQ(a.items.size(), b.items.size());
+  for (std::size_t i = 0; i < a.items.size(); ++i) {
+    EXPECT_EQ(a.items[i].title, b.items[i].title);
+    EXPECT_EQ(a.items[i].category, b.items[i].category);
+  }
+}
+
+TEST(CatalogTest, SameCategoryItemsCloserInLatentSpace) {
+  Rng rng(4);
+  text::CatalogConfig config = SmallCatalogConfig();
+  config.num_items = 120;
+  const text::Catalog catalog = text::GenerateCatalog(config, &rng);
+  double same_sum = 0.0, diff_sum = 0.0;
+  std::size_t same_n = 0, diff_n = 0;
+  for (std::size_t i = 0; i < catalog.items.size(); ++i) {
+    for (std::size_t j = i + 1; j < catalog.items.size(); ++j) {
+      const double cosine = linalg::CosineSimilarity(catalog.latents.Row(i),
+                                                     catalog.latents.Row(j));
+      if (catalog.items[i].category == catalog.items[j].category) {
+        same_sum += cosine;
+        ++same_n;
+      } else {
+        diff_sum += cosine;
+        ++diff_n;
+      }
+    }
+  }
+  EXPECT_GT(same_sum / same_n, diff_sum / diff_n + 0.1);
+}
+
+// ---------------------------------------------------------------------------
+// SimPLM
+// ---------------------------------------------------------------------------
+
+TEST(SimPlmTest, EmbeddingShape) {
+  Rng rng(5);
+  const text::Catalog catalog = text::GenerateCatalog(SmallCatalogConfig(), &rng);
+  text::SimPlmConfig config;
+  config.embed_dim = 16;
+  text::SimPlm plm(catalog, config, &rng);
+  const Matrix x = plm.EncodeItems(catalog);
+  EXPECT_EQ(x.rows(), 80u);
+  EXPECT_EQ(x.cols(), 16u);
+}
+
+TEST(SimPlmTest, CalibratesMeanCosineToTarget) {
+  // The central property: SimPLM reproduces BERT's ~0.85 mean pairwise
+  // cosine (paper Sec. III-B reports 0.84-0.85 on all three datasets).
+  Rng rng(6);
+  const text::Catalog catalog = text::GenerateCatalog(SmallCatalogConfig(), &rng);
+  text::SimPlmConfig config;
+  config.embed_dim = 16;
+  config.target_mean_cosine = 0.85;
+  text::SimPlm plm(catalog, config, &rng);
+  const Matrix x = plm.EncodeItems(catalog);
+  Rng measure(99);
+  EXPECT_NEAR(linalg::MeanPairwiseCosine(x, &measure), 0.85, 0.03);
+}
+
+TEST(SimPlmTest, DifferentTargetsAchieved) {
+  Rng rng(7);
+  const text::Catalog catalog = text::GenerateCatalog(SmallCatalogConfig(), &rng);
+  for (double target : {0.6, 0.9}) {
+    Rng local(7);
+    text::SimPlmConfig config;
+    config.embed_dim = 16;
+    config.target_mean_cosine = target;
+    text::SimPlm plm(catalog, config, &local);
+    const Matrix x = plm.EncodeItems(catalog);
+    Rng measure(100);
+    EXPECT_NEAR(linalg::MeanPairwiseCosine(x, &measure), target, 0.05);
+  }
+}
+
+TEST(SimPlmTest, SemanticStructureSurvivesDegeneration) {
+  // Items of the same category must stay closer than cross-category pairs
+  // even inside the anisotropic cone — otherwise whitening could not recover
+  // useful semantics.
+  Rng rng(8);
+  text::CatalogConfig cconfig = SmallCatalogConfig();
+  cconfig.num_items = 100;
+  const text::Catalog catalog = text::GenerateCatalog(cconfig, &rng);
+  text::SimPlmConfig config;
+  config.embed_dim = 16;
+  text::SimPlm plm(catalog, config, &rng);
+  Matrix x = plm.EncodeItems(catalog);
+  // Compare *centered* embeddings (removing the common direction).
+  linalg::CenterColumns(&x);
+  double same = 0.0, diff = 0.0;
+  std::size_t same_n = 0, diff_n = 0;
+  for (std::size_t i = 0; i < 100; ++i) {
+    for (std::size_t j = i + 1; j < 100; ++j) {
+      const double cosine = linalg::CosineSimilarity(x.Row(i), x.Row(j));
+      if (catalog.items[i].category == catalog.items[j].category) {
+        same += cosine;
+        ++same_n;
+      } else {
+        diff += cosine;
+        ++diff_n;
+      }
+    }
+  }
+  EXPECT_GT(same / same_n, diff / diff_n);
+}
+
+TEST(SimPlmTest, EmptyDocEncodesToBiasDirection) {
+  Rng rng(9);
+  const text::Catalog catalog = text::GenerateCatalog(SmallCatalogConfig(), &rng);
+  text::SimPlmConfig config;
+  config.embed_dim = 16;
+  text::SimPlm plm(catalog, config, &rng);
+  const Matrix x = plm.Encode({{}});
+  EXPECT_EQ(x.rows(), 1u);
+  EXPECT_GT(linalg::Norm(x.Row(0)), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Dataset / five-core filter
+// ---------------------------------------------------------------------------
+
+TEST(DatasetTest, ComputeStats) {
+  data::Dataset ds;
+  ds.num_items = 3;
+  ds.sequences = {{0, 1, 2}, {1, 2, 1}};
+  const data::DatasetStats stats = ComputeStats(ds);
+  EXPECT_EQ(stats.num_users, 2u);
+  EXPECT_EQ(stats.num_interactions, 6u);
+  EXPECT_DOUBLE_EQ(stats.avg_seq_len, 3.0);
+  EXPECT_DOUBLE_EQ(stats.avg_item_actions, 2.0);
+}
+
+TEST(FiveCoreTest, DropsRareItemsAndShortUsers) {
+  data::Dataset ds;
+  ds.num_items = 4;
+  // Item 3 appears once; user 1 will fall below 3 interactions after its
+  // removal (core = 3 here for a small example).
+  ds.sequences = {{0, 1, 2, 0, 1}, {3, 0, 1}, {0, 1, 2, 2, 1}};
+  ds.item_category = {0, 1, 2, 3};
+  ds.text_embeddings = Matrix(4, 2);
+  for (std::size_t i = 0; i < 4; ++i) ds.text_embeddings(i, 0) = i;
+  FiveCoreFilter(&ds, /*core=*/3);
+  // Item 3 removed; remaining ids compacted.
+  EXPECT_EQ(ds.num_items, 3u);
+  for (const auto& seq : ds.sequences) {
+    EXPECT_GE(seq.size(), 3u);
+    for (std::size_t item : seq) EXPECT_LT(item, ds.num_items);
+  }
+  // Side data stays aligned: embedding row i should still carry value i for
+  // surviving original items 0..2.
+  for (std::size_t i = 0; i < 3; ++i)
+    EXPECT_DOUBLE_EQ(ds.text_embeddings(i, 0), static_cast<double>(i));
+}
+
+TEST(FiveCoreTest, StableOnAlreadyFilteredData) {
+  data::Dataset ds;
+  ds.num_items = 2;
+  ds.sequences = {{0, 1, 0, 1, 0}, {1, 0, 1, 0, 1}};
+  FiveCoreFilter(&ds, 5);
+  EXPECT_EQ(ds.num_items, 2u);
+  EXPECT_EQ(ds.sequences.size(), 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Generator
+// ---------------------------------------------------------------------------
+
+data::DatasetProfile TinyProfile() {
+  data::DatasetProfile p = data::ArtsProfile(0.35);
+  p.plm.embed_dim = 16;
+  p.plm.calibration_iters = 20;
+  return p;
+}
+
+TEST(GeneratorTest, ProducesConsistentDataset) {
+  const data::GeneratedData gen = data::GenerateDataset(TinyProfile());
+  const data::Dataset& ds = gen.dataset;
+  EXPECT_GT(ds.sequences.size(), 20u);
+  EXPECT_GT(ds.num_items, 10u);
+  EXPECT_EQ(ds.text_embeddings.rows(), ds.num_items);
+  EXPECT_EQ(ds.item_category.size(), ds.num_items);
+  for (const auto& seq : ds.sequences) {
+    EXPECT_GE(seq.size(), 5u);  // five-core
+    for (std::size_t item : seq) EXPECT_LT(item, ds.num_items);
+  }
+}
+
+TEST(GeneratorTest, Deterministic) {
+  const data::GeneratedData a = data::GenerateDataset(TinyProfile());
+  const data::GeneratedData b = data::GenerateDataset(TinyProfile());
+  ASSERT_EQ(a.dataset.sequences.size(), b.dataset.sequences.size());
+  EXPECT_EQ(a.dataset.sequences[0], b.dataset.sequences[0]);
+}
+
+TEST(GeneratorTest, NoImmediateRepetitionWithinSequence) {
+  const data::GeneratedData gen = data::GenerateDataset(TinyProfile());
+  for (const auto& seq : gen.dataset.sequences) {
+    std::set<std::size_t> unique(seq.begin(), seq.end());
+    EXPECT_EQ(unique.size(), seq.size());  // sampled without replacement
+  }
+}
+
+TEST(GeneratorTest, TextEmbeddingsAnisotropic) {
+  const data::GeneratedData gen = data::GenerateDataset(TinyProfile());
+  Rng measure(5);
+  const double cosine =
+      linalg::MeanPairwiseCosine(gen.dataset.text_embeddings, &measure);
+  EXPECT_GT(cosine, 0.75);
+}
+
+TEST(GeneratorTest, ProfilesHaveExpectedRelativeScale) {
+  // Paper Table II: Toys/Tools larger than Arts; Food smallest and densest.
+  const auto arts = data::ArtsProfile();
+  const auto toys = data::ToysProfile();
+  const auto tools = data::ToolsProfile();
+  const auto food = data::FoodProfile();
+  EXPECT_GT(toys.num_users, arts.num_users);
+  EXPECT_GT(tools.num_users, arts.num_users);
+  EXPECT_LT(food.num_users, arts.num_users);
+  EXPECT_GT(food.mean_extra_len, arts.mean_extra_len);
+  EXPECT_LT(food.catalog.title_len, arts.catalog.title_len);
+}
+
+TEST(GeneratorTest, AllProfilesGenerate) {
+  for (const auto& profile : data::AllProfiles(0.25)) {
+    data::DatasetProfile p = profile;
+    p.plm.embed_dim = 16;
+    p.plm.calibration_iters = 15;
+    const data::GeneratedData gen = data::GenerateDataset(p);
+    EXPECT_GT(gen.dataset.sequences.size(), 10u) << p.name;
+    EXPECT_GT(gen.dataset.num_items, 8u) << p.name;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Splits
+// ---------------------------------------------------------------------------
+
+TEST(SplitTest, LeaveOneOutBasics) {
+  data::Dataset ds;
+  ds.num_items = 10;
+  ds.sequences = {{0, 1, 2, 3, 4}, {5, 6, 7, 8, 9}};
+  const data::Split split = data::LeaveOneOutSplit(ds);
+  ASSERT_EQ(split.train.size(), 2u);
+  EXPECT_EQ(split.train[0], (std::vector<std::size_t>{0, 1, 2}));
+  ASSERT_EQ(split.valid.size(), 2u);
+  EXPECT_EQ(split.valid[0].target, 3u);
+  EXPECT_EQ(split.valid[0].input, (std::vector<std::size_t>{0, 1, 2}));
+  ASSERT_EQ(split.test.size(), 2u);
+  EXPECT_EQ(split.test[0].target, 4u);
+  EXPECT_EQ(split.test[0].input, (std::vector<std::size_t>{0, 1, 2, 3}));
+}
+
+TEST(SplitTest, ShortSequencesTrainOnly) {
+  data::Dataset ds;
+  ds.num_items = 3;
+  ds.sequences = {{0, 1}};
+  const data::Split split = data::LeaveOneOutSplit(ds);
+  EXPECT_EQ(split.train.size(), 1u);
+  EXPECT_TRUE(split.valid.empty());
+  EXPECT_TRUE(split.test.empty());
+}
+
+TEST(ColdSplitTest, ColdItemsNeverInTraining) {
+  const data::GeneratedData gen = data::GenerateDataset(TinyProfile());
+  Rng rng(11);
+  const data::ColdSplit cold = data::ColdStartSplit(gen.dataset, 0.15, &rng);
+  for (const auto& seq : cold.split.train) {
+    for (std::size_t item : seq) {
+      EXPECT_FALSE(cold.is_cold[item]);
+    }
+  }
+}
+
+TEST(ColdSplitTest, TestTargetsAreCold) {
+  const data::GeneratedData gen = data::GenerateDataset(TinyProfile());
+  Rng rng(12);
+  const data::ColdSplit cold = data::ColdStartSplit(gen.dataset, 0.15, &rng);
+  EXPECT_FALSE(cold.split.test.empty());
+  for (const auto& inst : cold.split.test) {
+    EXPECT_TRUE(cold.is_cold[inst.target]);
+    for (std::size_t item : inst.input) EXPECT_FALSE(cold.is_cold[item]);
+  }
+}
+
+TEST(ColdSplitTest, ColdFractionRespected) {
+  const data::GeneratedData gen = data::GenerateDataset(TinyProfile());
+  Rng rng(13);
+  const data::ColdSplit cold = data::ColdStartSplit(gen.dataset, 0.15, &rng);
+  std::size_t num_cold = 0;
+  for (bool c : cold.is_cold)
+    if (c) ++num_cold;
+  const double fraction =
+      static_cast<double>(num_cold) / static_cast<double>(cold.is_cold.size());
+  EXPECT_NEAR(fraction, 0.15, 0.02);
+}
+
+TEST(ColdSplitTest, TrainAlignedWithUsers) {
+  const data::GeneratedData gen = data::GenerateDataset(TinyProfile());
+  Rng rng(14);
+  const data::ColdSplit cold = data::ColdStartSplit(gen.dataset, 0.15, &rng);
+  EXPECT_EQ(cold.split.train.size(), gen.dataset.sequences.size());
+}
+
+// ---------------------------------------------------------------------------
+// Batcher
+// ---------------------------------------------------------------------------
+
+TEST(BatcherTest, TrainBatchShiftsTargets) {
+  const std::vector<std::vector<std::size_t>> seqs = {{1, 2, 3, 4}};
+  const auto batches = data::MakeTrainBatches(seqs, /*max_len=*/8,
+                                              /*batch_size=*/4, nullptr);
+  ASSERT_EQ(batches.size(), 1u);
+  const data::Batch& b = batches[0];
+  EXPECT_EQ(b.batch_size, 1u);
+  // Inputs 1,2,3 predict 2,3,4.
+  EXPECT_EQ(b.items[0], 1u);
+  EXPECT_EQ(b.targets[0], 2u);
+  EXPECT_EQ(b.items[2], 3u);
+  EXPECT_EQ(b.targets[2], 4u);
+  EXPECT_DOUBLE_EQ(b.target_weights[2], 1.0);
+  EXPECT_DOUBLE_EQ(b.target_weights[3], 0.0);  // padding
+  EXPECT_EQ(b.last_position[0], 2u);
+}
+
+TEST(BatcherTest, TruncatesToMostRecent) {
+  const std::vector<std::vector<std::size_t>> seqs = {{1, 2, 3, 4, 5, 6}};
+  const auto batches = data::MakeTrainBatches(seqs, /*max_len=*/3,
+                                              /*batch_size=*/4, nullptr);
+  const data::Batch& b = batches[0];
+  // Inputs are the most recent 3 of seq[:-1] = {2,3,4}; targets {3,4,5}...
+  EXPECT_EQ(b.items[0], 3u);
+  EXPECT_EQ(b.targets[0], 4u);
+  EXPECT_EQ(b.items[2], 5u);
+  EXPECT_EQ(b.targets[2], 6u);
+}
+
+TEST(BatcherTest, SkipsTooShortSequences) {
+  const std::vector<std::vector<std::size_t>> seqs = {{7}, {1, 2}};
+  const auto batches = data::MakeTrainBatches(seqs, 4, 8, nullptr);
+  ASSERT_EQ(batches.size(), 1u);
+  EXPECT_EQ(batches[0].batch_size, 1u);
+}
+
+TEST(BatcherTest, BatchSizeRespected) {
+  std::vector<std::vector<std::size_t>> seqs(10, {1, 2, 3});
+  const auto batches = data::MakeTrainBatches(seqs, 4, 4, nullptr);
+  ASSERT_EQ(batches.size(), 3u);
+  EXPECT_EQ(batches[0].batch_size, 4u);
+  EXPECT_EQ(batches[2].batch_size, 2u);
+}
+
+TEST(BatcherTest, EvalBatchMarksOnlyLastPosition) {
+  const std::vector<data::EvalInstance> instances = {
+      {0, {1, 2, 3}, 9}};
+  const auto batches = data::MakeEvalBatches(instances, 5, 4);
+  ASSERT_EQ(batches.size(), 1u);
+  const data::Batch& b = batches[0];
+  EXPECT_EQ(b.last_position[0], 2u);
+  EXPECT_EQ(b.targets[b.Flat(0, 2)], 9u);
+  EXPECT_DOUBLE_EQ(b.target_weights[b.Flat(0, 2)], 1.0);
+  EXPECT_DOUBLE_EQ(b.target_weights[b.Flat(0, 0)], 0.0);
+}
+
+TEST(BatcherTest, EvalBatchTruncatesContext) {
+  const std::vector<data::EvalInstance> instances = {
+      {0, {1, 2, 3, 4, 5}, 9}};
+  const auto batches = data::MakeEvalBatches(instances, 3, 4);
+  const data::Batch& b = batches[0];
+  EXPECT_EQ(b.items[0], 3u);  // most recent 3 items kept
+  EXPECT_EQ(b.items[2], 5u);
+}
+
+TEST(BatcherTest, ShuffleChangesOrderDeterministically) {
+  std::vector<std::vector<std::size_t>> seqs;
+  for (std::size_t u = 0; u < 20; ++u) seqs.push_back({u, u, u});
+  Rng rng1(5), rng2(5), rng3(6);
+  const auto a = data::MakeTrainBatches(seqs, 4, 32, &rng1);
+  const auto b = data::MakeTrainBatches(seqs, 4, 32, &rng2);
+  const auto c = data::MakeTrainBatches(seqs, 4, 32, &rng3);
+  EXPECT_EQ(a[0].users, b[0].users);   // same seed, same order
+  EXPECT_NE(a[0].users, c[0].users);   // different seed, different order
+}
+
+}  // namespace
+}  // namespace whitenrec
