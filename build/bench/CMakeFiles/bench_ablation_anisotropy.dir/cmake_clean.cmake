@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_anisotropy.dir/bench_ablation_anisotropy.cc.o"
+  "CMakeFiles/bench_ablation_anisotropy.dir/bench_ablation_anisotropy.cc.o.d"
+  "bench_ablation_anisotropy"
+  "bench_ablation_anisotropy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_anisotropy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

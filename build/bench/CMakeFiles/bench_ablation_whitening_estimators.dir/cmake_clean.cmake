@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_whitening_estimators.dir/bench_ablation_whitening_estimators.cc.o"
+  "CMakeFiles/bench_ablation_whitening_estimators.dir/bench_ablation_whitening_estimators.cc.o.d"
+  "bench_ablation_whitening_estimators"
+  "bench_ablation_whitening_estimators.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_whitening_estimators.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_related_models.dir/bench_ext_related_models.cc.o"
+  "CMakeFiles/bench_ext_related_models.dir/bench_ext_related_models.cc.o.d"
+  "bench_ext_related_models"
+  "bench_ext_related_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_related_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

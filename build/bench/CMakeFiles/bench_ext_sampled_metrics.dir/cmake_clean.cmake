@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_sampled_metrics.dir/bench_ext_sampled_metrics.cc.o"
+  "CMakeFiles/bench_ext_sampled_metrics.dir/bench_ext_sampled_metrics.cc.o.d"
+  "bench_ext_sampled_metrics"
+  "bench_ext_sampled_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_sampled_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

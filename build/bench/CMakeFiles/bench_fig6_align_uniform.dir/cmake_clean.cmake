@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_align_uniform.dir/bench_fig6_align_uniform.cc.o"
+  "CMakeFiles/bench_fig6_align_uniform.dir/bench_fig6_align_uniform.cc.o.d"
+  "bench_fig6_align_uniform"
+  "bench_fig6_align_uniform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_align_uniform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

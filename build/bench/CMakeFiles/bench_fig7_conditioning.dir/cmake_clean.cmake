@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_conditioning.dir/bench_fig7_conditioning.cc.o"
+  "CMakeFiles/bench_fig7_conditioning.dir/bench_fig7_conditioning.cc.o.d"
+  "bench_fig7_conditioning"
+  "bench_fig7_conditioning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_conditioning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

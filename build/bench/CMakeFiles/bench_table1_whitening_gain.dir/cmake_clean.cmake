@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_whitening_gain.dir/bench_table1_whitening_gain.cc.o"
+  "CMakeFiles/bench_table1_whitening_gain.dir/bench_table1_whitening_gain.cc.o.d"
+  "bench_table1_whitening_gain"
+  "bench_table1_whitening_gain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_whitening_gain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

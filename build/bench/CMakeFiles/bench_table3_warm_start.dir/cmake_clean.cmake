@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_warm_start.dir/bench_table3_warm_start.cc.o"
+  "CMakeFiles/bench_table3_warm_start.dir/bench_table3_warm_start.cc.o.d"
+  "bench_table3_warm_start"
+  "bench_table3_warm_start.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_warm_start.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

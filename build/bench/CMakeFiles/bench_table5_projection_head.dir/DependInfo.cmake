@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_table5_projection_head.cc" "bench/CMakeFiles/bench_table5_projection_head.dir/bench_table5_projection_head.cc.o" "gcc" "bench/CMakeFiles/bench_table5_projection_head.dir/bench_table5_projection_head.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/whitenrec_seqrec.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/whitenrec_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/whitenrec_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/whitenrec_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/whitenrec_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/whitenrec_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/whitenrec_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/whitenrec_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_projection_head.dir/bench_table5_projection_head.cc.o"
+  "CMakeFiles/bench_table5_projection_head.dir/bench_table5_projection_head.cc.o.d"
+  "bench_table5_projection_head"
+  "bench_table5_projection_head.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_projection_head.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

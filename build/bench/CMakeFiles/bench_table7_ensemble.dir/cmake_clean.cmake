@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table7_ensemble.dir/bench_table7_ensemble.cc.o"
+  "CMakeFiles/bench_table7_ensemble.dir/bench_table7_ensemble.cc.o.d"
+  "bench_table7_ensemble"
+  "bench_table7_ensemble.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table7_ensemble.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

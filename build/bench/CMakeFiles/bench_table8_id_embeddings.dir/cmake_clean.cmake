@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table8_id_embeddings.dir/bench_table8_id_embeddings.cc.o"
+  "CMakeFiles/bench_table8_id_embeddings.dir/bench_table8_id_embeddings.cc.o.d"
+  "bench_table8_id_embeddings"
+  "bench_table8_id_embeddings.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table8_id_embeddings.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

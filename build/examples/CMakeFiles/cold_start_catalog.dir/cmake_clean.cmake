@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cold_start_catalog.dir/cold_start_catalog.cpp.o"
+  "CMakeFiles/cold_start_catalog.dir/cold_start_catalog.cpp.o.d"
+  "cold_start_catalog"
+  "cold_start_catalog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cold_start_catalog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

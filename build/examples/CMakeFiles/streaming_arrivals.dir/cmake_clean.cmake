@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/streaming_arrivals.dir/streaming_arrivals.cpp.o"
+  "CMakeFiles/streaming_arrivals.dir/streaming_arrivals.cpp.o.d"
+  "streaming_arrivals"
+  "streaming_arrivals.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/streaming_arrivals.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/whitening_playground.dir/whitening_playground.cpp.o"
+  "CMakeFiles/whitening_playground.dir/whitening_playground.cpp.o.d"
+  "whitening_playground"
+  "whitening_playground.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/whitening_playground.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

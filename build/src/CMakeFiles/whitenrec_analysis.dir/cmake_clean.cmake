@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/whitenrec_analysis.dir/analysis/spectrum.cc.o"
+  "CMakeFiles/whitenrec_analysis.dir/analysis/spectrum.cc.o.d"
+  "CMakeFiles/whitenrec_analysis.dir/analysis/tsne.cc.o"
+  "CMakeFiles/whitenrec_analysis.dir/analysis/tsne.cc.o.d"
+  "libwhitenrec_analysis.a"
+  "libwhitenrec_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/whitenrec_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

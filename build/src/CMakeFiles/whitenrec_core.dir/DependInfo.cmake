@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/flow_whitening.cc" "src/CMakeFiles/whitenrec_core.dir/core/flow_whitening.cc.o" "gcc" "src/CMakeFiles/whitenrec_core.dir/core/flow_whitening.cc.o.d"
+  "/root/repo/src/core/incremental_whitening.cc" "src/CMakeFiles/whitenrec_core.dir/core/incremental_whitening.cc.o" "gcc" "src/CMakeFiles/whitenrec_core.dir/core/incremental_whitening.cc.o.d"
+  "/root/repo/src/core/parametric_whitening.cc" "src/CMakeFiles/whitenrec_core.dir/core/parametric_whitening.cc.o" "gcc" "src/CMakeFiles/whitenrec_core.dir/core/parametric_whitening.cc.o.d"
+  "/root/repo/src/core/whiten_encoder.cc" "src/CMakeFiles/whitenrec_core.dir/core/whiten_encoder.cc.o" "gcc" "src/CMakeFiles/whitenrec_core.dir/core/whiten_encoder.cc.o.d"
+  "/root/repo/src/core/whitening.cc" "src/CMakeFiles/whitenrec_core.dir/core/whitening.cc.o" "gcc" "src/CMakeFiles/whitenrec_core.dir/core/whitening.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/whitenrec_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/whitenrec_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/whitenrec_core.dir/core/flow_whitening.cc.o"
+  "CMakeFiles/whitenrec_core.dir/core/flow_whitening.cc.o.d"
+  "CMakeFiles/whitenrec_core.dir/core/incremental_whitening.cc.o"
+  "CMakeFiles/whitenrec_core.dir/core/incremental_whitening.cc.o.d"
+  "CMakeFiles/whitenrec_core.dir/core/parametric_whitening.cc.o"
+  "CMakeFiles/whitenrec_core.dir/core/parametric_whitening.cc.o.d"
+  "CMakeFiles/whitenrec_core.dir/core/whiten_encoder.cc.o"
+  "CMakeFiles/whitenrec_core.dir/core/whiten_encoder.cc.o.d"
+  "CMakeFiles/whitenrec_core.dir/core/whitening.cc.o"
+  "CMakeFiles/whitenrec_core.dir/core/whitening.cc.o.d"
+  "libwhitenrec_core.a"
+  "libwhitenrec_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/whitenrec_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

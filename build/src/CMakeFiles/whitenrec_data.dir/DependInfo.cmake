@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/batcher.cc" "src/CMakeFiles/whitenrec_data.dir/data/batcher.cc.o" "gcc" "src/CMakeFiles/whitenrec_data.dir/data/batcher.cc.o.d"
+  "/root/repo/src/data/dataset.cc" "src/CMakeFiles/whitenrec_data.dir/data/dataset.cc.o" "gcc" "src/CMakeFiles/whitenrec_data.dir/data/dataset.cc.o.d"
+  "/root/repo/src/data/generator.cc" "src/CMakeFiles/whitenrec_data.dir/data/generator.cc.o" "gcc" "src/CMakeFiles/whitenrec_data.dir/data/generator.cc.o.d"
+  "/root/repo/src/data/io.cc" "src/CMakeFiles/whitenrec_data.dir/data/io.cc.o" "gcc" "src/CMakeFiles/whitenrec_data.dir/data/io.cc.o.d"
+  "/root/repo/src/data/split.cc" "src/CMakeFiles/whitenrec_data.dir/data/split.cc.o" "gcc" "src/CMakeFiles/whitenrec_data.dir/data/split.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/whitenrec_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/whitenrec_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

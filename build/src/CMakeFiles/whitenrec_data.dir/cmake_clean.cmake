@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/whitenrec_data.dir/data/batcher.cc.o"
+  "CMakeFiles/whitenrec_data.dir/data/batcher.cc.o.d"
+  "CMakeFiles/whitenrec_data.dir/data/dataset.cc.o"
+  "CMakeFiles/whitenrec_data.dir/data/dataset.cc.o.d"
+  "CMakeFiles/whitenrec_data.dir/data/generator.cc.o"
+  "CMakeFiles/whitenrec_data.dir/data/generator.cc.o.d"
+  "CMakeFiles/whitenrec_data.dir/data/io.cc.o"
+  "CMakeFiles/whitenrec_data.dir/data/io.cc.o.d"
+  "CMakeFiles/whitenrec_data.dir/data/split.cc.o"
+  "CMakeFiles/whitenrec_data.dir/data/split.cc.o.d"
+  "libwhitenrec_data.a"
+  "libwhitenrec_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/whitenrec_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

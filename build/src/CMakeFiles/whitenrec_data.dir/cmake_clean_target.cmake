@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libwhitenrec_data.a"
+)

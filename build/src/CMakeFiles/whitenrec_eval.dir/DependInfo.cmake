@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/eval/alignment_uniformity.cc" "src/CMakeFiles/whitenrec_eval.dir/eval/alignment_uniformity.cc.o" "gcc" "src/CMakeFiles/whitenrec_eval.dir/eval/alignment_uniformity.cc.o.d"
+  "/root/repo/src/eval/conditioning.cc" "src/CMakeFiles/whitenrec_eval.dir/eval/conditioning.cc.o" "gcc" "src/CMakeFiles/whitenrec_eval.dir/eval/conditioning.cc.o.d"
+  "/root/repo/src/eval/metrics.cc" "src/CMakeFiles/whitenrec_eval.dir/eval/metrics.cc.o" "gcc" "src/CMakeFiles/whitenrec_eval.dir/eval/metrics.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/whitenrec_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/whitenrec_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/whitenrec_eval.dir/eval/alignment_uniformity.cc.o"
+  "CMakeFiles/whitenrec_eval.dir/eval/alignment_uniformity.cc.o.d"
+  "CMakeFiles/whitenrec_eval.dir/eval/conditioning.cc.o"
+  "CMakeFiles/whitenrec_eval.dir/eval/conditioning.cc.o.d"
+  "CMakeFiles/whitenrec_eval.dir/eval/metrics.cc.o"
+  "CMakeFiles/whitenrec_eval.dir/eval/metrics.cc.o.d"
+  "libwhitenrec_eval.a"
+  "libwhitenrec_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/whitenrec_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/whitenrec_linalg.dir/linalg/cholesky.cc.o"
+  "CMakeFiles/whitenrec_linalg.dir/linalg/cholesky.cc.o.d"
+  "CMakeFiles/whitenrec_linalg.dir/linalg/eigen.cc.o"
+  "CMakeFiles/whitenrec_linalg.dir/linalg/eigen.cc.o.d"
+  "CMakeFiles/whitenrec_linalg.dir/linalg/matrix.cc.o"
+  "CMakeFiles/whitenrec_linalg.dir/linalg/matrix.cc.o.d"
+  "CMakeFiles/whitenrec_linalg.dir/linalg/rng.cc.o"
+  "CMakeFiles/whitenrec_linalg.dir/linalg/rng.cc.o.d"
+  "CMakeFiles/whitenrec_linalg.dir/linalg/stats.cc.o"
+  "CMakeFiles/whitenrec_linalg.dir/linalg/stats.cc.o.d"
+  "libwhitenrec_linalg.a"
+  "libwhitenrec_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/whitenrec_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/whitenrec_nn.dir/nn/attention.cc.o"
+  "CMakeFiles/whitenrec_nn.dir/nn/attention.cc.o.d"
+  "CMakeFiles/whitenrec_nn.dir/nn/gru.cc.o"
+  "CMakeFiles/whitenrec_nn.dir/nn/gru.cc.o.d"
+  "CMakeFiles/whitenrec_nn.dir/nn/layers.cc.o"
+  "CMakeFiles/whitenrec_nn.dir/nn/layers.cc.o.d"
+  "CMakeFiles/whitenrec_nn.dir/nn/loss.cc.o"
+  "CMakeFiles/whitenrec_nn.dir/nn/loss.cc.o.d"
+  "CMakeFiles/whitenrec_nn.dir/nn/optimizer.cc.o"
+  "CMakeFiles/whitenrec_nn.dir/nn/optimizer.cc.o.d"
+  "CMakeFiles/whitenrec_nn.dir/nn/serialize.cc.o"
+  "CMakeFiles/whitenrec_nn.dir/nn/serialize.cc.o.d"
+  "CMakeFiles/whitenrec_nn.dir/nn/tensor.cc.o"
+  "CMakeFiles/whitenrec_nn.dir/nn/tensor.cc.o.d"
+  "CMakeFiles/whitenrec_nn.dir/nn/transformer.cc.o"
+  "CMakeFiles/whitenrec_nn.dir/nn/transformer.cc.o.d"
+  "libwhitenrec_nn.a"
+  "libwhitenrec_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/whitenrec_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/seqrec/baselines.cc" "src/CMakeFiles/whitenrec_seqrec.dir/seqrec/baselines.cc.o" "gcc" "src/CMakeFiles/whitenrec_seqrec.dir/seqrec/baselines.cc.o.d"
+  "/root/repo/src/seqrec/classic_baselines.cc" "src/CMakeFiles/whitenrec_seqrec.dir/seqrec/classic_baselines.cc.o" "gcc" "src/CMakeFiles/whitenrec_seqrec.dir/seqrec/classic_baselines.cc.o.d"
+  "/root/repo/src/seqrec/extended_baselines.cc" "src/CMakeFiles/whitenrec_seqrec.dir/seqrec/extended_baselines.cc.o" "gcc" "src/CMakeFiles/whitenrec_seqrec.dir/seqrec/extended_baselines.cc.o.d"
+  "/root/repo/src/seqrec/general_rec.cc" "src/CMakeFiles/whitenrec_seqrec.dir/seqrec/general_rec.cc.o" "gcc" "src/CMakeFiles/whitenrec_seqrec.dir/seqrec/general_rec.cc.o.d"
+  "/root/repo/src/seqrec/item_encoder.cc" "src/CMakeFiles/whitenrec_seqrec.dir/seqrec/item_encoder.cc.o" "gcc" "src/CMakeFiles/whitenrec_seqrec.dir/seqrec/item_encoder.cc.o.d"
+  "/root/repo/src/seqrec/model.cc" "src/CMakeFiles/whitenrec_seqrec.dir/seqrec/model.cc.o" "gcc" "src/CMakeFiles/whitenrec_seqrec.dir/seqrec/model.cc.o.d"
+  "/root/repo/src/seqrec/trainer.cc" "src/CMakeFiles/whitenrec_seqrec.dir/seqrec/trainer.cc.o" "gcc" "src/CMakeFiles/whitenrec_seqrec.dir/seqrec/trainer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/whitenrec_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/whitenrec_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/whitenrec_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/whitenrec_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/whitenrec_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/whitenrec_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/whitenrec_seqrec.dir/seqrec/baselines.cc.o"
+  "CMakeFiles/whitenrec_seqrec.dir/seqrec/baselines.cc.o.d"
+  "CMakeFiles/whitenrec_seqrec.dir/seqrec/classic_baselines.cc.o"
+  "CMakeFiles/whitenrec_seqrec.dir/seqrec/classic_baselines.cc.o.d"
+  "CMakeFiles/whitenrec_seqrec.dir/seqrec/extended_baselines.cc.o"
+  "CMakeFiles/whitenrec_seqrec.dir/seqrec/extended_baselines.cc.o.d"
+  "CMakeFiles/whitenrec_seqrec.dir/seqrec/general_rec.cc.o"
+  "CMakeFiles/whitenrec_seqrec.dir/seqrec/general_rec.cc.o.d"
+  "CMakeFiles/whitenrec_seqrec.dir/seqrec/item_encoder.cc.o"
+  "CMakeFiles/whitenrec_seqrec.dir/seqrec/item_encoder.cc.o.d"
+  "CMakeFiles/whitenrec_seqrec.dir/seqrec/model.cc.o"
+  "CMakeFiles/whitenrec_seqrec.dir/seqrec/model.cc.o.d"
+  "CMakeFiles/whitenrec_seqrec.dir/seqrec/trainer.cc.o"
+  "CMakeFiles/whitenrec_seqrec.dir/seqrec/trainer.cc.o.d"
+  "libwhitenrec_seqrec.a"
+  "libwhitenrec_seqrec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/whitenrec_seqrec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

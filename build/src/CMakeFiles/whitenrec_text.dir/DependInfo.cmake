@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/text/catalog.cc" "src/CMakeFiles/whitenrec_text.dir/text/catalog.cc.o" "gcc" "src/CMakeFiles/whitenrec_text.dir/text/catalog.cc.o.d"
+  "/root/repo/src/text/sim_plm.cc" "src/CMakeFiles/whitenrec_text.dir/text/sim_plm.cc.o" "gcc" "src/CMakeFiles/whitenrec_text.dir/text/sim_plm.cc.o.d"
+  "/root/repo/src/text/vocab.cc" "src/CMakeFiles/whitenrec_text.dir/text/vocab.cc.o" "gcc" "src/CMakeFiles/whitenrec_text.dir/text/vocab.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/whitenrec_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

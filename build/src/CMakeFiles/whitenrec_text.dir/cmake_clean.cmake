@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/whitenrec_text.dir/text/catalog.cc.o"
+  "CMakeFiles/whitenrec_text.dir/text/catalog.cc.o.d"
+  "CMakeFiles/whitenrec_text.dir/text/sim_plm.cc.o"
+  "CMakeFiles/whitenrec_text.dir/text/sim_plm.cc.o.d"
+  "CMakeFiles/whitenrec_text.dir/text/vocab.cc.o"
+  "CMakeFiles/whitenrec_text.dir/text/vocab.cc.o.d"
+  "libwhitenrec_text.a"
+  "libwhitenrec_text.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/whitenrec_text.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/io_metrics_test.dir/io_metrics_test.cc.o"
+  "CMakeFiles/io_metrics_test.dir/io_metrics_test.cc.o.d"
+  "io_metrics_test"
+  "io_metrics_test.pdb"
+  "io_metrics_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/io_metrics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seqrec_test.dir/seqrec_test.cc.o"
+  "CMakeFiles/seqrec_test.dir/seqrec_test.cc.o.d"
+  "seqrec_test"
+  "seqrec_test.pdb"
+  "seqrec_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seqrec_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

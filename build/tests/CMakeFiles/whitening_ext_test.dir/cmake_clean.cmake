@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/whitening_ext_test.dir/whitening_ext_test.cc.o"
+  "CMakeFiles/whitening_ext_test.dir/whitening_ext_test.cc.o.d"
+  "whitening_ext_test"
+  "whitening_ext_test.pdb"
+  "whitening_ext_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/whitening_ext_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/whitening_test.dir/whitening_test.cc.o"
+  "CMakeFiles/whitening_test.dir/whitening_test.cc.o.d"
+  "whitening_test"
+  "whitening_test.pdb"
+  "whitening_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/whitening_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
