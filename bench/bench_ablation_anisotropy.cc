@@ -9,7 +9,8 @@
 #include "linalg/stats.h"
 #include "seqrec/baselines.h"
 
-int main() {
+int main(int argc, char** argv) {
+  whitenrec::bench::ApplyThreadsFlag(argc, argv);
   using namespace whitenrec;
   const double scale = bench::EnvScale();
   const seqrec::SasRecConfig mc = bench::DefaultModelConfig();

@@ -41,7 +41,8 @@ void RunVariant(const std::string& label, const WhiteningOptions& options,
 }  // namespace
 }  // namespace whitenrec
 
-int main() {
+int main(int argc, char** argv) {
+  whitenrec::bench::ApplyThreadsFlag(argc, argv);
   using namespace whitenrec;
   const data::GeneratedData gen =
       bench::LoadDataset(data::ArtsProfile(bench::EnvScale()));

@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "core/parallel.h"
 #include "data/generator.h"
 #include "data/split.h"
 #include "seqrec/model.h"
@@ -29,6 +30,21 @@ inline double EnvScale() {
 inline std::size_t EnvEpochs() {
   const char* s = std::getenv("WHITENREC_EPOCHS");
   return s == nullptr ? 12 : static_cast<std::size_t>(std::atoi(s));
+}
+
+// Applies a `--threads N` / `--threads=N` command-line override of the
+// worker-thread count (otherwise WHITENREC_THREADS, otherwise 1) and returns
+// the resulting setting. 0 selects hardware concurrency.
+inline std::size_t ApplyThreadsFlag(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--threads=", 0) == 0) {
+      core::SetNumThreads(static_cast<std::size_t>(std::atoi(arg.c_str() + 10)));
+    } else if (arg == "--threads" && i + 1 < argc) {
+      core::SetNumThreads(static_cast<std::size_t>(std::atoi(argv[i + 1])));
+    }
+  }
+  return core::NumThreads();
 }
 
 inline seqrec::SasRecConfig DefaultModelConfig() {

@@ -7,7 +7,8 @@
 #include "core/whitening.h"
 #include "linalg/stats.h"
 
-int main() {
+int main(int argc, char** argv) {
+  whitenrec::bench::ApplyThreadsFlag(argc, argv);
   using namespace whitenrec;
   const data::GeneratedData gen =
       bench::LoadDataset(data::ArtsProfile(bench::EnvScale()));

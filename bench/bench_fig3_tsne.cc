@@ -70,7 +70,8 @@ void WriteCsv(const std::string& path, const linalg::Matrix& y,
 }  // namespace
 }  // namespace whitenrec
 
-int main() {
+int main(int argc, char** argv) {
+  whitenrec::bench::ApplyThreadsFlag(argc, argv);
   using namespace whitenrec;
   const data::GeneratedData gen =
       bench::LoadDataset(data::ArtsProfile(bench::EnvScale()));

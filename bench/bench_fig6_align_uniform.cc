@@ -49,7 +49,8 @@ void RunDataset(const data::DatasetProfile& profile) {
 }  // namespace
 }  // namespace whitenrec
 
-int main() {
+int main(int argc, char** argv) {
+  whitenrec::bench::ApplyThreadsFlag(argc, argv);
   const double scale = whitenrec::bench::EnvScale();
   whitenrec::RunDataset(whitenrec::data::ArtsProfile(scale));
   whitenrec::RunDataset(whitenrec::data::FoodProfile(scale));

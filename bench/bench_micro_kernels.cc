@@ -4,9 +4,12 @@
 // whitening, and one SASRec training step. These quantify the claim that
 // the whitening transforms are cheap, precomputable preprocessing.
 
+#include <string>
+
 #include <benchmark/benchmark.h>
 
 #include "core/flow_whitening.h"
+#include "core/parallel.h"
 #include "core/whitening.h"
 #include "data/generator.h"
 #include "data/split.h"
@@ -29,6 +32,29 @@ void BM_MatMul(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * n * n * n);
 }
 BENCHMARK(BM_MatMul)->Arg(32)->Arg(64)->Arg(128);
+
+// Thread scaling of the parallel GEMM on a 512x512x512 product. items/s is
+// multiply-add throughput, directly comparable across the thread counts.
+void BM_MatMulThreads(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const std::size_t threads = static_cast<std::size_t>(state.range(1));
+  const std::size_t saved = core::NumThreads();
+  core::SetNumThreads(threads);
+  linalg::Rng rng(1);
+  const linalg::Matrix a = rng.GaussianMatrix(n, n, 1.0);
+  const linalg::Matrix b = rng.GaussianMatrix(n, n, 1.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(linalg::MatMul(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+  state.SetLabel(std::to_string(threads) + " thread(s)");
+  core::SetNumThreads(saved);
+}
+BENCHMARK(BM_MatMulThreads)
+    ->Args({512, 1})
+    ->Args({512, 2})
+    ->Args({512, 4})
+    ->Unit(benchmark::kMillisecond);
 
 void BM_SymmetricEigen(benchmark::State& state) {
   const std::size_t n = static_cast<std::size_t>(state.range(0));

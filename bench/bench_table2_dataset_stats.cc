@@ -4,7 +4,8 @@
 
 #include "bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
+  whitenrec::bench::ApplyThreadsFlag(argc, argv);
   using namespace whitenrec;
   const double scale = bench::EnvScale();
   std::printf("\n=== Table II - Dataset statistics (scale %.2f) ===\n", scale);

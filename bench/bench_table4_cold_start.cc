@@ -47,7 +47,8 @@ void RunDataset(const data::DatasetProfile& profile) {
 }  // namespace
 }  // namespace whitenrec
 
-int main() {
+int main(int argc, char** argv) {
+  whitenrec::bench::ApplyThreadsFlag(argc, argv);
   const double scale = whitenrec::bench::EnvScale();
   for (const auto& profile : whitenrec::data::AllProfiles(scale)) {
     whitenrec::RunDataset(profile);

@@ -1,12 +1,17 @@
 // Reproduces paper Table IX: efficiency on the Tools dataset — parameter
 // counts and seconds per epoch for UniSRec, WhitenRec and WhitenRec+ in
-// their text-only (T) and text+ID (T+ID) variants.
+// their text-only (T) and text+ID (T+ID) variants. Each model is timed
+// twice: once single-threaded and once at the configured worker count
+// (`--threads N`, default WHITENREC_THREADS), so the table doubles as a
+// thread-scaling report for the training hot path.
 
 #include "bench_common.h"
+#include "core/parallel.h"
 #include "seqrec/baselines.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace whitenrec;
+  const std::size_t threads = bench::ApplyThreadsFlag(argc, argv);
   const data::GeneratedData gen =
       bench::LoadDataset(data::ToolsProfile(bench::EnvScale()));
   const data::Dataset& ds = gen.dataset;
@@ -16,19 +21,28 @@ int main() {
   tc.epochs = 3;  // timing only needs a few epochs
   tc.patience = 100;
 
-  std::printf("\n=== Table IX - Efficiency (Tools) ===\n");
-  std::printf("%-22s%12s%12s\n", "model", "#params", "s/epoch");
+  std::printf("\n=== Table IX - Efficiency (Tools), %zu worker thread(s) ===\n",
+              threads);
+  std::printf("%-22s%12s%14s%14s%10s\n", "model", "#params", "s/epoch(1T)",
+              "s/epoch(NT)", "speedup");
   WhitenRecConfig wc;
-  auto run = [&](std::unique_ptr<seqrec::SasRecRecommender> rec) {
-    const seqrec::TrainResult& result = rec->Fit(split, tc);
-    std::printf("%-22s%12zu%12.3f\n", rec->name().c_str(),
-                rec->NumParameters(), result.avg_epoch_seconds);
+  auto run = [&](auto factory) {
+    seqrec::TrainConfig serial = tc;
+    serial.num_threads = 1;
+    seqrec::TrainConfig parallel = tc;
+    parallel.num_threads = threads;
+    auto rec1 = factory();
+    const double s1 = rec1->Fit(split, serial).avg_epoch_seconds;
+    auto recn = factory();
+    const double sn = recn->Fit(split, parallel).avg_epoch_seconds;
+    std::printf("%-22s%12zu%14.3f%14.3f%9.2fx\n", recn->name().c_str(),
+                recn->NumParameters(), s1, sn, sn > 0.0 ? s1 / sn : 0.0);
   };
-  run(seqrec::MakeUniSRec(ds, mc, /*with_id=*/false));
-  run(seqrec::MakeUniSRec(ds, mc, /*with_id=*/true));
-  run(seqrec::MakeWhitenRec(ds, mc, wc, /*with_id=*/false));
-  run(seqrec::MakeWhitenRec(ds, mc, wc, /*with_id=*/true));
-  run(seqrec::MakeWhitenRecPlus(ds, mc, wc, /*with_id=*/false));
-  run(seqrec::MakeWhitenRecPlus(ds, mc, wc, /*with_id=*/true));
+  run([&] { return seqrec::MakeUniSRec(ds, mc, /*with_id=*/false); });
+  run([&] { return seqrec::MakeUniSRec(ds, mc, /*with_id=*/true); });
+  run([&] { return seqrec::MakeWhitenRec(ds, mc, wc, /*with_id=*/false); });
+  run([&] { return seqrec::MakeWhitenRec(ds, mc, wc, /*with_id=*/true); });
+  run([&] { return seqrec::MakeWhitenRecPlus(ds, mc, wc, /*with_id=*/false); });
+  run([&] { return seqrec::MakeWhitenRecPlus(ds, mc, wc, /*with_id=*/true); });
   return 0;
 }

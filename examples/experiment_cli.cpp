@@ -16,6 +16,7 @@
 #include <map>
 #include <string>
 
+#include "core/parallel.h"
 #include "data/generator.h"
 #include "data/io.h"
 #include "data/split.h"
@@ -72,9 +73,18 @@ int main(int argc, char** argv) {
         "  [--model=NAME] [--epochs=N] [--scale=F] [--hidden=N] "
         "[--groups=N]\n"
         "  [--whitening=zca|pca|cd|bn] [--lr=F] [--cold] [--seed=N]\n"
-        "  [--save-checkpoint=PATH] [--export-data=PREFIX]\n");
+        "  [--threads=N] [--save-checkpoint=PATH] [--export-data=PREFIX]\n");
     return 0;
   }
+
+  // --- Threads -----------------------------------------------------------
+  // Worker threads for the parallel kernels; 0 = hardware concurrency.
+  // Results are bitwise identical at any setting (see DESIGN.md).
+  if (args.count("threads")) {
+    core::SetNumThreads(
+        static_cast<std::size_t>(std::atoi(Get(args, "threads", "1").c_str())));
+  }
+  std::printf("worker threads: %zu\n", core::NumThreads());
 
   // --- Dataset -----------------------------------------------------------
   data::Dataset dataset;

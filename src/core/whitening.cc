@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "core/parallel.h"
 #include "linalg/cholesky.h"
 #include "linalg/eigen.h"
 #include "linalg/stats.h"
@@ -123,10 +124,13 @@ Result<FittedWhitening> FitWhiteningAdvanced(const Matrix& x,
 Matrix ApplyWhitening(const FittedWhitening& w, const Matrix& x) {
   WR_CHECK_EQ(x.cols(), w.mean.size());
   Matrix centered = x;
-  for (std::size_t r = 0; r < centered.rows(); ++r) {
-    double* row = centered.RowPtr(r);
-    for (std::size_t c = 0; c < centered.cols(); ++c) row[c] -= w.mean[c];
-  }
+  core::ParallelFor(0, centered.rows(), core::GrainForWork(centered.cols()),
+                    [&](std::size_t r0, std::size_t r1) {
+    for (std::size_t r = r0; r < r1; ++r) {
+      double* row = centered.RowPtr(r);
+      for (std::size_t c = 0; c < centered.cols(); ++c) row[c] -= w.mean[c];
+    }
+  });
   // z_row = phi * centered_row  <=>  Z = centered * phi^T.
   return linalg::MatMulTransB(centered, w.phi);
 }

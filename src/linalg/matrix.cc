@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "core/parallel.h"
+
 namespace whitenrec {
 namespace linalg {
 
@@ -95,64 +97,80 @@ double Matrix::MaxAbs() const {
   return m;
 }
 
+// The three GEMM variants are parallelized over blocks of OUTPUT rows: each
+// output row is produced by exactly one chunk with its k-accumulation in
+// ascending order, so results are bitwise identical at any thread count (and
+// to the serial sweep).
+
 Matrix MatMul(const Matrix& a, const Matrix& b) {
   WR_CHECK_EQ(a.cols(), b.rows());
   Matrix c(a.rows(), b.cols());
-  // ikj loop order: streams through b and c rows for cache friendliness.
-  for (std::size_t i = 0; i < a.rows(); ++i) {
-    const double* arow = a.RowPtr(i);
-    double* crow = c.RowPtr(i);
-    for (std::size_t k = 0; k < a.cols(); ++k) {
-      const double aik = arow[k];
-      if (aik == 0.0) continue;
-      const double* brow = b.RowPtr(k);
-      for (std::size_t j = 0; j < b.cols(); ++j) crow[j] += aik * brow[j];
+  const std::size_t grain = core::GrainForWork(a.cols() * b.cols());
+  core::ParallelFor(0, a.rows(), grain, [&](std::size_t i0, std::size_t i1) {
+    // ikj loop order: streams through b and c rows for cache friendliness.
+    for (std::size_t i = i0; i < i1; ++i) {
+      const double* arow = a.RowPtr(i);
+      double* crow = c.RowPtr(i);
+      for (std::size_t k = 0; k < a.cols(); ++k) {
+        const double aik = arow[k];
+        if (aik == 0.0) continue;
+        const double* brow = b.RowPtr(k);
+        for (std::size_t j = 0; j < b.cols(); ++j) crow[j] += aik * brow[j];
+      }
     }
-  }
+  });
   return c;
 }
 
 Matrix MatMulTransA(const Matrix& a, const Matrix& b) {
   WR_CHECK_EQ(a.rows(), b.rows());
   Matrix c(a.cols(), b.cols());
-  for (std::size_t k = 0; k < a.rows(); ++k) {
-    const double* arow = a.RowPtr(k);
-    const double* brow = b.RowPtr(k);
-    for (std::size_t i = 0; i < a.cols(); ++i) {
-      const double aki = arow[i];
-      if (aki == 0.0) continue;
+  const std::size_t grain = core::GrainForWork(a.rows() * b.cols());
+  core::ParallelFor(0, a.cols(), grain, [&](std::size_t i0, std::size_t i1) {
+    for (std::size_t i = i0; i < i1; ++i) {
       double* crow = c.RowPtr(i);
-      for (std::size_t j = 0; j < b.cols(); ++j) crow[j] += aki * brow[j];
+      for (std::size_t k = 0; k < a.rows(); ++k) {
+        const double aki = a(k, i);
+        if (aki == 0.0) continue;
+        const double* brow = b.RowPtr(k);
+        for (std::size_t j = 0; j < b.cols(); ++j) crow[j] += aki * brow[j];
+      }
     }
-  }
+  });
   return c;
 }
 
 Matrix MatMulTransB(const Matrix& a, const Matrix& b) {
   WR_CHECK_EQ(a.cols(), b.cols());
   Matrix c(a.rows(), b.rows());
-  for (std::size_t i = 0; i < a.rows(); ++i) {
-    const double* arow = a.RowPtr(i);
-    double* crow = c.RowPtr(i);
-    for (std::size_t j = 0; j < b.rows(); ++j) {
-      const double* brow = b.RowPtr(j);
-      double sum = 0.0;
-      for (std::size_t k = 0; k < a.cols(); ++k) sum += arow[k] * brow[k];
-      crow[j] = sum;
+  const std::size_t grain = core::GrainForWork(a.cols() * b.rows());
+  core::ParallelFor(0, a.rows(), grain, [&](std::size_t i0, std::size_t i1) {
+    for (std::size_t i = i0; i < i1; ++i) {
+      const double* arow = a.RowPtr(i);
+      double* crow = c.RowPtr(i);
+      for (std::size_t j = 0; j < b.rows(); ++j) {
+        const double* brow = b.RowPtr(j);
+        double sum = 0.0;
+        for (std::size_t k = 0; k < a.cols(); ++k) sum += arow[k] * brow[k];
+        crow[j] = sum;
+      }
     }
-  }
+  });
   return c;
 }
 
 std::vector<double> MatVec(const Matrix& a, const std::vector<double>& x) {
   WR_CHECK_EQ(a.cols(), x.size());
   std::vector<double> y(a.rows(), 0.0);
-  for (std::size_t i = 0; i < a.rows(); ++i) {
-    const double* arow = a.RowPtr(i);
-    double sum = 0.0;
-    for (std::size_t k = 0; k < a.cols(); ++k) sum += arow[k] * x[k];
-    y[i] = sum;
-  }
+  core::ParallelFor(0, a.rows(), core::GrainForWork(a.cols()),
+                    [&](std::size_t i0, std::size_t i1) {
+    for (std::size_t i = i0; i < i1; ++i) {
+      const double* arow = a.RowPtr(i);
+      double sum = 0.0;
+      for (std::size_t k = 0; k < a.cols(); ++k) sum += arow[k] * x[k];
+      y[i] = sum;
+    }
+  });
   return y;
 }
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "core/parallel.h"
+
 namespace whitenrec {
 namespace linalg {
 
@@ -27,10 +29,62 @@ std::vector<double> CenterColumns(Matrix* x) {
   return mean;
 }
 
+namespace {
+
+// Gram matrix of a fixed block of sample rows, accumulated in ascending row
+// order (the block-local piece of sum_k x_k x_k^T).
+Matrix BlockGram(const Matrix& x, std::size_t r0, std::size_t r1) {
+  Matrix g(x.cols(), x.cols());
+  for (std::size_t k = r0; k < r1; ++k) {
+    const double* row = x.RowPtr(k);
+    for (std::size_t i = 0; i < x.cols(); ++i) {
+      const double xi = row[i];
+      if (xi == 0.0) continue;
+      double* grow = g.RowPtr(i);
+      for (std::size_t j = 0; j < x.cols(); ++j) grow[j] += xi * row[j];
+    }
+  }
+  return g;
+}
+
+// Parallel Gram over sample blocks with a deterministic tree reduction. The
+// block size depends only on the row count — never on the thread count — and
+// the partials are merged pairwise in fixed stride order, so the estimate is
+// bitwise identical at any thread count.
+Matrix ParallelGram(const Matrix& x) {
+  constexpr std::size_t kMinBlockRows = 128;
+  constexpr std::size_t kMaxBlocks = 64;
+  const std::size_t n = x.rows();
+  const std::size_t block =
+      std::max(kMinBlockRows, (n + kMaxBlocks - 1) / kMaxBlocks);
+  const std::size_t num_blocks = (n + block - 1) / block;
+  if (num_blocks <= 1) return BlockGram(x, 0, n);
+
+  std::vector<Matrix> partials(num_blocks);
+  core::ParallelFor(0, num_blocks, 1, [&](std::size_t b0, std::size_t b1) {
+    for (std::size_t b = b0; b < b1; ++b) {
+      partials[b] = BlockGram(x, b * block, std::min(n, (b + 1) * block));
+    }
+  });
+  // Fixed-shape binary tree: level s merges partial[i + s] into partial[i].
+  for (std::size_t stride = 1; stride < num_blocks; stride *= 2) {
+    core::ParallelFor(0, (num_blocks + 2 * stride - 1) / (2 * stride), 1,
+                      [&](std::size_t p0, std::size_t p1) {
+      for (std::size_t p = p0; p < p1; ++p) {
+        const std::size_t i = p * 2 * stride;
+        if (i + stride < num_blocks) partials[i] += partials[i + stride];
+      }
+    });
+  }
+  return partials[0];
+}
+
+}  // namespace
+
 Matrix Covariance(const Matrix& x, double epsilon) {
   Matrix centered = x;
   CenterColumns(&centered);
-  Matrix cov = MatMulTransA(centered, centered);
+  Matrix cov = ParallelGram(centered);
   cov *= 1.0 / static_cast<double>(x.rows());
   if (epsilon != 0.0) {
     for (std::size_t i = 0; i < cov.rows(); ++i) cov(i, i) += epsilon;

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "core/parallel.h"
+
 namespace whitenrec {
 namespace nn {
 
@@ -37,9 +39,15 @@ Matrix MultiHeadSelfAttention::Forward(const Matrix& x, std::size_t batch,
   const double scale = 1.0 / std::sqrt(static_cast<double>(head_dim_));
   Matrix mixed(x.rows(), dim_);  // concatenated head outputs
 
-  for (std::size_t b = 0; b < batch; ++b) {
-    const std::size_t base = b * seq_len;
-    for (std::size_t h = 0; h < num_heads_; ++h) {
+  // Parallel over (sequence, head) pairs: pair (b, h) touches only rows of
+  // sequence b and the columns of head h, so writes are disjoint and the
+  // result is bitwise independent of the thread count.
+  core::ParallelFor(0, batch * num_heads_, 1, [&](std::size_t p0,
+                                                  std::size_t p1) {
+    for (std::size_t p = p0; p < p1; ++p) {
+      const std::size_t b = p / num_heads_;
+      const std::size_t h = p % num_heads_;
+      const std::size_t base = b * seq_len;
       const std::size_t off = h * head_dim_;
       Matrix& probs = cached_probs_[b * num_heads_ + h];
       probs = Matrix(seq_len, seq_len);
@@ -68,13 +76,13 @@ Matrix MultiHeadSelfAttention::Forward(const Matrix& x, std::size_t batch,
         double* out = mixed.RowPtr(base + i) + off;
         for (std::size_t c = 0; c < head_dim_; ++c) out[c] = 0.0;
         for (std::size_t j = 0; j <= jmax; ++j) {
-          const double p = probs(i, j);
+          const double pij = probs(i, j);
           const double* vj = cached_v_.RowPtr(base + j) + off;
-          for (std::size_t c = 0; c < head_dim_; ++c) out[c] += p * vj[c];
+          for (std::size_t c = 0; c < head_dim_; ++c) out[c] += pij * vj[c];
         }
       }
     }
-  }
+  });
   return wo_.Forward(mixed);
 }
 
@@ -87,10 +95,16 @@ Matrix MultiHeadSelfAttention::Backward(const Matrix& dy) {
   Matrix dv(dy.rows(), dim_);
   const double scale = 1.0 / std::sqrt(static_cast<double>(head_dim_));
 
-  std::vector<double> dprob_row;
-  for (std::size_t b = 0; b < batch_; ++b) {
-    const std::size_t base = b * seq_len_;
-    for (std::size_t h = 0; h < num_heads_; ++h) {
+  // Mirrors the forward parallelization: (b, h) owns the rows of sequence b
+  // restricted to head h's columns in dq/dk/dv, so the scatter-adds below
+  // never collide across chunks.
+  core::ParallelFor(0, batch_ * num_heads_, 1, [&](std::size_t p0,
+                                                   std::size_t p1) {
+    std::vector<double> dprob_row;
+    for (std::size_t p = p0; p < p1; ++p) {
+      const std::size_t b = p / num_heads_;
+      const std::size_t h = p % num_heads_;
+      const std::size_t base = b * seq_len_;
       const std::size_t off = h * head_dim_;
       const Matrix& probs = cached_probs_[b * num_heads_ + h];
       for (std::size_t i = 0; i < seq_len_; ++i) {
@@ -99,13 +113,13 @@ Matrix MultiHeadSelfAttention::Backward(const Matrix& dy) {
         // dprobs_ij = dout . v_j ; dv_j += probs_ij * dout.
         dprob_row.assign(jmax + 1, 0.0);
         for (std::size_t j = 0; j <= jmax; ++j) {
-          const double p = probs(i, j);
+          const double pij = probs(i, j);
           const double* vj = cached_v_.RowPtr(base + j) + off;
           double* dvj = dv.RowPtr(base + j) + off;
           double dp = 0.0;
           for (std::size_t c = 0; c < head_dim_; ++c) {
             dp += dout[c] * vj[c];
-            dvj[c] += p * dout[c];
+            dvj[c] += pij * dout[c];
           }
           dprob_row[j] = dp;
         }
@@ -126,7 +140,7 @@ Matrix MultiHeadSelfAttention::Backward(const Matrix& dy) {
         }
       }
     }
-  }
+  });
 
   Matrix dx = wq_.Backward(dq);
   dx += wk_.Backward(dk);

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "core/check.h"
+#include "core/parallel.h"
 #include "nn/tensor.h"
 
 namespace whitenrec {
@@ -25,21 +26,31 @@ double SoftmaxCrossEntropy(const Matrix& logits,
   Matrix probs = logits;
   RowSoftmaxInPlace(&probs);
 
-  double loss = 0.0;
   *dlogits = Matrix(logits.rows(), logits.cols());
   const double inv_total = 1.0 / weight_total;
-  for (std::size_t r = 0; r < logits.rows(); ++r) {
-    const double w = weights[r];
-    if (w == 0.0) continue;
-    WR_CHECK_LT(targets[r], logits.cols());
-    const double p = std::max(probs(r, targets[r]), 1e-300);
-    loss += -w * std::log(p);
-    double* drow = dlogits->RowPtr(r);
-    const double* prow = probs.RowPtr(r);
-    const double scale = w * inv_total;
-    for (std::size_t c = 0; c < logits.cols(); ++c) drow[c] = scale * prow[c];
-    drow[targets[r]] -= scale;
-  }
+  // Parallel over batch rows; each row's loss term lands in its own slot and
+  // the per-row accumulators are reduced in fixed (row) order below, so the
+  // batch loss is bitwise identical at any thread count.
+  std::vector<double> row_loss(logits.rows(), 0.0);
+  core::ParallelFor(
+      0, logits.rows(), core::GrainForWork(logits.cols()),
+      [&](std::size_t r0, std::size_t r1) {
+        for (std::size_t r = r0; r < r1; ++r) {
+          const double w = weights[r];
+          if (w == 0.0) continue;
+          WR_CHECK_LT(targets[r], logits.cols());
+          const double p = std::max(probs(r, targets[r]), 1e-300);
+          row_loss[r] = -w * std::log(p);
+          double* drow = dlogits->RowPtr(r);
+          const double* prow = probs.RowPtr(r);
+          const double scale = w * inv_total;
+          for (std::size_t c = 0; c < logits.cols(); ++c)
+            drow[c] = scale * prow[c];
+          drow[targets[r]] -= scale;
+        }
+      });
+  double loss = 0.0;
+  for (double term : row_loss) loss += term;
   return loss * inv_total;
 }
 

@@ -3,22 +3,29 @@
 #include <algorithm>
 #include <cmath>
 
+#include "core/parallel.h"
+
 namespace whitenrec {
 namespace nn {
 
 void RowSoftmaxInPlace(linalg::Matrix* m) {
-  for (std::size_t r = 0; r < m->rows(); ++r) {
-    double* row = m->RowPtr(r);
-    double max_v = row[0];
-    for (std::size_t c = 1; c < m->cols(); ++c) max_v = std::max(max_v, row[c]);
-    double sum = 0.0;
-    for (std::size_t c = 0; c < m->cols(); ++c) {
-      row[c] = std::exp(row[c] - max_v);
-      sum += row[c];
+  // Row-independent, so the parallel split cannot change any result bit.
+  core::ParallelFor(0, m->rows(), core::GrainForWork(m->cols()),
+                    [m](std::size_t r0, std::size_t r1) {
+    for (std::size_t r = r0; r < r1; ++r) {
+      double* row = m->RowPtr(r);
+      double max_v = row[0];
+      for (std::size_t c = 1; c < m->cols(); ++c)
+        max_v = std::max(max_v, row[c]);
+      double sum = 0.0;
+      for (std::size_t c = 0; c < m->cols(); ++c) {
+        row[c] = std::exp(row[c] - max_v);
+        sum += row[c];
+      }
+      const double inv = 1.0 / sum;
+      for (std::size_t c = 0; c < m->cols(); ++c) row[c] *= inv;
     }
-    const double inv = 1.0 / sum;
-    for (std::size_t c = 0; c < m->cols(); ++c) row[c] *= inv;
-  }
+  });
 }
 
 void SoftmaxBackwardRow(const double* p, const double* dp, std::size_t n,

@@ -3,6 +3,7 @@
 #include <chrono>
 #include <cstdio>
 
+#include "core/parallel.h"
 #include "eval/alignment_uniformity.h"
 #include "eval/conditioning.h"
 #include "eval/metrics.h"
@@ -30,23 +31,32 @@ eval::MetricAccumulator RankInstances(
   const std::size_t num_items = recommender->num_items();
   const std::vector<data::Batch> batches =
       data::MakeEvalBatches(instances, max_len, batch_size);
-  std::size_t inst_idx = 0;
-  std::vector<char> excluded(num_items, 0);
+  std::size_t inst_base = 0;
   for (const data::Batch& batch : batches) {
     const Matrix scores = recommender->ScoreLastPositions(batch);
-    for (std::size_t b = 0; b < batch.batch_size; ++b) {
-      const data::EvalInstance& inst = instances[inst_idx++];
-      std::fill(excluded.begin(), excluded.end(), 0);
-      if (inst.user < train_sequences.size()) {
-        for (std::size_t item : train_sequences[inst.user]) {
-          excluded[item] = 1;
+    // Rank every user of the batch in parallel (each user's rank is an
+    // independent full-catalog sweep), then accumulate serially in instance
+    // order so the metric sums never depend on the thread count.
+    std::vector<std::size_t> ranks(batch.batch_size);
+    core::ParallelFor(0, batch.batch_size, 1, [&](std::size_t b0,
+                                                  std::size_t b1) {
+      std::vector<char> excluded(num_items, 0);
+      for (std::size_t b = b0; b < b1; ++b) {
+        const data::EvalInstance& inst = instances[inst_base + b];
+        excluded.assign(num_items, 0);
+        if (inst.user < train_sequences.size()) {
+          for (std::size_t item : train_sequences[inst.user]) {
+            excluded[item] = 1;
+          }
         }
+        ranks[b] = eval::RankOfTarget(
+            std::vector<double>(scores.RowPtr(b),
+                                scores.RowPtr(b) + num_items),
+            inst.target, excluded);
       }
-      const std::size_t rank = eval::RankOfTarget(
-          std::vector<double>(scores.RowPtr(b), scores.RowPtr(b) + num_items),
-          inst.target, excluded);
-      acc.AddRank(rank);
-    }
+    });
+    for (std::size_t b = 0; b < batch.batch_size; ++b) acc.AddRank(ranks[b]);
+    inst_base += batch.batch_size;
   }
   return acc;
 }
@@ -74,6 +84,7 @@ TrainResult TrainSasRec(SasRecModel* model, nn::Adam* optimizer,
                         StepFn step) {
   TrainResult result;
   result.num_parameters = optimizer->NumParameters();
+  if (config.num_threads > 0) core::SetNumThreads(config.num_threads);
   linalg::Rng shuffle_rng(config.seed);
   linalg::Rng analysis_rng(config.seed + 17);
 

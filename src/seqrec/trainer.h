@@ -27,6 +27,10 @@ struct TrainConfig {
   bool record_analysis = false;
   std::uint64_t seed = 7;
   bool verbose = false;
+  // Worker threads for the parallel kernels (0 = keep the process-wide
+  // setting, see core/parallel.h). Results are bitwise identical at any
+  // value; this only trades wall-clock time.
+  std::size_t num_threads = 0;
 };
 
 struct EpochLog {

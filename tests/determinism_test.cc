@@ -1,0 +1,217 @@
+// Bit-level reproducibility of the parallel kernels: training, full-ranking
+// evaluation, and whitening fits must produce byte-identical results at any
+// thread count (WHITENREC_THREADS / core::SetNumThreads). This is the
+// property the deterministic static chunking and fixed-order reductions in
+// core/parallel.h exist to guarantee; see DESIGN.md "Parallelism &
+// reproducibility". Also exercised under ThreadSanitizer via check-tsan.
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/parallel.h"
+#include "core/whitening.h"
+#include "data/generator.h"
+#include "data/split.h"
+#include "linalg/rng.h"
+#include "linalg/stats.h"
+#include "seqrec/baselines.h"
+#include "seqrec/trainer.h"
+
+namespace whitenrec {
+namespace {
+
+using linalg::Matrix;
+using linalg::Rng;
+
+const std::vector<std::size_t> kThreadCounts = {1, 2, 8};
+
+class ScopedThreads {
+ public:
+  explicit ScopedThreads(std::size_t n) : saved_(core::NumThreads()) {
+    core::SetNumThreads(n);
+  }
+  ~ScopedThreads() { core::SetNumThreads(saved_); }
+
+ private:
+  std::size_t saved_;
+};
+
+void ExpectBitwiseEqual(const Matrix& a, const Matrix& b, const char* what) {
+  ASSERT_EQ(a.rows(), b.rows()) << what;
+  ASSERT_EQ(a.cols(), b.cols()) << what;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a.data()[i], b.data()[i])
+        << what << " diverges at flat index " << i;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Whitening / covariance
+// ---------------------------------------------------------------------------
+
+// Enough rows for several covariance blocks (block size is 128), so the
+// parallel block-Gram + tree-reduction path is genuinely exercised.
+Matrix AnisotropicSample() {
+  Rng rng(97);
+  Matrix x = rng.GaussianMatrix(700, 24, 1.0);
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    double* row = x.RowPtr(r);
+    for (std::size_t c = 0; c < x.cols(); ++c) {
+      row[c] = row[c] * (1.0 + static_cast<double>(c)) + 0.37 * row[0];
+    }
+  }
+  return x;
+}
+
+TEST(ThreadDeterminismTest, CovarianceBitwiseIdentical) {
+  const Matrix x = AnisotropicSample();
+  std::vector<Matrix> covs;
+  for (std::size_t t : kThreadCounts) {
+    ScopedThreads guard(t);
+    covs.push_back(linalg::Covariance(x, 1e-5));
+  }
+  ExpectBitwiseEqual(covs[0], covs[1], "covariance t=1 vs t=2");
+  ExpectBitwiseEqual(covs[0], covs[2], "covariance t=1 vs t=8");
+}
+
+TEST(ThreadDeterminismTest, WhiteningFitBitwiseIdenticalPerKind) {
+  const Matrix x = AnisotropicSample();
+  for (WhiteningKind kind : {WhiteningKind::kPca, WhiteningKind::kZca,
+                             WhiteningKind::kCholesky}) {
+    std::vector<FittedWhitening> fits;
+    std::vector<Matrix> applied;
+    for (std::size_t t : kThreadCounts) {
+      ScopedThreads guard(t);
+      Result<FittedWhitening> fitted = FitWhitening(x, kind, 1e-4);
+      ASSERT_TRUE(fitted.ok()) << WhiteningKindName(kind);
+      applied.push_back(ApplyWhitening(fitted.value(), x));
+      fits.push_back(std::move(fitted).ValueOrDie());
+    }
+    for (std::size_t v = 1; v < fits.size(); ++v) {
+      ExpectBitwiseEqual(fits[0].phi, fits[v].phi, WhiteningKindName(kind));
+      ASSERT_EQ(fits[0].mean, fits[v].mean) << WhiteningKindName(kind);
+      ExpectBitwiseEqual(applied[0], applied[v], WhiteningKindName(kind));
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Training + evaluation
+// ---------------------------------------------------------------------------
+
+const data::GeneratedData& TinyData() {
+  static const data::GeneratedData* data = [] {
+    data::DatasetProfile p = data::ArtsProfile(0.3);
+    p.plm.embed_dim = 16;
+    p.plm.calibration_iters = 15;
+    return new data::GeneratedData(data::GenerateDataset(p));
+  }();
+  return *data;
+}
+
+struct RunOutcome {
+  std::vector<double> losses;
+  std::vector<double> valid_ndcg;
+  std::vector<Matrix> params;
+  seqrec::EvalResult eval;
+};
+
+// One fresh 3-epoch SASRec/WhitenRec training + full eval at `threads`.
+// Everything stochastic (init, shuffling, dropout) is seeded, so any
+// divergence between runs can only come from the parallel kernels.
+RunOutcome RunTraining(std::size_t threads) {
+  ScopedThreads guard(threads);
+  seqrec::SasRecConfig mc;
+  mc.hidden_dim = 16;
+  mc.num_blocks = 1;
+  mc.num_heads = 2;
+  mc.ffn_hidden = 32;
+  mc.dropout = 0.1;
+  mc.max_len = 8;
+  mc.seed = 21;
+  WhitenRecConfig wc;
+  wc.out_dim = 16;
+  auto rec = seqrec::MakeWhitenRec(TinyData().dataset, mc, wc);
+  const data::Split split = data::LeaveOneOutSplit(TinyData().dataset);
+
+  seqrec::TrainConfig tc;
+  tc.epochs = 3;
+  tc.batch_size = 64;
+  tc.learning_rate = 2e-3;
+  tc.patience = 100;
+  tc.restore_best = false;  // compare the state after exactly 3 epochs
+  const seqrec::TrainResult& result = rec->Fit(split, tc);
+
+  RunOutcome out;
+  for (const seqrec::EpochLog& log : result.epochs) {
+    out.losses.push_back(log.train_loss);
+    out.valid_ndcg.push_back(log.valid_ndcg20);
+  }
+  for (nn::Parameter* p : rec->model()->Parameters()) {
+    out.params.push_back(p->value);
+  }
+  out.eval = seqrec::EvaluateRanking(rec.get(), split.test, split.train,
+                                     mc.max_len);
+  return out;
+}
+
+TEST(ThreadDeterminismTest, TrainEvalBitwiseIdenticalAcrossThreadCounts) {
+  std::vector<RunOutcome> runs;
+  for (std::size_t t : kThreadCounts) runs.push_back(RunTraining(t));
+  ASSERT_EQ(runs[0].losses.size(), 3u);
+
+  for (std::size_t v = 1; v < runs.size(); ++v) {
+    const RunOutcome& a = runs[0];
+    const RunOutcome& b = runs[v];
+    // Per-epoch train losses and validation NDCG, bitwise.
+    ASSERT_EQ(a.losses, b.losses) << "losses, run " << v;
+    ASSERT_EQ(a.valid_ndcg, b.valid_ndcg) << "valid ndcg, run " << v;
+    // Every learned parameter matrix, bitwise.
+    ASSERT_EQ(a.params.size(), b.params.size());
+    for (std::size_t p = 0; p < a.params.size(); ++p) {
+      ExpectBitwiseEqual(a.params[p], b.params[p], "parameter");
+    }
+    // Full-ranking test metrics (HR/Recall and NDCG at 20/50), bitwise.
+    EXPECT_EQ(a.eval.recall20, b.eval.recall20);
+    EXPECT_EQ(a.eval.ndcg20, b.eval.ndcg20);
+    EXPECT_EQ(a.eval.recall50, b.eval.recall50);
+    EXPECT_EQ(a.eval.ndcg50, b.eval.ndcg50);
+    EXPECT_EQ(a.eval.count, b.eval.count);
+  }
+}
+
+// The TrainConfig::num_threads override must behave exactly like the global
+// setter: same bits out, regardless of the ambient configuration.
+TEST(ThreadDeterminismTest, TrainConfigThreadOverrideMatchesGlobal) {
+  const RunOutcome base = RunTraining(1);
+
+  ScopedThreads guard(1);
+  seqrec::SasRecConfig mc;
+  mc.hidden_dim = 16;
+  mc.num_blocks = 1;
+  mc.num_heads = 2;
+  mc.ffn_hidden = 32;
+  mc.dropout = 0.1;
+  mc.max_len = 8;
+  mc.seed = 21;
+  WhitenRecConfig wc;
+  wc.out_dim = 16;
+  auto rec = seqrec::MakeWhitenRec(TinyData().dataset, mc, wc);
+  const data::Split split = data::LeaveOneOutSplit(TinyData().dataset);
+  seqrec::TrainConfig tc;
+  tc.epochs = 3;
+  tc.batch_size = 64;
+  tc.learning_rate = 2e-3;
+  tc.patience = 100;
+  tc.restore_best = false;
+  tc.num_threads = 4;  // raises the global setting for the run
+  const seqrec::TrainResult& result = rec->Fit(split, tc);
+  ASSERT_EQ(result.epochs.size(), base.losses.size());
+  for (std::size_t e = 0; e < base.losses.size(); ++e) {
+    EXPECT_EQ(result.epochs[e].train_loss, base.losses[e]);
+  }
+}
+
+}  // namespace
+}  // namespace whitenrec

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "core/parallel.h"
 #include "grad_check.h"
 #include "linalg/rng.h"
 #include "nn/attention.h"
@@ -487,6 +488,104 @@ TEST(AdamTest, NumParameters) {
   Parameter b("b", Matrix(1, 4));
   Adam adam({&a, &b}, Adam::Options{});
   EXPECT_EQ(adam.NumParameters(), 10u);
+}
+
+// ---------------------------------------------------------------------------
+// Multi-threaded gradient checks
+// ---------------------------------------------------------------------------
+// The grad checks above run at whatever WHITENREC_THREADS selects (usually
+// serial). These repeat the attention-backward and full-softmax checks with
+// the pool forced wide enough that the (batch x head) and batch-row chunking
+// actually splits, verifying the parallel backward paths analytically.
+
+class ScopedThreads {
+ public:
+  explicit ScopedThreads(std::size_t n) : saved_(core::NumThreads()) {
+    core::SetNumThreads(n);
+  }
+  ~ScopedThreads() { core::SetNumThreads(saved_); }
+
+ private:
+  std::size_t saved_;
+};
+
+TEST(AttentionTest, GradCheckInputMultiThreaded) {
+  ScopedThreads guard(4);
+  Rng rng(31);
+  MultiHeadSelfAttention attn(4, 2, &rng);
+  Matrix x = rng.GaussianMatrix(9, 4, 0.7);  // batch=3, L=3 -> 6 (b,h) pairs
+  const Matrix w = rng.GaussianMatrix(9, 4, 1.0);
+  attn.Forward(x, 3, 3);
+  std::vector<Parameter*> params;
+  attn.CollectParameters(&params);
+  for (Parameter* p : params) p->ZeroGrad();
+  const Matrix dx = attn.Backward(w);
+  auto loss = [&]() { return WeightedSum(attn.Forward(x, 3, 3), w); };
+  EXPECT_LT(MaxInputGradError(&x, dx, loss), kGradTol);
+}
+
+TEST(AttentionTest, GradCheckParametersMultiThreaded) {
+  ScopedThreads guard(4);
+  Rng rng(32);
+  MultiHeadSelfAttention attn(4, 2, &rng);
+  Matrix x = rng.GaussianMatrix(6, 4, 0.7);  // batch=2, L=3 -> 4 (b,h) pairs
+  const Matrix w = rng.GaussianMatrix(6, 4, 1.0);
+  attn.Forward(x, 2, 3);
+  std::vector<Parameter*> params;
+  attn.CollectParameters(&params);
+  for (Parameter* p : params) p->ZeroGrad();
+  attn.Backward(w);
+  auto loss = [&]() { return WeightedSum(attn.Forward(x, 2, 3), w); };
+  for (Parameter* p : params) {
+    EXPECT_LT(MaxParamGradError(p, p->grad, loss), kGradTol) << p->name;
+  }
+}
+
+TEST(LossTest, CrossEntropyGradCheckMultiThreaded) {
+  ScopedThreads guard(4);
+  Rng rng(33);
+  // Wide enough that GrainForWork splits the 48 rows into several chunks, so
+  // the parallel softmax + gradient fill is genuinely exercised.
+  Matrix logits = rng.GaussianMatrix(48, 400, 1.0);
+  std::vector<std::size_t> targets(48);
+  std::vector<double> weights(48, 1.0);
+  for (std::size_t r = 0; r < 48; ++r) targets[r] = (r * 53) % 400;
+  weights[5] = 0.0;  // keep a masked row in the mix
+  weights[17] = 0.5;
+  Matrix dlogits;
+  SoftmaxCrossEntropy(logits, targets, weights, &dlogits);
+  auto loss = [&]() {
+    Matrix d;
+    return SoftmaxCrossEntropy(logits, targets, weights, &d);
+  };
+  // Finite differences over a strided sample of locations (a full sweep of
+  // 48 x 400 is too slow for tier-1).
+  for (std::size_t i = 0; i < logits.size(); i += 97) {
+    const double numeric =
+        whitenrec::testing::NumericalDerivative(loss, logits.data() + i);
+    EXPECT_NEAR(numeric, dlogits.data()[i], 1e-6) << "flat index " << i;
+  }
+}
+
+TEST(LossTest, CrossEntropyBitwiseStableAcrossThreadCounts) {
+  Rng rng(34);
+  Matrix logits = rng.GaussianMatrix(64, 300, 2.0);
+  std::vector<std::size_t> targets(64);
+  for (std::size_t r = 0; r < 64; ++r) targets[r] = (r * 7) % 300;
+  std::vector<double> losses;
+  std::vector<Matrix> grads;
+  for (std::size_t t : {1u, 2u, 8u}) {
+    ScopedThreads guard(t);
+    Matrix d;
+    losses.push_back(SoftmaxCrossEntropy(logits, targets, &d));
+    grads.push_back(std::move(d));
+  }
+  for (std::size_t v = 1; v < losses.size(); ++v) {
+    EXPECT_EQ(losses[0], losses[v]);
+    for (std::size_t i = 0; i < grads[0].size(); ++i) {
+      ASSERT_EQ(grads[0].data()[i], grads[v].data()[i]) << "flat " << i;
+    }
+  }
 }
 
 }  // namespace
