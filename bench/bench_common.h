@@ -1,6 +1,7 @@
 #ifndef WHITENREC_BENCH_BENCH_COMMON_H_
 #define WHITENREC_BENCH_BENCH_COMMON_H_
 
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -22,14 +23,44 @@ namespace bench {
 //   WHITENREC_SCALE   dataset scale multiplier (default 1.0)
 //   WHITENREC_EPOCHS  training epoch cap       (default 12)
 
+// Strict numeric parsing: a typo like WHITENREC_SCALE=0.5x or
+// `--threads eight` is a fatal configuration error, never a silent 0 (which
+// atoi/atof would produce, and which 0-means-hardware-concurrency would then
+// reinterpret).
+inline double ParseDoubleOrDie(const char* what, const char* s) {
+  char* end = nullptr;
+  errno = 0;
+  const double v = std::strtod(s, &end);
+  if (end == s || *end != '\0' || errno == ERANGE) {
+    std::fprintf(stderr, "bench: %s expects a number, got '%s'\n", what, s);
+    std::exit(EXIT_FAILURE);
+  }
+  return v;
+}
+
+inline std::size_t ParseSizeOrDie(const char* what, const char* s) {
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long v = std::strtoull(s, &end, 10);
+  // strtoull silently accepts a leading '-' by wrapping around; reject it.
+  const char* p = s;
+  while (*p == ' ' || *p == '\t') ++p;
+  if (end == s || *end != '\0' || errno == ERANGE || *p == '-') {
+    std::fprintf(stderr, "bench: %s expects a non-negative integer, got '%s'\n",
+                 what, s);
+    std::exit(EXIT_FAILURE);
+  }
+  return static_cast<std::size_t>(v);
+}
+
 inline double EnvScale() {
   const char* s = std::getenv("WHITENREC_SCALE");
-  return s == nullptr ? 1.0 : std::atof(s);
+  return s == nullptr ? 1.0 : ParseDoubleOrDie("WHITENREC_SCALE", s);
 }
 
 inline std::size_t EnvEpochs() {
   const char* s = std::getenv("WHITENREC_EPOCHS");
-  return s == nullptr ? 12 : static_cast<std::size_t>(std::atoi(s));
+  return s == nullptr ? 12 : ParseSizeOrDie("WHITENREC_EPOCHS", s);
 }
 
 // Applies a `--threads N` / `--threads=N` command-line override of the
@@ -39,9 +70,12 @@ inline std::size_t ApplyThreadsFlag(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg.rfind("--threads=", 0) == 0) {
-      core::SetNumThreads(static_cast<std::size_t>(std::atoi(arg.c_str() + 10)));
+      core::SetNumThreads(ParseSizeOrDie("--threads", arg.c_str() + 10));
     } else if (arg == "--threads" && i + 1 < argc) {
-      core::SetNumThreads(static_cast<std::size_t>(std::atoi(argv[i + 1])));
+      core::SetNumThreads(ParseSizeOrDie("--threads", argv[i + 1]));
+    } else if (arg == "--threads") {
+      std::fprintf(stderr, "bench: --threads requires a value\n");
+      std::exit(EXIT_FAILURE);
     }
   }
   return core::NumThreads();

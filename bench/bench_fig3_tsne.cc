@@ -1,7 +1,8 @@
 // Reproduces paper Fig. 3: t-SNE of item text embeddings (Arts) under
 // different whitening settings — raw, G=1, G=4, G=32. Writes the 2-D
-// coordinates (with category labels) to fig3_<setting>.csv in the working
-// directory and prints cluster-structure summaries: the ratio of mean
+// coordinates (with category labels) to fig3_<setting>.csv in the bench
+// output directory (out/ by default, WHITENREC_OUT_DIR to override) and
+// prints cluster-structure summaries: the ratio of mean
 // intra-category to inter-category distances (lower = manifold preserved)
 // and the dispersion of points around the global centroid (higher = more
 // uniform spread).
@@ -11,6 +12,7 @@
 
 #include "analysis/tsne.h"
 #include "bench_common.h"
+#include "bench_json.h"
 #include "core/whitening.h"
 
 namespace whitenrec {
@@ -100,10 +102,12 @@ int main(int argc, char** argv) {
     const ClusterStats stats = Summarize(y, categories);
     std::printf("%-10s%18.4f%14.4f\n", s.name, stats.intra_over_inter,
                 stats.dispersion);
-    WriteCsv(std::string("fig3_") + s.name + ".csv", y, categories);
+    WriteCsv(bench::OutPath(std::string("fig3_") + s.name + ".csv"), y,
+             categories);
   }
   std::printf(
-      "\ncoordinates written to fig3_*.csv.\n"
+      "\ncoordinates written to %s/fig3_*.csv.\n", bench::OutDir().c_str());
+  std::printf(
       "reading the numbers: dispersion reproduces the paper's uniformity "
       "story\n(full whitening spreads the cloud most evenly). The "
       "intra/inter ratio\ndiffers mechanically from the paper: in SimPLM the "

@@ -1,19 +1,25 @@
 // Micro-benchmarks (google-benchmark) for the computational kernels behind
-// the paper's complexity analysis (Sec. IV-E): dense matmul, symmetric
-// eigendecomposition, whitening fits of each kind, group whitening, flow
-// whitening, and one SASRec training step. These quantify the claim that
-// the whitening transforms are cheap, precomputable preprocessing.
+// the paper's complexity analysis (Sec. IV-E): dense matmul (naive vs the
+// blocked kernels of linalg/gemm.cc), symmetric eigendecomposition,
+// whitening fits of each kind, group whitening, flow whitening, and one
+// SASRec training step. These quantify the claim that the whitening
+// transforms are cheap, precomputable preprocessing. Besides the console
+// table, results are written to <out>/BENCH_kernels.json (GFLOP/s, thread
+// count and kernel variant per run) for machine consumption.
 
 #include <string>
+#include <vector>
 
 #include <benchmark/benchmark.h>
 
+#include "bench_json.h"
 #include "core/flow_whitening.h"
 #include "core/parallel.h"
 #include "core/whitening.h"
 #include "data/generator.h"
 #include "data/split.h"
 #include "linalg/eigen.h"
+#include "linalg/gemm.h"
 #include "linalg/matrix.h"
 #include "linalg/rng.h"
 #include "seqrec/baselines.h"
@@ -32,6 +38,38 @@ void BM_MatMul(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * n * n * n);
 }
 BENCHMARK(BM_MatMul)->Arg(32)->Arg(64)->Arg(128);
+
+// Head-to-head of the kernel variants behind WHITENREC_GEMM on the 512^3
+// product (the tentpole target: blocked must be >= 3x naive single-thread).
+// items/s counts multiply-adds, so GFLOP/s = 2 * items/s / 1e9.
+void BM_GemmVariant(benchmark::State& state) {
+  const auto kind = static_cast<linalg::GemmKind>(state.range(0));
+  const std::size_t n = static_cast<std::size_t>(state.range(1));
+  const std::size_t threads = static_cast<std::size_t>(state.range(2));
+  const linalg::GemmKind saved_kind = linalg::CurrentGemmKind();
+  const std::size_t saved_threads = core::NumThreads();
+  linalg::SetGemmKind(kind);
+  core::SetNumThreads(threads);
+  linalg::Rng rng(1);
+  const linalg::Matrix a = rng.GaussianMatrix(n, n, 1.0);
+  const linalg::Matrix b = rng.GaussianMatrix(n, n, 1.0);
+  linalg::Matrix c;
+  for (auto _ : state) {
+    linalg::MatMulInto(a, b, &c);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+  state.counters["threads"] = static_cast<double>(threads);
+  state.SetLabel(linalg::GemmKindName(kind));
+  core::SetNumThreads(saved_threads);
+  linalg::SetGemmKind(saved_kind);
+}
+BENCHMARK(BM_GemmVariant)
+    ->Args({static_cast<int>(linalg::GemmKind::kNaive), 512, 1})
+    ->Args({static_cast<int>(linalg::GemmKind::kBlocked), 512, 1})
+    ->Args({static_cast<int>(linalg::GemmKind::kNaive), 512, 4})
+    ->Args({static_cast<int>(linalg::GemmKind::kBlocked), 512, 4})
+    ->Unit(benchmark::kMillisecond);
 
 // Thread scaling of the parallel GEMM on a 512x512x512 product. items/s is
 // multiply-add throughput, directly comparable across the thread counts.
@@ -124,7 +162,55 @@ void BM_SasRecTrainStep(benchmark::State& state) {
 }
 BENCHMARK(BM_SasRecTrainStep);
 
+// Console output plus a flat JSON record per run. GFLOP/s is derived from
+// the items/s counter (items are multiply-adds, i.e. 2 flops each).
+class KernelJsonReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    ConsoleReporter::ReportRuns(runs);
+    for (const Run& run : runs) {
+      bench::Json rec = bench::Json::Obj();
+      rec.Set("name", bench::Json::Str(run.benchmark_name()));
+      rec.Set("real_time", bench::Json::Num(run.GetAdjustedRealTime()));
+      rec.Set("time_unit",
+              bench::Json::Str(benchmark::GetTimeUnitString(run.time_unit)));
+      rec.Set("iterations", bench::Json::Int(run.iterations));
+      if (!run.report_label.empty()) {
+        rec.Set("label", bench::Json::Str(run.report_label));
+      }
+      for (const auto& [name, counter] : run.counters) {
+        rec.Set(name, bench::Json::Num(counter.value));
+        if (name == "items_per_second") {
+          rec.Set("gflops", bench::Json::Num(2.0 * counter.value / 1e9));
+        }
+      }
+      records_.Push(std::move(rec));
+    }
+  }
+
+  void WriteJson() {
+    bench::Json doc = bench::Json::Obj();
+    doc.Set("bench", bench::Json::Str("micro_kernels"));
+    doc.Set("default_kernel",
+            bench::Json::Str(linalg::GemmKindName(linalg::CurrentGemmKind())));
+    doc.Set("default_threads",
+            bench::Json::Int(static_cast<long long>(core::NumThreads())));
+    doc.Set("runs", std::move(records_));
+    bench::WriteJsonFile("BENCH_kernels.json", doc);
+  }
+
+ private:
+  bench::Json records_ = bench::Json::Arr();
+};
+
 }  // namespace
 }  // namespace whitenrec
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  whitenrec::KernelJsonReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  reporter.WriteJson();
+  return 0;
+}

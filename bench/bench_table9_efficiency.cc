@@ -6,7 +6,9 @@
 // thread-scaling report for the training hot path.
 
 #include "bench_common.h"
+#include "bench_json.h"
 #include "core/parallel.h"
+#include "linalg/gemm.h"
 #include "seqrec/baselines.h"
 
 int main(int argc, char** argv) {
@@ -26,6 +28,7 @@ int main(int argc, char** argv) {
   std::printf("%-22s%12s%14s%14s%10s\n", "model", "#params", "s/epoch(1T)",
               "s/epoch(NT)", "speedup");
   WhitenRecConfig wc;
+  bench::Json rows = bench::Json::Arr();
   auto run = [&](auto factory) {
     seqrec::TrainConfig serial = tc;
     serial.num_threads = 1;
@@ -37,6 +40,14 @@ int main(int argc, char** argv) {
     const double sn = recn->Fit(split, parallel).avg_epoch_seconds;
     std::printf("%-22s%12zu%14.3f%14.3f%9.2fx\n", recn->name().c_str(),
                 recn->NumParameters(), s1, sn, sn > 0.0 ? s1 / sn : 0.0);
+    rows.Push(bench::Json::Obj()
+                  .Set("model", bench::Json::Str(recn->name()))
+                  .Set("params",
+                       bench::Json::Int(
+                           static_cast<long long>(recn->NumParameters())))
+                  .Set("sec_per_epoch_1t", bench::Json::Num(s1))
+                  .Set("sec_per_epoch_nt", bench::Json::Num(sn))
+                  .Set("speedup", bench::Json::Num(sn > 0.0 ? s1 / sn : 0.0)));
   };
   run([&] { return seqrec::MakeUniSRec(ds, mc, /*with_id=*/false); });
   run([&] { return seqrec::MakeUniSRec(ds, mc, /*with_id=*/true); });
@@ -44,5 +55,16 @@ int main(int argc, char** argv) {
   run([&] { return seqrec::MakeWhitenRec(ds, mc, wc, /*with_id=*/true); });
   run([&] { return seqrec::MakeWhitenRecPlus(ds, mc, wc, /*with_id=*/false); });
   run([&] { return seqrec::MakeWhitenRecPlus(ds, mc, wc, /*with_id=*/true); });
+
+  bench::Json doc = bench::Json::Obj();
+  doc.Set("bench", bench::Json::Str("table9_efficiency"));
+  doc.Set("dataset", bench::Json::Str("Tools"));
+  doc.Set("scale", bench::Json::Num(bench::EnvScale()));
+  doc.Set("epochs", bench::Json::Int(static_cast<long long>(tc.epochs)));
+  doc.Set("threads", bench::Json::Int(static_cast<long long>(threads)));
+  doc.Set("kernel",
+          bench::Json::Str(linalg::GemmKindName(linalg::CurrentGemmKind())));
+  doc.Set("rows", std::move(rows));
+  bench::WriteJsonFile("BENCH_efficiency.json", doc);
   return 0;
 }

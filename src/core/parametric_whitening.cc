@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "linalg/gemm.h"
 #include "linalg/stats.h"
 #include "nn/tensor.h"
 
@@ -35,7 +36,7 @@ Matrix ParametricWhitening::Forward(const Matrix& x) {
 
 Matrix ParametricWhitening::Backward(const Matrix& dy) {
   // z = (x - beta) W: dW += (x-beta)^T dy; dx = dy W^T; dbeta = -colsum(dx).
-  weight_.grad += linalg::MatMulTransA(cached_centered_, dy);
+  linalg::MatMulTransAAcc(cached_centered_, dy, &weight_.grad);
   Matrix dx = linalg::MatMulTransB(dy, weight_.value);
   const std::vector<double> col_sum = nn::ColumnSum(dx);
   for (std::size_t c = 0; c < col_sum.size(); ++c) {

@@ -1,0 +1,434 @@
+#include "linalg/gemm.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "core/check.h"
+#include "core/parallel.h"
+#include "linalg/workspace.h"
+
+// The blocked kernels follow the classic packed-GEMM decomposition:
+//
+//   loop over k-panels of depth kKc (sequential, ascending):
+//     pack op(B)[k-panel, :] into kNr-wide column strips  (calling thread)
+//     ParallelFor over kMc-row blocks of C:
+//       pack op(A)[row block, k-panel] into kMr-tall row strips  (per worker)
+//       for each kNr column strip, for each kMr row strip:
+//         register-tiled micro-kernel: C tile += Apack strip * Bpack strip
+//
+// Packing gives the micro-kernel unit-stride, cache-resident operands (and
+// makes op(A) transposition free: MatMulTransA's strided a(k, i) column walk
+// happens once, during the pack). Determinism comes from the accumulation
+// order: every C element is owned by exactly one ParallelFor chunk, carries
+// ONE running accumulator, and sums its terms in ascending k — k-panels are
+// visited sequentially and the register tile is stored/reloaded between
+// panels, so splitting K changes nothing. That order is also exactly the
+// naive kernels' order, which is why the two variants are bitwise identical
+// (gemm_test asserts it) and why WHITENREC_GEMM is unobservable in results.
+//
+// The micro-kernel is written for auto-vectorization, not intrinsics: fixed
+// trip counts, restrict-qualified unit-stride pointers, and a kMr x kNr
+// accumulator array that lives in registers at -O3. whitenrec_linalg builds
+// with -ffp-contract=off so both variants lower a*b+acc identically even on
+// FMA-capable -march builds.
+
+#if defined(__GNUC__) || defined(__clang__)
+#define WR_RESTRICT __restrict__
+#else
+#define WR_RESTRICT
+#endif
+
+namespace whitenrec {
+namespace linalg {
+
+Workspace& ThreadLocalWorkspace() {
+  static thread_local Workspace ws;
+  return ws;
+}
+
+namespace {
+
+// Register tile (kMr x kNr accumulators) and cache blocking: a packed A
+// strip (kKc * kMr) and B strip (kKc * kNr) are each 8 KB — L1-resident —
+// while the full packed A block (kMc * kKc = 128 KB) sits in L2.
+constexpr std::size_t kMr = 4;
+constexpr std::size_t kNr = 8;
+constexpr std::size_t kMc = 64;
+constexpr std::size_t kKc = 256;
+static_assert(kMc % kMr == 0, "row block must be a whole number of strips");
+
+// Below this many multiply-adds the packing set-up costs more than it saves;
+// the variants are bitwise identical, so the dispatch is unobservable.
+constexpr std::size_t kBlockedMinWork = 8192;
+
+GemmKind KindFromEnv() {
+  const char* s = std::getenv("WHITENREC_GEMM");
+  if (s == nullptr || *s == '\0') return GemmKind::kBlocked;
+  const std::string v(s);
+  if (v == "naive") return GemmKind::kNaive;
+  if (v == "blocked") return GemmKind::kBlocked;
+  std::fprintf(stderr,
+               "invalid WHITENREC_GEMM value '%s' (expected naive|blocked)\n",
+               s);
+  std::abort();
+}
+
+GemmKind& ActiveKind() {
+  static GemmKind kind = KindFromEnv();
+  return kind;
+}
+
+// ---------------------------------------------------------------------------
+// Naive reference kernels. All accumulate on top of the existing C (the Into
+// entry points zero it first), one term per k in ascending order.
+// ---------------------------------------------------------------------------
+
+void NaiveMatMul(const Matrix& a, const Matrix& b, Matrix* c) {
+  const std::size_t grain = core::GrainForWork(a.cols() * b.cols());
+  core::ParallelFor(0, a.rows(), grain, [&](std::size_t i0, std::size_t i1) {
+    // ikj loop order: streams through b and c rows for cache friendliness.
+    for (std::size_t i = i0; i < i1; ++i) {
+      const double* arow = a.RowPtr(i);
+      double* crow = c->RowPtr(i);
+      for (std::size_t k = 0; k < a.cols(); ++k) {
+        const double aik = arow[k];
+        const double* brow = b.RowPtr(k);
+        for (std::size_t j = 0; j < b.cols(); ++j) crow[j] += aik * brow[j];
+      }
+    }
+  });
+}
+
+void NaiveMatMulTransA(const Matrix& a, const Matrix& b, Matrix* c) {
+  const std::size_t grain = core::GrainForWork(a.rows() * b.cols());
+  core::ParallelFor(0, a.cols(), grain, [&](std::size_t i0, std::size_t i1) {
+    for (std::size_t i = i0; i < i1; ++i) {
+      double* crow = c->RowPtr(i);
+      for (std::size_t k = 0; k < a.rows(); ++k) {
+        const double aki = a(k, i);
+        const double* brow = b.RowPtr(k);
+        for (std::size_t j = 0; j < b.cols(); ++j) crow[j] += aki * brow[j];
+      }
+    }
+  });
+}
+
+void NaiveMatMulTransB(const Matrix& a, const Matrix& b, Matrix* c) {
+  const std::size_t grain = core::GrainForWork(a.cols() * b.rows());
+  core::ParallelFor(0, a.rows(), grain, [&](std::size_t i0, std::size_t i1) {
+    for (std::size_t i = i0; i < i1; ++i) {
+      const double* arow = a.RowPtr(i);
+      double* crow = c->RowPtr(i);
+      for (std::size_t j = 0; j < b.rows(); ++j) {
+        const double* brow = b.RowPtr(j);
+        double sum = crow[j];
+        for (std::size_t k = 0; k < a.cols(); ++k) sum += arow[k] * brow[k];
+        crow[j] = sum;
+      }
+    }
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Packing
+// ---------------------------------------------------------------------------
+
+// Packs op(A)[i0 : i0+mb, k0 : k0+kb] into kMr-tall strips: strip s holds
+// kb blocks of kMr values, dst[s*kb*kMr + k*kMr + r] = op(A)(i0+s*kMr+r,
+// k0+k). Rows past the edge are zero-padded so the micro-kernel never
+// branches on m inside its k loop.
+void PackA(const Matrix& a, bool trans, std::size_t i0, std::size_t mb,
+           std::size_t k0, std::size_t kb, double* out) {
+  const std::size_t strips = (mb + kMr - 1) / kMr;
+  for (std::size_t s = 0; s < strips; ++s) {
+    const std::size_t ibase = i0 + s * kMr;
+    const std::size_t mr = std::min(kMr, i0 + mb - ibase);
+    double* dst = out + s * kb * kMr;
+    if (trans) {
+      // op(A) = A^T: source rows are contiguous in the output-row index, so
+      // the transposition that used to be a strided a(k, i) column walk in
+      // the naive kernel happens here at unit stride, once per panel.
+      for (std::size_t k = 0; k < kb; ++k) {
+        const double* src = a.RowPtr(k0 + k) + ibase;
+        for (std::size_t r = 0; r < kMr; ++r)
+          dst[k * kMr + r] = r < mr ? src[r] : 0.0;
+      }
+    } else {
+      for (std::size_t r = 0; r < kMr; ++r) {
+        if (r < mr) {
+          const double* src = a.RowPtr(ibase + r) + k0;
+          for (std::size_t k = 0; k < kb; ++k) dst[k * kMr + r] = src[k];
+        } else {
+          for (std::size_t k = 0; k < kb; ++k) dst[k * kMr + r] = 0.0;
+        }
+      }
+    }
+  }
+}
+
+// Packs op(B)[k0 : k0+kb, j0 : j0+nb] into kNr-wide strips:
+// dst[s*kb*kNr + k*kNr + j] = op(B)(k0+k, j0+s*kNr+j), zero-padded past the
+// column edge.
+void PackB(const Matrix& b, bool trans, std::size_t j0, std::size_t nb,
+           std::size_t k0, std::size_t kb, double* out) {
+  const std::size_t strips = (nb + kNr - 1) / kNr;
+  for (std::size_t s = 0; s < strips; ++s) {
+    const std::size_t jbase = j0 + s * kNr;
+    const std::size_t nr = std::min(kNr, j0 + nb - jbase);
+    double* dst = out + s * kb * kNr;
+    if (trans) {
+      // op(B) = B^T with B (n x k): each output column is a contiguous
+      // source row.
+      for (std::size_t j = 0; j < kNr; ++j) {
+        if (j < nr) {
+          const double* src = b.RowPtr(jbase + j) + k0;
+          for (std::size_t k = 0; k < kb; ++k) dst[k * kNr + j] = src[k];
+        } else {
+          for (std::size_t k = 0; k < kb; ++k) dst[k * kNr + j] = 0.0;
+        }
+      }
+    } else {
+      for (std::size_t k = 0; k < kb; ++k) {
+        const double* src = b.RowPtr(k0 + k) + jbase;
+        for (std::size_t j = 0; j < kNr; ++j)
+          dst[k * kNr + j] = j < nr ? src[j] : 0.0;
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Micro-kernels
+// ---------------------------------------------------------------------------
+
+// The micro-kernels are cloned per ISA level (resolved once via ifunc): the
+// baseline x86-64 build stays portable while AVX2/AVX-512 hardware gets full
+// vector width. Every clone performs the identical per-element mul-then-add
+// sequence (-ffp-contract=off, no reassociation), so the dispatch cannot
+// change a single bit of output.
+#if defined(__x86_64__) && defined(__GNUC__) && !defined(__clang__) && \
+    !defined(WHITENREC_NO_TARGET_CLONES)
+#define WR_KERNEL_CLONES \
+  __attribute__((target_clones("default", "avx2", "avx512f")))
+#else
+#define WR_KERNEL_CLONES
+#endif
+
+// Full tile: C[0:kMr, 0:kNr] (row stride ldc) += Apack strip * Bpack strip.
+// The accumulator array has fixed extents and restrict-qualified unit-stride
+// operands, which is what the auto-vectorizer needs to keep it in registers.
+WR_KERNEL_CLONES
+void MicroKernelFull(std::size_t kb, const double* WR_RESTRICT ap,
+                     const double* WR_RESTRICT bp, double* WR_RESTRICT c,
+                     std::size_t ldc) {
+  double acc[kMr][kNr];
+  for (std::size_t i = 0; i < kMr; ++i)
+    for (std::size_t j = 0; j < kNr; ++j) acc[i][j] = c[i * ldc + j];
+  for (std::size_t k = 0; k < kb; ++k) {
+    const double* WR_RESTRICT av = ap + k * kMr;
+    const double* WR_RESTRICT bv = bp + k * kNr;
+    for (std::size_t i = 0; i < kMr; ++i) {
+      const double aik = av[i];
+      for (std::size_t j = 0; j < kNr; ++j) acc[i][j] += aik * bv[j];
+    }
+  }
+  for (std::size_t i = 0; i < kMr; ++i)
+    for (std::size_t j = 0; j < kNr; ++j) c[i * ldc + j] = acc[i][j];
+}
+
+// Edge tile: same accumulation, but only the (m x n) valid corner of C is
+// loaded and stored. The packed operands are zero-padded, so the spare
+// accumulators compute only inert zeros.
+WR_KERNEL_CLONES
+void MicroKernelEdge(std::size_t kb, const double* WR_RESTRICT ap,
+                     const double* WR_RESTRICT bp, double* WR_RESTRICT c,
+                     std::size_t ldc, std::size_t m, std::size_t n) {
+  double acc[kMr][kNr] = {};
+  for (std::size_t i = 0; i < m; ++i)
+    for (std::size_t j = 0; j < n; ++j) acc[i][j] = c[i * ldc + j];
+  for (std::size_t k = 0; k < kb; ++k) {
+    const double* WR_RESTRICT av = ap + k * kMr;
+    const double* WR_RESTRICT bv = bp + k * kNr;
+    for (std::size_t i = 0; i < kMr; ++i) {
+      const double aik = av[i];
+      for (std::size_t j = 0; j < kNr; ++j) acc[i][j] += aik * bv[j];
+    }
+  }
+  for (std::size_t i = 0; i < m; ++i)
+    for (std::size_t j = 0; j < n; ++j) c[i * ldc + j] = acc[i][j];
+}
+
+// ---------------------------------------------------------------------------
+// Blocked driver: C += op(A) * op(B), C already shaped (m, n).
+// ---------------------------------------------------------------------------
+
+void BlockedGemm(const Matrix& a, bool trans_a, const Matrix& b, bool trans_b,
+                 Matrix* c) {
+  const std::size_t m = c->rows();
+  const std::size_t n = c->cols();
+  const std::size_t k_total = trans_a ? a.rows() : a.cols();
+  if (m == 0 || n == 0 || k_total == 0) return;
+
+  const std::size_t nstrips = (n + kNr - 1) / kNr;
+  const std::size_t nblocks = (m + kMc - 1) / kMc;
+  const std::size_t apack_size = kMc * kKc;
+
+  for (std::size_t k0 = 0; k0 < k_total; k0 += kKc) {
+    const std::size_t kb = std::min(kKc, k_total - k0);
+    // B panel is packed once per k-panel on the calling thread and read by
+    // every worker. Hold only the raw pointer across the ParallelFor: the
+    // workspace may grow other slots, which can move the vector objects but
+    // never their heap storage.
+    double* bpack =
+        ThreadLocalWorkspace().Buf(kWsGemmPackB, nstrips * kNr * kb).data();
+    PackB(b, trans_b, 0, n, k0, kb, bpack);
+
+    const std::size_t grain = core::GrainForWork(kMc * n * kb);
+    core::ParallelFor(0, nblocks, grain, [&](std::size_t blk0,
+                                             std::size_t blk1) {
+      double* apack = ThreadLocalWorkspace().Buf(kWsGemmPackA, apack_size)
+                          .data();
+      for (std::size_t blk = blk0; blk < blk1; ++blk) {
+        const std::size_t i0 = blk * kMc;
+        const std::size_t mb = std::min(kMc, m - i0);
+        const std::size_t mstrips = (mb + kMr - 1) / kMr;
+        PackA(a, trans_a, i0, mb, k0, kb, apack);
+        // j outer / i inner: one L1-resident B strip is reused against the
+        // whole L2-resident A block before moving on.
+        for (std::size_t js = 0; js < nstrips; ++js) {
+          const std::size_t j0 = js * kNr;
+          const std::size_t nr = std::min(kNr, n - j0);
+          const double* bstrip = bpack + js * kb * kNr;
+          for (std::size_t is = 0; is < mstrips; ++is) {
+            const std::size_t ibase = i0 + is * kMr;
+            const std::size_t mr = std::min(kMr, m - ibase);
+            const double* astrip = apack + is * kb * kMr;
+            double* ctile = c->RowPtr(ibase) + j0;
+            if (mr == kMr && nr == kNr) {
+              MicroKernelFull(kb, astrip, bstrip, ctile, n);
+            } else {
+              MicroKernelEdge(kb, astrip, bstrip, ctile, n, mr, nr);
+            }
+          }
+        }
+      }
+    });
+  }
+}
+
+bool UseBlocked(std::size_t m, std::size_t n, std::size_t k) {
+  return ActiveKind() == GemmKind::kBlocked && m * n * k >= kBlockedMinWork;
+}
+
+}  // namespace
+
+GemmKind CurrentGemmKind() { return ActiveKind(); }
+
+void SetGemmKind(GemmKind kind) { ActiveKind() = kind; }
+
+const char* GemmKindName(GemmKind kind) {
+  return kind == GemmKind::kNaive ? "naive" : "blocked";
+}
+
+void MatMulInto(const Matrix& a, const Matrix& b, Matrix* c) {
+  WR_CHECK(c != &a && c != &b);
+  WR_CHECK_EQ(a.cols(), b.rows());
+  c->Resize(a.rows(), b.cols());
+  MatMulAcc(a, b, c);
+}
+
+void MatMulTransAInto(const Matrix& a, const Matrix& b, Matrix* c) {
+  WR_CHECK(c != &a && c != &b);
+  WR_CHECK_EQ(a.rows(), b.rows());
+  c->Resize(a.cols(), b.cols());
+  MatMulTransAAcc(a, b, c);
+}
+
+void MatMulTransBInto(const Matrix& a, const Matrix& b, Matrix* c) {
+  WR_CHECK(c != &a && c != &b);
+  WR_CHECK_EQ(a.cols(), b.cols());
+  c->Resize(a.rows(), b.rows());
+  MatMulTransBAcc(a, b, c);
+}
+
+void MatMulAcc(const Matrix& a, const Matrix& b, Matrix* c) {
+  WR_CHECK(c != &a && c != &b);
+  WR_CHECK_EQ(a.cols(), b.rows());
+  WR_CHECK_EQ(c->rows(), a.rows());
+  WR_CHECK_EQ(c->cols(), b.cols());
+  if (UseBlocked(c->rows(), c->cols(), a.cols())) {
+    BlockedGemm(a, /*trans_a=*/false, b, /*trans_b=*/false, c);
+  } else {
+    NaiveMatMul(a, b, c);
+  }
+}
+
+void MatMulTransAAcc(const Matrix& a, const Matrix& b, Matrix* c) {
+  WR_CHECK(c != &a && c != &b);
+  WR_CHECK_EQ(a.rows(), b.rows());
+  WR_CHECK_EQ(c->rows(), a.cols());
+  WR_CHECK_EQ(c->cols(), b.cols());
+  if (UseBlocked(c->rows(), c->cols(), a.rows())) {
+    BlockedGemm(a, /*trans_a=*/true, b, /*trans_b=*/false, c);
+  } else {
+    NaiveMatMulTransA(a, b, c);
+  }
+}
+
+void MatMulTransBAcc(const Matrix& a, const Matrix& b, Matrix* c) {
+  WR_CHECK(c != &a && c != &b);
+  WR_CHECK_EQ(a.cols(), b.cols());
+  WR_CHECK_EQ(c->rows(), a.rows());
+  WR_CHECK_EQ(c->cols(), b.rows());
+  if (UseBlocked(c->rows(), c->cols(), a.cols())) {
+    BlockedGemm(a, /*trans_a=*/false, b, /*trans_b=*/true, c);
+  } else {
+    NaiveMatMulTransB(a, b, c);
+  }
+}
+
+void MatVecInto(const Matrix& a, const std::vector<double>& x,
+                std::vector<double>* y) {
+  WR_CHECK(y != &x);
+  WR_CHECK_EQ(a.cols(), x.size());
+  y->assign(a.rows(), 0.0);
+  if (a.rows() == 0 || a.cols() == 0) return;
+  const double* WR_RESTRICT xp = x.data();
+  double* WR_RESTRICT yp = y->data();
+  const std::size_t cols = a.cols();
+  // Four independent row accumulators for ILP; each row keeps the canonical
+  // single-accumulator ascending-k order, so both variants share this path.
+  core::ParallelFor(0, a.rows(), core::GrainForWork(cols),
+                    [&](std::size_t i0, std::size_t i1) {
+    std::size_t i = i0;
+    for (; i + 4 <= i1; i += 4) {
+      const double* WR_RESTRICT r0 = a.RowPtr(i);
+      const double* WR_RESTRICT r1 = a.RowPtr(i + 1);
+      const double* WR_RESTRICT r2 = a.RowPtr(i + 2);
+      const double* WR_RESTRICT r3 = a.RowPtr(i + 3);
+      double s0 = 0.0, s1 = 0.0, s2 = 0.0, s3 = 0.0;
+      for (std::size_t k = 0; k < cols; ++k) {
+        const double xk = xp[k];
+        s0 += r0[k] * xk;
+        s1 += r1[k] * xk;
+        s2 += r2[k] * xk;
+        s3 += r3[k] * xk;
+      }
+      yp[i] = s0;
+      yp[i + 1] = s1;
+      yp[i + 2] = s2;
+      yp[i + 3] = s3;
+    }
+    for (; i < i1; ++i) {
+      const double* WR_RESTRICT row = a.RowPtr(i);
+      double sum = 0.0;
+      for (std::size_t k = 0; k < cols; ++k) sum += row[k] * xp[k];
+      yp[i] = sum;
+    }
+  });
+}
+
+}  // namespace linalg
+}  // namespace whitenrec

@@ -1,0 +1,60 @@
+#ifndef WHITENREC_LINALG_GEMM_H_
+#define WHITENREC_LINALG_GEMM_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "linalg/matrix.h"
+
+namespace whitenrec {
+namespace linalg {
+
+// Dense GEMM kernel layer. Two interchangeable implementations sit behind
+// every MatMul/MatMulTransA/MatMulTransB/MatVec call:
+//
+//  * kNaive   — the original triple loops, kept as the reference and as an
+//               escape hatch.
+//  * kBlocked — panel-packed, register-tiled, L1/L2 cache-blocked kernels
+//               (see gemm.cc and DESIGN.md §6).
+//
+// Both variants accumulate every output element with the SAME canonical
+// order — one running accumulator per element, k ascending from 0 — so they
+// are bitwise identical to each other, at any thread count. Tests assert
+// this (tests/gemm_test.cc); it is what lets the variant switch be invisible
+// to the deterministic-training guarantee.
+enum class GemmKind { kNaive, kBlocked };
+
+// Active kernel variant. Initialized on first use from the WHITENREC_GEMM
+// environment variable ("naive" or "blocked"; default "blocked"; anything
+// else is a fatal configuration error).
+GemmKind CurrentGemmKind();
+void SetGemmKind(GemmKind kind);
+const char* GemmKindName(GemmKind kind);
+
+// Destination-reusing entry points: *c is reshaped via Matrix::Resize (so a
+// persistent Workspace slot is reused across calls) and overwritten. c must
+// not alias a or b.
+// C = A * B.
+void MatMulInto(const Matrix& a, const Matrix& b, Matrix* c);
+// C = A^T * B.
+void MatMulTransAInto(const Matrix& a, const Matrix& b, Matrix* c);
+// C = A * B^T.
+void MatMulTransBInto(const Matrix& a, const Matrix& b, Matrix* c);
+// y = A * x.
+void MatVecInto(const Matrix& a, const std::vector<double>& x,
+                std::vector<double>* y);
+
+// Accumulating variants for gradient sums: C += op(A) * B without the
+// intermediate product matrix. The per-element term order is the same
+// canonical k-ascending order continued on top of the existing C value.
+// C += A * B.
+void MatMulAcc(const Matrix& a, const Matrix& b, Matrix* c);
+// C += A^T * B.
+void MatMulTransAAcc(const Matrix& a, const Matrix& b, Matrix* c);
+// C += A * B^T.
+void MatMulTransBAcc(const Matrix& a, const Matrix& b, Matrix* c);
+
+}  // namespace linalg
+}  // namespace whitenrec
+
+#endif  // WHITENREC_LINALG_GEMM_H_

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "core/parallel.h"
+#include "linalg/gemm.h"
 
 namespace whitenrec {
 namespace linalg {
@@ -69,19 +70,33 @@ void Matrix::SetColSlice(std::size_t begin, const Matrix& block) {
 Matrix& Matrix::operator+=(const Matrix& other) {
   WR_CHECK_EQ(rows_, other.rows_);
   WR_CHECK_EQ(cols_, other.cols_);
-  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+  double* a = data_.data();
+  const double* b = other.data_.data();
+  core::ParallelFor(0, data_.size(), core::GrainForWork(1),
+                    [&](std::size_t i0, std::size_t i1) {
+    for (std::size_t i = i0; i < i1; ++i) a[i] += b[i];
+  });
   return *this;
 }
 
 Matrix& Matrix::operator-=(const Matrix& other) {
   WR_CHECK_EQ(rows_, other.rows_);
   WR_CHECK_EQ(cols_, other.cols_);
-  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= other.data_[i];
+  double* a = data_.data();
+  const double* b = other.data_.data();
+  core::ParallelFor(0, data_.size(), core::GrainForWork(1),
+                    [&](std::size_t i0, std::size_t i1) {
+    for (std::size_t i = i0; i < i1; ++i) a[i] -= b[i];
+  });
   return *this;
 }
 
 Matrix& Matrix::operator*=(double s) {
-  for (double& v : data_) v *= s;
+  double* a = data_.data();
+  core::ParallelFor(0, data_.size(), core::GrainForWork(1),
+                    [&](std::size_t i0, std::size_t i1) {
+    for (std::size_t i = i0; i < i1; ++i) a[i] *= s;
+  });
   return *this;
 }
 
@@ -97,87 +112,50 @@ double Matrix::MaxAbs() const {
   return m;
 }
 
-// The three GEMM variants are parallelized over blocks of OUTPUT rows: each
-// output row is produced by exactly one chunk with its k-accumulation in
-// ascending order, so results are bitwise identical at any thread count (and
-// to the serial sweep).
+// The GEMM kernels (naive and blocked variants, WHITENREC_GEMM dispatch)
+// live in linalg/gemm.cc; the by-value entry points below forward to the
+// destination-reusing versions there.
 
 Matrix MatMul(const Matrix& a, const Matrix& b) {
-  WR_CHECK_EQ(a.cols(), b.rows());
-  Matrix c(a.rows(), b.cols());
-  const std::size_t grain = core::GrainForWork(a.cols() * b.cols());
-  core::ParallelFor(0, a.rows(), grain, [&](std::size_t i0, std::size_t i1) {
-    // ikj loop order: streams through b and c rows for cache friendliness.
-    for (std::size_t i = i0; i < i1; ++i) {
-      const double* arow = a.RowPtr(i);
-      double* crow = c.RowPtr(i);
-      for (std::size_t k = 0; k < a.cols(); ++k) {
-        const double aik = arow[k];
-        if (aik == 0.0) continue;
-        const double* brow = b.RowPtr(k);
-        for (std::size_t j = 0; j < b.cols(); ++j) crow[j] += aik * brow[j];
-      }
-    }
-  });
+  Matrix c;
+  MatMulInto(a, b, &c);
   return c;
 }
 
 Matrix MatMulTransA(const Matrix& a, const Matrix& b) {
-  WR_CHECK_EQ(a.rows(), b.rows());
-  Matrix c(a.cols(), b.cols());
-  const std::size_t grain = core::GrainForWork(a.rows() * b.cols());
-  core::ParallelFor(0, a.cols(), grain, [&](std::size_t i0, std::size_t i1) {
-    for (std::size_t i = i0; i < i1; ++i) {
-      double* crow = c.RowPtr(i);
-      for (std::size_t k = 0; k < a.rows(); ++k) {
-        const double aki = a(k, i);
-        if (aki == 0.0) continue;
-        const double* brow = b.RowPtr(k);
-        for (std::size_t j = 0; j < b.cols(); ++j) crow[j] += aki * brow[j];
-      }
-    }
-  });
+  Matrix c;
+  MatMulTransAInto(a, b, &c);
   return c;
 }
 
 Matrix MatMulTransB(const Matrix& a, const Matrix& b) {
-  WR_CHECK_EQ(a.cols(), b.cols());
-  Matrix c(a.rows(), b.rows());
-  const std::size_t grain = core::GrainForWork(a.cols() * b.rows());
-  core::ParallelFor(0, a.rows(), grain, [&](std::size_t i0, std::size_t i1) {
-    for (std::size_t i = i0; i < i1; ++i) {
-      const double* arow = a.RowPtr(i);
-      double* crow = c.RowPtr(i);
-      for (std::size_t j = 0; j < b.rows(); ++j) {
-        const double* brow = b.RowPtr(j);
-        double sum = 0.0;
-        for (std::size_t k = 0; k < a.cols(); ++k) sum += arow[k] * brow[k];
-        crow[j] = sum;
-      }
-    }
-  });
+  Matrix c;
+  MatMulTransBInto(a, b, &c);
   return c;
 }
 
 std::vector<double> MatVec(const Matrix& a, const std::vector<double>& x) {
-  WR_CHECK_EQ(a.cols(), x.size());
-  std::vector<double> y(a.rows(), 0.0);
-  core::ParallelFor(0, a.rows(), core::GrainForWork(a.cols()),
-                    [&](std::size_t i0, std::size_t i1) {
-    for (std::size_t i = i0; i < i1; ++i) {
-      const double* arow = a.RowPtr(i);
-      double sum = 0.0;
-      for (std::size_t k = 0; k < a.cols(); ++k) sum += arow[k] * x[k];
-      y[i] = sum;
-    }
-  });
+  std::vector<double> y;
+  MatVecInto(a, x, &y);
   return y;
 }
 
+// The elementwise ops below use the same deterministic static chunking as
+// the GEMM paths: each output location is owned by exactly one chunk and no
+// value depends on chunk boundaries, so results are bitwise identical at any
+// thread count.
+
 Matrix Transpose(const Matrix& a) {
   Matrix t(a.cols(), a.rows());
-  for (std::size_t i = 0; i < a.rows(); ++i)
-    for (std::size_t j = 0; j < a.cols(); ++j) t(j, i) = a(i, j);
+  // Parallel over OUTPUT rows (source columns): each chunk owns whole rows
+  // of t.
+  core::ParallelFor(0, a.cols(), core::GrainForWork(a.rows()),
+                    [&](std::size_t j0, std::size_t j1) {
+    for (std::size_t j = j0; j < j1; ++j) {
+      double* trow = t.RowPtr(j);
+      for (std::size_t i = 0; i < a.rows(); ++i) trow[i] = a(i, j);
+    }
+  });
   return t;
 }
 
@@ -203,14 +181,25 @@ Matrix Hadamard(const Matrix& a, const Matrix& b) {
   WR_CHECK_EQ(a.rows(), b.rows());
   WR_CHECK_EQ(a.cols(), b.cols());
   Matrix c(a.rows(), a.cols());
-  for (std::size_t i = 0; i < a.size(); ++i) c.data()[i] = a.data()[i] * b.data()[i];
+  const double* ap = a.data();
+  const double* bp = b.data();
+  double* cp = c.data();
+  core::ParallelFor(0, a.size(), core::GrainForWork(1),
+                    [&](std::size_t i0, std::size_t i1) {
+    for (std::size_t i = i0; i < i1; ++i) cp[i] = ap[i] * bp[i];
+  });
   return c;
 }
 
 void Axpy(double s, const Matrix& b, Matrix* a) {
   WR_CHECK_EQ(a->rows(), b.rows());
   WR_CHECK_EQ(a->cols(), b.cols());
-  for (std::size_t i = 0; i < b.size(); ++i) a->data()[i] += s * b.data()[i];
+  double* ap = a->data();
+  const double* bp = b.data();
+  core::ParallelFor(0, b.size(), core::GrainForWork(1),
+                    [&](std::size_t i0, std::size_t i1) {
+    for (std::size_t i = i0; i < i1; ++i) ap[i] += s * bp[i];
+  });
 }
 
 double Dot(const std::vector<double>& a, const std::vector<double>& b) {

@@ -62,6 +62,15 @@ class Matrix {
   void Fill(double v);
   void SetZero() { Fill(0.0); }
 
+  // Reshapes to (rows, cols) and zero-fills, reusing the existing heap
+  // allocation when capacity allows. The workhorse behind Workspace slot
+  // reuse on the training hot path.
+  void Resize(std::size_t rows, std::size_t cols) {
+    rows_ = rows;
+    cols_ = cols;
+    data_.assign(rows * cols, 0.0);
+  }
+
   // Returns the r-th row as a vector copy.
   std::vector<double> Row(std::size_t r) const;
   // Returns the c-th column as a vector copy.
@@ -99,6 +108,9 @@ Matrix MatMulTransA(const Matrix& a, const Matrix& b);
 Matrix MatMulTransB(const Matrix& a, const Matrix& b);
 // y = A * x.
 std::vector<double> MatVec(const Matrix& a, const std::vector<double>& x);
+// Destination-reusing and accumulating variants (and the kernel-variant
+// escape hatch WHITENREC_GEMM) live in linalg/gemm.h; the by-value entry
+// points above forward to them.
 
 Matrix Transpose(const Matrix& a);
 Matrix Add(const Matrix& a, const Matrix& b);

@@ -1,0 +1,87 @@
+#ifndef WHITENREC_LINALG_WORKSPACE_H_
+#define WHITENREC_LINALG_WORKSPACE_H_
+
+#include <cstddef>
+#include <deque>
+#include <vector>
+
+#include "linalg/matrix.h"
+
+namespace whitenrec {
+namespace linalg {
+
+// Reusable scratch memory for per-call temporaries on the train/eval hot
+// paths (GEMM packing panels, per-batch logits/gradient matrices). A
+// Workspace hands out slots whose backing allocations persist across calls,
+// so steady-state training reshapes existing buffers instead of hitting the
+// allocator every step. Slots are identified by small integer keys chosen by
+// the owner; a slot grows monotonically to the largest size requested.
+//
+// A Workspace is NOT thread-safe; each owner (a model, a kernel invocation,
+// a worker thread) uses its own. Kernel-internal scratch goes through
+// ThreadLocalWorkspace() below.
+class Workspace {
+ public:
+  Workspace() = default;
+  Workspace(const Workspace&) = delete;
+  Workspace& operator=(const Workspace&) = delete;
+
+  // Returns slot `slot` reshaped to (rows, cols) and zero-filled, reusing
+  // the slot's existing heap allocation when its capacity allows.
+  Matrix& Mat(std::size_t slot, std::size_t rows, std::size_t cols) {
+    Matrix& m = MatRef(slot);
+    m.Resize(rows, cols);
+    return m;
+  }
+
+  // Returns slot `slot` as-is (empty on first use). Useful as a persistent
+  // destination for the *Into GEMM entry points and for capacity-reusing
+  // copy assignment.
+  Matrix& MatRef(std::size_t slot) {
+    if (slot >= mats_.size()) mats_.resize(slot + 1);
+    return mats_[slot];
+  }
+
+  // Returns a raw buffer of at least n doubles. Contents are unspecified:
+  // callers must fully overwrite what they read.
+  std::vector<double>& Buf(std::size_t slot, std::size_t n) {
+    if (slot >= bufs_.size()) bufs_.resize(slot + 1);
+    if (bufs_[slot].size() < n) bufs_[slot].resize(n);
+    return bufs_[slot];
+  }
+
+  // Releases all slot allocations.
+  void Clear() {
+    mats_.clear();
+    mats_.shrink_to_fit();
+    bufs_.clear();
+    bufs_.shrink_to_fit();
+  }
+
+ private:
+  // Deques, not vectors: acquiring a new slot must never move existing slot
+  // objects, because callers hold references to them across further
+  // Mat()/Buf() calls (e.g. a logits slot held while fetching dlogits).
+  std::deque<Matrix> mats_;
+  std::deque<std::vector<double>> bufs_;
+};
+
+// Reserved slot keys in the per-thread workspace. Kernel-internal scratch
+// shares one thread-local arena; every user owns a distinct key so nested
+// use (a GEMM issued while a loss holds its probs slot) cannot collide.
+enum ThreadWorkspaceSlot : std::size_t {
+  kWsGemmPackB = 0,   // packed B panel (calling thread)
+  kWsGemmPackA = 1,   // packed A block (each worker thread)
+  kWsLossProbs = 0,   // softmax probabilities (Mat slots, distinct space)
+};
+
+// Per-thread scratch arena. Worker threads and the calling thread each get
+// their own, so parallel kernels can pack into it without synchronization;
+// the buffers live for the thread's lifetime and are reused by every kernel
+// invocation on that thread.
+Workspace& ThreadLocalWorkspace();
+
+}  // namespace linalg
+}  // namespace whitenrec
+
+#endif  // WHITENREC_LINALG_WORKSPACE_H_

@@ -31,13 +31,16 @@ Matrix MultiHeadSelfAttention::Forward(const Matrix& x, std::size_t batch,
   batch_ = batch;
   seq_len_ = seq_len;
 
-  cached_q_ = wq_.Forward(x);
-  cached_k_ = wk_.Forward(x);
-  cached_v_ = wv_.Forward(x);
-  cached_probs_.assign(batch * num_heads_, Matrix());
+  wq_.ForwardInto(x, &cached_q_);
+  wk_.ForwardInto(x, &cached_k_);
+  wv_.ForwardInto(x, &cached_v_);
+  if (cached_probs_.size() != batch * num_heads_) {
+    cached_probs_.resize(batch * num_heads_);
+  }
 
   const double scale = 1.0 / std::sqrt(static_cast<double>(head_dim_));
-  Matrix mixed(x.rows(), dim_);  // concatenated head outputs
+  mixed_.Resize(x.rows(), dim_);  // concatenated head outputs
+  Matrix& mixed = mixed_;
 
   // Parallel over (sequence, head) pairs: pair (b, h) touches only rows of
   // sequence b and the columns of head h, so writes are disjoint and the
@@ -50,7 +53,7 @@ Matrix MultiHeadSelfAttention::Forward(const Matrix& x, std::size_t batch,
       const std::size_t base = b * seq_len;
       const std::size_t off = h * head_dim_;
       Matrix& probs = cached_probs_[b * num_heads_ + h];
-      probs = Matrix(seq_len, seq_len);
+      probs.Resize(seq_len, seq_len);
       // Masked scores + row softmax: causal attends to positions <= i,
       // bidirectional to every position.
       for (std::size_t i = 0; i < seq_len; ++i) {
@@ -88,11 +91,15 @@ Matrix MultiHeadSelfAttention::Forward(const Matrix& x, std::size_t batch,
 
 Matrix MultiHeadSelfAttention::Backward(const Matrix& dy) {
   WR_CHECK_EQ(dy.rows(), batch_ * seq_len_);
-  const Matrix dmixed = wo_.Backward(dy);
+  wo_.BackwardInto(dy, &dmixed_);
+  const Matrix& dmixed = dmixed_;
 
-  Matrix dq(dy.rows(), dim_);
-  Matrix dk(dy.rows(), dim_);
-  Matrix dv(dy.rows(), dim_);
+  dq_.Resize(dy.rows(), dim_);
+  dk_.Resize(dy.rows(), dim_);
+  dv_.Resize(dy.rows(), dim_);
+  Matrix& dq = dq_;
+  Matrix& dk = dk_;
+  Matrix& dv = dv_;
   const double scale = 1.0 / std::sqrt(static_cast<double>(head_dim_));
 
   // Mirrors the forward parallelization: (b, h) owns the rows of sequence b
@@ -142,9 +149,12 @@ Matrix MultiHeadSelfAttention::Backward(const Matrix& dy) {
     }
   });
 
-  Matrix dx = wq_.Backward(dq);
-  dx += wk_.Backward(dk);
-  dx += wv_.Backward(dv);
+  // dX accumulates the three projection backwards in-kernel, skipping two
+  // full-size temporaries and elementwise adds.
+  Matrix dx;
+  wq_.BackwardInto(dq, &dx);
+  wk_.BackwardAccInto(dk, &dx);
+  wv_.BackwardAccInto(dv, &dx);
   return dx;
 }
 

@@ -49,6 +49,13 @@ class MultiHeadSelfAttention : public Layer {
   linalg::Matrix cached_k_;
   linalg::Matrix cached_v_;
   std::vector<linalg::Matrix> cached_probs_;
+
+  // Per-batch scratch reused across steps (reshaped, not reallocated).
+  linalg::Matrix mixed_;
+  linalg::Matrix dmixed_;
+  linalg::Matrix dq_;
+  linalg::Matrix dk_;
+  linalg::Matrix dv_;
 };
 
 }  // namespace nn

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "linalg/gemm.h"
+
 namespace whitenrec {
 namespace nn {
 
@@ -124,8 +126,8 @@ Matrix Gru::Backward(const Matrix& dh_all) {
     }
 
     const Matrix xt = TimestepRows(cached_x_, batch_, seq_len_, t, dim_);
-    wx_.grad += linalg::MatMulTransA(xt, dax);
-    wh_.grad += linalg::MatMulTransA(h_prev_[t], dah);
+    linalg::MatMulTransAAcc(xt, dax, &wx_.grad);
+    linalg::MatMulTransAAcc(h_prev_[t], dah, &wh_.grad);
     // dax holds d(pre-activation) for every gate, which is exactly the bias
     // gradient.
     const std::vector<double> db = ColumnSum(dax);

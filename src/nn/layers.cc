@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "linalg/gemm.h"
+
 namespace whitenrec {
 namespace nn {
 
@@ -16,25 +18,46 @@ Linear::Linear(std::size_t in_dim, std::size_t out_dim, linalg::Rng* rng,
       bias_(name + ".b", Matrix(1, out_dim)) {}
 
 Matrix Linear::Forward(const Matrix& x) {
-  WR_CHECK_EQ(x.cols(), weight_.value.rows());
-  cached_input_ = x;
-  Matrix y = linalg::MatMul(x, weight_.value);
-  for (std::size_t r = 0; r < y.rows(); ++r) {
-    double* row = y.RowPtr(r);
-    const double* b = bias_.value.RowPtr(0);
-    for (std::size_t c = 0; c < y.cols(); ++c) row[c] += b[c];
-  }
+  Matrix y;
+  ForwardInto(x, &y);
   return y;
 }
 
+void Linear::ForwardInto(const Matrix& x, Matrix* y) {
+  WR_CHECK_EQ(x.cols(), weight_.value.rows());
+  cached_input_ = x;
+  linalg::MatMulInto(x, weight_.value, y);
+  for (std::size_t r = 0; r < y->rows(); ++r) {
+    double* row = y->RowPtr(r);
+    const double* b = bias_.value.RowPtr(0);
+    for (std::size_t c = 0; c < y->cols(); ++c) row[c] += b[c];
+  }
+}
+
 Matrix Linear::Backward(const Matrix& dy) {
+  Matrix dx;
+  BackwardInto(dy, &dx);
+  return dx;
+}
+
+void Linear::BackwardInto(const Matrix& dy, Matrix* dx) {
   WR_CHECK_EQ(dy.rows(), cached_input_.rows());
   WR_CHECK_EQ(dy.cols(), weight_.value.cols());
-  // dW += X^T dY; db += colsum(dY); dX = dY W^T.
-  weight_.grad += linalg::MatMulTransA(cached_input_, dy);
+  // dW += X^T dY (accumulated in-kernel, no product temporary);
+  // db += colsum(dY); dX = dY W^T.
+  linalg::MatMulTransAAcc(cached_input_, dy, &weight_.grad);
   const std::vector<double> db = ColumnSum(dy);
   for (std::size_t c = 0; c < db.size(); ++c) bias_.grad(0, c) += db[c];
-  return linalg::MatMulTransB(dy, weight_.value);
+  linalg::MatMulTransBInto(dy, weight_.value, dx);
+}
+
+void Linear::BackwardAccInto(const Matrix& dy, Matrix* dx) {
+  WR_CHECK_EQ(dy.rows(), cached_input_.rows());
+  WR_CHECK_EQ(dy.cols(), weight_.value.cols());
+  linalg::MatMulTransAAcc(cached_input_, dy, &weight_.grad);
+  const std::vector<double> db = ColumnSum(dy);
+  for (std::size_t c = 0; c < db.size(); ++c) bias_.grad(0, c) += db[c];
+  linalg::MatMulTransBAcc(dy, weight_.value, dx);
 }
 
 void Linear::CollectParameters(std::vector<Parameter*>* out) {

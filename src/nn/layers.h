@@ -50,6 +50,14 @@ class Linear : public Layer {
   // dY: (n, out). Accumulates into parameter grads; returns dX.
   linalg::Matrix Backward(const linalg::Matrix& dy);
 
+  // Destination-reusing variants: callers that own a persistent buffer (a
+  // Workspace slot or a member matrix) avoid reallocating the activations
+  // every step. *y / *dx are reshaped; BackwardAccInto instead ADDS dX into
+  // an already-shaped *dx (fusing the dx += pattern into the kernel).
+  void ForwardInto(const linalg::Matrix& x, linalg::Matrix* y);
+  void BackwardInto(const linalg::Matrix& dy, linalg::Matrix* dx);
+  void BackwardAccInto(const linalg::Matrix& dy, linalg::Matrix* dx);
+
   void CollectParameters(std::vector<Parameter*>* out) override;
 
   Parameter& weight() { return weight_; }

@@ -4,6 +4,8 @@
 
 #include "core/check.h"
 #include "core/parallel.h"
+#include "linalg/gemm.h"
+#include "linalg/workspace.h"
 #include "nn/tensor.h"
 
 namespace whitenrec {
@@ -23,10 +25,14 @@ double SoftmaxCrossEntropy(const Matrix& logits,
   for (double w : weights) weight_total += w;
   WR_CHECK_GT(weight_total, 0.0);
 
-  Matrix probs = logits;
+  // probs is the other (batch*len, |items|)-sized temporary on the full-
+  // softmax path; the thread-local slot reuses its allocation across steps,
+  // and the copy assignment below reuses the slot's capacity.
+  Matrix& probs = linalg::ThreadLocalWorkspace().MatRef(linalg::kWsLossProbs);
+  probs = logits;
   RowSoftmaxInPlace(&probs);
 
-  *dlogits = Matrix(logits.rows(), logits.cols());
+  dlogits->Resize(logits.rows(), logits.cols());
   const double inv_total = 1.0 / weight_total;
   // Parallel over batch rows; each row's loss term lands in its own slot and
   // the per-row accumulators are reduced in fixed (row) order below, so the

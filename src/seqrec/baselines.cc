@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "core/parametric_whitening.h"
+#include "linalg/gemm.h"
 #include "nn/loss.h"
 #include "nn/tensor.h"
 #include "seqrec/item_encoder.h"
@@ -283,8 +284,8 @@ struct S3RecTask {
       }
     }
     attr_loss *= inv;
-    dv += linalg::MatMul(dlogits, attr->value);
-    attr->grad += linalg::MatMulTransA(dlogits, v);
+    linalg::MatMulAcc(dlogits, attr->value, &dv);
+    linalg::MatMulTransAAcc(dlogits, v, &attr->grad);
 
     model->BackwardItems(dv);
     return main_loss + weight * attr_loss;

@@ -4,6 +4,7 @@
 #include <array>
 #include <cmath>
 
+#include "linalg/gemm.h"
 #include "nn/loss.h"
 #include "nn/tensor.h"
 
@@ -379,7 +380,7 @@ struct CaserRecommender::Impl {
     const double loss =
         nn::SoftmaxCrossEntropy(logits, targets, weights, &dlogits);
     const Matrix dreps = linalg::MatMul(dlogits, out_emb.value);
-    out_emb.grad += linalg::MatMulTransA(dlogits, reps);
+    linalg::MatMulTransAAcc(dlogits, reps, &out_emb.grad);
     BackwardReps(dreps);
     return loss;
   }

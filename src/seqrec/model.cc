@@ -1,5 +1,6 @@
 #include "seqrec/model.h"
 
+#include "linalg/gemm.h"
 #include "nn/loss.h"
 #include "nn/tensor.h"
 
@@ -7,6 +8,14 @@ namespace whitenrec {
 namespace seqrec {
 
 using linalg::Matrix;
+
+namespace {
+// Slots in SasRecModel::ws_ (see linalg/workspace.h).
+constexpr std::size_t kWsLogits = 0;
+constexpr std::size_t kWsDlogits = 1;
+constexpr std::size_t kWsDh = 2;
+constexpr std::size_t kWsDv = 3;
+}  // namespace
 
 SasRecModel::SasRecModel(std::unique_ptr<ItemEncoder> encoder,
                          const SasRecConfig& config)
@@ -71,14 +80,17 @@ double SasRecModel::SequenceLossAndGrad(const data::Batch& batch,
                                         Matrix* dh, Matrix* dv) {
   WR_CHECK(dh != nullptr);
   WR_CHECK(dv != nullptr);
-  // Logits over the catalog at every position: (batch*L, num_items).
-  const Matrix logits = linalg::MatMulTransB(h, v);
-  Matrix dlogits;
+  // Logits over the catalog at every position: (batch*L, num_items). The
+  // logits/dlogits pair is the step's largest allocation, so both live in
+  // the model workspace and keep their capacity across steps.
+  Matrix& logits = ws_.MatRef(kWsLogits);
+  linalg::MatMulTransBInto(h, v, &logits);
+  Matrix& dlogits = ws_.MatRef(kWsDlogits);
   const double loss = nn::SoftmaxCrossEntropy(logits, batch.targets,
                                               batch.target_weights, &dlogits);
-  *dh = linalg::MatMul(dlogits, v);
-  if (dv->rows() == 0) *dv = Matrix(v.rows(), v.cols());
-  *dv += linalg::MatMulTransA(dlogits, h);
+  linalg::MatMulInto(dlogits, v, dh);
+  if (dv->rows() == 0) dv->Resize(v.rows(), v.cols());
+  linalg::MatMulTransAAcc(dlogits, h, dv);
   return loss;
 }
 
@@ -97,7 +109,7 @@ void SasRecModel::BackwardSequences(const data::Batch& /*batch*/,
   }
   pos_emb_.Backward(dx);
   if (dv->rows() == 0) {
-    *dv = Matrix(encoder_->num_items(), config_.hidden_dim);
+    dv->Resize(encoder_->num_items(), config_.hidden_dim);
   }
   nn::ScatterAddRows(dx, cached_items_, dv);
 }
@@ -107,7 +119,9 @@ void SasRecModel::BackwardItems(const Matrix& dv) { encoder_->Backward(dv); }
 double SasRecModel::TrainStep(const data::Batch& batch) {
   const Matrix v = EncodeItems(/*train=*/true);
   const Matrix h = EncodeSequences(batch, v, /*train=*/true);
-  Matrix dh, dv;
+  Matrix& dh = ws_.MatRef(kWsDh);
+  Matrix& dv = ws_.MatRef(kWsDv);
+  dv.Resize(0, 0);  // empty signals "zero-fill at the right shape" below
   const double loss = SequenceLossAndGrad(batch, h, v, &dh, &dv);
   BackwardSequences(batch, dh, &dv);
   BackwardItems(dv);

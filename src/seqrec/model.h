@@ -8,6 +8,7 @@
 #include "core/item_encoder.h"
 #include "data/batcher.h"
 #include "linalg/rng.h"
+#include "linalg/workspace.h"
 #include "nn/optimizer.h"
 #include "nn/transformer.h"
 
@@ -92,6 +93,11 @@ class SasRecModel {
   // Cache for BackwardSequences (the batch's input mask and item indices).
   std::vector<double> cached_input_mask_;
   std::vector<std::size_t> cached_items_;
+
+  // Scratch reused across training steps: the (batch*L, num_items) logits /
+  // dlogits pair dominates per-step allocation, so those buffers (plus
+  // dH/dV) live here and are reshaped rather than reallocated.
+  linalg::Workspace ws_;
 };
 
 // Extracts the per-sequence rows at the last valid position from a

@@ -1,0 +1,267 @@
+// Bitwise equivalence of the blocked GEMM kernels (linalg/gemm.cc) against
+// the naive reference loops, across shapes that stress every packing edge
+// case (empty, single row/column, odd remainders, non-square, larger than
+// one cache block) and across thread counts. Both variants promise ONE
+// canonical accumulation order per output element — ascending k with a
+// single running accumulator — so equality here is exact, not tolerance-
+// based. Also checks that the thread-local packing workspace carries no
+// state between calls.
+
+#include <cstdlib>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/parallel.h"
+#include "linalg/gemm.h"
+#include "linalg/matrix.h"
+#include "linalg/rng.h"
+#include "linalg/workspace.h"
+
+namespace whitenrec {
+namespace linalg {
+namespace {
+
+const std::vector<std::size_t> kThreadCounts = {1, 2, 8};
+
+class ScopedThreads {
+ public:
+  explicit ScopedThreads(std::size_t n) : saved_(core::NumThreads()) {
+    core::SetNumThreads(n);
+  }
+  ~ScopedThreads() { core::SetNumThreads(saved_); }
+
+ private:
+  std::size_t saved_;
+};
+
+class ScopedGemmKind {
+ public:
+  explicit ScopedGemmKind(GemmKind kind) : saved_(CurrentGemmKind()) {
+    SetGemmKind(kind);
+  }
+  ~ScopedGemmKind() { SetGemmKind(saved_); }
+
+ private:
+  GemmKind saved_;
+};
+
+void ExpectBitwiseEqual(const Matrix& a, const Matrix& b, const char* what) {
+  ASSERT_EQ(a.rows(), b.rows()) << what;
+  ASSERT_EQ(a.cols(), b.cols()) << what;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a.data()[i], b.data()[i])
+        << what << " diverges at flat index " << i << " (" << a.data()[i]
+        << " vs " << b.data()[i] << ")";
+  }
+}
+
+// (m, k, n) triples covering the packing edge cases: kMr=4 / kNr=8 register
+// tiles, kMc=64 row blocks, kKc=256 k-panels. Shapes straddle each boundary
+// and include degenerate and strongly rectangular cases.
+struct Shape {
+  std::size_t m, k, n;
+};
+
+const Shape kShapes[] = {
+    {0, 0, 0},    {0, 5, 7},    {3, 4, 0},    {1, 1, 1},   {1, 17, 9},
+    {5, 1, 8},    {4, 8, 8},    {7, 13, 11},  {31, 29, 37}, {64, 256, 8},
+    {65, 257, 9}, {12, 300, 5}, {130, 40, 70}, {96, 512, 96},
+};
+
+// Fresh deterministic operands for a shape; `salt` decorrelates A from B.
+Matrix Operand(std::size_t rows, std::size_t cols, std::uint64_t salt) {
+  Rng rng(0x9e3779b9u + salt);
+  return rng.GaussianMatrix(rows, cols, 1.0);
+}
+
+enum class Op { kMatMul, kTransA, kTransB };
+
+void RunInto(Op op, const Matrix& a, const Matrix& b, Matrix* c) {
+  switch (op) {
+    case Op::kMatMul:
+      MatMulInto(a, b, c);
+      break;
+    case Op::kTransA:
+      MatMulTransAInto(a, b, c);
+      break;
+    case Op::kTransB:
+      MatMulTransBInto(a, b, c);
+      break;
+  }
+}
+
+void RunAcc(Op op, const Matrix& a, const Matrix& b, Matrix* c) {
+  switch (op) {
+    case Op::kMatMul:
+      MatMulAcc(a, b, c);
+      break;
+    case Op::kTransA:
+      MatMulTransAAcc(a, b, c);
+      break;
+    case Op::kTransB:
+      MatMulTransBAcc(a, b, c);
+      break;
+  }
+}
+
+// Builds (A, B) with the right orientation for `op` given logical (m, k, n).
+void MakeOperands(Op op, const Shape& s, Matrix* a, Matrix* b) {
+  switch (op) {
+    case Op::kMatMul:  // (m,k) x (k,n)
+      *a = Operand(s.m, s.k, 1);
+      *b = Operand(s.k, s.n, 2);
+      break;
+    case Op::kTransA:  // (k,m)^T x (k,n)
+      *a = Operand(s.k, s.m, 1);
+      *b = Operand(s.k, s.n, 2);
+      break;
+    case Op::kTransB:  // (m,k) x (n,k)^T
+      *a = Operand(s.m, s.k, 1);
+      *b = Operand(s.n, s.k, 2);
+      break;
+  }
+}
+
+const char* OpName(Op op) {
+  switch (op) {
+    case Op::kMatMul:
+      return "MatMul";
+    case Op::kTransA:
+      return "MatMulTransA";
+    case Op::kTransB:
+      return "MatMulTransB";
+  }
+  return "?";
+}
+
+TEST(GemmEquivalenceTest, BlockedMatchesNaiveBitwiseAcrossShapesAndThreads) {
+  for (Op op : {Op::kMatMul, Op::kTransA, Op::kTransB}) {
+    for (const Shape& s : kShapes) {
+      Matrix a, b;
+      MakeOperands(op, s, &a, &b);
+
+      Matrix ref;
+      {
+        ScopedGemmKind naive(GemmKind::kNaive);
+        ScopedThreads one(1);
+        RunInto(op, a, b, &ref);
+      }
+      for (std::size_t threads : kThreadCounts) {
+        for (GemmKind kind : {GemmKind::kNaive, GemmKind::kBlocked}) {
+          ScopedGemmKind k(kind);
+          ScopedThreads t(threads);
+          Matrix c;
+          RunInto(op, a, b, &c);
+          SCOPED_TRACE(::testing::Message()
+                       << OpName(op) << " m=" << s.m << " k=" << s.k
+                       << " n=" << s.n << " kind=" << GemmKindName(kind)
+                       << " threads=" << threads);
+          ExpectBitwiseEqual(ref, c, OpName(op));
+        }
+      }
+    }
+  }
+}
+
+TEST(GemmEquivalenceTest, AccVariantsMatchNaiveBitwise) {
+  for (Op op : {Op::kMatMul, Op::kTransA, Op::kTransB}) {
+    for (const Shape& s : kShapes) {
+      Matrix a, b;
+      MakeOperands(op, s, &a, &b);
+      // Accumulate on top of a non-trivial C so the "+=" path is real.
+      const Matrix c0 = Operand(s.m, s.n, 3);
+
+      Matrix ref = c0;
+      {
+        ScopedGemmKind naive(GemmKind::kNaive);
+        ScopedThreads one(1);
+        RunAcc(op, a, b, &ref);
+      }
+      for (std::size_t threads : kThreadCounts) {
+        ScopedGemmKind blocked(GemmKind::kBlocked);
+        ScopedThreads t(threads);
+        Matrix c = c0;
+        RunAcc(op, a, b, &c);
+        SCOPED_TRACE(::testing::Message()
+                     << OpName(op) << "Acc m=" << s.m << " k=" << s.k
+                     << " n=" << s.n << " threads=" << threads);
+        ExpectBitwiseEqual(ref, c, OpName(op));
+      }
+    }
+  }
+}
+
+TEST(GemmEquivalenceTest, MatVecMatchesMatMulColumn) {
+  Rng rng(11);
+  const Matrix a = rng.GaussianMatrix(37, 53, 1.0);
+  std::vector<double> x(53);
+  for (double& v : x) v = rng.Gaussian();
+  Matrix xcol(53, 1);
+  for (std::size_t i = 0; i < x.size(); ++i) xcol(i, 0) = x[i];
+
+  const Matrix ref = MatMul(a, xcol);
+  for (std::size_t threads : kThreadCounts) {
+    ScopedThreads t(threads);
+    std::vector<double> y;
+    MatVecInto(a, x, &y);
+    ASSERT_EQ(y.size(), ref.rows());
+    for (std::size_t i = 0; i < y.size(); ++i) {
+      ASSERT_EQ(y[i], ref(i, 0)) << "MatVec row " << i << " at " << threads
+                                 << " threads";
+    }
+  }
+}
+
+TEST(GemmEquivalenceTest, EnvKindNamesRoundTrip) {
+  EXPECT_STREQ(GemmKindName(GemmKind::kNaive), "naive");
+  EXPECT_STREQ(GemmKindName(GemmKind::kBlocked), "blocked");
+}
+
+// The packing workspace is thread-local scratch: a big product followed by a
+// small one, then the small one again from scratch, must agree bitwise. If
+// stale packed panels leaked between calls, the second small product would
+// read residue from the large one.
+TEST(GemmWorkspaceTest, NoContaminationAcrossCalls) {
+  ScopedGemmKind blocked(GemmKind::kBlocked);
+  const Matrix big_a = Operand(96, 512, 7);
+  const Matrix big_b = Operand(512, 96, 8);
+  const Matrix small_a = Operand(5, 9, 9);
+  const Matrix small_b = Operand(9, 6, 10);
+
+  Matrix fresh;
+  MatMulInto(small_a, small_b, &fresh);  // before any big call this test makes
+
+  Matrix big;
+  MatMulInto(big_a, big_b, &big);
+  Matrix after;
+  MatMulInto(small_a, small_b, &after);
+  ExpectBitwiseEqual(fresh, after, "small product after large product");
+
+  // Same property for the destination-reusing path: shrinking a workspace
+  // matrix must zero-fill, not expose old values.
+  Workspace ws;
+  Matrix& m = ws.Mat(0, 64, 64);
+  for (std::size_t i = 0; i < m.size(); ++i) m.data()[i] = 123.0;
+  Matrix& shrunk = ws.Mat(0, 3, 3);
+  for (std::size_t i = 0; i < shrunk.size(); ++i) {
+    ASSERT_EQ(shrunk.data()[i], 0.0) << "stale workspace value at " << i;
+  }
+  ASSERT_EQ(&m, &shrunk);  // same slot object, capacity reused
+}
+
+// Buf() slots grow monotonically and keep their identity.
+TEST(GemmWorkspaceTest, BufGrowsMonotonically) {
+  Workspace ws;
+  std::vector<double>& b1 = ws.Buf(0, 100);
+  EXPECT_GE(b1.size(), 100u);
+  std::vector<double>& b2 = ws.Buf(0, 10);
+  EXPECT_EQ(&b1, &b2);
+  EXPECT_GE(b2.size(), 100u) << "Buf must never shrink";
+  std::vector<double>& b3 = ws.Buf(1, 50);
+  EXPECT_NE(&b1, &b3) << "distinct slots must be distinct buffers";
+}
+
+}  // namespace
+}  // namespace linalg
+}  // namespace whitenrec
