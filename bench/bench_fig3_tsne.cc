@@ -42,21 +42,22 @@ ClusterStats Summarize(const linalg::Matrix& y,
     }
   }
   ClusterStats s;
-  s.intra_over_inter = (intra / n_intra) / (inter / n_inter);
+  s.intra_over_inter = (intra / static_cast<double>(n_intra)) /
+                       (inter / static_cast<double>(n_inter));
   double cx = 0.0, cy = 0.0;
   for (std::size_t i = 0; i < y.rows(); ++i) {
     cx += y(i, 0);
     cy += y(i, 1);
   }
-  cx /= y.rows();
-  cy /= y.rows();
+  cx /= static_cast<double>(y.rows());
+  cy /= static_cast<double>(y.rows());
   double disp = 0.0;
   for (std::size_t i = 0; i < y.rows(); ++i) {
     const double dx = y(i, 0) - cx;
     const double dy = y(i, 1) - cy;
     disp += std::sqrt(dx * dx + dy * dy);
   }
-  s.dispersion = disp / y.rows();
+  s.dispersion = disp / static_cast<double>(y.rows());
   return s;
 }
 

@@ -19,7 +19,8 @@ void RunDataset(const data::DatasetProfile& profile) {
 
   bench::PrintHeader("Fig. 5 - " + profile.name + " (WhitenRec vs G)",
                      {"R@20", "N@20"});
-  for (std::size_t groups : {1, 4, 8, 16, 32, 64}) {
+  constexpr std::size_t kGroupSizes[] = {1, 4, 8, 16, 32, 64};
+  for (std::size_t groups : kGroupSizes) {
     WhitenRecConfig wc;
     wc.full_groups = groups;
     auto rec = seqrec::MakeWhitenRec(ds, mc, wc);

@@ -24,7 +24,8 @@ void RunDataset(const data::DatasetProfile& profile) {
         bench::FitAndEvaluate(rec.get(), split, tc, mc.max_len);
     bench::PrintRow("WhitenRec (ref)", {r.recall20, r.ndcg20});
   }
-  for (std::size_t groups : {4, 8, 16, 32, 64, 0}) {  // 0 = Raw branch
+  constexpr std::size_t kGroupSizes[] = {4, 8, 16, 32, 64, 0};  // 0 = Raw
+  for (std::size_t groups : kGroupSizes) {
     WhitenRecConfig wc;
     wc.relaxed_groups = groups;
     auto rec = seqrec::MakeWhitenRecPlus(ds, mc, wc);

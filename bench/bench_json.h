@@ -96,7 +96,10 @@ class Json {
       s += members_[i].second.Dump(indent + 2);
     }
     if (!members_.empty()) {
-      s += "\n" + std::string(static_cast<std::size_t>(indent), ' ');
+      // Two appends, not `"\n" + string(...)`: GCC 12's -Wrestrict
+      // false-positives on operator+(const char*, string&&).
+      s += '\n';
+      s.append(static_cast<std::size_t>(indent), ' ');
     }
     s += is_obj_ ? '}' : ']';
     return s;

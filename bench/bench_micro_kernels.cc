@@ -35,7 +35,8 @@ void BM_MatMul(benchmark::State& state) {
   for (auto _ : state) {
     benchmark::DoNotOptimize(linalg::MatMul(a, b));
   }
-  state.SetItemsProcessed(state.iterations() * n * n * n);
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(n * n * n));
 }
 BENCHMARK(BM_MatMul)->Arg(32)->Arg(64)->Arg(128);
 
@@ -58,7 +59,8 @@ void BM_GemmVariant(benchmark::State& state) {
     linalg::MatMulInto(a, b, &c);
     benchmark::DoNotOptimize(c.data());
   }
-  state.SetItemsProcessed(state.iterations() * n * n * n);
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(n * n * n));
   state.counters["threads"] = static_cast<double>(threads);
   state.SetLabel(linalg::GemmKindName(kind));
   core::SetNumThreads(saved_threads);
@@ -84,7 +86,8 @@ void BM_MatMulThreads(benchmark::State& state) {
   for (auto _ : state) {
     benchmark::DoNotOptimize(linalg::MatMul(a, b));
   }
-  state.SetItemsProcessed(state.iterations() * n * n * n);
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(n * n * n));
   state.SetLabel(std::to_string(threads) + " thread(s)");
   core::SetNumThreads(saved);
 }

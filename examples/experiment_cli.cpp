@@ -11,6 +11,7 @@
 //         unisrec_tid, vqrec, fdsa, gru4rec, bert4rec, fpmc, caser, grcn,
 //         bm3, whitenrec, whitenrec+.
 
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <map>
@@ -42,7 +43,9 @@ std::map<std::string, std::string> ParseArgs(int argc, char** argv) {
     arg = arg.substr(2);
     const std::size_t eq = arg.find('=');
     if (eq == std::string::npos) {
-      args[arg] = "1";
+      // Move-assign a temporary: GCC 12 reports a spurious -Wrestrict on the
+      // inlined operator=(const char*) path here.
+      args[arg] = std::string("1");
     } else {
       args[arg.substr(0, eq)] = arg.substr(eq + 1);
     }
@@ -54,6 +57,20 @@ std::string Get(const std::map<std::string, std::string>& args,
                 const std::string& key, const std::string& fallback) {
   auto it = args.find(key);
   return it == args.end() ? fallback : it->second;
+}
+
+// Seeds are uint64; atoll would silently wrap a negative or malformed value
+// into a huge seed, making "reproduce with the seed from the logs"
+// impossible. Reject anything that is not a plain non-negative integer.
+std::uint64_t ParseSeed(const std::string& s) {
+  char* end = nullptr;
+  const long long v = std::strtoll(s.c_str(), &end, 10);
+  if (end == s.c_str() || *end != '\0' || v < 0) {
+    std::fprintf(stderr, "invalid --seed '%s': need a non-negative integer\n",
+                 s.c_str());
+    std::exit(2);
+  }
+  return static_cast<std::uint64_t>(v);
 }
 
 void PrintEval(const char* split_name, const seqrec::EvalResult& r) {
@@ -126,7 +143,7 @@ int main(int argc, char** argv) {
   // --- Split -------------------------------------------------------------
   data::Split split;
   if (args.count("cold")) {
-    linalg::Rng rng(std::atoll(Get(args, "seed", "9").c_str()));
+    linalg::Rng rng(ParseSeed(Get(args, "seed", "9")));
     split = data::ColdStartSplit(dataset, 0.15, &rng).split;
     std::printf("cold-start split: %zu cold test instances\n",
                 split.test.size());
@@ -138,7 +155,7 @@ int main(int argc, char** argv) {
   seqrec::SasRecConfig mc;
   mc.hidden_dim =
       static_cast<std::size_t>(std::atoi(Get(args, "hidden", "32").c_str()));
-  mc.seed = std::atoll(Get(args, "seed", "42").c_str());
+  mc.seed = ParseSeed(Get(args, "seed", "42"));
   seqrec::TrainConfig tc;
   tc.epochs =
       static_cast<std::size_t>(std::atoi(Get(args, "epochs", "12").c_str()));

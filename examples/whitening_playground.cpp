@@ -45,7 +45,8 @@ int main() {
     WR_CHECK(z.ok());
     Report(WhiteningKindName(kind), z.value());
   }
-  for (std::size_t groups : {4, 16, 64}) {
+  constexpr std::size_t kGroupSizes[] = {4, 16, 64};
+  for (std::size_t groups : kGroupSizes) {
     auto z = WhitenMatrix(x, groups, WhiteningKind::kZca);
     WR_CHECK(z.ok());
     char label[32];

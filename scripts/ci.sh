@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# Full CI gate for the whitenrec tree. Mirrors what the repo considers "green":
+#
+#   1. configure + build with the hardened warning set promoted to errors
+#   2. tier-1 test suite (fast, deterministic; see ROADMAP.md)
+#   3. check-lint   — determinism linter over src/ tests/ bench/ examples/
+#   4. check-tidy   — curated clang-tidy profile (loud no-op if not installed)
+#   5. check-asan   — GEMM + linalg suites under AddressSanitizer/UBSan
+#   6. check-tsan   — parallel + determinism suites under ThreadSanitizer
+#
+# Usage: scripts/ci.sh [build-dir]   (default: build-ci)
+#
+# Stages 5 and 6 configure sibling build trees inside the build dir, so a
+# single invocation leaves everything needed to re-run any stage by hand.
+
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build-ci}"
+
+JOBS="$(nproc 2>/dev/null || echo 2)"
+
+echo "==> [1/6] configure + build (WHITENREC_WERROR=ON)"
+cmake -S . -B "${BUILD_DIR}" -DWHITENREC_WERROR=ON
+cmake --build "${BUILD_DIR}" --parallel "${JOBS}"
+
+echo "==> [2/6] tier-1 tests"
+ctest --test-dir "${BUILD_DIR}" -L tier1 --output-on-failure -j "${JOBS}"
+
+echo "==> [3/6] check-lint"
+cmake --build "${BUILD_DIR}" --target check-lint
+
+echo "==> [4/6] check-tidy"
+cmake --build "${BUILD_DIR}" --target check-tidy
+
+echo "==> [5/6] check-asan"
+cmake --build "${BUILD_DIR}" --target check-asan
+
+echo "==> [6/6] check-tsan"
+cmake --build "${BUILD_DIR}" --target check-tsan
+
+echo "==> CI green"

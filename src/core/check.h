@@ -1,6 +1,8 @@
 #ifndef WHITENREC_CORE_CHECK_H_
 #define WHITENREC_CORE_CHECK_H_
 
+#include <cmath>
+#include <cstddef>
 #include <cstdio>
 #include <cstdlib>
 
@@ -33,5 +35,96 @@
 #define WR_CHECK_LE(a, b) WR_CHECK((a) <= (b))
 #define WR_CHECK_GT(a, b) WR_CHECK((a) > (b))
 #define WR_CHECK_GE(a, b) WR_CHECK((a) >= (b))
+
+// ---------------------------------------------------------------------------
+// Debug contract layer (WHITENREC_DEBUG_CHECKS=ON, `make check-debug`).
+//
+// WR_DCHECK* mirror WR_CHECK* but compile to nothing in release builds, so
+// they can sit inside kernels and layer boundaries at zero cost.
+// WR_CHECK_FINITE(m) scans any container exposing data()/size() over doubles
+// (linalg::Matrix, std::vector<double>) and aborts on the first NaN/Inf with
+// the expression, source location, and flat index — a divergence aborts at
+// the layer that produced it instead of surfacing as a bad metric three
+// stages later. When the checks are compiled out, arguments still have to
+// parse (dead `if (false)` branch), so contract expressions cannot bitrot.
+// ---------------------------------------------------------------------------
+
+namespace whitenrec {
+namespace check_internal {
+
+template <typename Container>
+inline void CheckFinite(const Container& m, const char* expr,
+                        const char* file, int line) {
+  const double* p = m.data();
+  const std::size_t n = m.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!std::isfinite(p[i])) {
+      std::fprintf(stderr,
+                   "WR_CHECK_FINITE failed at %s:%d: %s has non-finite value "
+                   "%g at flat index %zu (size %zu)\n",
+                   file, line, expr, p[i], i, n);
+      std::abort();
+    }
+  }
+}
+
+}  // namespace check_internal
+}  // namespace whitenrec
+
+#if defined(WHITENREC_DEBUG_CHECKS) && WHITENREC_DEBUG_CHECKS
+
+#define WR_DCHECK(cond) WR_CHECK(cond)
+#define WR_DCHECK_MSG(cond, msg) WR_CHECK_MSG(cond, msg)
+#define WR_DCHECK_EQ(a, b) WR_CHECK_EQ(a, b)
+#define WR_DCHECK_NE(a, b) WR_CHECK_NE(a, b)
+#define WR_DCHECK_LT(a, b) WR_CHECK_LT(a, b)
+#define WR_DCHECK_LE(a, b) WR_CHECK_LE(a, b)
+#define WR_DCHECK_GT(a, b) WR_CHECK_GT(a, b)
+#define WR_DCHECK_GE(a, b) WR_CHECK_GE(a, b)
+// Shape contract for matrices: rows and cols in one line at call sites.
+#define WR_DCHECK_SHAPE(m, r, c)     \
+  do {                               \
+    WR_CHECK_EQ((m).rows(), (r));    \
+    WR_CHECK_EQ((m).cols(), (c));    \
+  } while (0)
+#define WR_CHECK_FINITE(m) \
+  ::whitenrec::check_internal::CheckFinite((m), #m, __FILE__, __LINE__)
+
+#else  // !WHITENREC_DEBUG_CHECKS
+
+#define WR_DCHECK(cond) \
+  do {                  \
+    if (false) {        \
+      (void)(cond);     \
+    }                   \
+  } while (0)
+#define WR_DCHECK_MSG(cond, msg) \
+  do {                           \
+    if (false) {                 \
+      (void)(cond);              \
+      (void)(msg);               \
+    }                            \
+  } while (0)
+#define WR_DCHECK_EQ(a, b) WR_DCHECK((a) == (b))
+#define WR_DCHECK_NE(a, b) WR_DCHECK((a) != (b))
+#define WR_DCHECK_LT(a, b) WR_DCHECK((a) < (b))
+#define WR_DCHECK_LE(a, b) WR_DCHECK((a) <= (b))
+#define WR_DCHECK_GT(a, b) WR_DCHECK((a) > (b))
+#define WR_DCHECK_GE(a, b) WR_DCHECK((a) >= (b))
+#define WR_DCHECK_SHAPE(m, r, c)          \
+  do {                                    \
+    if (false) {                          \
+      (void)((m).rows() == (r));          \
+      (void)((m).cols() == (c));          \
+    }                                     \
+  } while (0)
+#define WR_CHECK_FINITE(m) \
+  do {                     \
+    if (false) {           \
+      (void)(m);           \
+    }                      \
+  } while (0)
+
+#endif  // WHITENREC_DEBUG_CHECKS
 
 #endif  // WHITENREC_CORE_CHECK_H_

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "core/check.h"
 #include "linalg/eigen.h"
 #include "linalg/stats.h"
 
@@ -83,6 +84,7 @@ Status FlowWhitening::Fit(const Matrix& x, std::size_t iterations,
   if (x.rows() < 8) {
     return Status::InvalidArgument("FlowWhitening: need >= 8 rows");
   }
+  WR_CHECK_FINITE(x);
   steps_.clear();
   Matrix cur = x;
   for (std::size_t t = 0; t < iterations; ++t) {

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "core/check.h"
 #include "linalg/cholesky.h"
 #include "linalg/eigen.h"
 
@@ -16,6 +17,9 @@ IncrementalWhitening::IncrementalWhitening(std::size_t dims)
 
 void IncrementalWhitening::Add(const Matrix& rows) {
   WR_CHECK_EQ(rows.cols(), dims_);
+  // A single non-finite arrival would permanently poison the running
+  // mean/co-moment; no later Add can undo it.
+  WR_CHECK_FINITE(rows);
   // Welford update per row: exact running mean and centered co-moment.
   std::vector<double> delta(dims_);
   for (std::size_t r = 0; r < rows.rows(); ++r) {
@@ -31,6 +35,9 @@ void IncrementalWhitening::Add(const Matrix& rows) {
       const double di = delta[i];
       double* mrow = comoment_.RowPtr(i);
       for (std::size_t j = 0; j < dims_; ++j) {
+        // Not a GEMM: a rank-1 Welford update against the just-moved mean,
+        // so the factors change every row and cannot be batched.
+        // whitenrec-lint: allow(hand-rolled-gemm)
         mrow[j] += di * (row[j] - mean_[j]);
       }
     }

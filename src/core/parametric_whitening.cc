@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "core/check.h"
 #include "linalg/gemm.h"
 #include "linalg/stats.h"
 #include "nn/tensor.h"
@@ -25,6 +26,7 @@ ParametricWhitening::ParametricWhitening(std::size_t in_dim,
 
 Matrix ParametricWhitening::Forward(const Matrix& x) {
   WR_CHECK_EQ(x.cols(), beta_.value.cols());
+  WR_CHECK_FINITE(x);
   cached_centered_ = x;
   const double* b = beta_.value.RowPtr(0);
   for (std::size_t r = 0; r < cached_centered_.rows(); ++r) {
@@ -35,6 +37,7 @@ Matrix ParametricWhitening::Forward(const Matrix& x) {
 }
 
 Matrix ParametricWhitening::Backward(const Matrix& dy) {
+  WR_CHECK_FINITE(dy);
   // z = (x - beta) W: dW += (x-beta)^T dy; dx = dy W^T; dbeta = -colsum(dx).
   linalg::MatMulTransAAcc(cached_centered_, dy, &weight_.grad);
   Matrix dx = linalg::MatMulTransB(dy, weight_.value);
@@ -96,6 +99,9 @@ void MoEPwEncoder::Backward(const Matrix& dv) {
       double dg = 0.0;
       for (std::size_t c = 0; c < out_dim_; ++c) {
         drow[c] = g * dvrow[c];
+        // Row-wise dot (sum of a Hadamard product), not a matmul: a GEMM
+        // here would compute the full n*n product for its diagonal.
+        // whitenrec-lint: allow(hand-rolled-gemm)
         dg += dvrow[c] * erow[c];
       }
       dgate(r, e) = dg;

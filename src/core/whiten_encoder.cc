@@ -124,6 +124,9 @@ Matrix ProjectionHead::Backward(const Matrix& dy) {
       double dg = 0.0;
       for (std::size_t c = 0; c < out_dim_; ++c) {
         drow[c] = g * dyrow[c];
+        // Row-wise dot (sum of a Hadamard product), not a matmul: a GEMM
+        // here would compute the full n*n product for its diagonal.
+        // whitenrec-lint: allow(hand-rolled-gemm)
         dg += dyrow[c] * erow[c];
       }
       dgate(r, e) = dg;

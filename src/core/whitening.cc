@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "core/check.h"
 #include "core/parallel.h"
 #include "linalg/cholesky.h"
 #include "linalg/eigen.h"
@@ -97,6 +98,9 @@ Result<FittedWhitening> FitWhiteningAdvanced(const Matrix& x,
   if (x.rows() < 2) {
     return Status::InvalidArgument("FitWhitening: need at least 2 rows");
   }
+  // Fitting on non-finite embeddings produces a non-finite phi that then
+  // corrupts every downstream encoder; abort at the source instead.
+  WR_CHECK_FINITE(x);
   Matrix sigma = options.ledoit_wolf
                      ? linalg::LedoitWolfCovariance(x)
                      : linalg::Covariance(x, options.epsilon);
@@ -132,7 +136,9 @@ Matrix ApplyWhitening(const FittedWhitening& w, const Matrix& x) {
     }
   });
   // z_row = phi * centered_row  <=>  Z = centered * phi^T.
-  return linalg::MatMulTransB(centered, w.phi);
+  Matrix z = linalg::MatMulTransB(centered, w.phi);
+  WR_CHECK_FINITE(z);
+  return z;
 }
 
 Status GroupWhitening::Fit(const Matrix& x, std::size_t groups,

@@ -65,9 +65,11 @@ std::vector<Batch> MakeTrainBatches(
     const std::size_t n = seq.size();
     const std::size_t input_len = std::min(max_len, n - 1);
     const std::size_t start = (n - 1) - input_len;
-    std::vector<std::size_t> inputs(seq.begin() + start,
-                                    seq.begin() + (n - 1));
-    std::vector<std::size_t> targets(seq.begin() + start + 1, seq.end());
+    std::vector<std::size_t> inputs(
+        seq.begin() + static_cast<std::ptrdiff_t>(start),
+        seq.begin() + static_cast<std::ptrdiff_t>(n - 1));
+    std::vector<std::size_t> targets(
+        seq.begin() + static_cast<std::ptrdiff_t>(start + 1), seq.end());
     WR_CHECK_EQ(inputs.size(), targets.size());
     AppendSequence(inputs, targets, u, &current);
     if (current.batch_size == batch_size) {
@@ -91,8 +93,9 @@ std::vector<Batch> MakeEvalBatches(const std::vector<EvalInstance>& instances,
     if (inst.input.empty()) continue;
     const std::size_t input_len = std::min(max_len, inst.input.size());
     const std::size_t start = inst.input.size() - input_len;
-    std::vector<std::size_t> inputs(inst.input.begin() + start,
-                                    inst.input.end());
+    std::vector<std::size_t> inputs(
+        inst.input.begin() + static_cast<std::ptrdiff_t>(start),
+        inst.input.end());
     // Only the last position is scored: its target is the held-out item.
     AppendSequence(inputs, {}, inst.user, &current);
     // Mark the final position's label for metric computation.

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "linalg/gemm.h"
+
 namespace whitenrec {
 namespace data {
 
@@ -11,8 +13,9 @@ using linalg::Matrix;
 namespace {
 
 std::size_t Scaled(std::size_t base, double scale) {
-  return std::max<std::size_t>(8, static_cast<std::size_t>(
-                                      std::lround(base * scale)));
+  return std::max<std::size_t>(
+      8, static_cast<std::size_t>(
+             std::lround(static_cast<double>(base) * scale)));
 }
 
 DatasetProfile BaseProfile(const std::string& name, double scale) {
@@ -123,6 +126,8 @@ GeneratedData GenerateDataset(const DatasetProfile& profile) {
 
   ds.sequences.resize(profile.num_users);
   std::vector<double> logits(num_items);
+  std::vector<double> pref_dots;
+  std::vector<double> trans_dots;
   std::vector<bool> used(num_items);
   for (std::size_t u = 0; u < profile.num_users; ++u) {
     // User preference: mixture of favorite category centers + noise.
@@ -151,25 +156,25 @@ GeneratedData GenerateDataset(const DatasetProfile& profile) {
     std::size_t prev = static_cast<std::size_t>(-1);
     std::vector<std::size_t>& seq = ds.sequences[u];
     seq.reserve(len);
+    // Preference affinity for every item in one GEMV instead of a re-derived
+    // dot per (step, item). MatVecInto keeps the single-accumulator
+    // ascending-k order of the loops it replaces, so the sampled sequences
+    // are bitwise unchanged.
+    linalg::MatVecInto(catalog.latents, pref, &pref_dots);
     for (std::size_t t = 0; t < len; ++t) {
+      if (prev != static_cast<std::size_t>(-1)) {
+        linalg::MatVecInto(unit_latents, unit_latents.Row(prev), &trans_dots);
+      }
       for (std::size_t i = 0; i < num_items; ++i) {
         if (used[i]) {
           logits[i] = -1e30;
           continue;
         }
         double score = profile.popularity_weight * pop_logit[i];
-        double pref_dot = 0.0;
-        for (std::size_t c = 0; c < k; ++c) {
-          pref_dot += pref[c] * catalog.latents(i, c);
-        }
-        score += profile.preference_weight * pref_dot /
+        score += profile.preference_weight * pref_dots[i] /
                  std::sqrt(static_cast<double>(k));
         if (prev != static_cast<std::size_t>(-1)) {
-          double trans = 0.0;
-          for (std::size_t c = 0; c < k; ++c) {
-            trans += unit_latents(prev, c) * unit_latents(i, c);
-          }
-          score += profile.markov_weight * trans;
+          score += profile.markov_weight * trans_dots[i];
         }
         logits[i] = score;
       }

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "core/check.h"
 #include "core/parallel.h"
 
 namespace whitenrec {
@@ -28,6 +29,7 @@ Matrix MultiHeadSelfAttention::Forward(const Matrix& x, std::size_t batch,
                                        std::size_t seq_len) {
   WR_CHECK_EQ(x.rows(), batch * seq_len);
   WR_CHECK_EQ(x.cols(), dim_);
+  WR_CHECK_FINITE(x);
   batch_ = batch;
   seq_len_ = seq_len;
 
@@ -86,11 +88,15 @@ Matrix MultiHeadSelfAttention::Forward(const Matrix& x, std::size_t batch,
       }
     }
   });
+  // A softmax overflow or bad V projection shows up here, before the output
+  // projection can smear it across every feature.
+  WR_CHECK_FINITE(mixed);
   return wo_.Forward(mixed);
 }
 
 Matrix MultiHeadSelfAttention::Backward(const Matrix& dy) {
   WR_CHECK_EQ(dy.rows(), batch_ * seq_len_);
+  WR_CHECK_FINITE(dy);
   wo_.BackwardInto(dy, &dmixed_);
   const Matrix& dmixed = dmixed_;
 
@@ -125,15 +131,20 @@ Matrix MultiHeadSelfAttention::Backward(const Matrix& dy) {
           double* dvj = dv.RowPtr(base + j) + off;
           double dp = 0.0;
           for (std::size_t c = 0; c < head_dim_; ++c) {
+            // Causal masking makes each row's extent ragged, and the pass
+            // fuses two updates (dp dot + dv scatter) per element; a square
+            // GEMM would do 2x the FLOPs and need an unmask/remask pass.
+            // whitenrec-lint: allow(hand-rolled-gemm)
             dp += dout[c] * vj[c];
             dvj[c] += pij * dout[c];
           }
           dprob_row[j] = dp;
         }
-        // Softmax backward over the (masked) row.
+        // Softmax backward over the (masked) row: a ragged-extent dot, not
+        // a matmul.
         double inner = 0.0;
         for (std::size_t j = 0; j <= jmax; ++j)
-          inner += dprob_row[j] * probs(i, j);
+          inner += dprob_row[j] * probs(i, j);  // whitenrec-lint: allow(hand-rolled-gemm)
         const double* qi = cached_q_.RowPtr(base + i) + off;
         double* dqi = dq.RowPtr(base + i) + off;
         for (std::size_t j = 0; j <= jmax; ++j) {
@@ -141,6 +152,9 @@ Matrix MultiHeadSelfAttention::Backward(const Matrix& dy) {
           const double* kj = cached_k_.RowPtr(base + j) + off;
           double* dkj = dk.RowPtr(base + j) + off;
           for (std::size_t c = 0; c < head_dim_; ++c) {
+            // Same ragged causal extent as above, fusing the dq and dk
+            // rank-1 updates in one sweep.
+            // whitenrec-lint: allow(hand-rolled-gemm)
             dqi[c] += ds * kj[c];
             dkj[c] += ds * qi[c];
           }
@@ -155,6 +169,7 @@ Matrix MultiHeadSelfAttention::Backward(const Matrix& dy) {
   wq_.BackwardInto(dq, &dx);
   wk_.BackwardAccInto(dk, &dx);
   wv_.BackwardAccInto(dv, &dx);
+  WR_CHECK_FINITE(dx);
   return dx;
 }
 

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "core/check.h"
 #include "linalg/gemm.h"
 
 namespace whitenrec {
@@ -25,6 +26,7 @@ Matrix Linear::Forward(const Matrix& x) {
 
 void Linear::ForwardInto(const Matrix& x, Matrix* y) {
   WR_CHECK_EQ(x.cols(), weight_.value.rows());
+  WR_CHECK_FINITE(x);
   cached_input_ = x;
   linalg::MatMulInto(x, weight_.value, y);
   for (std::size_t r = 0; r < y->rows(); ++r) {
@@ -32,6 +34,7 @@ void Linear::ForwardInto(const Matrix& x, Matrix* y) {
     const double* b = bias_.value.RowPtr(0);
     for (std::size_t c = 0; c < y->cols(); ++c) row[c] += b[c];
   }
+  WR_CHECK_FINITE(*y);
 }
 
 Matrix Linear::Backward(const Matrix& dy) {
@@ -43,17 +46,20 @@ Matrix Linear::Backward(const Matrix& dy) {
 void Linear::BackwardInto(const Matrix& dy, Matrix* dx) {
   WR_CHECK_EQ(dy.rows(), cached_input_.rows());
   WR_CHECK_EQ(dy.cols(), weight_.value.cols());
+  WR_CHECK_FINITE(dy);
   // dW += X^T dY (accumulated in-kernel, no product temporary);
   // db += colsum(dY); dX = dY W^T.
   linalg::MatMulTransAAcc(cached_input_, dy, &weight_.grad);
   const std::vector<double> db = ColumnSum(dy);
   for (std::size_t c = 0; c < db.size(); ++c) bias_.grad(0, c) += db[c];
   linalg::MatMulTransBInto(dy, weight_.value, dx);
+  WR_CHECK_FINITE(*dx);
 }
 
 void Linear::BackwardAccInto(const Matrix& dy, Matrix* dx) {
   WR_CHECK_EQ(dy.rows(), cached_input_.rows());
   WR_CHECK_EQ(dy.cols(), weight_.value.cols());
+  WR_CHECK_FINITE(dy);
   linalg::MatMulTransAAcc(cached_input_, dy, &weight_.grad);
   const std::vector<double> db = ColumnSum(dy);
   for (std::size_t c = 0; c < db.size(); ++c) bias_.grad(0, c) += db[c];
@@ -116,6 +122,7 @@ LayerNorm::LayerNorm(std::size_t dim, std::string name, double eps)
 Matrix LayerNorm::Forward(const Matrix& x) {
   const std::size_t d = x.cols();
   WR_CHECK_EQ(d, gamma_.value.cols());
+  WR_CHECK_FINITE(x);
   cached_xhat_ = Matrix(x.rows(), d);
   cached_inv_std_.assign(x.rows(), 0.0);
   Matrix y(x.rows(), d);
@@ -141,12 +148,15 @@ Matrix LayerNorm::Forward(const Matrix& x) {
       yrow[c] = g[c] * xhat[c] + b[c];
     }
   }
+  WR_CHECK_FINITE(y);
   return y;
 }
 
 Matrix LayerNorm::Backward(const Matrix& dy) {
   const std::size_t d = dy.cols();
   WR_CHECK_EQ(dy.rows(), cached_xhat_.rows());
+  WR_DCHECK_EQ(d, gamma_.value.cols());
+  WR_CHECK_FINITE(dy);
   Matrix dx(dy.rows(), d);
   const double* g = gamma_.value.RowPtr(0);
   double* dgamma = gamma_.grad.RowPtr(0);
@@ -174,6 +184,7 @@ Matrix LayerNorm::Backward(const Matrix& dy) {
       dxrow[c] = inv_std * (dxh - mean_dxhat - xhat[c] * mean_dxhat_xhat);
     }
   }
+  WR_CHECK_FINITE(dx);
   return dx;
 }
 

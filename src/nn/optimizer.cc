@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "core/check.h"
+
 namespace whitenrec {
 namespace nn {
 
@@ -17,6 +19,11 @@ Adam::Adam(std::vector<Parameter*> params, Options options)
 
 void Adam::Step() {
   ++t_;
+  // Contract: every gradient entering the step must be finite; a NaN here
+  // would otherwise poison m_/v_ and every subsequent parameter silently.
+  for (Parameter* p : params_) {
+    WR_CHECK_FINITE(p->grad);
+  }
   // Global-norm clipping across all parameters.
   double scale = 1.0;
   if (options_.clip_norm > 0.0) {
@@ -51,6 +58,7 @@ void Adam::Step() {
       }
       val[i] -= options_.learning_rate * update;
     }
+    WR_CHECK_FINITE(p->value);
   }
   ZeroGrad();
 }

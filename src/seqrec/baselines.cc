@@ -159,7 +159,8 @@ std::vector<std::size_t> AugmentSequence(const std::vector<std::size_t>& seq,
       const std::size_t len = std::max<std::size_t>(
           1, static_cast<std::size_t>(0.6 * static_cast<double>(seq.size())));
       const std::size_t start = rng->UniformInt(seq.size() - len + 1);
-      out.assign(seq.begin() + start, seq.begin() + start + len);
+      out.assign(seq.begin() + static_cast<std::ptrdiff_t>(start),
+                 seq.begin() + static_cast<std::ptrdiff_t>(start + len));
       break;
     }
     case 1: {  // mask-as-deletion: drop ~30% of items
@@ -175,10 +176,12 @@ std::vector<std::size_t> AugmentSequence(const std::vector<std::size_t>& seq,
           2, static_cast<std::size_t>(0.25 * static_cast<double>(seq.size())));
       if (len < out.size()) {
         const std::size_t start = rng->UniformInt(out.size() - len + 1);
-        std::vector<std::size_t> segment(out.begin() + start,
-                                         out.begin() + start + len);
+        std::vector<std::size_t> segment(
+            out.begin() + static_cast<std::ptrdiff_t>(start),
+            out.begin() + static_cast<std::ptrdiff_t>(start + len));
         rng->Shuffle(&segment);
-        std::copy(segment.begin(), segment.end(), out.begin() + start);
+        std::copy(segment.begin(), segment.end(),
+                  out.begin() + static_cast<std::ptrdiff_t>(start));
       }
       break;
     }
@@ -642,7 +645,9 @@ const TrainResult& FdsaRecommender::Fit(const data::Split& split,
     }
     EpochLog log;
     log.epoch = epoch;
-    log.train_loss = batches.empty() ? 0.0 : loss_sum / batches.size();
+    log.train_loss = batches.empty()
+                         ? 0.0
+                         : loss_sum / static_cast<double>(batches.size());
     log.valid_ndcg20 =
         split.valid.empty()
             ? 0.0

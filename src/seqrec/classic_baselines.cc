@@ -141,13 +141,16 @@ const TrainResult& FpmcRecommender::Fit(const data::Split& split,
          start += config.batch_size) {
       const std::size_t end =
           std::min(triples.size(), start + config.batch_size);
-      loss_sum += im.Step({triples.begin() + start, triples.begin() + end});
+      loss_sum +=
+          im.Step({triples.begin() + static_cast<std::ptrdiff_t>(start),
+                   triples.begin() + static_cast<std::ptrdiff_t>(end)});
       optimizer.Step();
       ++num_batches;
     }
     EpochLog log;
     log.epoch = epoch;
-    log.train_loss = num_batches == 0 ? 0.0 : loss_sum / num_batches;
+    log.train_loss =
+        num_batches == 0 ? 0.0 : loss_sum / static_cast<double>(num_batches);
     log.valid_ndcg20 =
         split.valid.empty()
             ? 0.0
@@ -434,7 +437,9 @@ const TrainResult& CaserRecommender::Fit(const data::Split& split,
     }
     EpochLog log;
     log.epoch = epoch;
-    log.train_loss = batches.empty() ? 0.0 : loss_sum / batches.size();
+    log.train_loss = batches.empty()
+                         ? 0.0
+                         : loss_sum / static_cast<double>(batches.size());
     log.valid_ndcg20 =
         split.valid.empty()
             ? 0.0

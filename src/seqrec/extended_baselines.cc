@@ -42,7 +42,9 @@ TrainResult RunTraining(Recommender* self, StepFunc&& step,
     }
     EpochLog log;
     log.epoch = epoch;
-    log.train_loss = batches.empty() ? 0.0 : loss_sum / batches.size();
+    log.train_loss = batches.empty()
+                         ? 0.0
+                         : loss_sum / static_cast<double>(batches.size());
     log.valid_ndcg20 =
         split.valid.empty()
             ? 0.0

@@ -283,7 +283,8 @@ const TrainResult& GeneralRecommender::Fit(const data::Split& split,
       const std::size_t end =
           std::min(im.pairs.size(), start + config.batch_size);
       std::vector<std::pair<std::size_t, std::size_t>> batch(
-          im.pairs.begin() + start, im.pairs.begin() + end);
+          im.pairs.begin() + static_cast<std::ptrdiff_t>(start),
+          im.pairs.begin() + static_cast<std::ptrdiff_t>(end));
       loss_sum += im.kind == Kind::kGrcn ? im.GrcnStep(batch, users_eff)
                                          : im.Bm3Step(batch);
       optimizer.Step();
@@ -291,7 +292,8 @@ const TrainResult& GeneralRecommender::Fit(const data::Split& split,
     }
     EpochLog log;
     log.epoch = epoch;
-    log.train_loss = num_batches == 0 ? 0.0 : loss_sum / num_batches;
+    log.train_loss =
+        num_batches == 0 ? 0.0 : loss_sum / static_cast<double>(num_batches);
     log.valid_ndcg20 =
         split.valid.empty()
             ? 0.0

@@ -127,7 +127,8 @@ TrainResult TrainSasRec(SasRecModel* model, nn::Adam* optimizer,
 
     EpochLog log;
     log.epoch = epoch;
-    log.train_loss = loss_count == 0 ? 0.0 : loss_sum / loss_count;
+    log.train_loss =
+        loss_count == 0 ? 0.0 : loss_sum / static_cast<double>(loss_count);
     log.seconds = epoch_seconds;
     log.valid_ndcg20 =
         split.valid.empty()
@@ -164,8 +165,10 @@ TrainResult TrainSasRec(SasRecModel* model, nn::Adam* optimizer,
 
     result.epochs.push_back(log);
     if (config.verbose) {
-      std::printf("  epoch %2zu loss %.4f valid N@20 %.4f (%.2fs)\n", epoch,
-                  log.train_loss, log.valid_ndcg20, epoch_seconds);
+      // Progress goes to stderr: callers pipe stdout (bench JSON, example
+      // CSVs) and library chatter must not corrupt it.
+      std::fprintf(stderr, "  epoch %2zu loss %.4f valid N@20 %.4f (%.2fs)\n",
+                   epoch, log.train_loss, log.valid_ndcg20, epoch_seconds);
     }
 
     // Early stopping on validation N@20.

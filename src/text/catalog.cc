@@ -12,7 +12,13 @@ namespace {
 
 // Deterministic pseudo-word for topic vocab entry t: "w<t>". Readability of
 // the strings does not matter; their latent vectors do.
-std::string TopicWord(std::size_t t) { return "w" + std::to_string(t); }
+// (Built via append rather than `"w" + std::to_string(t)`: GCC 12's
+// -Wrestrict false-positives on operator+(const char*, string&&).)
+std::string TopicWord(std::size_t t) {
+  std::string w = "w";
+  w += std::to_string(t);
+  return w;
+}
 
 }  // namespace
 

@@ -107,8 +107,10 @@ SimPlm::SimPlm(const Catalog& catalog, const SimPlmConfig& config,
     signal_norm += linalg::Norm(raw.Row(r));
   }
   signal_norm /= static_cast<double>(raw.rows());
-  corpus_sigma_ = config.corpus_noise_scale * signal_norm /
-                  std::sqrt(std::max<double>(1.0, config.corpus_noise_rank));
+  corpus_sigma_ =
+      config.corpus_noise_scale * signal_norm /
+      std::sqrt(std::max(
+          1.0, static_cast<double>(config.corpus_noise_rank)));
 
   // Calibrate bias_scale by bisection so the mean pairwise cosine of the
   // item embeddings (signal + corpus noise + bias) hits the target. Cosine

@@ -115,7 +115,8 @@ TEST(TsneTest, PreservesClusterStructure) {
       }
     }
   }
-  EXPECT_LT(intra / n_intra, inter / n_inter);
+  EXPECT_LT(intra / static_cast<double>(n_intra),
+            inter / static_cast<double>(n_inter));
 }
 
 TEST(TsneTest, DeterministicGivenSeed) {

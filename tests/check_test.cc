@@ -1,0 +1,133 @@
+// Death tests for the contract macros in core/check.h. The same source
+// builds twice: check_test has WHITENREC_DEBUG_CHECKS=1 (debug contracts
+// active, WR_DCHECK*/WR_CHECK_FINITE abort) and check_release_test builds
+// without it (contracts compile to no-ops). The #if below selects the
+// matching expectations.
+
+#include "core/check.h"
+
+#include <cstddef>
+#include <limits>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "linalg/matrix.h"
+
+namespace whitenrec {
+namespace {
+
+using linalg::Matrix;
+
+// --- Always-on contracts ---------------------------------------------------
+
+TEST(CheckTest, PassingConditionsDoNotAbort) {
+  WR_CHECK(true);
+  WR_CHECK_MSG(1 + 1 == 2, "arithmetic holds");
+  WR_CHECK_EQ(3, 3);
+  WR_CHECK_NE(3, 4);
+  WR_CHECK_LT(3, 4);
+  WR_CHECK_LE(3, 3);
+  WR_CHECK_GT(4, 3);
+  WR_CHECK_GE(4, 4);
+}
+
+TEST(CheckDeathTest, FailedCheckAbortsWithSourceLocation) {
+  EXPECT_DEATH(WR_CHECK(false),
+               "WR_CHECK failed at .*check_test\\.cc:[0-9]+: false");
+}
+
+TEST(CheckDeathTest, FailedCheckMsgIncludesMessage) {
+  EXPECT_DEATH(WR_CHECK_MSG(false, "contract broken"), "contract broken");
+}
+
+TEST(CheckDeathTest, FailedComparisonPrintsExpression) {
+  EXPECT_DEATH(WR_CHECK_EQ(2, 3), "\\(2\\) == \\(3\\)");
+}
+
+// CheckFinite itself is always compiled (the macro gates only call sites):
+// an injected NaN must abort with expression, file, line, and flat index.
+TEST(CheckDeathTest, CheckFiniteHelperLocatesNan) {
+  Matrix m(2, 3);
+  m(1, 2) = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_DEATH(
+      check_internal::CheckFinite(m, "m", __FILE__, __LINE__),
+      "WR_CHECK_FINITE failed at .*check_test\\.cc:[0-9]+: m has non-finite "
+      "value .* at flat index 5 \\(size 6\\)");
+}
+
+TEST(CheckDeathTest, CheckFiniteHelperLocatesInf) {
+  std::vector<double> v = {0.0, std::numeric_limits<double>::infinity()};
+  struct View {
+    const double* d;
+    std::size_t n;
+    const double* data() const { return d; }
+    std::size_t size() const { return n; }
+  };
+  const View view{v.data(), v.size()};
+  EXPECT_DEATH(check_internal::CheckFinite(view, "view", "f.cc", 7),
+               "flat index 1 \\(size 2\\)");
+}
+
+// --- Debug contracts: behavior depends on WHITENREC_DEBUG_CHECKS -----------
+
+#if defined(WHITENREC_DEBUG_CHECKS) && WHITENREC_DEBUG_CHECKS
+
+TEST(DebugCheckDeathTest, DcheckAbortsWhenEnabled) {
+  EXPECT_DEATH(WR_DCHECK(false), "WR_CHECK failed");
+  EXPECT_DEATH(WR_DCHECK_EQ(1, 2), "WR_CHECK failed");
+  EXPECT_DEATH(WR_DCHECK_MSG(false, "debug contract"), "debug contract");
+}
+
+TEST(DebugCheckDeathTest, DcheckShapeAbortsOnMismatch) {
+  Matrix m(2, 3);
+  WR_DCHECK_SHAPE(m, 2u, 3u);  // matching shape passes
+  EXPECT_DEATH(WR_DCHECK_SHAPE(m, 3u, 3u), "WR_CHECK failed");
+}
+
+TEST(DebugCheckDeathTest, CheckFiniteMacroAbortsOnInjectedNan) {
+  Matrix m(4, 4, 1.0);
+  m(2, 1) = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_DEATH(WR_CHECK_FINITE(m),
+               "WR_CHECK_FINITE failed at .*check_test\\.cc:[0-9]+: m has "
+               "non-finite value .* at flat index 9");
+}
+
+TEST(DebugCheckTest, CheckFiniteMacroPassesOnFiniteData) {
+  Matrix m(3, 3, 0.5);
+  WR_CHECK_FINITE(m);
+  std::vector<double> v = {1.0, -2.0, 3.5};
+  WR_CHECK_FINITE(v);
+}
+
+#else  // !WHITENREC_DEBUG_CHECKS
+
+TEST(DebugCheckTest, DcheckIsNoOpWhenDisabled) {
+  WR_DCHECK(false);
+  WR_DCHECK_MSG(false, "never evaluated");
+  WR_DCHECK_EQ(1, 2);
+  WR_DCHECK_NE(1, 1);
+  WR_DCHECK_LT(2, 1);
+  WR_DCHECK_LE(2, 1);
+  WR_DCHECK_GT(1, 2);
+  WR_DCHECK_GE(1, 2);
+}
+
+TEST(DebugCheckTest, DisabledDcheckDoesNotEvaluateArguments) {
+  int evaluations = 0;
+  auto touch = [&evaluations]() { return ++evaluations > 0; };
+  WR_DCHECK(touch());
+  EXPECT_EQ(evaluations, 0);
+}
+
+TEST(DebugCheckTest, CheckFiniteIsNoOpWhenDisabled) {
+  Matrix m(2, 2);
+  m(0, 0) = std::numeric_limits<double>::quiet_NaN();
+  WR_CHECK_FINITE(m);  // compiled out; must not abort
+  Matrix n(2, 3);
+  WR_DCHECK_SHAPE(n, 99u, 99u);  // likewise
+}
+
+#endif  // WHITENREC_DEBUG_CHECKS
+
+}  // namespace
+}  // namespace whitenrec

@@ -1,0 +1,364 @@
+// Unit tests for the determinism linter (tools/lint). Each rule gets a
+// seeded violation that must be caught and an exempt/clean variant that must
+// not be. Violating snippets are built from ordinary string literals, so the
+// tree-level lint pass (which scrubs literals) never trips on this file.
+
+#include "tools/lint/lint.h"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace whitenrec {
+namespace lint {
+namespace {
+
+std::vector<Finding> FindingsFor(const std::string& path,
+                                 const std::string& contents,
+                                 const std::string& rule) {
+  std::vector<Finding> out;
+  for (const Finding& f : LintFile(path, contents)) {
+    if (f.rule == rule) out.push_back(f);
+  }
+  return out;
+}
+
+bool HasRule(const std::vector<Finding>& findings, const std::string& rule) {
+  return std::any_of(findings.begin(), findings.end(),
+                     [&](const Finding& f) { return f.rule == rule; });
+}
+
+// ---------------------------------------------------------------------------
+// ScrubSource
+// ---------------------------------------------------------------------------
+
+TEST(ScrubSourceTest, BlanksCommentsAndStringsPreservingLines) {
+  const std::string src =
+      "int a = 1;  // std::thread in a comment\n"
+      "const char* s = \"std::thread in a string\";\n"
+      "/* block\n"
+      "   std::thread\n"
+      "*/ int b = 2;\n";
+  const std::string scrubbed = ScrubSource(src);
+  EXPECT_EQ(std::count(src.begin(), src.end(), '\n'),
+            std::count(scrubbed.begin(), scrubbed.end(), '\n'));
+  EXPECT_EQ(scrubbed.find("std::thread"), std::string::npos);
+  EXPECT_NE(scrubbed.find("int a = 1;"), std::string::npos);
+  EXPECT_NE(scrubbed.find("int b = 2;"), std::string::npos);
+}
+
+TEST(ScrubSourceTest, BlanksRawStringsAndCharLiterals) {
+  const std::string src =
+      "auto re = std::regex(R\"(std::thread|rand\\()\");\n"
+      "char c = ';';\n"
+      "int tail = 3;\n";
+  const std::string scrubbed = ScrubSource(src);
+  EXPECT_EQ(scrubbed.find("thread"), std::string::npos);
+  EXPECT_EQ(scrubbed.find("rand"), std::string::npos);
+  EXPECT_NE(scrubbed.find("int tail = 3;"), std::string::npos);
+}
+
+TEST(ScrubSourceTest, ViolationInsideLiteralIsNotReported) {
+  const std::string src =
+      "const char* doc = \"call std::thread here\";\n"
+      "// std::random_device commentary\n";
+  EXPECT_TRUE(LintFile("src/core/doc.cc", src).empty());
+}
+
+// ---------------------------------------------------------------------------
+// raw-thread
+// ---------------------------------------------------------------------------
+
+TEST(RawThreadTest, CatchesStdThreadOutsideCoreParallel) {
+  const std::string src =
+      "#include <thread>\n"
+      "void Spawn() {\n"
+      "  std::thread t([] {});\n"
+      "  t.join();\n"
+      "}\n";
+  const auto findings = FindingsFor("src/seqrec/worker.cc", src, "raw-thread");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].line, 3u);
+}
+
+TEST(RawThreadTest, CatchesOpenMpPragma) {
+  const std::string src =
+      "void Sum() {\n"
+      "#pragma omp parallel for\n"
+      "  for (int i = 0; i < 4; ++i) {}\n"
+      "}\n";
+  EXPECT_TRUE(HasRule(LintFile("src/linalg/sum.cc", src), "raw-thread"));
+}
+
+TEST(RawThreadTest, ExemptInCoreParallel) {
+  const std::string src = "std::thread worker_;\n";
+  EXPECT_TRUE(LintFile("src/core/parallel.cc", src).empty());
+  // The .h variant is exempt from raw-thread too (the include-guard rule
+  // still applies to it, so only assert on this rule).
+  EXPECT_FALSE(HasRule(LintFile("src/core/parallel.h", src), "raw-thread"));
+}
+
+// ---------------------------------------------------------------------------
+// raw-rng
+// ---------------------------------------------------------------------------
+
+TEST(RawRngTest, CatchesRandomDeviceAndRand) {
+  const std::string src =
+      "std::random_device rd;\n"
+      "int r = rand();\n"
+      "srand(42);\n";
+  const auto findings = FindingsFor("src/data/shuffle.cc", src, "raw-rng");
+  EXPECT_EQ(findings.size(), 3u);
+}
+
+TEST(RawRngTest, CatchesTimeBasedSeeding) {
+  const std::string src =
+      "auto seed = std::chrono::steady_clock::now().time_since_epoch();\n";
+  EXPECT_TRUE(HasRule(LintFile("tests/foo_test.cc", src), "raw-rng"));
+}
+
+TEST(RawRngTest, ExemptInLinalgRng) {
+  const std::string src = "std::random_device rd;\n";
+  EXPECT_TRUE(LintFile("src/linalg/rng.h", src).empty() ||
+              !HasRule(LintFile("src/linalg/rng.h", src), "raw-rng"));
+}
+
+// ---------------------------------------------------------------------------
+// unordered-float
+// ---------------------------------------------------------------------------
+
+TEST(UnorderedFloatTest, CatchesRangeForAccumulation) {
+  const std::string src =
+      "double Total(const std::unordered_map<int, double>& weights) {\n"
+      "  double sum = 0.0;\n"
+      "  for (const auto& kv : weights) {\n"
+      "    sum += kv.second;\n"
+      "  }\n"
+      "  return sum;\n"
+      "}\n";
+  const auto findings =
+      FindingsFor("src/seqrec/score.cc", src, "unordered-float");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].line, 4u);
+}
+
+TEST(UnorderedFloatTest, OrderedMapIsClean) {
+  const std::string src =
+      "double Total(const std::map<int, double>& weights) {\n"
+      "  double sum = 0.0;\n"
+      "  for (const auto& kv : weights) {\n"
+      "    sum += kv.second;\n"
+      "  }\n"
+      "  return sum;\n"
+      "}\n";
+  EXPECT_TRUE(LintFile("src/seqrec/score.cc", src).empty());
+}
+
+TEST(UnorderedFloatTest, IntegerAccumulationIsClean) {
+  const std::string src =
+      "int Count(const std::unordered_set<int>& ids) {\n"
+      "  int n = 0;\n"
+      "  for (int id : ids) {\n"
+      "    n += id;\n"
+      "  }\n"
+      "  return n;\n"
+      "}\n";
+  EXPECT_TRUE(LintFile("src/seqrec/count.cc", src).empty());
+}
+
+// ---------------------------------------------------------------------------
+// hand-rolled-gemm
+// ---------------------------------------------------------------------------
+
+TEST(HandRolledGemmTest, CatchesTripleLoopMultiplyAccumulate) {
+  const std::string src =
+      "void Mul(const M& a, const M& b, M* c) {\n"
+      "  for (std::size_t i = 0; i < a.rows(); ++i) {\n"
+      "    for (std::size_t j = 0; j < b.cols(); ++j) {\n"
+      "      double acc = 0.0;\n"
+      "      for (std::size_t k = 0; k < a.cols(); ++k) {\n"
+      "        acc += a(i, k) * b(k, j);\n"
+      "      }\n"
+      "      (*c)(i, j) = acc;\n"
+      "    }\n"
+      "  }\n"
+      "}\n";
+  const auto findings =
+      FindingsFor("src/seqrec/model.cc", src, "hand-rolled-gemm");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].line, 6u);
+}
+
+TEST(HandRolledGemmTest, ExemptInGemmKernelFile) {
+  const std::string src =
+      "void Mul(const M& a, const M& b, M* c) {\n"
+      "  for (std::size_t i = 0; i < a.rows(); ++i) {\n"
+      "    for (std::size_t j = 0; j < b.cols(); ++j) {\n"
+      "      double acc = 0.0;\n"
+      "      for (std::size_t k = 0; k < a.cols(); ++k) {\n"
+      "        acc += a(i, k) * b(k, j);\n"
+      "      }\n"
+      "    }\n"
+      "  }\n"
+      "}\n";
+  EXPECT_TRUE(LintFile("src/linalg/gemm.cc", src).empty());
+}
+
+TEST(HandRolledGemmTest, DoubleLoopDotProductIsClean) {
+  const std::string src =
+      "double Dot(const V& a, const V& b) {\n"
+      "  double acc = 0.0;\n"
+      "  for (std::size_t r = 0; r < 4; ++r) {\n"
+      "    for (std::size_t k = 0; k < a.size(); ++k) {\n"
+      "      acc += a[k] * b[k];\n"
+      "    }\n"
+      "  }\n"
+      "  return acc;\n"
+      "}\n";
+  EXPECT_TRUE(LintFile("src/linalg/dot.cc", src).empty());
+}
+
+TEST(HandRolledGemmTest, BracelessInnerLoopStillCounts) {
+  const std::string src =
+      "void Mul(const M& a, const M& b, M* c) {\n"
+      "  for (std::size_t i = 0; i < 4; ++i) {\n"
+      "    for (std::size_t j = 0; j < 4; ++j) {\n"
+      "      for (std::size_t k = 0; k < 4; ++k)\n"
+      "        (*c)(i, j) += a(i, k) * b(k, j);\n"
+      "    }\n"
+      "  }\n"
+      "}\n";
+  EXPECT_TRUE(
+      HasRule(LintFile("src/seqrec/model.cc", src), "hand-rolled-gemm"));
+}
+
+TEST(HandRolledGemmTest, BracelessSingleStatementLoopsDoNotLeakDepth) {
+  // Two sibling one-line loops followed by a double loop: the one-liners
+  // must not stay on the loop stack and fake a triple nest.
+  const std::string src =
+      "void Stats(const M& y, double* mean, double* acc) {\n"
+      "  for (std::size_t r = 0; r < 4; ++r) *mean += y(r, 0);\n"
+      "  for (std::size_t r = 0; r < 4; ++r) *mean += y(r, 1);\n"
+      "  for (std::size_t r = 0; r < 4; ++r) {\n"
+      "    for (std::size_t k = 0; k < 4; ++k) {\n"
+      "      *acc += y(r, k) * y(k, r);\n"
+      "    }\n"
+      "  }\n"
+      "}\n";
+  EXPECT_TRUE(LintFile("src/analysis/stats.cc", src).empty());
+}
+
+// ---------------------------------------------------------------------------
+// stdout-in-library
+// ---------------------------------------------------------------------------
+
+TEST(StdoutInLibraryTest, CatchesPrintfInSrc) {
+  const std::string src =
+      "void Log(const char* msg) {\n"
+      "  std::printf(msg);\n"
+      "  std::cout << msg;\n"
+      "}\n";
+  const auto findings =
+      FindingsFor("src/seqrec/log.cc", src, "stdout-in-library");
+  EXPECT_EQ(findings.size(), 2u);
+}
+
+TEST(StdoutInLibraryTest, StderrIsAllowed) {
+  const std::string src =
+      "void Log(const char* msg) {\n"
+      "  std::fprintf(stderr, msg);\n"
+      "}\n";
+  EXPECT_TRUE(LintFile("src/seqrec/log.cc", src).empty());
+}
+
+TEST(StdoutInLibraryTest, BenchAndExamplesMayPrint) {
+  const std::string src = "  std::printf(msg);\n";
+  EXPECT_TRUE(LintFile("bench/bench_foo.cc", src).empty());
+  EXPECT_TRUE(LintFile("examples/demo.cpp", src).empty());
+}
+
+// ---------------------------------------------------------------------------
+// include-guard
+// ---------------------------------------------------------------------------
+
+TEST(IncludeGuardTest, AcceptsCanonicalGuard) {
+  const std::string src =
+      "#ifndef WHITENREC_CORE_FOO_H_\n"
+      "#define WHITENREC_CORE_FOO_H_\n"
+      "#endif\n";
+  EXPECT_TRUE(LintFile("src/core/foo.h", src).empty());
+}
+
+TEST(IncludeGuardTest, RejectsWrongGuardName) {
+  const std::string src =
+      "#ifndef FOO_H\n"
+      "#define FOO_H\n"
+      "#endif\n";
+  const auto findings =
+      FindingsFor("src/core/foo.h", src, "include-guard");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].line, 1u);
+  EXPECT_NE(findings[0].message.find("WHITENREC_CORE_FOO_H_"),
+            std::string::npos);
+}
+
+TEST(IncludeGuardTest, RejectsPragmaOnce) {
+  const std::string src = "#pragma once\n";
+  EXPECT_TRUE(HasRule(LintFile("src/core/foo.h", src), "include-guard"));
+}
+
+TEST(IncludeGuardTest, TestsAndBenchKeepDirectoryPrefix) {
+  const std::string ok =
+      "#ifndef WHITENREC_BENCH_BENCH_JSON_H_\n"
+      "#define WHITENREC_BENCH_BENCH_JSON_H_\n"
+      "#endif\n";
+  EXPECT_TRUE(LintFile("bench/bench_json.h", ok).empty());
+  const std::string wrong =
+      "#ifndef WHITENREC_BENCH_JSON_H_\n"
+      "#define WHITENREC_BENCH_JSON_H_\n"
+      "#endif\n";
+  EXPECT_TRUE(HasRule(LintFile("bench/bench_json.h", wrong), "include-guard"));
+}
+
+TEST(IncludeGuardTest, SourceFilesAreExempt) {
+  EXPECT_TRUE(LintFile("src/core/foo.cc", "int x = 1;\n").empty());
+}
+
+// ---------------------------------------------------------------------------
+// Suppressions
+// ---------------------------------------------------------------------------
+
+TEST(SuppressionTest, SameLineAllowSilencesRule) {
+  const std::string src =
+      "std::random_device rd;  // whitenrec-lint: allow(raw-rng)\n";
+  EXPECT_TRUE(LintFile("src/data/entropy.cc", src).empty());
+}
+
+TEST(SuppressionTest, PreviousLineAllowSilencesRule) {
+  const std::string src =
+      "// whitenrec-lint: allow(raw-thread)\n"
+      "std::thread t;\n";
+  EXPECT_TRUE(LintFile("src/data/worker.cc", src).empty());
+}
+
+TEST(SuppressionTest, AllowForOtherRuleDoesNotSilence) {
+  const std::string src =
+      "std::random_device rd;  // whitenrec-lint: allow(raw-thread)\n";
+  EXPECT_TRUE(HasRule(LintFile("src/data/entropy.cc", src), "raw-rng"));
+}
+
+// ---------------------------------------------------------------------------
+// Tree walk over the real repository
+// ---------------------------------------------------------------------------
+
+TEST(LintTreeTest, RepositoryIsClean) {
+  // The lint.tree ctest entry runs the binary against the live tree; here we
+  // exercise the library path against a nonexistent root (no dirs -> clean).
+  EXPECT_TRUE(LintTree("/nonexistent-whitenrec-root").empty());
+}
+
+}  // namespace
+}  // namespace lint
+}  // namespace whitenrec

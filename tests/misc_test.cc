@@ -92,7 +92,9 @@ TEST(EquivalenceTest, WhiteningInvariantToInputShift) {
   Matrix shifted = x;
   for (std::size_t r = 0; r < shifted.rows(); ++r) {
     double* row = shifted.RowPtr(r);
-    for (std::size_t c = 0; c < 4; ++c) row[c] += 100.0 * (c + 1);
+    for (std::size_t c = 0; c < 4; ++c) {
+      row[c] += 100.0 * static_cast<double>(c + 1);
+    }
   }
   auto z1 = WhitenMatrix(x, 1, WhiteningKind::kZca, 1e-8);
   auto z2 = WhitenMatrix(shifted, 1, WhiteningKind::kZca, 1e-8);
@@ -364,7 +366,9 @@ TEST(GeneratorInvariantTest, FoodTextsShorterThanArts) {
   const text::Catalog cf = text::GenerateCatalog(food.catalog, &rng2);
   auto mean_tokens = [](const text::Catalog& c) {
     double total = 0.0;
-    for (const auto& item : c.items) total += item.tokens.size();
+    for (const auto& item : c.items) {
+      total += static_cast<double>(item.tokens.size());
+    }
     return total / static_cast<double>(c.items.size());
   };
   EXPECT_LT(mean_tokens(cf), mean_tokens(ca));

@@ -218,8 +218,8 @@ TEST(SasRecModelTest, TrainingReducesLoss) {
       sum += rec->model()->TrainStep(batch);
       adam.Step();
     }
-    if (epoch == 0) first = sum / batches.size();
-    last = sum / batches.size();
+    if (epoch == 0) first = sum / static_cast<double>(batches.size());
+    last = sum / static_cast<double>(batches.size());
   }
   EXPECT_LT(last, first);
 }

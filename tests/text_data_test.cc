@@ -127,7 +127,8 @@ TEST(CatalogTest, SameCategoryItemsCloserInLatentSpace) {
       }
     }
   }
-  EXPECT_GT(same_sum / same_n, diff_sum / diff_n + 0.1);
+  EXPECT_GT(same_sum / static_cast<double>(same_n),
+            diff_sum / static_cast<double>(diff_n) + 0.1);
 }
 
 // ---------------------------------------------------------------------------
@@ -202,7 +203,8 @@ TEST(SimPlmTest, SemanticStructureSurvivesDegeneration) {
       }
     }
   }
-  EXPECT_GT(same / same_n, diff / diff_n);
+  EXPECT_GT(same / static_cast<double>(same_n),
+            diff / static_cast<double>(diff_n));
 }
 
 TEST(SimPlmTest, EmptyDocEncodesToBiasDirection) {
@@ -239,7 +241,9 @@ TEST(FiveCoreTest, DropsRareItemsAndShortUsers) {
   ds.sequences = {{0, 1, 2, 0, 1}, {3, 0, 1}, {0, 1, 2, 2, 1}};
   ds.item_category = {0, 1, 2, 3};
   ds.text_embeddings = Matrix(4, 2);
-  for (std::size_t i = 0; i < 4; ++i) ds.text_embeddings(i, 0) = i;
+  for (std::size_t i = 0; i < 4; ++i) {
+    ds.text_embeddings(i, 0) = static_cast<double>(i);
+  }
   FiveCoreFilter(&ds, /*core=*/3);
   // Item 3 removed; remaining ids compacted.
   EXPECT_EQ(ds.num_items, 3u);

@@ -1,0 +1,576 @@
+#include "tools/lint/lint.h"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <regex>
+#include <set>
+#include <sstream>
+#include <unordered_set>
+
+namespace whitenrec {
+namespace lint {
+namespace {
+
+bool StartsWith(const std::string& s, const std::string& prefix) {
+  return s.rfind(prefix, 0) == 0;
+}
+
+bool EndsWith(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+std::vector<std::string> SplitLines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::string cur;
+  for (char c : text) {
+    if (c == '\n') {
+      lines.push_back(cur);
+      cur.clear();
+    } else {
+      cur.push_back(c);
+    }
+  }
+  lines.push_back(cur);
+  return lines;
+}
+
+// Whole-word occurrence count of `word` in `text`.
+std::size_t CountWord(const std::string& text, const std::string& word) {
+  std::size_t count = 0;
+  std::size_t pos = 0;
+  auto is_word = [](char c) {
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+  };
+  while ((pos = text.find(word, pos)) != std::string::npos) {
+    const bool left_ok = pos == 0 || !is_word(text[pos - 1]);
+    const std::size_t end = pos + word.size();
+    const bool right_ok = end >= text.size() || !is_word(text[end]);
+    if (left_ok && right_ok) ++count;
+    pos = end;
+  }
+  return count;
+}
+
+// Parses "// whitenrec-lint: allow(rule-a, rule-b)" suppressions from the
+// ORIGINAL (unscrubbed) line, since they live inside comments.
+std::set<std::string> ParseAllows(const std::string& line) {
+  std::set<std::string> rules;
+  const std::string marker = "whitenrec-lint: allow(";
+  std::size_t pos = line.find(marker);
+  if (pos == std::string::npos) return rules;
+  pos += marker.size();
+  const std::size_t close = line.find(')', pos);
+  if (close == std::string::npos) return rules;
+  std::stringstream ss(line.substr(pos, close - pos));
+  std::string rule;
+  while (std::getline(ss, rule, ',')) {
+    rule.erase(std::remove_if(rule.begin(), rule.end(),
+                              [](char c) { return std::isspace(
+                                  static_cast<unsigned char>(c)); }),
+               rule.end());
+    if (!rule.empty()) rules.insert(rule);
+  }
+  return rules;
+}
+
+struct FileContext {
+  std::string path;
+  std::vector<std::string> raw;       // original lines
+  std::vector<std::string> scrubbed;  // literals/comments blanked
+  std::vector<Finding>* findings;
+
+  bool Suppressed(std::size_t line_no, const std::string& rule) const {
+    for (std::size_t l = (line_no > 1 ? line_no - 1 : 1); l <= line_no; ++l) {
+      const std::set<std::string> allows = ParseAllows(raw[l - 1]);
+      if (allows.count(rule) || allows.count("*")) return true;
+    }
+    return false;
+  }
+
+  void Report(std::size_t line_no, const std::string& rule,
+              const std::string& message) const {
+    if (Suppressed(line_no, rule)) return;
+    findings->push_back(Finding{path, line_no, rule, message});
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Rule: raw-thread
+// ---------------------------------------------------------------------------
+
+void CheckRawThread(const FileContext& ctx) {
+  if (StartsWith(ctx.path, "src/core/parallel.")) return;
+  static const std::regex kThread(
+      R"(std::(jthread|thread|async)\b|#\s*pragma\s+omp\b|\bomp_set_num_threads\b|#\s*include\s*<omp\.h>|std::execution::par)");
+  for (std::size_t i = 0; i < ctx.scrubbed.size(); ++i) {
+    if (std::regex_search(ctx.scrubbed[i], kThread)) {
+      ctx.Report(i + 1, "raw-thread",
+                 "raw threading primitive; all parallelism must go through "
+                 "core/parallel (ParallelFor/ParallelReduceSum)");
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Rule: raw-rng
+// ---------------------------------------------------------------------------
+
+void CheckRawRng(const FileContext& ctx) {
+  if (StartsWith(ctx.path, "src/linalg/rng.")) return;
+  static const std::regex kRng(
+      R"(std::random_device|\bsrand\s*\(|\brand\s*\(|\btime\s*\(\s*(NULL|nullptr|0)\s*\))");
+  static const std::regex kClockSeed(R"(_clock::now)");
+  static const std::regex kSeedWord(R"([Ss]eed)");
+  for (std::size_t i = 0; i < ctx.scrubbed.size(); ++i) {
+    const std::string& line = ctx.scrubbed[i];
+    if (std::regex_search(line, kRng) ||
+        (std::regex_search(line, kClockSeed) &&
+         std::regex_search(line, kSeedWord))) {
+      ctx.Report(i + 1, "raw-rng",
+                 "nondeterministic randomness source; all randomness must "
+                 "come from an explicitly seeded linalg::Rng");
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Rule: unordered-float
+// ---------------------------------------------------------------------------
+
+// Collects identifiers declared with type unordered_map<...> or
+// unordered_set<...> anywhere in the file (local, member, or parameter).
+std::unordered_set<std::string> CollectUnorderedVars(
+    const std::vector<std::string>& scrubbed) {
+  std::unordered_set<std::string> vars;
+  for (const std::string& line : scrubbed) {
+    for (const char* kind : {"unordered_map", "unordered_set"}) {
+      std::size_t pos = 0;
+      while ((pos = line.find(kind, pos)) != std::string::npos) {
+        std::size_t p = pos + std::string(kind).size();
+        // Skip the template argument list with angle-bracket matching.
+        while (p < line.size() && std::isspace(static_cast<unsigned char>(
+                                      line[p]))) {
+          ++p;
+        }
+        if (p >= line.size() || line[p] != '<') {
+          pos = p;
+          continue;
+        }
+        int depth = 0;
+        while (p < line.size()) {
+          if (line[p] == '<') ++depth;
+          if (line[p] == '>') {
+            --depth;
+            if (depth == 0) {
+              ++p;
+              break;
+            }
+          }
+          ++p;
+        }
+        // Optional ref/pointer and whitespace, then the identifier.
+        while (p < line.size() &&
+               (std::isspace(static_cast<unsigned char>(line[p])) ||
+                line[p] == '&' || line[p] == '*')) {
+          ++p;
+        }
+        std::string name;
+        while (p < line.size() &&
+               (std::isalnum(static_cast<unsigned char>(line[p])) ||
+                line[p] == '_')) {
+          name.push_back(line[p]);
+          ++p;
+        }
+        if (!name.empty()) vars.insert(name);
+        pos = p;
+      }
+    }
+  }
+  return vars;
+}
+
+// Collects identifiers declared float or double anywhere in the file.
+std::unordered_set<std::string> CollectFloatVars(
+    const std::vector<std::string>& scrubbed) {
+  std::unordered_set<std::string> vars;
+  static const std::regex kDecl(R"((?:^|[^\w])(?:float|double)\s+(\w+))");
+  for (const std::string& line : scrubbed) {
+    auto begin = std::sregex_iterator(line.begin(), line.end(), kDecl);
+    for (auto it = begin; it != std::sregex_iterator(); ++it) {
+      vars.insert((*it)[1].str());
+    }
+  }
+  return vars;
+}
+
+// Returns the last line (1-based) of the brace-balanced block whose opening
+// `{` is on or after `start_line` (1-based). Falls back to start_line + 30.
+std::size_t BlockEnd(const std::vector<std::string>& scrubbed,
+                     std::size_t start_line) {
+  int depth = 0;
+  bool entered = false;
+  for (std::size_t i = start_line - 1; i < scrubbed.size(); ++i) {
+    for (char c : scrubbed[i]) {
+      if (c == '{') {
+        ++depth;
+        entered = true;
+      } else if (c == '}') {
+        --depth;
+      }
+    }
+    if (entered && depth <= 0) return i + 1;
+  }
+  return std::min(scrubbed.size(), start_line + 30);
+}
+
+void CheckUnorderedFloat(const FileContext& ctx) {
+  const std::unordered_set<std::string> unordered_vars =
+      CollectUnorderedVars(ctx.scrubbed);
+  if (unordered_vars.empty()) return;
+  const std::unordered_set<std::string> float_vars =
+      CollectFloatVars(ctx.scrubbed);
+  // Range-for over the container, or an explicit iterator loop.
+  static const std::regex kRangeFor(R"(for\s*\([^;()]*:\s*(\w+)\s*\))");
+  static const std::regex kIterFor(
+      R"(for\s*\(\s*auto\s+\w+\s*=\s*(\w+)\.begin\(\))");
+  static const std::regex kAccum(R"((\w+)(?:\([^)]*\)|\[[^\]]*\])?\s*[+\-]=)");
+  for (std::size_t i = 0; i < ctx.scrubbed.size(); ++i) {
+    std::smatch m;
+    if (!std::regex_search(ctx.scrubbed[i], m, kRangeFor) &&
+        !std::regex_search(ctx.scrubbed[i], m, kIterFor)) {
+      continue;
+    }
+    if (!unordered_vars.count(m[1].str())) continue;
+    const std::size_t end = BlockEnd(ctx.scrubbed, i + 1);
+    for (std::size_t j = i; j < end && j < ctx.scrubbed.size(); ++j) {
+      std::smatch am;
+      if (std::regex_search(ctx.scrubbed[j], am, kAccum) &&
+          float_vars.count(am[1].str())) {
+        ctx.Report(j + 1, "unordered-float",
+                   "floating-point accumulation in unordered container "
+                   "iteration order; hash order is not deterministic — "
+                   "iterate a sorted copy or use an ordered container");
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Rule: hand-rolled-gemm
+// ---------------------------------------------------------------------------
+
+void CheckHandRolledGemm(const FileContext& ctx) {
+  if (ctx.path == "src/linalg/gemm.cc") return;
+  struct ForLoop {
+    int entry_depth;   // brace depth at the `for` line, before its body
+    std::string var;
+    bool braced;       // body wrapped in {}; pops by brace depth
+    std::size_t line;  // 0-based line the `for` was seen on
+  };
+  static const std::regex kForVar(
+      R"(for\s*\(\s*[\w:]+(?:\s*<[^<>]*>)?[\s&*]+(\w+)\s*=)");
+  static const std::regex kMulAcc(R"([+]=([^;]*\*[^;]*))");
+  std::vector<ForLoop> stack;
+  int depth = 0;
+  for (std::size_t i = 0; i < ctx.scrubbed.size(); ++i) {
+    const std::string& line = ctx.scrubbed[i];
+    int open = 0;
+    int close = 0;
+    for (char c : line) {
+      if (c == '{') ++open;
+      if (c == '}') ++close;
+    }
+    // A closing brace that drops below a loop's entry depth ends that loop.
+    const int depth_after = depth + open - close;
+    while (!stack.empty() && close > 0 && stack.back().braced &&
+           depth_after <= stack.back().entry_depth) {
+      stack.pop_back();
+    }
+    std::smatch m;
+    if (stack.size() >= 3 && std::regex_search(line, m, kMulAcc)) {
+      // Multiply-accumulate over the innermost induction variable inside a
+      // triple loop is the GEMM signature: both factors index with it.
+      const std::string rhs = m[1].str();
+      if (CountWord(rhs, stack.back().var) >= 2) {
+        ctx.Report(i + 1, "hand-rolled-gemm",
+                   "triple-nested multiply-accumulate; use the canonical "
+                   "kernels in linalg/gemm.h so accumulation order (and "
+                   "bitwise reproducibility) is preserved");
+      }
+    }
+    if (std::regex_search(line, m, kForVar)) {
+      // Classify the loop body: `for (...) {` tracks by brace depth;
+      // `for (...) stmt;` is self-contained; `for (...)` with the statement
+      // on the next line(s) stays on the stack until that statement's `;`.
+      const std::size_t header_start =
+          static_cast<std::size_t>(m.position(0)) + line.substr(
+              static_cast<std::size_t>(m.position(0))).find('(');
+      int parens = 0;
+      std::size_t p = header_start;
+      for (; p < line.size(); ++p) {
+        if (line[p] == '(') ++parens;
+        if (line[p] == ')' && --parens == 0) break;
+      }
+      if (parens == 0 && p < line.size()) {
+        const std::string rest = line.substr(p + 1);
+        if (rest.find('{') != std::string::npos) {
+          stack.push_back(ForLoop{depth, m[1].str(), true, i});
+        } else if (rest.find(';') == std::string::npos) {
+          stack.push_back(ForLoop{depth, m[1].str(), false, i});
+        }
+        // `for (...) stmt;` on one line: nothing outlives the line.
+      }
+    }
+    // An unbraced loop body is a single statement: its terminating `;` at
+    // the loop's own depth ends the loop (unless the `for` was pushed on
+    // this very line — its header semicolons don't count).
+    while (!stack.empty() && !stack.back().braced && stack.back().line != i &&
+           depth_after == stack.back().entry_depth &&
+           line.find(';') != std::string::npos) {
+      stack.pop_back();
+    }
+    depth = depth_after;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Rule: stdout-in-library
+// ---------------------------------------------------------------------------
+
+void CheckStdoutInLibrary(const FileContext& ctx) {
+  if (!StartsWith(ctx.path, "src/")) return;
+  static const std::regex kStdout(
+      R"(std::cout\b|\bprintf\s*\(|\bputs\s*\(|\bputchar\s*\(|fprintf\s*\(\s*stdout\b|fputs\s*\([^;]*,\s*stdout\s*\))");
+  for (std::size_t i = 0; i < ctx.scrubbed.size(); ++i) {
+    if (std::regex_search(ctx.scrubbed[i], kStdout)) {
+      ctx.Report(i + 1, "stdout-in-library",
+                 "library code must not write to stdout; return data or log "
+                 "to stderr so tool output stays machine-parseable");
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Rule: include-guard
+// ---------------------------------------------------------------------------
+
+std::string ExpectedGuard(const std::string& path) {
+  std::string p = path;
+  if (StartsWith(p, "src/")) p = p.substr(4);
+  std::string guard = "WHITENREC_";
+  for (char c : p) {
+    if (c == '/' || c == '.' || c == '-') {
+      guard.push_back('_');
+    } else {
+      guard.push_back(
+          static_cast<char>(std::toupper(static_cast<unsigned char>(c))));
+    }
+  }
+  guard.push_back('_');
+  return guard;
+}
+
+void CheckIncludeGuard(const FileContext& ctx) {
+  if (!EndsWith(ctx.path, ".h") && !EndsWith(ctx.path, ".hpp")) return;
+  const std::string expected = ExpectedGuard(ctx.path);
+  static const std::regex kIfndef(R"(^\s*#\s*ifndef\s+(\w+))");
+  static const std::regex kDefine(R"(^\s*#\s*define\s+(\w+))");
+  static const std::regex kPragmaOnce(R"(^\s*#\s*pragma\s+once\b)");
+  std::string ifndef_name;
+  std::size_t ifndef_line = 0;
+  for (std::size_t i = 0; i < ctx.scrubbed.size(); ++i) {
+    std::smatch m;
+    if (std::regex_search(ctx.scrubbed[i], m, kPragmaOnce)) {
+      ctx.Report(i + 1, "include-guard",
+                 "#pragma once is not used here; use the " + expected +
+                     " guard convention");
+      return;
+    }
+    if (ifndef_name.empty() && std::regex_search(ctx.scrubbed[i], m, kIfndef)) {
+      ifndef_name = m[1].str();
+      ifndef_line = i + 1;
+      continue;
+    }
+    if (!ifndef_name.empty()) {
+      if (std::regex_search(ctx.scrubbed[i], m, kDefine)) {
+        if (ifndef_name != expected || m[1].str() != expected) {
+          ctx.Report(ifndef_line, "include-guard",
+                     "include guard is " + ifndef_name + ", expected " +
+                         expected);
+        }
+        return;
+      }
+      if (!ctx.scrubbed[i].empty() &&
+          ctx.scrubbed[i].find_first_not_of(" \t") != std::string::npos) {
+        break;  // something other than the paired #define follows
+      }
+    }
+  }
+  ctx.Report(ifndef_line ? ifndef_line : 1, "include-guard",
+             "missing include guard; expected " + expected);
+}
+
+}  // namespace
+
+std::string ScrubSource(const std::string& contents) {
+  std::string out;
+  out.reserve(contents.size());
+  enum class State {
+    kCode,
+    kLineComment,
+    kBlockComment,
+    kString,
+    kChar,
+    kRawString,
+  };
+  State state = State::kCode;
+  std::string raw_delim;  // for raw strings: ")<delim>\""
+  for (std::size_t i = 0; i < contents.size(); ++i) {
+    const char c = contents[i];
+    const char next = i + 1 < contents.size() ? contents[i + 1] : '\0';
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && next == '/') {
+          state = State::kLineComment;
+          out += "  ";
+          ++i;
+        } else if (c == '/' && next == '*') {
+          state = State::kBlockComment;
+          out += "  ";
+          ++i;
+        } else if (c == 'R' && next == '"' &&
+                   (i == 0 || (!std::isalnum(static_cast<unsigned char>(
+                                   contents[i - 1])) &&
+                               contents[i - 1] != '_'))) {
+          // Raw string literal: R"delim( ... )delim"
+          std::size_t open = contents.find('(', i + 2);
+          if (open == std::string::npos) {
+            out.push_back(' ');
+            break;
+          }
+          raw_delim = ")" + contents.substr(i + 2, open - (i + 2)) + "\"";
+          out += "  ";
+          for (std::size_t k = i + 2; k <= open; ++k) out.push_back(' ');
+          i = open;
+          state = State::kRawString;
+        } else if (c == '"') {
+          state = State::kString;
+          out.push_back(' ');
+        } else if (c == '\'') {
+          state = State::kChar;
+          out.push_back(' ');
+        } else {
+          out.push_back(c);
+        }
+        break;
+      case State::kLineComment:
+        if (c == '\n') {
+          state = State::kCode;
+          out.push_back('\n');
+        } else {
+          out.push_back(' ');
+        }
+        break;
+      case State::kBlockComment:
+        if (c == '*' && next == '/') {
+          state = State::kCode;
+          out += "  ";
+          ++i;
+        } else {
+          out.push_back(c == '\n' ? '\n' : ' ');
+        }
+        break;
+      case State::kString:
+        if (c == '\\') {
+          out += "  ";
+          ++i;
+          if (next == '\n') out.back() = '\n';
+        } else if (c == '"') {
+          state = State::kCode;
+          out.push_back(' ');
+        } else {
+          out.push_back(c == '\n' ? '\n' : ' ');
+        }
+        break;
+      case State::kChar:
+        if (c == '\\') {
+          out += "  ";
+          ++i;
+        } else if (c == '\'') {
+          state = State::kCode;
+          out.push_back(' ');
+        } else {
+          out.push_back(c == '\n' ? '\n' : ' ');
+        }
+        break;
+      case State::kRawString:
+        if (contents.compare(i, raw_delim.size(), raw_delim) == 0) {
+          for (std::size_t k = 0; k < raw_delim.size(); ++k) {
+            out.push_back(' ');
+          }
+          i += raw_delim.size() - 1;
+          state = State::kCode;
+        } else {
+          out.push_back(c == '\n' ? '\n' : ' ');
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+std::vector<Finding> LintFile(const std::string& path,
+                              const std::string& contents) {
+  std::vector<Finding> findings;
+  FileContext ctx;
+  ctx.path = path;
+  ctx.raw = SplitLines(contents);
+  ctx.scrubbed = SplitLines(ScrubSource(contents));
+  ctx.findings = &findings;
+  CheckRawThread(ctx);
+  CheckRawRng(ctx);
+  CheckUnorderedFloat(ctx);
+  CheckHandRolledGemm(ctx);
+  CheckStdoutInLibrary(ctx);
+  CheckIncludeGuard(ctx);
+  std::sort(findings.begin(), findings.end(),
+            [](const Finding& a, const Finding& b) {
+              return a.line < b.line;
+            });
+  return findings;
+}
+
+std::vector<Finding> LintTree(const std::string& root) {
+  namespace fs = std::filesystem;
+  std::vector<std::string> files;
+  for (const char* dir : {"src", "tests", "bench", "examples"}) {
+    const fs::path base = fs::path(root) / dir;
+    if (!fs::exists(base)) continue;
+    for (const auto& entry : fs::recursive_directory_iterator(base)) {
+      if (!entry.is_regular_file()) continue;
+      const std::string ext = entry.path().extension().string();
+      if (ext != ".h" && ext != ".hpp" && ext != ".cc" && ext != ".cpp") {
+        continue;
+      }
+      files.push_back(
+          fs::relative(entry.path(), fs::path(root)).generic_string());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  std::vector<Finding> findings;
+  for (const std::string& rel : files) {
+    std::ifstream in(fs::path(root) / rel, std::ios::binary);
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    std::vector<Finding> file_findings = LintFile(rel, ss.str());
+    findings.insert(findings.end(), file_findings.begin(),
+                    file_findings.end());
+  }
+  return findings;
+}
+
+}  // namespace lint
+}  // namespace whitenrec
