@@ -22,6 +22,8 @@
 #include "linalg/gemm.h"
 #include "linalg/matrix.h"
 #include "linalg/rng.h"
+#include "linalg/topk.h"
+#include "linalg/workspace.h"
 #include "seqrec/baselines.h"
 
 namespace whitenrec {
@@ -95,6 +97,67 @@ BENCHMARK(BM_MatMulThreads)
     ->Args({512, 1})
     ->Args({512, 2})
     ->Args({512, 4})
+    ->Unit(benchmark::kMillisecond);
+
+// The WHITENREC_SCORING tentpole head-to-head: top-20 recommendation scoring
+// of a user batch against the catalog, materialized (full (rows, num_items)
+// score matrix in a model-style workspace slot, then partial_sort per row)
+// vs fused (streaming score panels feeding bounded top-K selectors). Both
+// produce identical lists; the contrast is time and — via the
+// peak_workspace_bytes counter — scratch high-water mark.
+void BM_ScoringVariant(benchmark::State& state) {
+  const auto mode = static_cast<linalg::ScoringMode>(state.range(0));
+  const std::size_t num_items = static_cast<std::size_t>(state.range(1));
+  const std::size_t rows = 64;
+  const std::size_t d = 64;
+  const std::size_t k = 20;
+  linalg::Rng rng(7);
+  const linalg::Matrix users = rng.GaussianMatrix(rows, d, 1.0);
+  const linalg::Matrix items = rng.GaussianMatrix(num_items, d, 1.0);
+  linalg::Workspace::ResetAllWorkspaces();
+  if (mode == linalg::ScoringMode::kMaterialized) {
+    // Mirrors the materialized hot path: the score matrix lives in a
+    // model-owned workspace slot so the peak counter sees it.
+    linalg::Workspace ws;
+    linalg::Matrix& scores = ws.MatRef(0);
+    for (auto _ : state) {
+      linalg::MatMulTransBInto(users, items, &scores);
+      for (std::size_t r = 0; r < rows; ++r) {
+        benchmark::DoNotOptimize(
+            linalg::SelectTopK(scores.RowPtr(r), num_items, k));
+      }
+    }
+    state.counters["peak_workspace_bytes"] =
+        static_cast<double>(linalg::Workspace::GlobalPeakBytes());
+  } else {
+    std::vector<linalg::TopKSelector> selectors;
+    selectors.reserve(rows);
+    for (std::size_t r = 0; r < rows; ++r) selectors.emplace_back(k);
+    for (auto _ : state) {
+      for (std::size_t r = 0; r < rows; ++r) selectors[r].Reset();
+      linalg::StreamMatMulTransB(
+          users, items,
+          [&](std::size_t i0, std::size_t i1, std::size_t j0, std::size_t jn,
+              const linalg::Matrix& panel) {
+            for (std::size_t i = i0; i < i1; ++i) {
+              selectors[i].PushTile(panel.RowPtr(i), j0, jn);
+            }
+          });
+      benchmark::DoNotOptimize(selectors.data());
+    }
+    state.counters["peak_workspace_bytes"] =
+        static_cast<double>(linalg::Workspace::GlobalPeakBytes());
+  }
+  state.SetItemsProcessed(
+      state.iterations() *
+      static_cast<std::int64_t>(rows * num_items * d));
+  state.SetLabel(linalg::ScoringModeName(mode));
+}
+BENCHMARK(BM_ScoringVariant)
+    ->Args({static_cast<int>(linalg::ScoringMode::kMaterialized), 4096})
+    ->Args({static_cast<int>(linalg::ScoringMode::kFused), 4096})
+    ->Args({static_cast<int>(linalg::ScoringMode::kMaterialized), 16384})
+    ->Args({static_cast<int>(linalg::ScoringMode::kFused), 16384})
     ->Unit(benchmark::kMillisecond);
 
 void BM_SymmetricEigen(benchmark::State& state) {

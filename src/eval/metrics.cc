@@ -1,6 +1,8 @@
 #include "eval/metrics.h"
 
+#include <algorithm>
 #include <cmath>
+#include <numeric>
 
 namespace whitenrec {
 namespace eval {
@@ -70,15 +72,44 @@ std::size_t SampledRankOfTarget(const std::vector<double>& scores,
 
 std::size_t RankOfTarget(const std::vector<double>& scores, std::size_t target,
                          const std::vector<char>& excluded) {
-  WR_CHECK_LT(target, scores.size());
-  WR_CHECK_EQ(scores.size(), excluded.size());
+  return RankOfTarget(scores.data(), scores.size(), target, excluded);
+}
+
+std::size_t RankOfTarget(const double* scores, std::size_t n,
+                         std::size_t target, const std::vector<char>& excluded) {
+  WR_CHECK_LT(target, n);
+  WR_CHECK_EQ(n, excluded.size());
   const double target_score = scores[target];
   std::size_t rank = 0;
-  for (std::size_t i = 0; i < scores.size(); ++i) {
+  for (std::size_t i = 0; i < n; ++i) {
     if (i == target || excluded[i]) continue;
     if (scores[i] > target_score) ++rank;
   }
   return rank;
+}
+
+std::vector<char> PopularityHeadSet(const std::vector<std::size_t>& popularity,
+                                    std::size_t head_count) {
+  const std::size_t n = popularity.size();
+  std::vector<char> head(n, 0);
+  if (head_count == 0 || n == 0) return head;
+  if (head_count >= n) {
+    std::fill(head.begin(), head.end(), static_cast<char>(1));
+    return head;
+  }
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  const auto more_popular = [&popularity](std::size_t a, std::size_t b) {
+    if (popularity[a] != popularity[b]) return popularity[a] > popularity[b];
+    return a < b;
+  };
+  // nth_element partitions around the boundary; the strict total order above
+  // makes the resulting head membership unique even across equal counts.
+  std::nth_element(order.begin(),
+                   order.begin() + static_cast<std::ptrdiff_t>(head_count),
+                   order.end(), more_popular);
+  for (std::size_t i = 0; i < head_count; ++i) head[order[i]] = 1;
+  return head;
 }
 
 }  // namespace eval

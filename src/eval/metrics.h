@@ -59,6 +59,19 @@ class MetricAccumulator {
 std::size_t RankOfTarget(const std::vector<double>& scores, std::size_t target,
                          const std::vector<char>& excluded);
 
+// Same over a raw score row of length n — the evaluation loops read score
+// matrix rows in place instead of copying each row into a fresh vector.
+std::size_t RankOfTarget(const double* scores, std::size_t n,
+                         std::size_t target, const std::vector<char>& excluded);
+
+// Flags the `head_count` most popular items (popularity[i] = interaction
+// count of item i): result[i] != 0 marks a head item. Selection uses
+// std::nth_element — O(n) instead of a full sort — with the deterministic
+// tie-break (higher count first, then smaller item id), so the head set is
+// a pure function of the counts.
+std::vector<char> PopularityHeadSet(const std::vector<std::size_t>& popularity,
+                                    std::size_t head_count);
+
 // Sampled-metrics variant (implemented to reproduce the inconsistency the
 // paper's protocol deliberately avoids, following Krichene & Rendle): ranks
 // the target against `num_negatives` uniformly sampled non-excluded,

@@ -43,12 +43,11 @@
 namespace whitenrec {
 namespace linalg {
 
-Workspace& ThreadLocalWorkspace() {
-  static thread_local Workspace ws;
-  return ws;
-}
-
 namespace {
+
+// Fired per completed output row range by the kernels that support a fused
+// epilogue (see StreamMatMulTransB). Null means plain GEMM.
+using RowBlockHook = std::function<void(std::size_t i0, std::size_t i1)>;
 
 // Register tile (kMr x kNr accumulators) and cache blocking: a packed A
 // strip (kKc * kMr) and B strip (kKc * kNr) are each 8 KB — L1-resident —
@@ -78,6 +77,44 @@ GemmKind KindFromEnv() {
 GemmKind& ActiveKind() {
   static GemmKind kind = KindFromEnv();
   return kind;
+}
+
+ScoringMode ModeFromEnv() {
+  const char* s = std::getenv("WHITENREC_SCORING");
+  if (s == nullptr || *s == '\0') return ScoringMode::kMaterialized;
+  const std::string v(s);
+  if (v == "materialized") return ScoringMode::kMaterialized;
+  if (v == "fused") return ScoringMode::kFused;
+  std::fprintf(
+      stderr,
+      "invalid WHITENREC_SCORING value '%s' (expected materialized|fused)\n",
+      s);
+  std::abort();
+}
+
+ScoringMode& ActiveScoringMode() {
+  static ScoringMode mode = ModeFromEnv();
+  return mode;
+}
+
+std::size_t TileFromEnv() {
+  const char* s = std::getenv("WHITENREC_SCORE_TILE");
+  if (s == nullptr || *s == '\0') return 256;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(s, &end, 10);
+  if (end == s || *end != '\0' || v == 0) {
+    std::fprintf(stderr,
+                 "invalid WHITENREC_SCORE_TILE value '%s' (expected a "
+                 "positive integer)\n",
+                 s);
+    std::abort();
+  }
+  return static_cast<std::size_t>(v);
+}
+
+std::size_t& ActiveScoreTile() {
+  static std::size_t tile = TileFromEnv();
+  return tile;
 }
 
 // ---------------------------------------------------------------------------
@@ -115,19 +152,26 @@ void NaiveMatMulTransA(const Matrix& a, const Matrix& b, Matrix* c) {
   });
 }
 
-void NaiveMatMulTransB(const Matrix& a, const Matrix& b, Matrix* c) {
-  const std::size_t grain = core::GrainForWork(a.cols() * b.rows());
+// C has c->cols() columns mapping to B rows [j_off, j_off + c->cols()) — a
+// column window into A * B^T so the streaming layer can reuse the kernel for
+// score panels. `hook`, when set, fires per completed row chunk while those
+// C rows are cache-hot.
+void NaiveMatMulTransB(const Matrix& a, const Matrix& b, Matrix* c,
+                       std::size_t j_off = 0,
+                       const RowBlockHook* hook = nullptr) {
+  const std::size_t grain = core::GrainForWork(a.cols() * c->cols());
   core::ParallelFor(0, a.rows(), grain, [&](std::size_t i0, std::size_t i1) {
     for (std::size_t i = i0; i < i1; ++i) {
       const double* arow = a.RowPtr(i);
       double* crow = c->RowPtr(i);
-      for (std::size_t j = 0; j < b.rows(); ++j) {
-        const double* brow = b.RowPtr(j);
+      for (std::size_t j = 0; j < c->cols(); ++j) {
+        const double* brow = b.RowPtr(j_off + j);
         double sum = crow[j];
         for (std::size_t k = 0; k < a.cols(); ++k) sum += arow[k] * brow[k];
         crow[j] = sum;
       }
     }
+    if (hook != nullptr && i1 > i0) (*hook)(i0, i1);
   });
 }
 
@@ -262,10 +306,17 @@ void MicroKernelEdge(std::size_t kb, const double* WR_RESTRICT ap,
 
 // ---------------------------------------------------------------------------
 // Blocked driver: C += op(A) * op(B), C already shaped (m, n).
+//
+// `j_off` shifts the op(B) column window: C column j maps to op(B) column
+// j_off + j, letting the streaming layer compute a score panel without
+// slicing B. `hook`, when set, is the tile epilogue — fired per kMc row
+// block as soon as the block's final k-panel lands, i.e. while the block's C
+// rows are still cache-resident, from the worker that computed them.
 // ---------------------------------------------------------------------------
 
 void BlockedGemm(const Matrix& a, bool trans_a, const Matrix& b, bool trans_b,
-                 Matrix* c) {
+                 Matrix* c, std::size_t j_off = 0,
+                 const RowBlockHook* hook = nullptr) {
   const std::size_t m = c->rows();
   const std::size_t n = c->cols();
   const std::size_t k_total = trans_a ? a.rows() : a.cols();
@@ -277,13 +328,14 @@ void BlockedGemm(const Matrix& a, bool trans_a, const Matrix& b, bool trans_b,
 
   for (std::size_t k0 = 0; k0 < k_total; k0 += kKc) {
     const std::size_t kb = std::min(kKc, k_total - k0);
+    const bool last_panel = k0 + kb == k_total;
     // B panel is packed once per k-panel on the calling thread and read by
     // every worker. Hold only the raw pointer across the ParallelFor: the
     // workspace may grow other slots, which can move the vector objects but
     // never their heap storage.
     double* bpack =
         ThreadLocalWorkspace().Buf(kWsGemmPackB, nstrips * kNr * kb).data();
-    PackB(b, trans_b, 0, n, k0, kb, bpack);
+    PackB(b, trans_b, j_off, n, k0, kb, bpack);
 
     const std::size_t grain = core::GrainForWork(kMc * n * kb);
     core::ParallelFor(0, nblocks, grain, [&](std::size_t blk0,
@@ -313,6 +365,7 @@ void BlockedGemm(const Matrix& a, bool trans_a, const Matrix& b, bool trans_b,
             }
           }
         }
+        if (hook != nullptr && last_panel) (*hook)(i0, i0 + mb);
       }
     });
   }
@@ -320,6 +373,21 @@ void BlockedGemm(const Matrix& a, bool trans_a, const Matrix& b, bool trans_b,
 
 bool UseBlocked(std::size_t m, std::size_t n, std::size_t k) {
   return ActiveKind() == GemmKind::kBlocked && m * n * k >= kBlockedMinWork;
+}
+
+// One score panel: *c = A * B[j0 : j0+jn, :]^T, with the optional row-block
+// epilogue fired while rows are cache-hot. Both kernel variants produce
+// panel elements bitwise equal to the corresponding full-GEMM elements (same
+// canonical per-element ascending-k chain; tile boundaries only move where
+// zero-padded inert lanes sit).
+void PanelTransB(const Matrix& a, const Matrix& b, std::size_t j0,
+                 std::size_t jn, Matrix* c, const RowBlockHook* hook) {
+  c->Resize(a.rows(), jn);
+  if (UseBlocked(a.rows(), jn, a.cols())) {
+    BlockedGemm(a, /*trans_a=*/false, b, /*trans_b=*/true, c, j0, hook);
+  } else {
+    NaiveMatMulTransB(a, b, c, j0, hook);
+  }
 }
 
 }  // namespace
@@ -330,6 +398,21 @@ void SetGemmKind(GemmKind kind) { ActiveKind() = kind; }
 
 const char* GemmKindName(GemmKind kind) {
   return kind == GemmKind::kNaive ? "naive" : "blocked";
+}
+
+ScoringMode CurrentScoringMode() { return ActiveScoringMode(); }
+
+void SetScoringMode(ScoringMode mode) { ActiveScoringMode() = mode; }
+
+const char* ScoringModeName(ScoringMode mode) {
+  return mode == ScoringMode::kMaterialized ? "materialized" : "fused";
+}
+
+std::size_t ScoreTileCols() { return ActiveScoreTile(); }
+
+void SetScoreTileCols(std::size_t tile) {
+  WR_CHECK_GT(tile, 0u);
+  ActiveScoreTile() = tile;
 }
 
 void MatMulInto(const Matrix& a, const Matrix& b, Matrix* c) {
@@ -428,6 +511,64 @@ void MatVecInto(const Matrix& a, const std::vector<double>& x,
       yp[i] = sum;
     }
   });
+}
+
+// ---------------------------------------------------------------------------
+// Streaming scoring layer. The panel lives in the calling thread's workspace
+// (slot kWsStreamPanel), so nothing here allocates per call in steady state
+// and nesting streaming calls is not supported.
+// ---------------------------------------------------------------------------
+
+void StreamMatMulTransBTiles(const Matrix& a, const Matrix& b,
+                             std::size_t tile, const ScoreRowsFn& fn) {
+  WR_CHECK_EQ(a.cols(), b.cols());
+  WR_CHECK_GT(tile, 0u);
+  WR_CHECK(fn != nullptr);
+  const std::size_t n = b.rows();
+  if (a.rows() == 0 || n == 0) return;
+  Matrix& panel = ThreadLocalWorkspace().MatRef(kWsStreamPanel);
+  for (std::size_t j0 = 0; j0 < n; j0 += tile) {
+    const std::size_t jn = std::min(tile, n - j0);
+    const RowBlockHook hook = [&](std::size_t i0, std::size_t i1) {
+      fn(i0, i1, j0, jn, panel);
+    };
+    PanelTransB(a, b, j0, jn, &panel, &hook);
+  }
+}
+
+void StreamMatMulTransB(const Matrix& a, const Matrix& b,
+                        const ScoreRowsFn& fn) {
+  StreamMatMulTransBTiles(a, b, ScoreTileCols(), fn);
+}
+
+void StreamMatMulTransBPanels(const Matrix& a, const Matrix& b,
+                              std::size_t tile, const ScorePanelFn& fn) {
+  WR_CHECK_EQ(a.cols(), b.cols());
+  WR_CHECK_GT(tile, 0u);
+  WR_CHECK(fn != nullptr);
+  const std::size_t n = b.rows();
+  if (a.rows() == 0 || n == 0) return;
+  Matrix& panel = ThreadLocalWorkspace().MatRef(kWsStreamPanel);
+  for (std::size_t j0 = 0; j0 < n; j0 += tile) {
+    const std::size_t jn = std::min(tile, n - j0);
+    PanelTransB(a, b, j0, jn, &panel, /*hook=*/nullptr);
+    fn(j0, jn, &panel);
+  }
+}
+
+double RowDotTransB(const Matrix& a, std::size_t i, const Matrix& b,
+                    std::size_t j) {
+  WR_CHECK_EQ(a.cols(), b.cols());
+  WR_CHECK_LT(i, a.rows());
+  WR_CHECK_LT(j, b.rows());
+  const double* WR_RESTRICT arow = a.RowPtr(i);
+  const double* WR_RESTRICT brow = b.RowPtr(j);
+  // One accumulator, k ascending, mul-then-add (-ffp-contract=off in this
+  // TU): the exact chain both kernel variants use per element, so the result
+  // is bitwise identical to the GEMM's element (i, j).
+  double sum = 0.0;
+  for (std::size_t k = 0; k < a.cols(); ++k) sum += arow[k] * brow[k];
+  return sum;
 }
 
 }  // namespace linalg

@@ -2,6 +2,7 @@
 #define WHITENREC_LINALG_GEMM_H_
 
 #include <cstddef>
+#include <functional>
 #include <vector>
 
 #include "linalg/matrix.h"
@@ -53,6 +54,83 @@ void MatMulAcc(const Matrix& a, const Matrix& b, Matrix* c);
 void MatMulTransAAcc(const Matrix& a, const Matrix& b, Matrix* c);
 // C += A * B^T.
 void MatMulTransBAcc(const Matrix& a, const Matrix& b, Matrix* c);
+
+// ---------------------------------------------------------------------------
+// Streaming (fused-epilogue) scoring layer.
+//
+// The full-softmax objective and full-catalog ranking both need C = A * B^T
+// with B the (num_items, d) item table — a C that is (rows, num_items) and
+// dominates peak memory. The entry points below never materialize that C:
+// they walk item tiles of width ScoreTileCols() in canonical ascending order
+// and hand each (rows x tile) score panel to the caller while it is still
+// cache-resident.
+//
+// Determinism and parity guarantees (tests/topk_test.cc, tests/loss_test.cc):
+//  * Panel elements are computed by the same kernels with the same canonical
+//    per-element ascending-k accumulation as the materialized GEMM, so every
+//    streamed score is BITWISE identical to the corresponding element of
+//    MatMulTransB(a, b) — for any tile width, kernel variant, thread count.
+//  * Tiles are visited sequentially in ascending column order, and every
+//    output row belongs to exactly one deterministic ParallelFor chunk, so
+//    any per-row reduction the caller runs in the epilogue sees its terms in
+//    a fixed order regardless of thread count.
+// ---------------------------------------------------------------------------
+
+// Scoring-path selector. kMaterialized is the reference implementation (the
+// plain (rows, num_items) GEMM); kFused routes the softmax-CE loss and the
+// ranking evaluation through the streaming layer. Initialized on first use
+// from WHITENREC_SCORING ("materialized" or "fused"; default "materialized";
+// anything else is a fatal configuration error).
+enum class ScoringMode { kMaterialized, kFused };
+
+ScoringMode CurrentScoringMode();
+void SetScoringMode(ScoringMode mode);
+const char* ScoringModeName(ScoringMode mode);
+
+// Item-tile width of the streaming layer. Initialized on first use from
+// WHITENREC_SCORE_TILE (positive integer; default 256); settable for tests.
+std::size_t ScoreTileCols();
+void SetScoreTileCols(std::size_t tile);
+
+// Row-range epilogue invoked from inside the kernel while rows [i0, i1) of
+// `panel` are cache-hot. panel is (a.rows() x jn) and holds the FINAL scores
+// a[i] . b[j0 + c] for columns c in [0, jn). Invoked from worker threads:
+// implementations must touch only per-row state (distinct rows may be
+// processed concurrently; one row is never processed twice per tile). The
+// chunking of [i0, i1) is deterministic but unspecified — epilogues must not
+// depend on it beyond per-row independence.
+using ScoreRowsFn =
+    std::function<void(std::size_t i0, std::size_t i1, std::size_t j0,
+                       std::size_t jn, const Matrix& panel)>;
+
+// Whole-panel epilogue invoked sequentially on the calling thread once the
+// (a.rows() x jn) panel for columns [j0, j0 + jn) is complete. The panel is
+// mutable so callers can transform scores in place (e.g. into a dlogits
+// tile) and feed them straight back into GEMM-accumulate calls.
+using ScorePanelFn =
+    std::function<void(std::size_t j0, std::size_t jn, Matrix* panel)>;
+
+// Streams C = A * B^T through item tiles, firing `fn` per row block while
+// the block is cache-resident. Tile width is ScoreTileCols().
+void StreamMatMulTransB(const Matrix& a, const Matrix& b,
+                        const ScoreRowsFn& fn);
+// Same with an explicit tile width (tests sweep it).
+void StreamMatMulTransBTiles(const Matrix& a, const Matrix& b,
+                             std::size_t tile, const ScoreRowsFn& fn);
+
+// Streams C = A * B^T delivering each complete panel to `fn` on the calling
+// thread. Used by the streaming softmax-CE backward pass, whose per-tile
+// work (dlogits -> dH/dV GEMMs) is not row-independent.
+void StreamMatMulTransBPanels(const Matrix& a, const Matrix& b,
+                              std::size_t tile, const ScorePanelFn& fn);
+
+// Single element of A * B^T: a[i] . b[j], accumulated in the canonical
+// ascending-k order inside this translation unit (-ffp-contract=off), so the
+// result is bitwise identical to element (i, j) of the materialized or
+// streamed GEMM. Used to precompute target scores for streaming rank
+// counting.
+double RowDotTransB(const Matrix& a, std::size_t i, const Matrix& b,
+                    std::size_t j);
 
 }  // namespace linalg
 }  // namespace whitenrec

@@ -36,6 +36,18 @@ class Matrix {
   std::size_t cols() const { return cols_; }
   std::size_t size() const { return data_.size(); }
   bool empty() const { return data_.empty(); }
+  // Heap bytes actually reserved. Resize() never shrinks the underlying
+  // vector's capacity, so this is monotone between Release() calls — the
+  // property Workspace::PeakBytes() relies on.
+  std::size_t CapacityBytes() const {
+    return data_.capacity() * sizeof(double);
+  }
+  // Frees the heap allocation (capacity drops to zero).
+  void Release() {
+    rows_ = 0;
+    cols_ = 0;
+    std::vector<double>().swap(data_);
+  }
 
   double& operator()(std::size_t r, std::size_t c) {
     return data_[r * cols_ + c];

@@ -1,0 +1,68 @@
+#include "linalg/topk.h"
+
+#include <algorithm>
+
+#include "core/check.h"
+
+namespace whitenrec {
+namespace linalg {
+
+namespace {
+
+// Heap order: parent is worse than (ranked after) its children under
+// RanksBefore, so heap_[0] is the weakest kept candidate.
+inline bool HeapBelow(const ScoredItem& a, const ScoredItem& b) {
+  return RanksBefore(b, a);
+}
+
+}  // namespace
+
+TopKSelector::TopKSelector(std::size_t k) : k_(k) {
+  WR_CHECK_GT(k, 0u);
+  heap_.reserve(k);
+}
+
+void TopKSelector::Reset() { heap_.clear(); }
+
+void TopKSelector::SiftUp(std::size_t i) {
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / 2;
+    if (!HeapBelow(heap_[i], heap_[parent])) break;
+    std::swap(heap_[i], heap_[parent]);
+    i = parent;
+  }
+}
+
+void TopKSelector::SiftDown(std::size_t i) {
+  const std::size_t n = heap_.size();
+  while (true) {
+    const std::size_t left = 2 * i + 1;
+    if (left >= n) break;
+    std::size_t worst = left;
+    const std::size_t right = left + 1;
+    if (right < n && HeapBelow(heap_[right], heap_[left])) worst = right;
+    if (!HeapBelow(heap_[worst], heap_[i])) break;
+    std::swap(heap_[i], heap_[worst]);
+    i = worst;
+  }
+}
+
+std::vector<ScoredItem> TopKSelector::SortedDescending() const {
+  std::vector<ScoredItem> out = heap_;
+  std::sort(out.begin(), out.end(), RanksBefore);
+  return out;
+}
+
+std::vector<ScoredItem> SelectTopK(const double* scores, std::size_t n,
+                                   std::size_t k) {
+  std::vector<ScoredItem> all(n);
+  for (std::size_t i = 0; i < n; ++i) all[i] = ScoredItem{scores[i], i};
+  const std::size_t take = std::min(k, n);
+  std::partial_sort(all.begin(), all.begin() + static_cast<std::ptrdiff_t>(take),
+                    all.end(), RanksBefore);
+  all.resize(take);
+  return all;
+}
+
+}  // namespace linalg
+}  // namespace whitenrec

@@ -1,0 +1,91 @@
+#include "linalg/workspace.h"
+
+#include <algorithm>
+#include <mutex>
+#include <unordered_set>
+
+namespace whitenrec {
+namespace linalg {
+
+namespace {
+
+// Process-wide registry of live workspaces, plus the folded peak of
+// workspaces that have been destroyed or reset. The mutex only guards
+// registry membership and the folded counter; reading a live workspace's
+// slots happens without synchronization, which is why the aggregate views
+// are documented as quiescent-only (no parallel section in flight).
+//
+// Meyer singleton: function-local statics are destroyed after thread_local
+// objects (thread-storage duration beats static-storage duration on exit),
+// so per-thread workspaces can still deregister safely during shutdown.
+struct WorkspaceRegistry {
+  std::mutex mu;
+  std::unordered_set<Workspace*> live;
+  std::size_t retired_peak = 0;
+};
+
+WorkspaceRegistry& Registry() {
+  static WorkspaceRegistry reg;
+  return reg;
+}
+
+}  // namespace
+
+Workspace::Workspace() {
+  WorkspaceRegistry& reg = Registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  reg.live.insert(this);
+}
+
+Workspace::~Workspace() {
+  WorkspaceRegistry& reg = Registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  reg.live.erase(this);
+  reg.retired_peak += PeakBytes();
+}
+
+std::size_t Workspace::CurrentBytes() const {
+  std::size_t bytes = 0;
+  for (const Matrix& m : mats_) bytes += m.CapacityBytes();
+  for (const std::vector<double>& b : bufs_)
+    bytes += b.capacity() * sizeof(double);
+  return bytes;
+}
+
+std::size_t Workspace::PeakBytes() const {
+  return std::max(cleared_peak_, CurrentBytes());
+}
+
+void Workspace::Clear() {
+  cleared_peak_ = PeakBytes();
+  for (Matrix& m : mats_) m.Release();
+  for (std::vector<double>& b : bufs_) std::vector<double>().swap(b);
+  mats_.clear();
+  bufs_.clear();
+}
+
+std::size_t Workspace::GlobalPeakBytes() {
+  WorkspaceRegistry& reg = Registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  std::size_t peak = reg.retired_peak;
+  for (const Workspace* ws : reg.live) peak += ws->PeakBytes();
+  return peak;
+}
+
+void Workspace::ResetAllWorkspaces() {
+  WorkspaceRegistry& reg = Registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  reg.retired_peak = 0;
+  for (Workspace* ws : reg.live) {
+    ws->Clear();
+    ws->cleared_peak_ = 0;
+  }
+}
+
+Workspace& ThreadLocalWorkspace() {
+  static thread_local Workspace ws;
+  return ws;
+}
+
+}  // namespace linalg
+}  // namespace whitenrec

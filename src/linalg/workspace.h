@@ -22,7 +22,8 @@ namespace linalg {
 // ThreadLocalWorkspace() below.
 class Workspace {
  public:
-  Workspace() = default;
+  Workspace();
+  ~Workspace();
   Workspace(const Workspace&) = delete;
   Workspace& operator=(const Workspace&) = delete;
 
@@ -50,13 +51,34 @@ class Workspace {
     return bufs_[slot];
   }
 
-  // Releases all slot allocations.
-  void Clear() {
-    mats_.clear();
-    mats_.shrink_to_fit();
-    bufs_.clear();
-    bufs_.shrink_to_fit();
-  }
+  // Heap bytes currently held across all slots. Because Matrix::Resize and
+  // Buf never shrink capacity, this is non-decreasing between Clear() calls.
+  std::size_t CurrentBytes() const;
+
+  // High-water mark of CurrentBytes() over this workspace's lifetime. Slot
+  // capacity only moves through CurrentBytes() monotonically (callers mutate
+  // slots through references the workspace cannot observe, but capacity
+  // never shrinks), so the peak is max(peak at last Clear, CurrentBytes()).
+  std::size_t PeakBytes() const;
+
+  // Releases all slot allocations. The released capacity is folded into
+  // PeakBytes() so the high-water mark survives the release.
+  void Clear();
+
+  // --- Process-wide accounting (benches and tests only) -------------------
+  // Every live Workspace (model-owned and per-thread arenas) is tracked in a
+  // process-wide registry. These aggregate views must only be called while
+  // no parallel section is running: they read other threads' workspaces
+  // without synchronizing against concurrent slot growth.
+
+  // Sum of PeakBytes() over every live workspace plus the peaks of
+  // workspaces destroyed since the last ResetAllWorkspaces().
+  static std::size_t GlobalPeakBytes();
+
+  // Clears every live workspace and zeroes all peak accounting, giving the
+  // next measurement phase a fresh baseline. Callers must not hold slot
+  // references across this call.
+  static void ResetAllWorkspaces();
 
  private:
   // Deques, not vectors: acquiring a new slot must never move existing slot
@@ -64,15 +86,24 @@ class Workspace {
   // Mat()/Buf() calls (e.g. a logits slot held while fetching dlogits).
   std::deque<Matrix> mats_;
   std::deque<std::vector<double>> bufs_;
+  // Peak bytes observed at the last Clear()/ResetAllWorkspaces(); the live
+  // peak is the max of this and CurrentBytes().
+  std::size_t cleared_peak_ = 0;
 };
 
 // Reserved slot keys in the per-thread workspace. Kernel-internal scratch
 // shares one thread-local arena; every user owns a distinct key so nested
 // use (a GEMM issued while a loss holds its probs slot) cannot collide.
 enum ThreadWorkspaceSlot : std::size_t {
-  kWsGemmPackB = 0,   // packed B panel (calling thread)
-  kWsGemmPackA = 1,   // packed A block (each worker thread)
-  kWsLossProbs = 0,   // softmax probabilities (Mat slots, distinct space)
+  kWsGemmPackB = 0,     // packed B panel (calling thread)
+  kWsGemmPackA = 1,     // packed A block (each worker thread)
+  kWsLossRowMax = 2,    // streaming CE: per-row running max (calling thread)
+  kWsLossRowSum = 3,    // streaming CE: per-row scaled exp sum
+  kWsLossRowTarget = 4, // streaming CE: per-row target logit
+  kWsLossProbs = 0,     // softmax probabilities (Mat slots, distinct space)
+  kWsStreamBTile = 1,   // streaming scorer: current B (item) tile
+  kWsStreamPanel = 2,   // streaming scorer: current score panel
+  kWsLossDvTile = 3,    // streaming CE: per-tile dV accumulator
 };
 
 // Per-thread scratch arena. Worker threads and the calling thread each get

@@ -1,6 +1,8 @@
 #include "nn/loss.h"
 
+#include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "core/check.h"
 #include "core/parallel.h"
@@ -65,6 +67,135 @@ double SoftmaxCrossEntropy(const Matrix& logits,
                            Matrix* dlogits) {
   return SoftmaxCrossEntropy(logits, targets,
                              std::vector<double>(logits.rows(), 1.0), dlogits);
+}
+
+double StreamingSoftmaxCrossEntropy(const Matrix& h, const Matrix& v,
+                                    const std::vector<std::size_t>& targets,
+                                    const std::vector<double>& weights,
+                                    Matrix* dh, Matrix* dv) {
+  const std::size_t n = h.rows();
+  const std::size_t num_items = v.rows();
+  const std::size_t dim = h.cols();
+  WR_CHECK_EQ(dim, v.cols());
+  WR_CHECK_EQ(n, targets.size());
+  WR_CHECK_EQ(n, weights.size());
+  WR_CHECK(dh != nullptr);
+  WR_CHECK(dv != nullptr);
+
+  double weight_total = 0.0;
+  for (double w : weights) weight_total += w;
+  WR_CHECK_GT(weight_total, 0.0);
+  const double inv_total = 1.0 / weight_total;
+
+  // Per-row reduction state lives in thread-workspace buffers; only raw
+  // pointers cross into the tile epilogues (growing an unrelated slot moves
+  // vector objects, never their heap storage).
+  linalg::Workspace& ws = linalg::ThreadLocalWorkspace();
+  double* row_max = ws.Buf(linalg::kWsLossRowMax, n).data();
+  double* row_sum = ws.Buf(linalg::kWsLossRowSum, n).data();
+  double* row_target = ws.Buf(linalg::kWsLossRowTarget, n).data();
+  const double neg_inf = -std::numeric_limits<double>::infinity();
+  for (std::size_t r = 0; r < n; ++r) {
+    WR_CHECK_LT(targets[r], num_items);
+    row_max[r] = neg_inf;
+    row_sum[r] = 0.0;
+    row_target[r] = 0.0;
+  }
+
+  // Pass 1: online log-sum-exp over item tiles in ascending order. Each
+  // row's (max, sum) state is updated sequentially — tiles arrive in a fixed
+  // order and exactly one worker touches a given row per tile — so the
+  // result is bitwise independent of the thread count.
+  linalg::StreamMatMulTransB(
+      h, v,
+      [&](std::size_t i0, std::size_t i1, std::size_t j0, std::size_t jn,
+          const Matrix& panel) {
+        for (std::size_t r = i0; r < i1; ++r) {
+          if (weights[r] == 0.0) continue;
+          const double* prow = panel.RowPtr(r);
+          double m = row_max[r];
+          double s = row_sum[r];
+          for (std::size_t c = 0; c < jn; ++c) {
+            const double x = prow[c];
+            if (x > m) {
+              s *= std::exp(m - x);
+              m = x;
+            }
+            s += std::exp(x - m);
+          }
+          row_max[r] = m;
+          row_sum[r] = s;
+          const std::size_t t = targets[r];
+          if (t >= j0 && t < j0 + jn) row_target[r] = prow[t - j0];
+        }
+      });
+
+  // Weighted mean loss: sum_r w_r * (lse_r - logit_target_r), accumulated in
+  // ascending row order on the calling thread.
+  double loss = 0.0;
+  for (std::size_t r = 0; r < n; ++r) {
+    const double w = weights[r];
+    if (w == 0.0) continue;
+    const double lse = row_max[r] + std::log(row_sum[r]);
+    loss += w * (lse - row_target[r]);
+  }
+  loss *= inv_total;
+
+  // Pass 2 reads probabilities as exp(x - max) * inv_sum; fold the division
+  // into the stored state once per row.
+  for (std::size_t r = 0; r < n; ++r) {
+    if (weights[r] != 0.0) row_sum[r] = 1.0 / row_sum[r];
+  }
+
+  dh->Resize(n, dim);
+  if (dv->rows() == 0) dv->Resize(num_items, dim);
+  WR_CHECK_EQ(dv->rows(), num_items);
+  WR_CHECK_EQ(dv->cols(), dim);
+
+  // Pass 2: re-stream the score panels, turn each into its dlogits tile in
+  // place, and GEMM-accumulate immediately — dH picks up tile contributions
+  // in ascending item order (the canonical k-ascending chain continued
+  // across tiles), and each dV row block is owned by exactly one tile.
+  linalg::StreamMatMulTransBPanels(
+      h, v, linalg::ScoreTileCols(),
+      [&](std::size_t j0, std::size_t jn, Matrix* panel) {
+        WR_CHECK_FINITE(*panel);
+        core::ParallelFor(
+            0, n, core::GrainForWork(jn), [&](std::size_t r0, std::size_t r1) {
+              for (std::size_t r = r0; r < r1; ++r) {
+                double* prow = panel->RowPtr(r);
+                const double w = weights[r];
+                if (w == 0.0) {
+                  std::fill(prow, prow + jn, 0.0);
+                  continue;
+                }
+                const double scale = w * inv_total;
+                const double m = row_max[r];
+                const double inv_s = row_sum[r];
+                for (std::size_t c = 0; c < jn; ++c) {
+                  prow[c] = scale * (std::exp(prow[c] - m) * inv_s);
+                }
+                const std::size_t t = targets[r];
+                if (t >= j0 && t < j0 + jn) prow[t - j0] -= scale;
+              }
+            });
+        // dH += dlogits_tile * V[j0 : j0+jn]. The item rows are contiguous,
+        // so the tile copy is one block move into a reused slot.
+        Matrix& vtile = ws.MatRef(linalg::kWsStreamBTile);
+        vtile.Resize(jn, dim);
+        std::copy(v.RowPtr(j0), v.RowPtr(j0) + jn * dim, vtile.data());
+        linalg::MatMulAcc(*panel, vtile, dh);
+        // dV[j0 : j0+jn] += dlogits_tile^T * H.
+        Matrix& dvtile = ws.MatRef(linalg::kWsLossDvTile);
+        linalg::MatMulTransAInto(*panel, h, &dvtile);
+        for (std::size_t r = 0; r < jn; ++r) {
+          double* dst = dv->RowPtr(j0 + r);
+          const double* src = dvtile.RowPtr(r);
+          for (std::size_t c = 0; c < dim; ++c) dst[c] += src[c];
+        }
+      });
+
+  return loss;
 }
 
 namespace {

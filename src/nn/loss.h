@@ -22,6 +22,29 @@ double SoftmaxCrossEntropy(const linalg::Matrix& logits,
                            const std::vector<std::size_t>& targets,
                            linalg::Matrix* dlogits);
 
+// Streaming (fused) full-softmax CE over the factored logits H * V^T:
+// h (n, d) are position representations, v (num_items, d) the item table.
+// Never materializes the (n, num_items) logits/dlogits matrices — it makes
+// two deterministic passes over item tiles of width linalg::ScoreTileCols()
+// in ascending order:
+//   pass 1: per-row online log-sum-exp (running max + rescaled exp-sum,
+//           sequential within each row) plus the target logit;
+//   pass 2: each (n x tile) dlogits panel is formed in place and immediately
+//           GEMM-accumulated into dH and the matching dV row block.
+// Peak scratch is O(n * tile + tile * d) instead of O(n * num_items).
+//
+// Returns the weighted mean loss. *dh is overwritten with dLoss/dH; *dv
+// accumulates dLoss/dV (resized and zeroed first when passed empty, matching
+// SequenceLossAndGrad's contract). Results are bitwise identical at any
+// thread count and agree with the materialized SoftmaxCrossEntropy pipeline
+// to <= 1e-10 relative (the online LSE rescaling rounds differently at the
+// last ulp; tests/loss_test.cc pins the tolerance).
+double StreamingSoftmaxCrossEntropy(const linalg::Matrix& h,
+                                    const linalg::Matrix& v,
+                                    const std::vector<std::size_t>& targets,
+                                    const std::vector<double>& weights,
+                                    linalg::Matrix* dh, linalg::Matrix* dv);
+
 // InfoNCE contrastive loss between two views (CL4SRec's auxiliary task).
 // a, b: (B, d) representations; row i of a is positive with row i of b, all
 // other rows of b are negatives (and symmetrically). Representations are

@@ -91,6 +91,9 @@ FpmcRecommender::~FpmcRecommender() = default;
 std::size_t FpmcRecommender::num_items() const { return impl_->num_items; }
 
 Matrix FpmcRecommender::ScoreLastPositions(const data::Batch& batch) {
+  // FPMC's score is a sum of two inner products, not a single factored
+  // users*items^T, so it stays on the materialized reference path.
+  // whitenrec-lint: allow(full-logits)
   Matrix scores(batch.batch_size, impl_->num_items);
   for (std::size_t b = 0; b < batch.batch_size; ++b) {
     const std::size_t user = batch.users[b];

@@ -229,6 +229,9 @@ Matrix GeneralRecommender::ScoreLastPositions(const data::Batch& batch) {
     impl_->RefreshPropagation(v);
   }
   const Matrix users = impl_->EffectiveUsers();
+  // ScoreLastPositions materializes by contract (trainer.h); the fused
+  // evaluation path goes through ScoreFactors instead.
+  // whitenrec-lint: allow(full-logits)
   Matrix scores(batch.batch_size, impl_->num_items);
   for (std::size_t b = 0; b < batch.batch_size; ++b) {
     const std::size_t u = batch.users[b];

@@ -80,6 +80,12 @@ double SasRecModel::SequenceLossAndGrad(const data::Batch& batch,
                                         Matrix* dh, Matrix* dv) {
   WR_CHECK(dh != nullptr);
   WR_CHECK(dv != nullptr);
+  if (linalg::CurrentScoringMode() == linalg::ScoringMode::kFused) {
+    // Streaming path: the loss consumes score panels straight out of the
+    // GEMM epilogue; no (batch*L, num_items) buffer exists at any point.
+    return nn::StreamingSoftmaxCrossEntropy(h, v, batch.targets,
+                                            batch.target_weights, dh, dv);
+  }
   // Logits over the catalog at every position: (batch*L, num_items). The
   // logits/dlogits pair is the step's largest allocation, so both live in
   // the model workspace and keep their capacity across steps.
@@ -142,6 +148,15 @@ Matrix SasRecModel::ScoreLastPositions(const data::Batch& batch) {
   const Matrix h = EncodeSequences(batch, v, /*train=*/false);
   const Matrix s = GatherLastPositions(h, batch);
   return linalg::MatMulTransB(s, v);
+}
+
+void SasRecModel::ScoreFactors(const data::Batch& batch, Matrix* users,
+                               Matrix* items) {
+  WR_CHECK(users != nullptr);
+  WR_CHECK(items != nullptr);
+  *items = EncodeItems(/*train=*/false);
+  const Matrix h = EncodeSequences(batch, *items, /*train=*/false);
+  *users = GatherLastPositions(h, batch);
 }
 
 Matrix SasRecModel::UserRepresentations(const data::Batch& batch) {

@@ -72,8 +72,17 @@ class SasRecModel {
   double TrainStep(const data::Batch& batch);
 
   // Scores (batch_size, num_items) for the last position of each sequence;
-  // eval mode, no caches disturbed for training.
+  // eval mode, no caches disturbed for training. This materializes the full
+  // score matrix by contract; streaming consumers use ScoreFactors instead.
   linalg::Matrix ScoreLastPositions(const data::Batch& batch);
+
+  // The factored form of ScoreLastPositions: *users receives the last-
+  // position representations (batch_size, d) and *items the item table
+  // (num_items, d), so scores = users * items^T. Lets the streaming
+  // (WHITENREC_SCORING=fused) evaluation path consume score panels without
+  // ever allocating the (batch_size, num_items) matrix.
+  void ScoreFactors(const data::Batch& batch, linalg::Matrix* users,
+                    linalg::Matrix* items);
 
   // Last-position user representations (batch_size, d), eval mode.
   linalg::Matrix UserRepresentations(const data::Batch& batch);

@@ -1,5 +1,6 @@
 #include "seqrec/trainer.h"
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 
@@ -7,6 +8,8 @@
 #include "eval/alignment_uniformity.h"
 #include "eval/conditioning.h"
 #include "eval/metrics.h"
+#include "linalg/gemm.h"
+#include "linalg/topk.h"
 
 namespace whitenrec {
 namespace seqrec {
@@ -21,6 +24,78 @@ double Now() {
       .count();
 }
 
+// Per-row exclusion state for the streaming evaluation paths: the user's
+// training items, sorted ascending, walked with a monotone cursor as score
+// tiles arrive in ascending item order. Membership tests cost O(1) amortized
+// per scored item with O(|history|) memory — no (batch, num_items) bitmap.
+struct SortedExclusions {
+  std::vector<std::vector<std::size_t>> items;  // per row, sorted (dups ok)
+  std::vector<std::size_t> cursor;              // per row, monotone
+
+  void Build(const std::vector<data::EvalInstance>& instances,
+             std::size_t inst_base, std::size_t batch_rows,
+             const std::vector<std::vector<std::size_t>>& train_sequences) {
+    items.assign(batch_rows, {});
+    cursor.assign(batch_rows, 0);
+    for (std::size_t b = 0; b < batch_rows; ++b) {
+      const data::EvalInstance& inst = instances[inst_base + b];
+      if (inst.user < train_sequences.size()) {
+        items[b] = train_sequences[inst.user];
+        std::sort(items[b].begin(), items[b].end());
+      }
+    }
+  }
+
+  // Advances row b's cursor to `item`; true if item is excluded. Rows are
+  // queried with ascending item ids, so the cursor never rewinds.
+  bool IsExcluded(std::size_t b, std::size_t item) {
+    const std::vector<std::size_t>& excl = items[b];
+    std::size_t cur = cursor[b];
+    while (cur < excl.size() && excl[cur] < item) ++cur;
+    cursor[b] = cur;
+    return cur < excl.size() && excl[cur] == item;
+  }
+};
+
+// Streaming exact ranks for one batch: the target's score is precomputed
+// with the canonical row dot (bitwise equal to its GEMM score), then each
+// score panel is consumed from the fused epilogue, counting non-excluded
+// items that score strictly higher. Ranks — and therefore every metric,
+// including MRR — are identical to the materialized path's.
+void RankBatchStreaming(
+    const data::Batch& batch, const Matrix& users, const Matrix& items,
+    const std::vector<data::EvalInstance>& instances, std::size_t inst_base,
+    const std::vector<std::vector<std::size_t>>& train_sequences,
+    std::vector<std::size_t>* ranks) {
+  const std::size_t rows = batch.batch_size;
+  SortedExclusions excl;
+  excl.Build(instances, inst_base, rows, train_sequences);
+  std::vector<double> target_score(rows);
+  for (std::size_t b = 0; b < rows; ++b) {
+    target_score[b] =
+        linalg::RowDotTransB(users, b, items, instances[inst_base + b].target);
+  }
+  std::vector<std::size_t> higher(rows, 0);
+  linalg::StreamMatMulTransB(
+      users, items,
+      [&](std::size_t i0, std::size_t i1, std::size_t j0, std::size_t jn,
+          const Matrix& panel) {
+        for (std::size_t b = i0; b < i1; ++b) {
+          const double* prow = panel.RowPtr(b);
+          const std::size_t target = instances[inst_base + b].target;
+          const double ts = target_score[b];
+          std::size_t count = higher[b];
+          for (std::size_t c = 0; c < jn; ++c) {
+            const std::size_t item = j0 + c;
+            if (excl.IsExcluded(b, item) || item == target) continue;
+            if (prow[c] > ts) ++count;
+          }
+          higher[b] = count;
+        }
+      });
+  for (std::size_t b = 0; b < rows; ++b) (*ranks)[b] = higher[b];
+}
+
 // Internal full-ranking pass shared by EvaluateRanking / ValidationNdcg20.
 eval::MetricAccumulator RankInstances(
     Recommender* recommender, const std::vector<data::EvalInstance>& instances,
@@ -31,30 +106,37 @@ eval::MetricAccumulator RankInstances(
   const std::size_t num_items = recommender->num_items();
   const std::vector<data::Batch> batches =
       data::MakeEvalBatches(instances, max_len, batch_size);
+  const bool fused =
+      linalg::CurrentScoringMode() == linalg::ScoringMode::kFused;
+  Matrix users;
+  Matrix item_table;
   std::size_t inst_base = 0;
   for (const data::Batch& batch : batches) {
-    const Matrix scores = recommender->ScoreLastPositions(batch);
-    // Rank every user of the batch in parallel (each user's rank is an
-    // independent full-catalog sweep), then accumulate serially in instance
-    // order so the metric sums never depend on the thread count.
     std::vector<std::size_t> ranks(batch.batch_size);
-    core::ParallelFor(0, batch.batch_size, 1, [&](std::size_t b0,
-                                                  std::size_t b1) {
-      std::vector<char> excluded(num_items, 0);
-      for (std::size_t b = b0; b < b1; ++b) {
-        const data::EvalInstance& inst = instances[inst_base + b];
-        excluded.assign(num_items, 0);
-        if (inst.user < train_sequences.size()) {
-          for (std::size_t item : train_sequences[inst.user]) {
-            excluded[item] = 1;
+    if (fused && recommender->ScoreFactors(batch, &users, &item_table)) {
+      RankBatchStreaming(batch, users, item_table, instances, inst_base,
+                         train_sequences, &ranks);
+    } else {
+      const Matrix scores = recommender->ScoreLastPositions(batch);
+      // Rank every user of the batch in parallel (each user's rank is an
+      // independent full-catalog sweep), then accumulate serially in
+      // instance order so the metric sums never depend on the thread count.
+      core::ParallelFor(0, batch.batch_size, 1, [&](std::size_t b0,
+                                                    std::size_t b1) {
+        std::vector<char> excluded(num_items, 0);
+        for (std::size_t b = b0; b < b1; ++b) {
+          const data::EvalInstance& inst = instances[inst_base + b];
+          excluded.assign(num_items, 0);
+          if (inst.user < train_sequences.size()) {
+            for (std::size_t item : train_sequences[inst.user]) {
+              excluded[item] = 1;
+            }
           }
+          ranks[b] = eval::RankOfTarget(scores.RowPtr(b), num_items,
+                                        inst.target, excluded);
         }
-        ranks[b] = eval::RankOfTarget(
-            std::vector<double>(scores.RowPtr(b),
-                                scores.RowPtr(b) + num_items),
-            inst.target, excluded);
-      }
-    });
+      });
+    }
     for (std::size_t b = 0; b < batch.batch_size; ++b) acc.AddRank(ranks[b]);
     inst_base += batch.batch_size;
   }
@@ -96,6 +178,11 @@ TrainResult TrainSasRec(SasRecModel* model, nn::Adam* optimizer,
     std::size_t num_items() const override { return m_->num_items(); }
     Matrix ScoreLastPositions(const data::Batch& batch) override {
       return m_->ScoreLastPositions(batch);
+    }
+    bool ScoreFactors(const data::Batch& batch, Matrix* users,
+                      Matrix* items) override {
+      m_->ScoreFactors(batch, users, items);
+      return true;
     }
 
    private:
@@ -224,6 +311,90 @@ std::size_t SasRecRecommender::NumParameters() const {
   return n;
 }
 
+std::vector<std::vector<std::size_t>> TopKRecommendations(
+    Recommender* recommender, const std::vector<data::EvalInstance>& instances,
+    const std::vector<std::vector<std::size_t>>& train_sequences,
+    std::size_t max_len, std::size_t k, std::size_t batch_size) {
+  WR_CHECK_GT(k, 0u);
+  const std::size_t num_items = recommender->num_items();
+  std::vector<std::vector<std::size_t>> out;
+  out.reserve(instances.size());
+  const std::vector<data::Batch> batches =
+      data::MakeEvalBatches(instances, max_len, batch_size);
+  const bool fused =
+      linalg::CurrentScoringMode() == linalg::ScoringMode::kFused;
+  Matrix users;
+  Matrix item_table;
+  std::size_t inst_base = 0;
+  for (const data::Batch& batch : batches) {
+    const std::size_t rows = batch.batch_size;
+    std::vector<std::vector<std::size_t>> lists(rows);
+    if (fused && recommender->ScoreFactors(batch, &users, &item_table)) {
+      // Streaming: one bounded selector per user, fed score panels from the
+      // fused GEMM epilogue. O(k) ranking state per row, never a full score
+      // row. The selector's strict total order (score desc, item id asc)
+      // makes the list identical to the materialized selection below.
+      SortedExclusions excl;
+      excl.Build(instances, inst_base, rows, train_sequences);
+      std::vector<linalg::TopKSelector> selectors;
+      selectors.reserve(rows);
+      for (std::size_t b = 0; b < rows; ++b) selectors.emplace_back(k);
+      linalg::StreamMatMulTransB(
+          users, item_table,
+          [&](std::size_t i0, std::size_t i1, std::size_t j0, std::size_t jn,
+              const Matrix& panel) {
+            for (std::size_t b = i0; b < i1; ++b) {
+              const double* prow = panel.RowPtr(b);
+              linalg::TopKSelector& sel = selectors[b];
+              for (std::size_t c = 0; c < jn; ++c) {
+                const std::size_t item = j0 + c;
+                if (excl.IsExcluded(b, item)) continue;
+                sel.Push(item, prow[c]);
+              }
+            }
+          });
+      for (std::size_t b = 0; b < rows; ++b) {
+        const std::vector<linalg::ScoredItem> top =
+            selectors[b].SortedDescending();
+        lists[b].reserve(top.size());
+        for (const linalg::ScoredItem& si : top) lists[b].push_back(si.item);
+      }
+    } else {
+      const Matrix scores = recommender->ScoreLastPositions(batch);
+      core::ParallelFor(0, rows, 1, [&](std::size_t b0, std::size_t b1) {
+        std::vector<char> excluded(num_items, 0);
+        std::vector<linalg::ScoredItem> cands;
+        cands.reserve(num_items);
+        for (std::size_t b = b0; b < b1; ++b) {
+          const data::EvalInstance& inst = instances[inst_base + b];
+          excluded.assign(num_items, 0);
+          if (inst.user < train_sequences.size()) {
+            for (std::size_t item : train_sequences[inst.user]) {
+              excluded[item] = 1;
+            }
+          }
+          cands.clear();
+          const double* row = scores.RowPtr(b);
+          for (std::size_t i = 0; i < num_items; ++i) {
+            if (!excluded[i]) cands.push_back(linalg::ScoredItem{row[i], i});
+          }
+          const std::size_t take = std::min(k, cands.size());
+          std::partial_sort(cands.begin(),
+                            cands.begin() + static_cast<std::ptrdiff_t>(take),
+                            cands.end(), linalg::RanksBefore);
+          lists[b].reserve(take);
+          for (std::size_t i = 0; i < take; ++i) {
+            lists[b].push_back(cands[i].item);
+          }
+        }
+      });
+    }
+    for (std::size_t b = 0; b < rows; ++b) out.push_back(std::move(lists[b]));
+    inst_base += rows;
+  }
+  return out;
+}
+
 EvalResult EvaluateRanking(
     Recommender* recommender, const std::vector<data::EvalInstance>& instances,
     const std::vector<std::vector<std::size_t>>& train_sequences,
@@ -303,16 +474,13 @@ StratifiedEvalResult EvaluateRankingByPopularity(
   for (const auto& seq : train_sequences) {
     for (std::size_t item : seq) ++pop[item];
   }
-  std::vector<std::size_t> order(num_items);
-  for (std::size_t i = 0; i < num_items; ++i) order[i] = i;
-  std::sort(order.begin(), order.end(), [&pop](std::size_t a, std::size_t b) {
-    return pop[a] > pop[b];
-  });
-  std::vector<char> is_head(num_items, 0);
   const std::size_t head_count = std::max<std::size_t>(
       1, static_cast<std::size_t>(head_fraction *
                                   static_cast<double>(num_items)));
-  for (std::size_t i = 0; i < head_count; ++i) is_head[order[i]] = 1;
+  // nth_element head/tail split with a deterministic tie-break — O(|I|)
+  // instead of a full sort, and the head set is a pure function of the
+  // counts (tests/topk_test.cc pins it against a sort-based reference).
+  const std::vector<char> is_head = eval::PopularityHeadSet(pop, head_count);
 
   std::vector<data::EvalInstance> head_instances;
   std::vector<data::EvalInstance> tail_instances;

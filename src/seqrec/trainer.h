@@ -82,6 +82,17 @@ class Recommender {
   virtual std::size_t num_items() const = 0;
   // Scores (batch_size, num_items) for each sequence's last position.
   virtual linalg::Matrix ScoreLastPositions(const data::Batch& batch) = 0;
+  // Factored scores: fills *users (batch_size, d) and *items (num_items, d)
+  // with scores = users * items^T and returns true. Recommenders whose
+  // scores are not an inner product return false (the default), and the
+  // streaming evaluation path falls back to ScoreLastPositions for them.
+  virtual bool ScoreFactors(const data::Batch& batch, linalg::Matrix* users,
+                            linalg::Matrix* items) {
+    (void)batch;
+    (void)users;
+    (void)items;
+    return false;
+  }
 };
 
 // SASRec-backbone recommender: owns the model + optimizer, trains via
@@ -96,6 +107,11 @@ class SasRecRecommender : public Recommender {
   std::size_t num_items() const override { return model_->num_items(); }
   linalg::Matrix ScoreLastPositions(const data::Batch& batch) override {
     return model_->ScoreLastPositions(batch);
+  }
+  bool ScoreFactors(const data::Batch& batch, linalg::Matrix* users,
+                    linalg::Matrix* items) override {
+    model_->ScoreFactors(batch, users, items);
+    return true;
   }
 
   SasRecModel* model() { return model_.get(); }
@@ -113,6 +129,18 @@ class SasRecRecommender : public Recommender {
   StepFn step_;
   TrainResult result_;
 };
+
+// Top-K recommendation lists: for each instance, the K best-scoring items
+// (excluding the user's training items), ordered by score descending with
+// ties broken toward the smaller item id. Under WHITENREC_SCORING=fused and
+// a factorizable recommender this runs through the streaming bounded top-K
+// selector (O(K) state per user, score panels consumed tile-by-tile); the
+// materialized path selects from full score rows. Both paths return
+// IDENTICAL lists (tests/topk_test.cc).
+std::vector<std::vector<std::size_t>> TopKRecommendations(
+    Recommender* recommender, const std::vector<data::EvalInstance>& instances,
+    const std::vector<std::vector<std::size_t>>& train_sequences,
+    std::size_t max_len, std::size_t k, std::size_t batch_size = 256);
 
 // Full-ranking evaluation over `instances`; items in the user's training
 // sequence (train_sequences[user]) are excluded from the candidate pool.

@@ -250,6 +250,96 @@ TEST(GemmWorkspaceTest, NoContaminationAcrossCalls) {
   ASSERT_EQ(&m, &shrunk);  // same slot object, capacity reused
 }
 
+// ---------------------------------------------------------------------------
+// Streaming score panels (the fused-scoring tile layer)
+// ---------------------------------------------------------------------------
+
+// The streaming layer promises each panel element is the SAME accumulation
+// chain as the corresponding full-GEMM element, so reassembling the panels
+// must reproduce MatMulTransB bitwise — for any tile width, thread count,
+// and kernel variant — and every (row, tile) cell must be delivered exactly
+// once.
+TEST(StreamingGemmTest, ReassembledPanelsMatchMatMulTransBBitwise) {
+  const Shape stream_shapes[] = {
+      {1, 1, 1}, {5, 17, 9}, {31, 29, 37}, {64, 256, 8}, {96, 512, 96}};
+  for (const Shape& s : stream_shapes) {
+    const Matrix a = Operand(s.m, s.k, 1);
+    const Matrix b = Operand(s.n, s.k, 2);
+    Matrix ref;
+    {
+      ScopedGemmKind naive(GemmKind::kNaive);
+      ScopedThreads one(1);
+      MatMulTransBInto(a, b, &ref);
+    }
+    for (std::size_t threads : kThreadCounts) {
+      for (GemmKind kind : {GemmKind::kNaive, GemmKind::kBlocked}) {
+        for (const std::size_t tile : {1u, 7u, 64u, 1000u}) {
+          ScopedGemmKind k(kind);
+          ScopedThreads t(threads);
+          SCOPED_TRACE(::testing::Message()
+                       << "m=" << s.m << " k=" << s.k << " n=" << s.n
+                       << " kind=" << GemmKindName(kind)
+                       << " threads=" << threads << " tile=" << tile);
+          Matrix assembled(s.m, s.n);
+          std::vector<int> delivered(s.m * s.n, 0);
+          StreamMatMulTransBTiles(
+              a, b, tile,
+              [&](std::size_t i0, std::size_t i1, std::size_t j0,
+                  std::size_t jn, const Matrix& panel) {
+                for (std::size_t i = i0; i < i1; ++i) {
+                  for (std::size_t c = 0; c < jn; ++c) {
+                    assembled(i, j0 + c) = panel(i, c);
+                    ++delivered[i * s.n + j0 + c];
+                  }
+                }
+              });
+          ExpectBitwiseEqual(ref, assembled, "streamed tiles");
+          for (std::size_t i = 0; i < delivered.size(); ++i) {
+            ASSERT_EQ(delivered[i], 1) << "cell " << i << " delivered "
+                                       << delivered[i] << " times";
+          }
+
+          Matrix from_panels(s.m, s.n);
+          StreamMatMulTransBPanels(
+              a, b, tile,
+              [&](std::size_t j0, std::size_t jn, Matrix* panel) {
+                for (std::size_t i = 0; i < s.m; ++i) {
+                  for (std::size_t c = 0; c < jn; ++c) {
+                    from_panels(i, j0 + c) = (*panel)(i, c);
+                  }
+                }
+              });
+          ExpectBitwiseEqual(ref, from_panels, "streamed panels");
+        }
+      }
+    }
+  }
+}
+
+TEST(StreamingGemmTest, RowDotMatchesFullGemmElementBitwise) {
+  const Matrix a = Operand(13, 37, 3);
+  const Matrix b = Operand(29, 37, 4);
+  Matrix ref;
+  MatMulTransBInto(a, b, &ref);
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t j = 0; j < b.rows(); ++j) {
+      ASSERT_EQ(RowDotTransB(a, i, b, j), ref(i, j))
+          << "element (" << i << ", " << j << ")";
+    }
+  }
+}
+
+TEST(StreamingGemmTest, ScoringKnobsRoundTripAndDefaultSafe) {
+  const ScoringMode saved_mode = CurrentScoringMode();
+  const std::size_t saved_tile = ScoreTileCols();
+  SetScoringMode(ScoringMode::kFused);
+  EXPECT_EQ(CurrentScoringMode(), ScoringMode::kFused);
+  SetScoreTileCols(77);
+  EXPECT_EQ(ScoreTileCols(), 77u);
+  SetScoringMode(saved_mode);
+  SetScoreTileCols(saved_tile);
+}
+
 // Buf() slots grow monotonically and keep their identity.
 TEST(GemmWorkspaceTest, BufGrowsMonotonically) {
   Workspace ws;

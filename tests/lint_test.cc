@@ -251,6 +251,60 @@ TEST(HandRolledGemmTest, BracelessSingleStatementLoopsDoNotLeakDepth) {
 }
 
 // ---------------------------------------------------------------------------
+// full-logits
+// ---------------------------------------------------------------------------
+
+TEST(FullLogitsTest, CatchesConstructorWithItemColumns) {
+  const std::string src =
+      "void Score(const Batch& batch) {\n"
+      "  Matrix scores(batch.batch_size, impl_->num_items);\n"
+      "}\n";
+  const auto findings =
+      FindingsFor("src/seqrec/scorer.cc", src, "full-logits");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].line, 2u);
+}
+
+TEST(FullLogitsTest, CatchesResizeAndWorkspaceMat) {
+  const std::string src =
+      "void Score(Matrix* out, std::size_t rows) {\n"
+      "  out->Resize(rows, num_items);\n"
+      "  Matrix& logits = ws.Mat(kWsLogits, rows, num_items);\n"
+      "  (void)logits;\n"
+      "}\n";
+  const auto findings =
+      FindingsFor("src/seqrec/scorer.cc", src, "full-logits");
+  EXPECT_EQ(findings.size(), 2u);
+}
+
+TEST(FullLogitsTest, ItemTableWithLeadingItemRowsIsClean) {
+  // (num_items, d) tables are the item embeddings themselves, not a logits
+  // buffer; only num_items in a column (non-leading) position flags.
+  const std::string src =
+      "void Build(std::size_t num_items, std::size_t dim) {\n"
+      "  Matrix v(num_items, dim);\n"
+      "  v.Resize(num_items, dim);\n"
+      "  Matrix& t = ws.Mat(kWsTable, num_items, dim);\n"
+      "  Matrix e = rng.GaussianMatrix(num_items, dim, 0.02);\n"
+      "  (void)t;\n"
+      "}\n";
+  EXPECT_TRUE(LintFile("src/seqrec/table.cc", src).empty());
+}
+
+TEST(FullLogitsTest, BenchAndTestsMayMaterialize) {
+  const std::string src = "  Matrix scores(rows, num_items);\n";
+  EXPECT_TRUE(LintFile("bench/bench_foo.cc", src).empty());
+  EXPECT_TRUE(LintFile("tests/foo_test.cc", src).empty());
+}
+
+TEST(FullLogitsTest, AllowAnnotationSilences) {
+  const std::string src =
+      "// whitenrec-lint: allow(full-logits)\n"
+      "Matrix scores(batch.batch_size, num_items);\n";
+  EXPECT_TRUE(LintFile("src/seqrec/scorer.cc", src).empty());
+}
+
+// ---------------------------------------------------------------------------
 // stdout-in-library
 // ---------------------------------------------------------------------------
 

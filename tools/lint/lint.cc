@@ -337,6 +337,110 @@ void CheckHandRolledGemm(const FileContext& ctx) {
 }
 
 // ---------------------------------------------------------------------------
+// Rule: full-logits
+// ---------------------------------------------------------------------------
+
+// Splits the top-level comma-separated arguments of the call whose opening
+// '(' sits at line[open]. Returns empty when the call does not close on this
+// line (the rule is line-local, like the rest of the linter).
+std::vector<std::string> CallArgs(const std::string& line, std::size_t open) {
+  std::vector<std::string> args;
+  int depth = 0;
+  std::string cur;
+  for (std::size_t p = open; p < line.size(); ++p) {
+    const char c = line[p];
+    if (c == '(' || c == '[' || c == '{') {
+      ++depth;
+      if (depth > 1) cur.push_back(c);
+      continue;
+    }
+    if (c == ')' || c == ']' || c == '}') {
+      --depth;
+      if (depth == 0) {
+        if (!cur.empty()) args.push_back(cur);
+        return args;
+      }
+      cur.push_back(c);
+      continue;
+    }
+    if (c == ',' && depth == 1) {
+      args.push_back(cur);
+      cur.clear();
+      continue;
+    }
+    if (depth >= 1) cur.push_back(c);
+  }
+  return {};  // unbalanced on this line
+}
+
+void CheckFullLogits(const FileContext& ctx) {
+  if (!StartsWith(ctx.path, "src/")) return;
+  // Call shapes that size a Matrix, with how many leading arguments carry no
+  // column dimension: Matrix x(rows, cols) / Matrix(rows, cols) skip the row
+  // argument; Workspace .Mat(slot, rows, cols) skips slot and rows too.
+  struct Shape {
+    const char* token;
+    std::size_t skip_args;
+  };
+  static const Shape kShapes[] = {{"Matrix", 1},
+                                  {".Resize", 1},
+                                  {"->Resize", 1},
+                                  {".Mat", 2},
+                                  {"->Mat", 2}};
+  for (std::size_t i = 0; i < ctx.scrubbed.size(); ++i) {
+    const std::string& line = ctx.scrubbed[i];
+    if (line.find("num_items") == std::string::npos) continue;
+    for (const Shape& shape : kShapes) {
+      std::size_t pos = 0;
+      while ((pos = line.find(shape.token, pos)) != std::string::npos) {
+        const std::size_t tok_end = pos + std::string(shape.token).size();
+        const bool member_token = shape.token[0] == '.' || shape.token[0] == '-';
+        const bool word_start =
+            member_token || pos == 0 ||
+            (!std::isalnum(static_cast<unsigned char>(line[pos - 1])) &&
+             line[pos - 1] != '_');
+        // Skip whitespace, then optionally one identifier (the variable name
+        // in `Matrix scores(...)`), then require '('.
+        std::size_t p = tok_end;
+        while (p < line.size() &&
+               std::isspace(static_cast<unsigned char>(line[p]))) {
+          ++p;
+        }
+        std::size_t after_ident = p;
+        while (after_ident < line.size() &&
+               (std::isalnum(static_cast<unsigned char>(line[after_ident])) ||
+                line[after_ident] == '_')) {
+          ++after_ident;
+        }
+        if (member_token) after_ident = p;  // no name after .Resize/->Resize
+        const bool ident_at_tok_end =
+            tok_end < line.size() &&
+            (std::isalnum(static_cast<unsigned char>(line[tok_end])) ||
+             line[tok_end] == '_');
+        if (!word_start || ident_at_tok_end ||
+            after_ident >= line.size() || line[after_ident] != '(') {
+          pos = tok_end;
+          continue;
+        }
+        const std::vector<std::string> args = CallArgs(line, after_ident);
+        for (std::size_t a = shape.skip_args; a < args.size(); ++a) {
+          if (CountWord(args[a], "num_items") > 0) {
+            ctx.Report(i + 1, "full-logits",
+                       "allocates a (rows, num_items) matrix; hot paths must "
+                       "stream score tiles through linalg/gemm.h "
+                       "(StreamMatMulTransB) instead of materializing the "
+                       "full logits — annotate materialized reference paths "
+                       "with whitenrec-lint: allow(full-logits)");
+            break;
+          }
+        }
+        pos = tok_end;
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
 // Rule: stdout-in-library
 // ---------------------------------------------------------------------------
 
@@ -534,6 +638,7 @@ std::vector<Finding> LintFile(const std::string& path,
   CheckRawRng(ctx);
   CheckUnorderedFloat(ctx);
   CheckHandRolledGemm(ctx);
+  CheckFullLogits(ctx);
   CheckStdoutInLibrary(ctx);
   CheckIncludeGuard(ctx);
   std::sort(findings.begin(), findings.end(),

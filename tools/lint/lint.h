@@ -40,6 +40,16 @@ struct Finding {
 //                     output goes through return values or stderr)
 //   include-guard     header guard not WHITENREC_<PATH>_H_ (src/ prefix
 //                     dropped; tests/ bench/ examples/ kept)
+//   full-logits       Matrix allocation in src/ with num_items as a column
+//                     (non-leading) dimension — a (rows, num_items) score or
+//                     logits buffer. The streaming layer (linalg/gemm.h,
+//                     WHITENREC_SCORING=fused) exists so hot paths never
+//                     materialize these; materialized reference paths carry
+//                     a whitenrec-lint: allow(full-logits) annotation.
+//                     Checked call shapes: `Matrix x(r, ..num_items..)`,
+//                     `Matrix(r, ..num_items..)`, `.Resize(r, ..)`,
+//                     `.Mat(slot, r, ..)`. A leading num_items dimension
+//                     (the (num_items, d) item table) is fine.
 
 // Lints a single file. `path` must be the repo-relative path; `contents`
 // the full file text. Findings come back in line order.
