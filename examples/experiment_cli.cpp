@@ -90,7 +90,8 @@ int main(int argc, char** argv) {
         "  [--model=NAME] [--epochs=N] [--scale=F] [--hidden=N] "
         "[--groups=N]\n"
         "  [--whitening=zca|pca|cd|bn] [--lr=F] [--cold] [--seed=N]\n"
-        "  [--threads=N] [--save-checkpoint=PATH] [--export-data=PREFIX]\n");
+        "  [--threads=N] [--save-checkpoint=PATH] [--export-data=PREFIX]\n"
+        "  [--checkpoint-dir=DIR] [--checkpoint-every=N] [--resume]\n");
     return 0;
   }
 
@@ -161,6 +162,14 @@ int main(int argc, char** argv) {
       static_cast<std::size_t>(std::atoi(Get(args, "epochs", "12").c_str()));
   tc.learning_rate = std::atof(Get(args, "lr", "1e-3").c_str());
   tc.verbose = args.count("verbose") > 0;
+  // Crash-safe checkpoint/resume (DESIGN.md §8): full-state generations in
+  // --checkpoint-dir; --resume continues from the newest loadable one.
+  tc.checkpoint_dir = Get(args, "checkpoint-dir", "");
+  if (args.count("checkpoint-every")) {
+    tc.checkpoint_every = static_cast<std::size_t>(
+        std::atoi(Get(args, "checkpoint-every", "1").c_str()));
+  }
+  tc.resume = args.count("resume") > 0;
 
   WhitenRecConfig wc;
   wc.relaxed_groups =

@@ -1,0 +1,66 @@
+#include "core/crc32c.h"
+
+#include <array>
+
+namespace whitenrec {
+namespace core {
+
+namespace {
+
+// Slicing-by-4 tables for the reflected Castagnoli polynomial. Built once at
+// first use; the generator is pure integer arithmetic, so the tables (and
+// therefore every digest) are identical on every platform.
+struct Tables {
+  std::array<std::array<std::uint32_t, 256>, 4> t;
+
+  Tables() {
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t crc = i;
+      for (int k = 0; k < 8; ++k) {
+        crc = (crc >> 1) ^ ((crc & 1u) ? 0x82F63B78u : 0u);
+      }
+      t[0][i] = crc;
+    }
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      t[1][i] = (t[0][i] >> 8) ^ t[0][t[0][i] & 0xFFu];
+      t[2][i] = (t[1][i] >> 8) ^ t[0][t[1][i] & 0xFFu];
+      t[3][i] = (t[2][i] >> 8) ^ t[0][t[2][i] & 0xFFu];
+    }
+  }
+};
+
+const Tables& GetTables() {
+  static const Tables tables;
+  return tables;
+}
+
+}  // namespace
+
+std::uint32_t Crc32cExtend(std::uint32_t crc, const void* data, std::size_t n) {
+  const Tables& tab = GetTables();
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  crc = ~crc;
+  while (n >= 4) {
+    crc ^= static_cast<std::uint32_t>(p[0]) |
+           (static_cast<std::uint32_t>(p[1]) << 8) |
+           (static_cast<std::uint32_t>(p[2]) << 16) |
+           (static_cast<std::uint32_t>(p[3]) << 24);
+    crc = tab.t[3][crc & 0xFFu] ^ tab.t[2][(crc >> 8) & 0xFFu] ^
+          tab.t[1][(crc >> 16) & 0xFFu] ^ tab.t[0][crc >> 24];
+    p += 4;
+    n -= 4;
+  }
+  while (n > 0) {
+    crc = (crc >> 8) ^ tab.t[0][(crc ^ *p) & 0xFFu];
+    ++p;
+    --n;
+  }
+  return ~crc;
+}
+
+std::uint32_t Crc32c(const void* data, std::size_t n) {
+  return Crc32cExtend(0, data, n);
+}
+
+}  // namespace core
+}  // namespace whitenrec

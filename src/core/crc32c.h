@@ -1,0 +1,24 @@
+#ifndef WHITENREC_CORE_CRC32C_H_
+#define WHITENREC_CORE_CRC32C_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace whitenrec {
+namespace core {
+
+// CRC-32C (Castagnoli, reflected polynomial 0x82F63B78), the checksum used
+// by the checkpoint container (nn/serialize.h). Software table implementation
+// so every platform produces identical digests; the checkpoint format's
+// integrity guarantee must not depend on hardware CRC availability.
+
+// One-shot digest of `n` bytes.
+std::uint32_t Crc32c(const void* data, std::size_t n);
+
+// Incremental form: feed `crc` from a previous Extend (or 0 to start).
+std::uint32_t Crc32cExtend(std::uint32_t crc, const void* data, std::size_t n);
+
+}  // namespace core
+}  // namespace whitenrec
+
+#endif  // WHITENREC_CORE_CRC32C_H_

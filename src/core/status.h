@@ -17,6 +17,8 @@ enum class StatusCode {
   kNumericalError,   // e.g. Cholesky of a non-PD matrix, Jacobi non-convergence
   kNotConverged,     // iterative method hit its iteration cap
   kOutOfRange,
+  kIOError,          // the filesystem failed us: open/write/rename/read errors
+  kDataLoss,         // bytes arrived but are unusable: bad magic/CRC/truncation
 };
 
 // A cheap value type carrying success or an error code plus message.
@@ -38,6 +40,12 @@ class Status {
   }
   static Status OutOfRange(std::string msg) {
     return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -19,8 +19,16 @@ namespace data {
 //   <prefix>.items       : one item per line: id <tab> category <tab>
 //                          embed_dim floats (space-separated)
 //
-// Ids must be dense in [0, num_items). Loading validates every id and the
-// embedding dimensionality.
+// Ids must be dense in [0, num_items). Loading is strict: every token is
+// fully parsed (a stray letter inside an id is an error, not a silent end
+// of line), ids and categories are range-checked, duplicate item rows and
+// short/overlong embedding rows are rejected, and every error names the
+// file and line it came from. Open/read failures surface as kIOError,
+// malformed content as kDataLoss/kOutOfRange; a failed load never returns a
+// partially populated dataset.
+//
+// Saving writes each file via atomic replace (core/faultfs), so a crash
+// mid-save leaves either the old file or the complete new one.
 
 Status SaveDataset(const Dataset& dataset, const std::string& prefix);
 Result<Dataset> LoadDataset(const std::string& prefix);

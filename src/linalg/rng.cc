@@ -28,6 +28,22 @@ Rng::Rng(std::uint64_t seed) {
   if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;
 }
 
+RngState Rng::GetState() const {
+  RngState state;
+  for (int i = 0; i < 4; ++i) state.s[i] = s_[i];
+  state.has_cached_gaussian = has_cached_gaussian_;
+  state.cached_gaussian = cached_gaussian_;
+  return state;
+}
+
+void Rng::SetState(const RngState& state) {
+  for (int i = 0; i < 4; ++i) s_[i] = state.s[i];
+  // Guard the unescapable all-zero state, as the seed path does.
+  if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;
+  has_cached_gaussian_ = state.has_cached_gaussian;
+  cached_gaussian_ = state.cached_gaussian;
+}
+
 std::uint64_t Rng::NextU64() {
   const std::uint64_t result = Rotl(s_[1] * 5, 7) * 9;
   const std::uint64_t t = s_[1] << 17;

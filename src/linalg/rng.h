@@ -13,9 +13,21 @@ namespace linalg {
 // of the library (data generation, weight init, dropout, sampling) draw from
 // an explicitly passed Rng so that every experiment is reproducible from a
 // single seed.
+// The full mutable state of an Rng, exposed so checkpoints (nn/serialize.h)
+// can capture and restore a generator mid-stream: the xoshiro words plus the
+// Box-Muller cache. Restoring a state replays the exact draw sequence.
+struct RngState {
+  std::uint64_t s[4] = {0, 0, 0, 0};
+  bool has_cached_gaussian = false;
+  double cached_gaussian = 0.0;
+};
+
 class Rng {
  public:
   explicit Rng(std::uint64_t seed);
+
+  RngState GetState() const;
+  void SetState(const RngState& state);
 
   // Uniform in [0, 2^64).
   std::uint64_t NextU64();

@@ -63,6 +63,31 @@ void Adam::Step() {
   ZeroGrad();
 }
 
+Status Adam::RestoreState(long long step_count, std::vector<linalg::Matrix> m,
+                          std::vector<linalg::Matrix> v) {
+  if (step_count < 0) {
+    return Status::InvalidArgument("Adam::RestoreState: negative step count");
+  }
+  if (m.size() != params_.size() || v.size() != params_.size()) {
+    return Status::InvalidArgument(
+        "Adam::RestoreState: moment count mismatch");
+  }
+  for (std::size_t k = 0; k < params_.size(); ++k) {
+    if (m[k].rows() != params_[k]->value.rows() ||
+        m[k].cols() != params_[k]->value.cols() ||
+        v[k].rows() != params_[k]->value.rows() ||
+        v[k].cols() != params_[k]->value.cols()) {
+      return Status::InvalidArgument(
+          "Adam::RestoreState: moment shape mismatch for parameter '" +
+          params_[k]->name + "'");
+    }
+  }
+  t_ = step_count;
+  m_ = std::move(m);
+  v_ = std::move(v);
+  return Status::OK();
+}
+
 void Adam::ZeroGrad() {
   for (Parameter* p : params_) p->ZeroGrad();
 }

@@ -3,6 +3,7 @@
 
 #include <vector>
 
+#include "core/status.h"
 #include "nn/layers.h"
 
 namespace whitenrec {
@@ -31,6 +32,19 @@ class Adam {
   std::size_t NumParameters() const;  // total scalar count
   const Options& options() const { return options_; }
   void set_learning_rate(double lr) { options_.learning_rate = lr; }
+
+  // Checkpoint access (nn/serialize.h, seqrec/checkpoint.h): the optimizer
+  // state that must survive a crash for a bitwise-identical resume — the
+  // step count (bias correction depends on it) and both moment estimates.
+  const std::vector<Parameter*>& parameters() const { return params_; }
+  long long step_count() const { return t_; }
+  const std::vector<linalg::Matrix>& first_moments() const { return m_; }
+  const std::vector<linalg::Matrix>& second_moments() const { return v_; }
+
+  // All-or-nothing restore: every moment matrix must match its parameter's
+  // shape or the optimizer is left untouched and kInvalidArgument returned.
+  Status RestoreState(long long step_count, std::vector<linalg::Matrix> m,
+                      std::vector<linalg::Matrix> v);
 
  private:
   std::vector<Parameter*> params_;

@@ -1,87 +1,368 @@
 #include "nn/serialize.h"
 
-#include <cstdint>
-#include <fstream>
+#include <cstring>
+
+#include "core/crc32c.h"
+#include "core/faultfs.h"
 
 namespace whitenrec {
 namespace nn {
 
 namespace {
 
-constexpr std::uint64_t kMagic = 0x57524543504b5431ULL;  // "WRECPKT1"
+constexpr std::uint64_t kMagic = 0x57524543434b5032ULL;  // "WRECCKP2"
+constexpr std::uint32_t kVersion = 2;
+// Caps a single tensor at ~2^31 elements: any larger length field in a
+// checkpoint is corruption, not data, and must not drive an allocation.
+constexpr std::uint64_t kMaxElements = 1ULL << 31;
 
-void WriteU64(std::ofstream& out, std::uint64_t v) {
-  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+void AppendRaw(std::string* out, const void* data, std::size_t n) {
+  out->append(static_cast<const char*>(data), n);
 }
 
-bool ReadU64(std::ifstream& in, std::uint64_t* v) {
-  in.read(reinterpret_cast<char*>(v), sizeof(*v));
-  return static_cast<bool>(in);
+void AppendU64(std::string* out, std::uint64_t v) {
+  AppendRaw(out, &v, sizeof(v));
+}
+
+void AppendU32(std::string* out, std::uint32_t v) {
+  AppendRaw(out, &v, sizeof(v));
 }
 
 }  // namespace
 
-Status SaveParameters(const std::string& path,
-                      const std::vector<Parameter*>& params) {
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) {
-    return Status::InvalidArgument("SaveParameters: cannot open " + path);
+// --- CheckpointWriter -------------------------------------------------------
+
+void CheckpointWriter::BeginSection(const std::string& name) {
+  WR_CHECK(!name.empty());
+  sections_.push_back(Section{name, {}});
+}
+
+void CheckpointWriter::WriteU64(std::uint64_t v) {
+  WR_CHECK(!sections_.empty());
+  AppendU64(&sections_.back().payload, v);
+}
+
+void CheckpointWriter::WriteI64(std::int64_t v) {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof(bits));
+  WriteU64(bits);
+}
+
+void CheckpointWriter::WriteF64(double v) {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof(bits));
+  WriteU64(bits);
+}
+
+void CheckpointWriter::WriteString(const std::string& s) {
+  WriteU64(s.size());
+  WR_CHECK(!sections_.empty());
+  sections_.back().payload.append(s);
+}
+
+void CheckpointWriter::WriteDoubles(const double* data, std::size_t n) {
+  WR_CHECK(!sections_.empty());
+  AppendRaw(&sections_.back().payload, data, n * sizeof(double));
+}
+
+void CheckpointWriter::WriteMatrix(const linalg::Matrix& m) {
+  WriteU64(m.rows());
+  WriteU64(m.cols());
+  WriteDoubles(m.data(), m.size());
+}
+
+std::string CheckpointWriter::Finish() {
+  // First pass: compute the total size so the header can declare it.
+  std::size_t total = sizeof(std::uint64_t)      // magic
+                      + sizeof(std::uint32_t)    // version
+                      + sizeof(std::uint64_t)    // total size
+                      + sizeof(std::uint64_t);   // section count
+  for (const Section& s : sections_) {
+    total += sizeof(std::uint64_t) + s.name.size() + sizeof(std::uint64_t) +
+             sizeof(std::uint32_t) + s.payload.size();
   }
-  WriteU64(out, kMagic);
-  WriteU64(out, params.size());
-  for (const Parameter* p : params) {
-    WriteU64(out, p->name.size());
-    out.write(p->name.data(), static_cast<std::streamsize>(p->name.size()));
-    WriteU64(out, p->value.rows());
-    WriteU64(out, p->value.cols());
-    out.write(reinterpret_cast<const char*>(p->value.data()),
-              static_cast<std::streamsize>(p->value.size() * sizeof(double)));
+  total += sizeof(std::uint32_t);  // file CRC
+
+  std::string out;
+  out.reserve(total);
+  AppendU64(&out, kMagic);
+  AppendU32(&out, kVersion);
+  AppendU64(&out, total);
+  AppendU64(&out, sections_.size());
+  for (const Section& s : sections_) {
+    AppendU64(&out, s.name.size());
+    out.append(s.name);
+    AppendU64(&out, s.payload.size());
+    AppendU32(&out, core::Crc32c(s.payload.data(), s.payload.size()));
+    out.append(s.payload);
   }
-  out.flush();
-  if (!out) {
-    return Status::InvalidArgument("SaveParameters: write failed for " + path);
+  AppendU32(&out, core::Crc32c(out.data(), out.size()));
+  WR_CHECK_EQ(out.size(), total);
+  sections_.clear();
+  return out;
+}
+
+// --- SectionReader ----------------------------------------------------------
+
+Status SectionReader::Take(void* out, std::size_t n) {
+  if (n > size_ - pos_) {
+    return Status::DataLoss("checkpoint section '" + name_ +
+                            "' truncated: wanted " + std::to_string(n) +
+                            " bytes, " + std::to_string(size_ - pos_) +
+                            " left");
+  }
+  std::memcpy(out, data_ + pos_, n);
+  pos_ += n;
+  return Status::OK();
+}
+
+Status SectionReader::ReadU64(std::uint64_t* v) { return Take(v, sizeof(*v)); }
+
+Status SectionReader::ReadI64(std::int64_t* v) {
+  std::uint64_t bits = 0;
+  WR_RETURN_IF_ERROR(Take(&bits, sizeof(bits)));
+  std::memcpy(v, &bits, sizeof(*v));
+  return Status::OK();
+}
+
+Status SectionReader::ReadF64(double* v) {
+  std::uint64_t bits = 0;
+  WR_RETURN_IF_ERROR(Take(&bits, sizeof(bits)));
+  std::memcpy(v, &bits, sizeof(*v));
+  return Status::OK();
+}
+
+Status SectionReader::ReadString(std::string* s, std::size_t max_len) {
+  std::uint64_t len = 0;
+  WR_RETURN_IF_ERROR(ReadU64(&len));
+  if (len > max_len || len > size_ - pos_) {
+    return Status::DataLoss("checkpoint section '" + name_ +
+                            "' has a corrupt string length " +
+                            std::to_string(len));
+  }
+  s->assign(data_ + pos_, static_cast<std::size_t>(len));
+  pos_ += static_cast<std::size_t>(len);
+  return Status::OK();
+}
+
+Status SectionReader::ReadDoubles(double* data, std::size_t n) {
+  return Take(data, n * sizeof(double));
+}
+
+Status SectionReader::ReadMatrix(linalg::Matrix* m) {
+  std::uint64_t rows = 0;
+  std::uint64_t cols = 0;
+  WR_RETURN_IF_ERROR(ReadU64(&rows));
+  WR_RETURN_IF_ERROR(ReadU64(&cols));
+  if (rows > kMaxElements || cols > kMaxElements ||
+      (cols != 0 && rows > kMaxElements / cols)) {
+    return Status::DataLoss("checkpoint section '" + name_ +
+                            "' has a corrupt matrix shape " +
+                            std::to_string(rows) + "x" +
+                            std::to_string(cols));
+  }
+  linalg::Matrix staged(static_cast<std::size_t>(rows),
+                        static_cast<std::size_t>(cols));
+  WR_RETURN_IF_ERROR(ReadDoubles(staged.data(), staged.size()));
+  *m = std::move(staged);
+  return Status::OK();
+}
+
+Status SectionReader::ExpectEnd() {
+  if (pos_ != size_) {
+    return Status::DataLoss("checkpoint section '" + name_ + "' has " +
+                            std::to_string(size_ - pos_) +
+                            " unexpected trailing bytes");
   }
   return Status::OK();
 }
 
+// --- CheckpointReader -------------------------------------------------------
+
+Result<CheckpointReader> CheckpointReader::Parse(std::string blob) {
+  const std::size_t header_size = sizeof(std::uint64_t) +
+                                  sizeof(std::uint32_t) +
+                                  sizeof(std::uint64_t) +
+                                  sizeof(std::uint64_t);
+  if (blob.size() < header_size + sizeof(std::uint32_t)) {
+    return Status::DataLoss("checkpoint too small to be valid (" +
+                            std::to_string(blob.size()) + " bytes)");
+  }
+  // Whole-file CRC first: one check catches any bit-flip and most
+  // truncations before the parser trusts a single length field.
+  std::uint32_t stored_crc = 0;
+  std::memcpy(&stored_crc, blob.data() + blob.size() - sizeof(stored_crc),
+              sizeof(stored_crc));
+  const std::uint32_t actual_crc =
+      core::Crc32c(blob.data(), blob.size() - sizeof(stored_crc));
+  if (stored_crc != actual_crc) {
+    return Status::DataLoss("checkpoint file CRC mismatch");
+  }
+  std::size_t pos = 0;
+  auto take_u64 = [&](std::uint64_t* v) -> bool {
+    if (blob.size() - pos < sizeof(*v)) return false;
+    std::memcpy(v, blob.data() + pos, sizeof(*v));
+    pos += sizeof(*v);
+    return true;
+  };
+  std::uint64_t magic = 0;
+  if (!take_u64(&magic) || magic != kMagic) {
+    return Status::DataLoss("checkpoint has a bad magic number");
+  }
+  std::uint32_t version = 0;
+  std::memcpy(&version, blob.data() + pos, sizeof(version));
+  pos += sizeof(version);
+  if (version != kVersion) {
+    return Status::DataLoss("unsupported checkpoint version " +
+                            std::to_string(version));
+  }
+  std::uint64_t declared_size = 0;
+  if (!take_u64(&declared_size) || declared_size != blob.size()) {
+    return Status::DataLoss("checkpoint size mismatch: header declares " +
+                            std::to_string(declared_size) + ", file has " +
+                            std::to_string(blob.size()));
+  }
+  std::uint64_t num_sections = 0;
+  if (!take_u64(&num_sections) || num_sections > 1024) {
+    return Status::DataLoss("checkpoint has a corrupt section count");
+  }
+
+  CheckpointReader reader;
+  std::vector<SectionIndex> sections;
+  for (std::uint64_t i = 0; i < num_sections; ++i) {
+    std::uint64_t name_len = 0;
+    if (!take_u64(&name_len) || name_len > 4096 ||
+        name_len > blob.size() - pos) {
+      return Status::DataLoss("checkpoint section " + std::to_string(i) +
+                              " has a corrupt name");
+    }
+    std::string name(blob.data() + pos, static_cast<std::size_t>(name_len));
+    pos += static_cast<std::size_t>(name_len);
+    std::uint64_t payload_len = 0;
+    if (!take_u64(&payload_len)) {
+      return Status::DataLoss("checkpoint section '" + name + "' truncated");
+    }
+    std::uint32_t section_crc = 0;
+    if (blob.size() - pos < sizeof(section_crc)) {
+      return Status::DataLoss("checkpoint section '" + name + "' truncated");
+    }
+    std::memcpy(&section_crc, blob.data() + pos, sizeof(section_crc));
+    pos += sizeof(section_crc);
+    if (payload_len > blob.size() - pos) {
+      return Status::DataLoss("checkpoint section '" + name +
+                              "' declares more bytes than the file holds");
+    }
+    if (core::Crc32c(blob.data() + pos,
+                     static_cast<std::size_t>(payload_len)) != section_crc) {
+      return Status::DataLoss("checkpoint section '" + name +
+                              "' CRC mismatch");
+    }
+    sections.push_back(
+        SectionIndex{name, pos, static_cast<std::size_t>(payload_len)});
+    pos += static_cast<std::size_t>(payload_len);
+  }
+  if (pos + sizeof(std::uint32_t) != blob.size()) {
+    return Status::DataLoss("checkpoint has trailing garbage");
+  }
+  reader.blob_ = std::move(blob);
+  reader.sections_ = std::move(sections);
+  return reader;
+}
+
+bool CheckpointReader::HasSection(const std::string& name) const {
+  for (const SectionIndex& s : sections_) {
+    if (s.name == name) return true;
+  }
+  return false;
+}
+
+Result<SectionReader> CheckpointReader::Section(
+    const std::string& name) const {
+  for (const SectionIndex& s : sections_) {
+    if (s.name == name) {
+      return SectionReader(s.name, blob_.data() + s.offset, s.size);
+    }
+  }
+  return Status::DataLoss("checkpoint is missing section '" + name + "'");
+}
+
+// --- Parameter section helpers ----------------------------------------------
+
+void WriteParamsSectionBody(CheckpointWriter* writer,
+                            const std::vector<Parameter*>& params,
+                            const std::vector<linalg::Matrix>* values) {
+  WR_CHECK(values == nullptr || values->size() == params.size());
+  writer->WriteU64(params.size());
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    writer->WriteString(params[i]->name);
+    writer->WriteMatrix(values ? (*values)[i] : params[i]->value);
+  }
+}
+
+Status ReadParamsSectionBody(SectionReader* section,
+                             const std::vector<Parameter*>& params,
+                             std::vector<linalg::Matrix>* staged) {
+  std::uint64_t count = 0;
+  WR_RETURN_IF_ERROR(section->ReadU64(&count));
+  if (count != params.size()) {
+    return Status::InvalidArgument(
+        "checkpoint parameter count " + std::to_string(count) +
+        " does not match the model's " + std::to_string(params.size()));
+  }
+  staged->clear();
+  staged->reserve(params.size());
+  for (Parameter* p : params) {
+    std::string name;
+    WR_RETURN_IF_ERROR(section->ReadString(&name, 4096));
+    linalg::Matrix value;
+    WR_RETURN_IF_ERROR(section->ReadMatrix(&value));
+    if (name != p->name) {
+      return Status::InvalidArgument("checkpoint entry '" + name +
+                                     "' does not match parameter '" +
+                                     p->name + "'");
+    }
+    if (value.rows() != p->value.rows() || value.cols() != p->value.cols()) {
+      return Status::InvalidArgument(
+          "checkpoint entry '" + name + "' has shape " +
+          std::to_string(value.rows()) + "x" + std::to_string(value.cols()) +
+          ", parameter expects " + std::to_string(p->value.rows()) + "x" +
+          std::to_string(p->value.cols()));
+    }
+    staged->push_back(std::move(value));
+  }
+  return Status::OK();
+}
+
+// --- Whole-model parameter checkpoints --------------------------------------
+
+Status SaveParameters(const std::string& path,
+                      const std::vector<Parameter*>& params) {
+  CheckpointWriter writer;
+  writer.BeginSection("params");
+  WriteParamsSectionBody(&writer, params);
+  return core::AtomicWriteFile(path, writer.Finish());
+}
+
 Status LoadParameters(const std::string& path,
                       const std::vector<Parameter*>& params) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) {
-    return Status::InvalidArgument("LoadParameters: cannot open " + path);
+  Result<std::string> blob = core::ReadFileToString(path);
+  if (!blob.ok()) return blob.status();
+  Result<CheckpointReader> reader =
+      CheckpointReader::Parse(std::move(blob).ValueOrDie());
+  if (!reader.ok()) {
+    return Status(reader.status().code(),
+                  "LoadParameters: '" + path + "': " +
+                      reader.status().message());
   }
-  std::uint64_t magic = 0;
-  std::uint64_t count = 0;
-  if (!ReadU64(in, &magic) || magic != kMagic) {
-    return Status::InvalidArgument("LoadParameters: bad magic in " + path);
-  }
-  if (!ReadU64(in, &count) || count != params.size()) {
-    return Status::InvalidArgument(
-        "LoadParameters: parameter count mismatch in " + path);
-  }
-  for (Parameter* p : params) {
-    std::uint64_t name_len = 0;
-    if (!ReadU64(in, &name_len) || name_len > 4096) {
-      return Status::InvalidArgument("LoadParameters: corrupt name length");
-    }
-    std::string name(name_len, '\0');
-    in.read(name.data(), static_cast<std::streamsize>(name_len));
-    std::uint64_t rows = 0;
-    std::uint64_t cols = 0;
-    if (!in || !ReadU64(in, &rows) || !ReadU64(in, &cols)) {
-      return Status::InvalidArgument("LoadParameters: truncated header");
-    }
-    if (name != p->name || rows != p->value.rows() ||
-        cols != p->value.cols()) {
-      return Status::InvalidArgument(
-          "LoadParameters: checkpoint entry '" + name +
-          "' does not match parameter '" + p->name + "'");
-    }
-    in.read(reinterpret_cast<char*>(p->value.data()),
-            static_cast<std::streamsize>(p->value.size() * sizeof(double)));
-    if (!in) {
-      return Status::InvalidArgument("LoadParameters: truncated values");
-    }
+  Result<SectionReader> section = reader.value().Section("params");
+  if (!section.ok()) return section.status();
+  std::vector<linalg::Matrix> staged;
+  WR_RETURN_IF_ERROR(
+      ReadParamsSectionBody(&section.value(), params, &staged));
+  WR_RETURN_IF_ERROR(section.value().ExpectEnd());
+  // Everything validated: commit in one pass.
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    params[i]->value = std::move(staged[i]);
   }
   return Status::OK();
 }

@@ -1,6 +1,7 @@
 #ifndef WHITENREC_NN_SERIALIZE_H_
 #define WHITENREC_NN_SERIALIZE_H_
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -10,18 +11,129 @@
 namespace whitenrec {
 namespace nn {
 
-// Binary checkpointing of model parameters (library extension; every model
-// exposes its parameters via CollectParameters/Parameters). The format is a
-// versioned little-endian stream: per parameter its name, shape, and raw
-// doubles. Loading validates name and shape so a checkpoint cannot be
-// silently applied to the wrong architecture.
+// Versioned, CRC32C-checksummed checkpoint container (DESIGN.md §8).
+//
+// Layout (integers little-endian, doubles as IEEE-754 bit patterns):
+//   u64  magic "WRECCKP2"
+//   u32  format version (2)
+//   u64  total file size in bytes        (truncation detector)
+//   u64  section count
+//   per section:
+//     u64 name length | name bytes | u64 payload length |
+//     u32 crc32c(payload) | payload bytes
+//   u32  crc32c of every byte above      (whole-file integrity)
+//
+// Writers assemble the container in memory and persist it with
+// core::AtomicWriteFile (write temp -> fsync -> rename), so a crash leaves
+// either the old checkpoint or the complete new one. Readers parse a fully
+// read blob and verify magic, version, declared size, the whole-file CRC,
+// and every section CRC before a caller sees a single byte: any torn
+// rename, truncation, or bit-flip surfaces as a typed kDataLoss Status,
+// never as silently wrong state.
 
-// Writes all parameter values to `path`. Overwrites existing files.
+class CheckpointWriter {
+ public:
+  // Starts a new named section; all subsequent writes land in it.
+  void BeginSection(const std::string& name);
+
+  void WriteU64(std::uint64_t v);
+  void WriteI64(std::int64_t v);
+  void WriteF64(double v);
+  void WriteString(const std::string& s);  // u64 length + bytes
+  void WriteDoubles(const double* data, std::size_t n);
+  void WriteMatrix(const linalg::Matrix& m);  // u64 rows, u64 cols, data
+
+  // Assembles the container. The writer is spent afterwards.
+  std::string Finish();
+
+ private:
+  struct Section {
+    std::string name;
+    std::string payload;
+  };
+  std::vector<Section> sections_;
+};
+
+// Bounds-checked cursor over one section's payload. Every read returns
+// kDataLoss instead of walking past the end, so a corrupt length field can
+// never cause a crash or an over-read.
+class SectionReader {
+ public:
+  SectionReader() : data_(nullptr), size_(0) {}  // empty; for Result<T>
+  SectionReader(std::string name, const char* data, std::size_t size)
+      : name_(std::move(name)), data_(data), size_(size) {}
+
+  const std::string& name() const { return name_; }
+  std::size_t remaining() const { return size_ - pos_; }
+
+  Status ReadU64(std::uint64_t* v);
+  Status ReadI64(std::int64_t* v);
+  Status ReadF64(double* v);
+  Status ReadString(std::string* s, std::size_t max_len = 1 << 20);
+  Status ReadDoubles(double* data, std::size_t n);
+  // Reads rows/cols and the payload into a freshly shaped matrix.
+  Status ReadMatrix(linalg::Matrix* m);
+  // Trailing unread bytes mean a format mismatch: fail loudly.
+  Status ExpectEnd();
+
+ private:
+  Status Take(void* out, std::size_t n);
+
+  std::string name_;
+  const char* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+};
+
+class CheckpointReader {
+ public:
+  // Validates the container (magic, version, size, file CRC, section CRCs).
+  static Result<CheckpointReader> Parse(std::string blob);
+
+  bool HasSection(const std::string& name) const;
+  // Cursor over the named section; kDataLoss if absent. The reader must
+  // outlive the returned cursor (it points into the reader's blob).
+  Result<SectionReader> Section(const std::string& name) const;
+
+ private:
+  struct SectionIndex {
+    std::string name;
+    std::size_t offset;
+    std::size_t size;
+  };
+  std::string blob_;
+  std::vector<SectionIndex> sections_;
+};
+
+// --- Parameter section helpers (shared with seqrec/checkpoint.cc) ----------
+
+// Writes a "params"-style section body: count, then per parameter its name
+// and value matrix. `values` overrides the tensors (used for the embedded
+// best-model snapshot); when null the live parameter values are written.
+void WriteParamsSectionBody(CheckpointWriter* writer,
+                            const std::vector<Parameter*>& params,
+                            const std::vector<linalg::Matrix>* values =
+                                nullptr);
+
+// Reads a "params"-style section body into `staged`, validating every name
+// and shape against `params`. Nothing is applied to the parameters — the
+// caller commits the staged tensors only after everything else it needs has
+// also loaded, which is what makes multi-section loads all-or-nothing.
+Status ReadParamsSectionBody(SectionReader* section,
+                             const std::vector<Parameter*>& params,
+                             std::vector<linalg::Matrix>* staged);
+
+// --- Whole-model parameter checkpoints --------------------------------------
+
+// Writes all parameter values to `path` (single "params" section) via
+// atomic replace. Overwrites existing files.
 Status SaveParameters(const std::string& path,
                       const std::vector<Parameter*>& params);
 
-// Restores parameter values in place. Fails (leaving already-copied values
-// in place) if the file is missing/corrupt or any name/shape mismatches.
+// Restores parameter values in place, all-or-nothing: every tensor is
+// staged and validated (names, shapes, checksums) before the first byte is
+// applied, so a corrupt or mismatched checkpoint leaves the parameters
+// exactly as they were.
 Status LoadParameters(const std::string& path,
                       const std::vector<Parameter*>& params);
 

@@ -2,9 +2,12 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
+#include <memory>
 
 #include "core/parallel.h"
+#include "seqrec/checkpoint.h"
 #include "eval/alignment_uniformity.h"
 #include "eval/conditioning.h"
 #include "eval/metrics.h"
@@ -189,14 +192,62 @@ TrainResult TrainSasRec(SasRecModel* model, nn::Adam* optimizer,
     SasRecModel* m_;
   } view(model);
 
-  std::vector<nn::Parameter*> params = model->Parameters();
+  // Checkpoints restore into exactly what the loop mutates: every optimizer
+  // parameter (model + extras), the optimizer moments, all three RNG streams,
+  // and the bookkeeping below. `best_snapshot` is aligned with `opt_params`.
+  const std::vector<nn::Parameter*>& opt_params = optimizer->parameters();
+  TrainerBookkeeping book;
   std::vector<Matrix> best_snapshot;
-  double best_ndcg = -1.0;
-  std::size_t best_epoch = 0;
-  std::size_t stall = 0;
-  double total_seconds = 0.0;
 
-  for (std::size_t epoch = 0; epoch < config.epochs; ++epoch) {
+  CheckpointRefs refs;
+  refs.params = opt_params;
+  refs.optimizer = optimizer;
+  refs.rngs = {{"shuffle", &shuffle_rng},
+               {"analysis", &analysis_rng},
+               {"model", model->rng()}};
+  refs.book = &book;
+  refs.best_params = &best_snapshot;
+
+  std::unique_ptr<CheckpointManager> manager;
+  std::size_t rollback_left = config.rollback_budget;
+  if (!config.checkpoint_dir.empty()) {
+    manager = std::make_unique<CheckpointManager>(config.checkpoint_dir);
+    const Status st = manager->Init();
+    if (!st.ok()) {
+      std::fprintf(stderr,
+                   "whitenrec: checkpointing disabled, cannot create %s: %s\n",
+                   config.checkpoint_dir.c_str(), st.ToString().c_str());
+      manager.reset();
+    }
+  }
+  if (manager != nullptr) {
+    if (config.resume) {
+      std::string loaded;
+      if (manager->TryLoadLatest(refs, &loaded) && config.verbose) {
+        std::fprintf(stderr, "  resumed from %s (next epoch %llu)\n",
+                     loaded.c_str(),
+                     static_cast<unsigned long long>(book.next_epoch));
+      }
+    }
+    if (book.next_epoch == 0) {
+      // Initial generation: the divergence guard needs a pre-training state
+      // to roll back to even if epoch 0 itself produces a non-finite loss.
+      const Status st = manager->WriteGeneration(refs);
+      if (!st.ok()) {
+        std::fprintf(stderr, "whitenrec: checkpoint write failed: %s\n",
+                     st.ToString().c_str());
+      }
+    }
+  }
+
+  while (book.next_epoch < config.epochs) {
+    // A restored run may already have exhausted its patience (killed after
+    // the stop decision was durable but before the run ended).
+    if (!split.valid.empty() && book.stall > 0 &&
+        book.stall >= config.patience) {
+      break;
+    }
+    const std::size_t epoch = static_cast<std::size_t>(book.next_epoch);
     const double t0 = Now();
     const std::vector<data::Batch> batches = data::MakeTrainBatches(
         split.train, model->config().max_len, config.batch_size, &shuffle_rng);
@@ -209,13 +260,36 @@ TrainResult TrainSasRec(SasRecModel* model, nn::Adam* optimizer,
       loss_sum += loss;
       ++loss_count;
     }
+    const double train_loss =
+        loss_count == 0 ? 0.0 : loss_sum / static_cast<double>(loss_count);
+
+    // Divergence guard: a non-finite epoch loss means the trajectory is
+    // poisoned. Roll back to the last good generation (bounded retries)
+    // rather than logging NaNs or feeding them to early stopping.
+    if (!std::isfinite(train_loss)) {
+      std::fprintf(stderr,
+                   "whitenrec: non-finite training loss %g at epoch %zu\n",
+                   train_loss, epoch);
+      if (manager != nullptr && rollback_left > 0 &&
+          manager->TryLoadLatest(refs)) {
+        --rollback_left;
+        std::fprintf(stderr,
+                     "whitenrec: rolled back to epoch %llu (%zu retries "
+                     "left)\n",
+                     static_cast<unsigned long long>(book.next_epoch),
+                     rollback_left);
+        continue;
+      }
+      std::fprintf(stderr, "whitenrec: no rollback available, stopping\n");
+      break;
+    }
+
     const double epoch_seconds = Now() - t0;
-    total_seconds += epoch_seconds;
+    book.total_seconds += epoch_seconds;
 
     EpochLog log;
     log.epoch = epoch;
-    log.train_loss =
-        loss_count == 0 ? 0.0 : loss_sum / static_cast<double>(loss_count);
+    log.train_loss = train_loss;
     log.seconds = epoch_seconds;
     log.valid_ndcg20 =
         split.valid.empty()
@@ -250,7 +324,7 @@ TrainResult TrainSasRec(SasRecModel* model, nn::Adam* optimizer,
       log.l_uniform_item = au.l_uniform_item;
     }
 
-    result.epochs.push_back(log);
+    book.epochs.push_back(log);
     if (config.verbose) {
       // Progress goes to stderr: callers pipe stdout (bench JSON, example
       // CSVs) and library chatter must not corrupt it.
@@ -259,26 +333,55 @@ TrainResult TrainSasRec(SasRecModel* model, nn::Adam* optimizer,
     }
 
     // Early stopping on validation N@20.
-    if (log.valid_ndcg20 > best_ndcg) {
-      best_ndcg = log.valid_ndcg20;
-      best_epoch = epoch;
-      stall = 0;
-      if (config.restore_best) best_snapshot = SnapshotParams(params);
+    const bool improved = log.valid_ndcg20 > book.best_valid_ndcg20;
+    if (improved) {
+      book.best_valid_ndcg20 = log.valid_ndcg20;
+      book.best_epoch = epoch;
+      book.stall = 0;
+      // The snapshot also rides inside every checkpoint generation, so it is
+      // kept whenever a manager is active even if restore_best is off.
+      if (config.restore_best || manager != nullptr) {
+        best_snapshot = SnapshotParams(opt_params);
+      }
     } else {
-      ++stall;
-      if (!split.valid.empty() && stall >= config.patience) break;
+      ++book.stall;
     }
+    book.next_epoch = epoch + 1;
+    const bool stop =
+        (!split.valid.empty() && !improved && book.stall >= config.patience) ||
+        book.next_epoch >= config.epochs;
+
+    if (manager != nullptr) {
+      if (stop || config.checkpoint_every <= 1 ||
+          book.next_epoch % config.checkpoint_every == 0) {
+        const Status st = manager->WriteGeneration(refs);
+        if (!st.ok()) {
+          std::fprintf(stderr, "whitenrec: checkpoint write failed: %s\n",
+                       st.ToString().c_str());
+        }
+      }
+      if (improved) {
+        const Status st = manager->WriteBest(refs);
+        if (!st.ok()) {
+          std::fprintf(stderr, "whitenrec: best-model write failed: %s\n",
+                       st.ToString().c_str());
+        }
+      }
+    }
+    if (stop) break;
   }
 
   if (config.restore_best && !best_snapshot.empty()) {
-    RestoreParams(best_snapshot, params);
+    RestoreParams(best_snapshot, opt_params);
   }
-  result.best_epoch = best_epoch;
-  result.best_valid_ndcg20 = best_ndcg < 0.0 ? 0.0 : best_ndcg;
+  result.epochs = std::move(book.epochs);
+  result.best_epoch = static_cast<std::size_t>(book.best_epoch);
+  result.best_valid_ndcg20 =
+      book.best_valid_ndcg20 < 0.0 ? 0.0 : book.best_valid_ndcg20;
   result.avg_epoch_seconds =
       result.epochs.empty() ? 0.0
-                            : total_seconds / static_cast<double>(
-                                                  result.epochs.size());
+                            : book.total_seconds / static_cast<double>(
+                                                       result.epochs.size());
   return result;
 }
 

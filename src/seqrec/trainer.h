@@ -31,6 +31,19 @@ struct TrainConfig {
   // setting, see core/parallel.h). Results are bitwise identical at any
   // value; this only trades wall-clock time.
   std::size_t num_threads = 0;
+  // Crash-safe checkpointing (seqrec/checkpoint.h, DESIGN.md §8). When
+  // `checkpoint_dir` is non-empty, a full-state generation is written every
+  // `checkpoint_every` epochs (and at the final/early-stop epoch), and with
+  // `resume` the newest loadable generation is restored before training —
+  // the resumed run reproduces the uninterrupted run's epoch logs and
+  // metrics bitwise (timing fields excluded). A non-finite epoch loss rolls
+  // the run back to the last good generation up to `rollback_budget` times
+  // before giving up. Checkpoint write failures degrade to warnings; they
+  // never abort training.
+  std::string checkpoint_dir;
+  std::size_t checkpoint_every = 1;
+  bool resume = false;
+  std::size_t rollback_budget = 2;
 };
 
 struct EpochLog {

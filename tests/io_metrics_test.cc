@@ -68,7 +68,9 @@ TEST(DatasetIoTest, GeneratedDatasetRoundTrip) {
 }
 
 TEST(DatasetIoTest, LoadMissingFails) {
-  EXPECT_FALSE(data::LoadDataset("/nonexistent/prefix").ok());
+  auto loaded = data::LoadDataset("/nonexistent/prefix");
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kIOError);
 }
 
 TEST(DatasetIoTest, RejectsOutOfRangeItemId) {
@@ -85,6 +87,151 @@ TEST(DatasetIoTest, RejectsOutOfRangeItemId) {
   for (const char* ext : {".meta", ".sequences", ".items"}) {
     std::remove((prefix + ext).c_str());
   }
+}
+
+// Malformed-input matrix: every corruption must surface as a typed error
+// naming the file (and usually the line), never as a silently wrong or
+// partially populated dataset.
+
+void OverwriteFile(const std::string& path, const std::string& content) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  std::fwrite(content.data(), 1, content.size(), f);
+  std::fclose(f);
+}
+
+void AppendToFile(const std::string& path, const std::string& content) {
+  std::FILE* f = std::fopen(path.c_str(), "a");
+  ASSERT_NE(f, nullptr);
+  std::fwrite(content.data(), 1, content.size(), f);
+  std::fclose(f);
+}
+
+struct SavedDataset {
+  explicit SavedDataset(const std::string& tag)
+      : prefix(::testing::TempDir() + "/ds_" + tag) {
+    EXPECT_TRUE(data::SaveDataset(SmallDataset(), prefix).ok());
+  }
+  ~SavedDataset() {
+    for (const char* ext : {".meta", ".sequences", ".items"}) {
+      std::remove((prefix + ext).c_str());
+    }
+  }
+  std::string prefix;
+};
+
+TEST(DatasetIoMalformedTest, NonNumericSequenceTokenFails) {
+  SavedDataset ds("badtok");
+  // Pre-hardening, `stream >> item` treated "1x" as a clean end of line and
+  // the corruption loaded silently. It must be a typed parse error now.
+  AppendToFile(ds.prefix + ".sequences", "1x 2\n");
+  auto loaded = data::LoadDataset(ds.prefix);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kDataLoss);
+  EXPECT_NE(loaded.status().message().find("line 3"), std::string::npos);
+}
+
+TEST(DatasetIoMalformedTest, NegativeSequenceIdFails) {
+  SavedDataset ds("negid");
+  AppendToFile(ds.prefix + ".sequences", "-1 2\n");
+  auto loaded = data::LoadDataset(ds.prefix);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kDataLoss);
+}
+
+TEST(DatasetIoMalformedTest, EmptyMetaFails) {
+  SavedDataset ds("emptymeta");
+  OverwriteFile(ds.prefix + ".meta", "");
+  auto loaded = data::LoadDataset(ds.prefix);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kDataLoss);
+}
+
+TEST(DatasetIoMalformedTest, MalformedMetaHeaderFails) {
+  SavedDataset ds("badmeta");
+  OverwriteFile(ds.prefix + ".meta", "three\t2\t2\ntoy\n");
+  auto loaded = data::LoadDataset(ds.prefix);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kDataLoss);
+}
+
+TEST(DatasetIoMalformedTest, MetaTrailingTokenFails) {
+  SavedDataset ds("metatrail");
+  OverwriteFile(ds.prefix + ".meta", "3\t2\t2\t9\ntoy\n");
+  auto loaded = data::LoadDataset(ds.prefix);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kDataLoss);
+}
+
+TEST(DatasetIoMalformedTest, ImplausibleMetaCountsFail) {
+  SavedDataset ds("hugemeta");
+  OverwriteFile(ds.prefix + ".meta", "99999999999\t2\t2\ntoy\n");
+  auto loaded = data::LoadDataset(ds.prefix);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kDataLoss);
+}
+
+TEST(DatasetIoMalformedTest, TruncatedItemEmbeddingRowFails) {
+  SavedDataset ds("shortrow");
+  OverwriteFile(ds.prefix + ".items",
+                "0\t0\t1.5 -2.25\n1\t1\t0.0\n2\t1\t7 8\n");
+  auto loaded = data::LoadDataset(ds.prefix);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kDataLoss);
+  EXPECT_NE(loaded.status().message().find("line 2"), std::string::npos);
+}
+
+TEST(DatasetIoMalformedTest, OverlongItemEmbeddingRowFails) {
+  SavedDataset ds("longrow");
+  OverwriteFile(ds.prefix + ".items",
+                "0\t0\t1.5 -2.25\n1\t1\t0.0 3.125 9.0\n2\t1\t7 8\n");
+  auto loaded = data::LoadDataset(ds.prefix);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kDataLoss);
+}
+
+TEST(DatasetIoMalformedTest, NonNumericEmbeddingValueFails) {
+  SavedDataset ds("badfloat");
+  OverwriteFile(ds.prefix + ".items",
+                "0\t0\t1.5 -2.25\n1\t1\tNaNbug 3.125\n2\t1\t7 8\n");
+  auto loaded = data::LoadDataset(ds.prefix);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kDataLoss);
+}
+
+TEST(DatasetIoMalformedTest, DuplicateItemRowFails) {
+  SavedDataset ds("dupitem");
+  OverwriteFile(ds.prefix + ".items",
+                "0\t0\t1.5 -2.25\n0\t1\t0.0 3.125\n2\t1\t7 8\n");
+  auto loaded = data::LoadDataset(ds.prefix);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kDataLoss);
+}
+
+TEST(DatasetIoMalformedTest, MissingItemRowFails) {
+  SavedDataset ds("missrow");
+  OverwriteFile(ds.prefix + ".items", "0\t0\t1.5 -2.25\n2\t1\t7 8\n");
+  auto loaded = data::LoadDataset(ds.prefix);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kDataLoss);
+}
+
+TEST(DatasetIoMalformedTest, OutOfRangeCategoryFails) {
+  SavedDataset ds("badcat");
+  OverwriteFile(ds.prefix + ".items",
+                "0\t0\t1.5 -2.25\n1\t9\t0.0 3.125\n2\t1\t7 8\n");
+  auto loaded = data::LoadDataset(ds.prefix);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kOutOfRange);
+  EXPECT_NE(loaded.status().message().find("line 2"), std::string::npos);
+}
+
+TEST(DatasetIoMalformedTest, MissingItemsFileFails) {
+  SavedDataset ds("noitems");
+  std::remove((ds.prefix + ".items").c_str());
+  auto loaded = data::LoadDataset(ds.prefix);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kIOError);
 }
 
 // ---------------------------------------------------------------------------

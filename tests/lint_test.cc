@@ -334,6 +334,47 @@ TEST(StdoutInLibraryTest, BenchAndExamplesMayPrint) {
 }
 
 // ---------------------------------------------------------------------------
+// raw-io
+// ---------------------------------------------------------------------------
+
+TEST(RawIoTest, CatchesOfstreamAndFopenInSrc) {
+  const std::string src =
+      "void Dump(const std::string& path) {\n"
+      "  std::ofstream out(path);\n"
+      "  FILE* f = fopen(path.c_str(), \"wb\");\n"
+      "}\n";
+  const auto findings = FindingsFor("src/data/dump.cc", src, "raw-io");
+  EXPECT_EQ(findings.size(), 2u);
+}
+
+TEST(RawIoTest, CatchesPosixWriteModeOpen) {
+  const std::string src =
+      "  int fd = ::open(p, O_WRONLY | O_CREAT | O_TRUNC, 0644);\n";
+  EXPECT_EQ(FindingsFor("src/nn/dump.cc", src, "raw-io").size(), 1u);
+}
+
+TEST(RawIoTest, ExemptInFaultfs) {
+  const std::string src =
+      "  int fd = ::open(p, O_WRONLY | O_CREAT | O_TRUNC, 0644);\n";
+  EXPECT_TRUE(FindingsFor("src/core/faultfs.cc", src, "raw-io").empty());
+}
+
+TEST(RawIoTest, ReadOnlyStreamsAndNonSrcAreClean) {
+  const std::string read_src = "  std::ifstream in(path);\n";
+  EXPECT_TRUE(FindingsFor("src/data/io.cc", read_src, "raw-io").empty());
+  const std::string write_src = "  std::ofstream out(path);\n";
+  EXPECT_TRUE(FindingsFor("tests/foo_test.cc", write_src, "raw-io").empty());
+  EXPECT_TRUE(FindingsFor("tools/lint/lint.cc", write_src, "raw-io").empty());
+}
+
+TEST(RawIoTest, AllowAnnotationSilences) {
+  const std::string src =
+      "  // whitenrec-lint: allow(raw-io)\n"
+      "  std::ofstream out(path);\n";
+  EXPECT_TRUE(FindingsFor("src/data/dump.cc", src, "raw-io").empty());
+}
+
+// ---------------------------------------------------------------------------
 // include-guard
 // ---------------------------------------------------------------------------
 

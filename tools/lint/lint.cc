@@ -458,6 +458,27 @@ void CheckStdoutInLibrary(const FileContext& ctx) {
 }
 
 // ---------------------------------------------------------------------------
+// Rule: raw-io
+// ---------------------------------------------------------------------------
+
+void CheckRawIo(const FileContext& ctx) {
+  if (!StartsWith(ctx.path, "src/")) return;
+  // core/faultfs.cc is the one sanctioned write path (atomic replace +
+  // fault injection live there).
+  if (ctx.path == "src/core/faultfs.cc") return;
+  static const std::regex kRawWrite(
+      R"(std::ofstream\b|std::fstream\b|\bfopen\s*\(|\bO_WRONLY\b|\bO_RDWR\b|\bO_CREAT\b)");
+  for (std::size_t i = 0; i < ctx.scrubbed.size(); ++i) {
+    if (std::regex_search(ctx.scrubbed[i], kRawWrite)) {
+      ctx.Report(i + 1, "raw-io",
+                 "raw file write primitive; persistent state must go through "
+                 "core/faultfs (AtomicWriteFile/ReadFileToString) so atomic "
+                 "replace, typed errors, and fault injection cover it");
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
 // Rule: include-guard
 // ---------------------------------------------------------------------------
 
@@ -640,6 +661,7 @@ std::vector<Finding> LintFile(const std::string& path,
   CheckHandRolledGemm(ctx);
   CheckFullLogits(ctx);
   CheckStdoutInLibrary(ctx);
+  CheckRawIo(ctx);
   CheckIncludeGuard(ctx);
   std::sort(findings.begin(), findings.end(),
             [](const Finding& a, const Finding& b) {

@@ -38,6 +38,11 @@ struct Finding {
 //                     innermost index outside src/linalg/gemm.cc
 //   stdout-in-library printf/std::cout/puts to stdout from src/ (library
 //                     output goes through return values or stderr)
+//   raw-io            std::ofstream/std::fstream/fopen/POSIX write-mode open
+//                     in src/ outside src/core/faultfs.cc. Persistent state
+//                     must go through core/faultfs (AtomicWriteFile /
+//                     ReadFileToString) so atomic replace, checked errors,
+//                     and fault injection cover every write path.
 //   include-guard     header guard not WHITENREC_<PATH>_H_ (src/ prefix
 //                     dropped; tests/ bench/ examples/ kept)
 //   full-logits       Matrix allocation in src/ with num_items as a column
