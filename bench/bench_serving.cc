@@ -1,0 +1,130 @@
+// Serving benchmark: trains a WhitenRec model, then drives the online
+// serving core (serve/) with deterministic synthetic traffic across a
+// sweep of micro-batch windows and thread counts, exercises the item-ingest
+// refit path, and writes out/BENCH_serving.json (schema-checked against the
+// written artifact before exiting).
+//
+// Knobs: --threads/-t, WHITENREC_SCALE, WHITENREC_EPOCHS, WHITENREC_OUT_DIR,
+// and the WHITENREC_SERVE_* family (see README.md).
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "bench_common.h"
+#include "bench_json.h"
+#include "core/faultfs.h"
+#include "seqrec/baselines.h"
+#include "serve/harness.h"
+
+namespace whitenrec {
+namespace {
+
+int Run(int argc, char** argv) {
+  const std::size_t threads = bench::ApplyThreadsFlag(argc, argv);
+  const double scale = bench::EnvScale();
+
+  data::GeneratedData data = bench::LoadDataset(data::ToysProfile(scale));
+  const data::Split split = data::LeaveOneOutSplit(data.dataset);
+  const seqrec::SasRecConfig model_config = bench::DefaultModelConfig();
+  WhitenRecConfig wconfig;
+  wconfig.out_dim = model_config.hidden_dim;
+
+  std::printf("[train] WhitenRec for serving ...\n");
+  auto rec = seqrec::MakeWhitenRec(data.dataset, model_config, wconfig);
+  rec->Fit(split, bench::DefaultTrainConfig());
+  seqrec::SasRecModel* model = rec->model();
+
+  // Exercise the online ingest path before the sweep: stream in a handful of
+  // new items (perturbed copies of real embeddings) and force a refit so the
+  // served catalog includes them.
+  serve::ServeConfig serve_config = serve::ServeConfig::FromEnv();
+  serve::RecommendService ingest_service(model, serve_config);
+  const std::size_t before_items = ingest_service.num_items();
+  Status armed = ingest_service.EnableIngest(data.dataset.text_embeddings,
+                                             wconfig.whitening,
+                                             wconfig.epsilon);
+  std::size_t ingested = 0;
+  if (armed.ok()) {
+    linalg::Rng rng(1234);
+    const std::size_t d = data.dataset.text_embeddings.cols();
+    for (std::size_t i = 0; i < 8; ++i) {
+      std::vector<double> feature =
+          data.dataset.text_embeddings.Row(i % before_items);
+      for (std::size_t c = 0; c < d; ++c) feature[c] += rng.Gaussian() * 0.01;
+      if (!ingest_service.IngestItem(feature).ok()) break;
+      ++ingested;
+    }
+    if (!ingest_service.RefitNow().ok()) {
+      std::fprintf(stderr, "[serve] refit failed\n");
+      return 1;
+    }
+  } else {
+    std::fprintf(stderr, "[serve] ingest disabled: %s\n",
+                 armed.message().c_str());
+  }
+  std::printf("[serve] catalog %zu -> %zu items after ingest\n", before_items,
+              ingest_service.num_items());
+
+  serve::HarnessConfig harness;
+  harness.serve = serve_config;
+  harness.traffic.num_sessions = data.dataset.sequences.size();
+  const char* requests_env = std::getenv("WHITENREC_SERVE_REQUESTS");
+  harness.traffic.num_requests =
+      requests_env != nullptr
+          ? bench::ParseSizeOrDie("WHITENREC_SERVE_REQUESTS", requests_env)
+          : static_cast<std::size_t>(4096 * scale);
+  harness.batch_windows_ns = {0, 100000, 1000000, 10000000};
+  harness.thread_counts = {1, threads};
+  if (threads == 1) harness.thread_counts = {1};
+
+  std::printf("[serve] sweeping %zu windows x %zu thread counts over %zu "
+              "requests ...\n",
+              harness.batch_windows_ns.size(), harness.thread_counts.size(),
+              harness.traffic.num_requests);
+  serve::ServingBenchResult result =
+      serve::RunServingHarness(model, data.dataset.sequences, harness);
+
+  for (const serve::SweepPoint& p : result.points) {
+    std::printf(
+        "[serve] window=%9lluns threads=%zu qps=%10.1f p50=%8lluns "
+        "p99=%8lluns p999=%8lluns hit=%.3f batch=%.1f\n",
+        static_cast<unsigned long long>(p.batch_window_ns), p.threads, p.qps,
+        static_cast<unsigned long long>(p.p50_ns),
+        static_cast<unsigned long long>(p.p99_ns),
+        static_cast<unsigned long long>(p.p999_ns), p.cache_hit_rate,
+        p.mean_batch_size);
+  }
+
+  const std::string json = serve::ServingBenchJson(result);
+  const std::string path = bench::OutPath("BENCH_serving.json");
+  Status wrote = core::AtomicWriteFile(path, json);
+  if (!wrote.ok()) {
+    std::fprintf(stderr, "write %s: %s\n", path.c_str(),
+                 wrote.message().c_str());
+    return 1;
+  }
+  std::printf("[out] %s\n", path.c_str());
+
+  // Schema-check the artifact actually on disk, not the in-memory string.
+  Result<std::string> readback = core::ReadFileToString(path);
+  if (!readback.ok()) {
+    std::fprintf(stderr, "readback %s: %s\n", path.c_str(),
+                 readback.status().message().c_str());
+    return 1;
+  }
+  Status valid = serve::ValidateServingBenchJson(readback.value());
+  if (!valid.ok()) {
+    std::fprintf(stderr, "BENCH_serving.json schema check failed: %s\n",
+                 valid.message().c_str());
+    return 1;
+  }
+  std::printf("[serve] BENCH_serving.json schema check passed (%zu ingested)\n",
+              ingested);
+  return 0;
+}
+
+}  // namespace
+}  // namespace whitenrec
+
+int main(int argc, char** argv) { return whitenrec::Run(argc, argv); }

@@ -10,10 +10,12 @@
 #   6. check-faults — crash-safety suite under a WHITENREC_FAULT_RATE sweep
 #   7. check-asan   — GEMM + linalg suites under AddressSanitizer/UBSan
 #   8. check-tsan   — parallel + determinism suites under ThreadSanitizer
+#   9. check-serve  — serving suite, randomized-traffic soak under TSan,
+#      and a schema-checked out/BENCH_serving.json from bench_serving
 #
 # Usage: scripts/ci.sh [build-dir]   (default: build-ci)
 #
-# Stages 7 and 8 configure sibling build trees inside the build dir, so a
+# Stages 7-9 configure sibling build trees inside the build dir, so a
 # single invocation leaves everything needed to re-run any stage by hand.
 
 set -euo pipefail
@@ -23,30 +25,33 @@ BUILD_DIR="${1:-build-ci}"
 
 JOBS="$(nproc 2>/dev/null || echo 2)"
 
-echo "==> [1/8] configure + build (WHITENREC_WERROR=ON)"
+echo "==> [1/9] configure + build (WHITENREC_WERROR=ON)"
 cmake -S . -B "${BUILD_DIR}" -DWHITENREC_WERROR=ON
 cmake --build "${BUILD_DIR}" --parallel "${JOBS}"
 
-echo "==> [2/8] tier-1 tests"
+echo "==> [2/9] tier-1 tests"
 ctest --test-dir "${BUILD_DIR}" -L tier1 --output-on-failure -j "${JOBS}"
 
-echo "==> [3/8] tier-1 tests (WHITENREC_SCORING=fused)"
+echo "==> [3/9] tier-1 tests (WHITENREC_SCORING=fused)"
 WHITENREC_SCORING=fused \
   ctest --test-dir "${BUILD_DIR}" -L tier1 --output-on-failure -j "${JOBS}"
 
-echo "==> [4/8] check-lint"
+echo "==> [4/9] check-lint"
 cmake --build "${BUILD_DIR}" --target check-lint
 
-echo "==> [5/8] check-tidy"
+echo "==> [5/9] check-tidy"
 cmake --build "${BUILD_DIR}" --target check-tidy
 
-echo "==> [6/8] check-faults"
+echo "==> [6/9] check-faults"
 cmake --build "${BUILD_DIR}" --target check-faults
 
-echo "==> [7/8] check-asan"
+echo "==> [7/9] check-asan"
 cmake --build "${BUILD_DIR}" --target check-asan
 
-echo "==> [8/8] check-tsan"
+echo "==> [8/9] check-tsan"
 cmake --build "${BUILD_DIR}" --target check-tsan
+
+echo "==> [9/9] check-serve"
+cmake --build "${BUILD_DIR}" --target check-serve
 
 echo "==> CI green"

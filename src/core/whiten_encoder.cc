@@ -168,6 +168,22 @@ void TextFeatureEncoder::CollectParameters(std::vector<nn::Parameter*>* out) {
   head_.CollectParameters(out);
 }
 
+Status TextFeatureEncoder::ReplaceFeatures(Matrix features) {
+  if (features.cols() != head_.in_dim()) {
+    return Status::InvalidArgument(
+        "ReplaceFeatures: feature dim " + std::to_string(features.cols()) +
+        " != head input dim " + std::to_string(head_.in_dim()));
+  }
+  if (features.rows() < features_.rows()) {
+    return Status::InvalidArgument(
+        "ReplaceFeatures: catalog shrank from " +
+        std::to_string(features_.rows()) + " to " +
+        std::to_string(features.rows()) + " rows");
+  }
+  features_ = std::move(features);
+  return Status::OK();
+}
+
 WhitenRecPlusEncoder::WhitenRecPlusEncoder(Matrix z_full, Matrix z_relaxed,
                                            std::size_t out_dim,
                                            EnsembleKind ensemble,

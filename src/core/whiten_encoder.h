@@ -79,6 +79,12 @@ class TextFeatureEncoder : public ItemEncoder {
 
   const linalg::Matrix& features() const { return features_; }
 
+  // Swaps in a new frozen feature table (same column count; the row count
+  // may grow as the catalog does). The serving item-ingest path uses this
+  // after refitting the whitening transform online: the trained projection
+  // head is kept, only its frozen input changes.
+  Status ReplaceFeatures(linalg::Matrix features);
+
  private:
   linalg::Matrix features_;  // frozen
   ProjectionHead head_;

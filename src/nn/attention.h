@@ -16,6 +16,22 @@ namespace nn {
 // bidirectional (the BERT4Rec setting). Dropout is applied by the
 // surrounding Transformer block on the sublayer output, not on the attention
 // probabilities.
+// Per-sequence key/value cache for the incremental (append-one-position)
+// eval forward. Holds the projected K/V rows of every position seen so far;
+// rows [0, len) of `k`/`v` are valid, the matrices grow amortized. Because
+// attention is causal, appending a position never changes earlier K/V rows,
+// so the cache stays valid until the sequence window itself shifts (max_len
+// truncation) — at which point the owner discards it and replays the window.
+struct AttentionKvCache {
+  linalg::Matrix k;
+  linalg::Matrix v;
+  std::size_t len = 0;
+
+  void Clear() { len = 0; }
+  // Appends one row (copied from src row 0), growing capacity geometrically.
+  void Append(const linalg::Matrix& k_row, const linalg::Matrix& v_row);
+};
+
 class MultiHeadSelfAttention : public Layer {
  public:
   MultiHeadSelfAttention(std::size_t dim, std::size_t num_heads,
@@ -25,6 +41,17 @@ class MultiHeadSelfAttention : public Layer {
   linalg::Matrix Forward(const linalg::Matrix& x, std::size_t batch,
                          std::size_t seq_len);
   linalg::Matrix Backward(const linalg::Matrix& dy);
+
+  // Incremental eval forward for one sequence: x_row is the (1, dim) input
+  // of position kv->len; the K/V rows of positions [0, kv->len) are read
+  // from the cache, the new position's K/V rows are appended, and *y
+  // receives the (1, dim) attention output. Requires `causal`. The score /
+  // softmax / value-mix loops are source-identical to Forward's row loops
+  // (and this library builds with -ffp-contract=off), so *y is bitwise
+  // identical to row kv->len of Forward over the same full sequence. Const
+  // and cache-free: safe to run concurrently across sessions.
+  void ForwardStepInto(const linalg::Matrix& x_row, AttentionKvCache* kv,
+                       linalg::Matrix* y) const;
 
   void CollectParameters(std::vector<Parameter*>* out) override;
 

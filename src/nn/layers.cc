@@ -37,6 +37,18 @@ void Linear::ForwardInto(const Matrix& x, Matrix* y) {
   WR_CHECK_FINITE(*y);
 }
 
+void Linear::ForwardEvalInto(const Matrix& x, Matrix* y) const {
+  WR_CHECK_EQ(x.cols(), weight_.value.rows());
+  WR_CHECK_FINITE(x);
+  linalg::MatMulInto(x, weight_.value, y);
+  for (std::size_t r = 0; r < y->rows(); ++r) {
+    double* row = y->RowPtr(r);
+    const double* b = bias_.value.RowPtr(0);
+    for (std::size_t c = 0; c < y->cols(); ++c) row[c] += b[c];
+  }
+  WR_CHECK_FINITE(*y);
+}
+
 Matrix Linear::Backward(const Matrix& dy) {
   Matrix dx;
   BackwardInto(dy, &dx);
@@ -150,6 +162,37 @@ Matrix LayerNorm::Forward(const Matrix& x) {
   }
   WR_CHECK_FINITE(y);
   return y;
+}
+
+void LayerNorm::ForwardEvalInto(const Matrix& x, Matrix* y) const {
+  const std::size_t d = x.cols();
+  WR_CHECK_EQ(d, gamma_.value.cols());
+  WR_CHECK_FINITE(x);
+  y->Resize(x.rows(), d);
+  const double* g = gamma_.value.RowPtr(0);
+  const double* b = beta_.value.RowPtr(0);
+  // Row loops mirror Forward exactly (same summation order, same
+  // normalize-then-affine expression) so each output row is bitwise
+  // identical to the training-path row; only the backward caches differ.
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    const double* row = x.RowPtr(r);
+    double mean = 0.0;
+    for (std::size_t c = 0; c < d; ++c) mean += row[c];
+    mean /= static_cast<double>(d);
+    double var = 0.0;
+    for (std::size_t c = 0; c < d; ++c) {
+      const double diff = row[c] - mean;
+      var += diff * diff;
+    }
+    var /= static_cast<double>(d);
+    const double inv_std = 1.0 / std::sqrt(var + eps_);
+    double* yrow = y->RowPtr(r);
+    for (std::size_t c = 0; c < d; ++c) {
+      const double xhat = (row[c] - mean) * inv_std;
+      yrow[c] = g[c] * xhat + b[c];
+    }
+  }
+  WR_CHECK_FINITE(*y);
 }
 
 Matrix LayerNorm::Backward(const Matrix& dy) {

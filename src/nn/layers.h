@@ -58,6 +58,13 @@ class Linear : public Layer {
   void BackwardInto(const linalg::Matrix& dy, linalg::Matrix* dx);
   void BackwardAccInto(const linalg::Matrix& dy, linalg::Matrix* dx);
 
+  // Eval-only forward: identical arithmetic to ForwardInto but leaves the
+  // training cache untouched, so it is safe to call concurrently from
+  // ParallelFor chunks (the serving incremental path relies on this). Each
+  // output element is bitwise identical to the matching element of a batched
+  // ForwardInto (canonical ascending-k GEMM accumulation + one bias add).
+  void ForwardEvalInto(const linalg::Matrix& x, linalg::Matrix* y) const;
+
   void CollectParameters(std::vector<Parameter*>* out) override;
 
   Parameter& weight() { return weight_; }
@@ -103,6 +110,11 @@ class LayerNorm : public Layer {
   linalg::Matrix Forward(const linalg::Matrix& x);
   linalg::Matrix Backward(const linalg::Matrix& dy);
   void CollectParameters(std::vector<Parameter*>* out) override;
+
+  // Eval-only, cache-free forward with row-for-row the same arithmetic as
+  // Forward (same per-row mean/var/normalize loops). Safe to call
+  // concurrently; used by the incremental serving forward.
+  void ForwardEvalInto(const linalg::Matrix& x, linalg::Matrix* y) const;
 
   Parameter& gamma() { return gamma_; }
   Parameter& beta() { return beta_; }

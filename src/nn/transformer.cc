@@ -18,6 +18,16 @@ Matrix FeedForward::Backward(const Matrix& dy) {
   return fc1_.Backward(relu_.Backward(fc2_.Backward(dy)));
 }
 
+void FeedForward::ForwardEvalInto(const Matrix& x, Matrix* y) const {
+  Matrix hidden;
+  fc1_.ForwardEvalInto(x, &hidden);
+  // ReLU clamp, elementwise (no FP arithmetic beyond the compare).
+  for (std::size_t i = 0; i < hidden.size(); ++i) {
+    if (hidden.data()[i] < 0.0) hidden.data()[i] = 0.0;
+  }
+  fc2_.ForwardEvalInto(hidden, y);
+}
+
 void FeedForward::CollectParameters(std::vector<Parameter*>* out) {
   fc1_.CollectParameters(out);
   fc2_.CollectParameters(out);
@@ -41,6 +51,23 @@ Matrix TransformerBlock::Forward(const Matrix& x, std::size_t batch,
   Matrix y = h;
   y += drop2_.Forward(ffn_.Forward(ln2_.Forward(h)), train);
   return y;
+}
+
+void TransformerBlock::ForwardStepInto(const Matrix& x_row,
+                                       AttentionKvCache* kv, Matrix* y) const {
+  // h = x + Attn(LN1(x)); y = h + FFN(LN2(h)) — dropout is identity in eval
+  // mode, so the residual adds below are exactly Forward(train=false)'s.
+  Matrix ln;
+  ln1_.ForwardEvalInto(x_row, &ln);
+  Matrix attn_out;
+  attn_.ForwardStepInto(ln, kv, &attn_out);
+  Matrix h = x_row;
+  h += attn_out;
+  ln2_.ForwardEvalInto(h, &ln);
+  Matrix ffn_out;
+  ffn_.ForwardEvalInto(ln, &ffn_out);
+  *y = std::move(h);
+  *y += ffn_out;
 }
 
 Matrix TransformerBlock::Backward(const Matrix& dy) {
@@ -80,6 +107,21 @@ Matrix TransformerEncoder::Forward(const Matrix& x, std::size_t batch,
     h = block->Forward(h, batch, seq_len, train);
   }
   return final_ln_.Forward(h);
+}
+
+void TransformerEncoder::ForwardStepInto(const Matrix& x_row,
+                                         StepCache* cache, Matrix* y) const {
+  WR_CHECK(cache != nullptr);
+  if (cache->blocks.size() != blocks_.size()) {
+    cache->blocks.assign(blocks_.size(), AttentionKvCache());
+  }
+  Matrix h = x_row;
+  Matrix next;
+  for (std::size_t b = 0; b < blocks_.size(); ++b) {
+    blocks_[b]->ForwardStepInto(h, &cache->blocks[b], &next);
+    h = std::move(next);
+  }
+  final_ln_.ForwardEvalInto(h, y);
 }
 
 Matrix TransformerEncoder::Backward(const Matrix& dy) {

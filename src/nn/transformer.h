@@ -19,6 +19,11 @@ class FeedForward : public Layer {
 
   linalg::Matrix Forward(const linalg::Matrix& x);
   linalg::Matrix Backward(const linalg::Matrix& dy);
+
+  // Eval-only, cache-free forward (same fc1 -> ReLU -> fc2 arithmetic);
+  // safe to call concurrently. Used by the incremental serving path.
+  void ForwardEvalInto(const linalg::Matrix& x, linalg::Matrix* y) const;
+
   void CollectParameters(std::vector<Parameter*>* out) override;
 
  private:
@@ -40,6 +45,15 @@ class TransformerBlock : public Layer {
   linalg::Matrix Forward(const linalg::Matrix& x, std::size_t batch,
                          std::size_t seq_len, bool train);
   linalg::Matrix Backward(const linalg::Matrix& dy);
+
+  // Incremental eval forward: appends one position to `kv` (which holds this
+  // block's K/V rows for the sequence so far) and writes the block output
+  // row into *y. Dropout is identity in eval mode, so this mirrors
+  // Forward(train=false) exactly; bitwise identical to the appended row of
+  // the full forward. Const and cache-free.
+  void ForwardStepInto(const linalg::Matrix& x_row, AttentionKvCache* kv,
+                       linalg::Matrix* y) const;
+
   void CollectParameters(std::vector<Parameter*>* out) override;
 
  private:
@@ -64,6 +78,26 @@ class TransformerEncoder : public Layer {
   linalg::Matrix Forward(const linalg::Matrix& x, std::size_t batch,
                          std::size_t seq_len, bool train);
   linalg::Matrix Backward(const linalg::Matrix& dy);
+
+  // Per-sequence incremental state: one K/V cache per block. len() is the
+  // number of positions encoded so far.
+  struct StepCache {
+    std::vector<AttentionKvCache> blocks;
+
+    std::size_t len() const { return blocks.empty() ? 0 : blocks[0].len; }
+    void Clear() {
+      for (AttentionKvCache& kv : blocks) kv.Clear();
+    }
+  };
+
+  // Incremental eval forward: encodes position cache->len() given its
+  // embedded input row (1, dim) and returns the final-LayerNorm'd hidden row
+  // in *y — bitwise identical to the same row of Forward(train=false) over
+  // the full sequence (tests/serving_test.cc). Initializes cache->blocks on
+  // first use. Const and cache-free: safe concurrently across sessions.
+  void ForwardStepInto(const linalg::Matrix& x_row, StepCache* cache,
+                       linalg::Matrix* y) const;
+
   void CollectParameters(std::vector<Parameter*>* out) override;
 
   std::size_t num_blocks() const { return blocks_.size(); }

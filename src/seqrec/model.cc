@@ -159,6 +159,25 @@ void SasRecModel::ScoreFactors(const data::Batch& batch, Matrix* users,
   *users = GatherLastPositions(h, batch);
 }
 
+void SasRecModel::EncodeSequenceStep(const Matrix& v, std::size_t item,
+                                     SessionStepState* state,
+                                     Matrix* h_row) const {
+  WR_CHECK(state != nullptr);
+  WR_CHECK(h_row != nullptr);
+  WR_CHECK_LT(item, v.rows());
+  const std::size_t t = state->len();
+  WR_CHECK_LT(t, config_.max_len);
+  // Embedded input row: item embedding + positional embedding, exactly
+  // EmbedInputs' gather + add for an unpadded position in eval mode
+  // (dropout identity, mask all-valid).
+  const Matrix& pos = pos_emb_.table().value;
+  Matrix x(1, config_.hidden_dim);
+  for (std::size_t c = 0; c < config_.hidden_dim; ++c) {
+    x(0, c) = v(item, c) + pos(t, c);
+  }
+  transformer_.ForwardStepInto(x, &state->cache, h_row);
+}
+
 Matrix SasRecModel::UserRepresentations(const data::Batch& batch) {
   const Matrix v = EncodeItems(/*train=*/false);
   const Matrix h = EncodeSequences(batch, v, /*train=*/false);

@@ -87,6 +87,29 @@ class SasRecModel {
   // Last-position user representations (batch_size, d), eval mode.
   linalg::Matrix UserRepresentations(const data::Batch& batch);
 
+  // --- Incremental serving forward ---------------------------------------
+  // Per-session state for the append-one-item eval forward: the transformer
+  // K/V caches of every position encoded so far.
+  struct SessionStepState {
+    nn::TransformerEncoder::StepCache cache;
+
+    std::size_t len() const { return cache.len(); }
+    void Clear() { cache.Clear(); }
+  };
+
+  // Appends one item at position state->len() and writes the (1, hidden_dim)
+  // final hidden row into *h_row — bitwise identical to the corresponding
+  // row of EncodeSequences(train=false) over the same unpadded sequence
+  // (tests/serving_test.cc sweeps this). `v` is the item table from
+  // EncodeItems(false), passed in so the serving layer can cache it across
+  // requests. Requires state->len() < config().max_len; on window overflow
+  // the caller clears the state and replays the truncated window. Const and
+  // touches no training caches, so distinct sessions may step concurrently
+  // from ParallelFor chunks.
+  void EncodeSequenceStep(const linalg::Matrix& v, std::size_t item,
+                          SessionStepState* state,
+                          linalg::Matrix* h_row) const;
+
  private:
   // Gathers item rows, adds positional embeddings, masks padding.
   linalg::Matrix EmbedInputs(const data::Batch& batch, const linalg::Matrix& v,

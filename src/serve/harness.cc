@@ -1,0 +1,458 @@
+#include "serve/harness.h"
+
+#include <algorithm>
+#include <cctype>
+#include <chrono>
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <utility>
+
+#include "core/check.h"
+#include "core/parallel.h"
+
+namespace whitenrec {
+namespace serve {
+namespace {
+
+std::uint64_t NowNs() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+// One micro-batch cut from the trace: requests plus the virtual time the
+// batcher releases it (window close, or the last arrival when flushed by
+// size / when coalescing is off).
+struct PlannedBatch {
+  std::vector<ServeRequest> requests;
+  std::vector<std::uint64_t> arrivals_ns;
+  std::uint64_t release_ns = 0;
+};
+
+std::vector<PlannedBatch> PlanBatches(const std::vector<TraceRequest>& trace,
+                                      std::uint64_t window_ns,
+                                      std::size_t max_batch) {
+  std::vector<PlannedBatch> batches;
+  for (std::size_t i = 0; i < trace.size();) {
+    PlannedBatch batch;
+    if (window_ns == 0) {
+      // Coalescing off: every request ships alone at its arrival.
+      batch.requests.push_back(
+          ServeRequest{trace[i].session_id, trace[i].item});
+      batch.arrivals_ns.push_back(trace[i].arrival_ns);
+      batch.release_ns = trace[i].arrival_ns;
+      ++i;
+    } else {
+      const std::uint64_t window = trace[i].arrival_ns / window_ns;
+      while (i < trace.size() && trace[i].arrival_ns / window_ns == window &&
+             batch.requests.size() < max_batch) {
+        batch.requests.push_back(
+            ServeRequest{trace[i].session_id, trace[i].item});
+        batch.arrivals_ns.push_back(trace[i].arrival_ns);
+        ++i;
+      }
+      const std::uint64_t window_close = (window + 1) * window_ns;
+      batch.release_ns = batch.requests.size() == max_batch
+                             ? batch.arrivals_ns.back()
+                             : window_close;
+    }
+    batches.push_back(std::move(batch));
+  }
+  return batches;
+}
+
+void AppendF(std::string* out, const char* fmt, ...) {
+  char buf[256];
+  va_list ap;
+  va_start(ap, fmt);
+  std::vsnprintf(buf, sizeof(buf), fmt, ap);
+  va_end(ap);
+  out->append(buf);
+}
+
+}  // namespace
+
+ServingBenchResult RunServingHarness(
+    seqrec::SasRecModel* model,
+    const std::vector<std::vector<std::size_t>>& sequences,
+    const HarnessConfig& config) {
+  WR_CHECK(model != nullptr);
+  WR_CHECK(!config.batch_windows_ns.empty());
+  WR_CHECK(!config.thread_counts.empty());
+
+  const std::vector<TraceRequest> trace =
+      GenerateTrace(sequences, config.traffic);
+
+  ServingBenchResult result;
+  result.config = config;
+  result.hidden_dim = model->config().hidden_dim;
+
+  const std::size_t saved_threads = core::NumThreads();
+  for (std::size_t threads : config.thread_counts) {
+    core::SetNumThreads(threads);
+    for (std::uint64_t window_ns : config.batch_windows_ns) {
+      ServeConfig serve_config = config.serve;
+      serve_config.batch_window_ns = window_ns;
+      RecommendService service(model, serve_config);
+      result.catalog_items = service.num_items();
+
+      const std::vector<PlannedBatch> batches =
+          PlanBatches(trace, window_ns, serve_config.max_batch);
+
+      LatencyHistogram latencies;
+      std::uint64_t busy_ns = 0;
+      std::uint64_t server_free_ns = 0;
+      for (const PlannedBatch& batch : batches) {
+        const std::uint64_t t0 = NowNs();
+        const std::vector<ServeResponse> responses =
+            service.HandleBatch(batch.requests);
+        const std::uint64_t duration_ns = NowNs() - t0;
+        busy_ns += duration_ns;
+        WR_CHECK_EQ(responses.size(), batch.requests.size());
+
+        // Simulated single-server queue on the virtual clock: the batch
+        // starts when its window closes AND the server is free; every
+        // request in it completes together.
+        const std::uint64_t start_ns =
+            std::max(batch.release_ns, server_free_ns);
+        const std::uint64_t completion_ns = start_ns + duration_ns;
+        server_free_ns = completion_ns;
+        LatencyHistogram batch_hist;
+        for (std::uint64_t arrival_ns : batch.arrivals_ns) {
+          batch_hist.Record(completion_ns - arrival_ns);
+        }
+        latencies.Merge(batch_hist);
+      }
+
+      SweepPoint point;
+      point.batch_window_ns = window_ns;
+      point.threads = threads;
+      point.service_seconds = static_cast<double>(busy_ns) * 1e-9;
+      point.qps = point.service_seconds > 0.0
+                      ? static_cast<double>(trace.size()) /
+                            point.service_seconds
+                      : 0.0;
+      point.p50_ns = latencies.Quantile(0.50);
+      point.p99_ns = latencies.Quantile(0.99);
+      point.p999_ns = latencies.Quantile(0.999);
+      point.mean_ns = latencies.Mean();
+      point.num_batches = batches.size();
+      point.mean_batch_size =
+          batches.empty() ? 0.0
+                          : static_cast<double>(trace.size()) /
+                                static_cast<double>(batches.size());
+      const ServeStats& stats = service.stats();
+      point.cache_hit_rate =
+          stats.requests == 0
+              ? 0.0
+              : static_cast<double>(stats.cache_hits) /
+                    static_cast<double>(stats.requests);
+      result.points.push_back(point);
+    }
+  }
+  core::SetNumThreads(saved_threads);
+  return result;
+}
+
+std::string ServingBenchJson(const ServingBenchResult& result) {
+  std::string out;
+  out += "{\n";
+  out += "  \"bench\": \"serving\",\n";
+  AppendF(&out, "  \"catalog_items\": %zu,\n", result.catalog_items);
+  AppendF(&out, "  \"hidden_dim\": %zu,\n", result.hidden_dim);
+  AppendF(&out, "  \"top_k\": %zu,\n", result.config.serve.top_k);
+  const TrafficConfig& t = result.config.traffic;
+  AppendF(&out,
+          "  \"traffic\": {\"num_sessions\": %zu, \"num_requests\": %zu, "
+          "\"zipf_exponent\": %.6g, \"mean_interarrival_ns\": %.6g, "
+          "\"seed\": %llu},\n",
+          t.num_sessions, t.num_requests, t.zipf_exponent,
+          t.mean_interarrival_ns,
+          static_cast<unsigned long long>(t.seed));
+  out += "  \"sweep\": [\n";
+  for (std::size_t i = 0; i < result.points.size(); ++i) {
+    const SweepPoint& p = result.points[i];
+    AppendF(&out,
+            "    {\"batch_window_ns\": %llu, \"threads\": %zu, "
+            "\"qps\": %.6g, \"p50_ns\": %llu, \"p99_ns\": %llu, "
+            "\"p999_ns\": %llu, \"mean_ns\": %.6g, \"num_batches\": %zu, "
+            "\"mean_batch_size\": %.6g, \"cache_hit_rate\": %.6g, "
+            "\"service_seconds\": %.6g}%s\n",
+            static_cast<unsigned long long>(p.batch_window_ns), p.threads,
+            p.qps, static_cast<unsigned long long>(p.p50_ns),
+            static_cast<unsigned long long>(p.p99_ns),
+            static_cast<unsigned long long>(p.p999_ns), p.mean_ns,
+            p.num_batches, p.mean_batch_size, p.cache_hit_rate,
+            p.service_seconds, i + 1 < result.points.size() ? "," : "");
+  }
+  out += "  ]\n";
+  out += "}\n";
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Schema validation: a minimal JSON reader (objects, arrays, strings,
+// numbers, booleans, null) plus the BENCH_serving.json shape checks.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string str;
+  std::vector<JsonValue> array;
+  std::map<std::string, JsonValue> object;
+};
+
+class JsonReader {
+ public:
+  explicit JsonReader(const std::string& text) : text_(text) {}
+
+  Status Parse(JsonValue* out) {
+    Status s = ParseValue(out);
+    if (!s.ok()) return s;
+    SkipSpace();
+    if (pos_ != text_.size()) {
+      return Status::InvalidArgument("trailing bytes after JSON document");
+    }
+    return Status::OK();
+  }
+
+ private:
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  Status Fail(const char* what) {
+    char buf[96];
+    std::snprintf(buf, sizeof(buf), "JSON parse error at byte %zu: %s", pos_,
+                  what);
+    return Status::InvalidArgument(buf);
+  }
+
+  Status ParseValue(JsonValue* out) {
+    SkipSpace();
+    if (pos_ >= text_.size()) return Fail("unexpected end of input");
+    const char c = text_[pos_];
+    if (c == '{') return ParseObject(out);
+    if (c == '[') return ParseArray(out);
+    if (c == '"') {
+      out->kind = JsonValue::Kind::kString;
+      return ParseString(&out->str);
+    }
+    if (Consume("true")) {
+      out->kind = JsonValue::Kind::kBool;
+      out->boolean = true;
+      return Status::OK();
+    }
+    if (Consume("false")) {
+      out->kind = JsonValue::Kind::kBool;
+      out->boolean = false;
+      return Status::OK();
+    }
+    if (Consume("null")) {
+      out->kind = JsonValue::Kind::kNull;
+      return Status::OK();
+    }
+    return ParseNumber(out);
+  }
+
+  bool Consume(const char* word) {
+    const std::size_t len = std::char_traits<char>::length(word);
+    if (text_.compare(pos_, len, word) != 0) return false;
+    pos_ += len;
+    return true;
+  }
+
+  Status ParseString(std::string* out) {
+    ++pos_;  // opening quote
+    out->clear();
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      if (text_[pos_] == '\\') {
+        ++pos_;
+        if (pos_ >= text_.size()) return Fail("bad escape");
+        // Only the escapes the writer emits; \u is out of scope.
+        const char e = text_[pos_];
+        if (e == 'n') {
+          out->push_back('\n');
+        } else if (e == 't') {
+          out->push_back('\t');
+        } else {
+          out->push_back(e);
+        }
+      } else {
+        out->push_back(text_[pos_]);
+      }
+      ++pos_;
+    }
+    if (pos_ >= text_.size()) return Fail("unterminated string");
+    ++pos_;  // closing quote
+    return Status::OK();
+  }
+
+  Status ParseNumber(JsonValue* out) {
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '-' || text_[pos_] == '+' || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+    }
+    if (pos_ == start) return Fail("expected a value");
+    char* end = nullptr;
+    const std::string token = text_.substr(start, pos_ - start);
+    out->number = std::strtod(token.c_str(), &end);
+    if (end == token.c_str() || *end != '\0') return Fail("malformed number");
+    out->kind = JsonValue::Kind::kNumber;
+    return Status::OK();
+  }
+
+  Status ParseObject(JsonValue* out) {
+    out->kind = JsonValue::Kind::kObject;
+    ++pos_;  // '{'
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == '}') {
+      ++pos_;
+      return Status::OK();
+    }
+    while (true) {
+      SkipSpace();
+      if (pos_ >= text_.size() || text_[pos_] != '"') {
+        return Fail("expected object key");
+      }
+      std::string key;
+      Status s = ParseString(&key);
+      if (!s.ok()) return s;
+      SkipSpace();
+      if (pos_ >= text_.size() || text_[pos_] != ':') return Fail("expected :");
+      ++pos_;
+      JsonValue value;
+      s = ParseValue(&value);
+      if (!s.ok()) return s;
+      out->object[key] = std::move(value);
+      SkipSpace();
+      if (pos_ < text_.size() && text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (pos_ < text_.size() && text_[pos_] == '}') {
+        ++pos_;
+        return Status::OK();
+      }
+      return Fail("expected , or } in object");
+    }
+  }
+
+  Status ParseArray(JsonValue* out) {
+    out->kind = JsonValue::Kind::kArray;
+    ++pos_;  // '['
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == ']') {
+      ++pos_;
+      return Status::OK();
+    }
+    while (true) {
+      JsonValue value;
+      Status s = ParseValue(&value);
+      if (!s.ok()) return s;
+      out->array.push_back(std::move(value));
+      SkipSpace();
+      if (pos_ < text_.size() && text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (pos_ < text_.size() && text_[pos_] == ']') {
+        ++pos_;
+        return Status::OK();
+      }
+      return Fail("expected , or ] in array");
+    }
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+Status RequireNumber(const JsonValue& obj, const char* key, double* out) {
+  const auto it = obj.object.find(key);
+  if (it == obj.object.end() ||
+      it->second.kind != JsonValue::Kind::kNumber) {
+    return Status::InvalidArgument(std::string("missing numeric key: ") + key);
+  }
+  if (out != nullptr) *out = it->second.number;
+  return Status::OK();
+}
+
+}  // namespace
+
+Status ValidateServingBenchJson(const std::string& text) {
+  JsonValue root;
+  Status parsed = JsonReader(text).Parse(&root);
+  if (!parsed.ok()) return parsed;
+  if (root.kind != JsonValue::Kind::kObject) {
+    return Status::InvalidArgument("top level must be an object");
+  }
+  const auto bench = root.object.find("bench");
+  if (bench == root.object.end() ||
+      bench->second.kind != JsonValue::Kind::kString ||
+      bench->second.str != "serving") {
+    return Status::InvalidArgument("\"bench\" must be the string \"serving\"");
+  }
+  for (const char* key : {"catalog_items", "hidden_dim", "top_k"}) {
+    Status s = RequireNumber(root, key, nullptr);
+    if (!s.ok()) return s;
+  }
+  const auto traffic = root.object.find("traffic");
+  if (traffic == root.object.end() ||
+      traffic->second.kind != JsonValue::Kind::kObject) {
+    return Status::InvalidArgument("missing \"traffic\" object");
+  }
+  for (const char* key : {"num_sessions", "num_requests", "zipf_exponent",
+                          "mean_interarrival_ns", "seed"}) {
+    Status s = RequireNumber(traffic->second, key, nullptr);
+    if (!s.ok()) return s;
+  }
+  const auto sweep = root.object.find("sweep");
+  if (sweep == root.object.end() ||
+      sweep->second.kind != JsonValue::Kind::kArray) {
+    return Status::InvalidArgument("missing \"sweep\" array");
+  }
+  if (sweep->second.array.empty()) {
+    return Status::InvalidArgument("\"sweep\" must be non-empty");
+  }
+  for (const JsonValue& point : sweep->second.array) {
+    if (point.kind != JsonValue::Kind::kObject) {
+      return Status::InvalidArgument("sweep entries must be objects");
+    }
+    for (const char* key :
+         {"batch_window_ns", "threads", "qps", "mean_ns", "num_batches",
+          "mean_batch_size", "cache_hit_rate", "service_seconds"}) {
+      Status s = RequireNumber(point, key, nullptr);
+      if (!s.ok()) return s;
+    }
+    double p50 = 0.0;
+    double p99 = 0.0;
+    double p999 = 0.0;
+    Status s = RequireNumber(point, "p50_ns", &p50);
+    if (s.ok()) s = RequireNumber(point, "p99_ns", &p99);
+    if (s.ok()) s = RequireNumber(point, "p999_ns", &p999);
+    if (!s.ok()) return s;
+    if (!(p50 <= p99 && p99 <= p999)) {
+      return Status::InvalidArgument(
+          "latency percentiles must be non-decreasing (p50 <= p99 <= p999)");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace serve
+}  // namespace whitenrec

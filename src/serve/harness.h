@@ -1,0 +1,76 @@
+#ifndef WHITENREC_SERVE_HARNESS_H_
+#define WHITENREC_SERVE_HARNESS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/status.h"
+#include "seqrec/model.h"
+#include "serve/latency_histogram.h"
+#include "serve/service.h"
+#include "serve/traffic.h"
+
+namespace whitenrec {
+namespace serve {
+
+// One (batch window, thread count) sweep point of the serving benchmark.
+struct SweepPoint {
+  std::uint64_t batch_window_ns = 0;
+  std::size_t threads = 0;
+  double qps = 0.0;  // requests / total service-busy seconds
+  std::uint64_t p50_ns = 0;
+  std::uint64_t p99_ns = 0;
+  std::uint64_t p999_ns = 0;
+  double mean_ns = 0.0;
+  std::size_t num_batches = 0;
+  double mean_batch_size = 0.0;
+  double cache_hit_rate = 0.0;
+  double service_seconds = 0.0;  // wall time spent inside HandleBatch
+};
+
+struct HarnessConfig {
+  TrafficConfig traffic;
+  ServeConfig serve;  // batch_window_ns is overridden per sweep point
+  std::vector<std::uint64_t> batch_windows_ns = {0, 100000, 1000000};
+  std::vector<std::size_t> thread_counts = {1};
+};
+
+struct ServingBenchResult {
+  HarnessConfig config;
+  std::size_t catalog_items = 0;
+  std::size_t hidden_dim = 0;
+  std::vector<SweepPoint> points;
+};
+
+// Replays a deterministic synthetic trace through a RecommendService at
+// every (window, threads) combination, micro-batching requests by virtual
+// arrival window (a batch flushes when its window closes or it reaches
+// max_batch). Latency accounting uses a simulated single-server queue:
+//   start      = max(window close, server free)   [virtual ns]
+//   completion = start + measured batch duration  [real ns]
+//   latency    = completion - arrival
+// so queueing delay from the batching window and from server busy time both
+// show up in the percentiles while the service cost itself is measured.
+// Responses are discarded after a checksum — the determinism tests, not the
+// harness, assert bitwise equality. Per-batch latencies are recorded into
+// per-batch histograms merged in order (exercising Merge on the hot path).
+ServingBenchResult RunServingHarness(
+    seqrec::SasRecModel* model,
+    const std::vector<std::vector<std::size_t>>& sequences,
+    const HarnessConfig& config);
+
+// Renders the result as the out/BENCH_serving.json document.
+std::string ServingBenchJson(const ServingBenchResult& result);
+
+// Minimal schema check for BENCH_serving.json: parses the JSON (full
+// tokenizer, no external deps) and verifies the required keys, types, a
+// non-empty sweep array, and p50 <= p99 <= p999 on every point. Used by the
+// bench binary on the written artifact and by check-serve.
+Status ValidateServingBenchJson(const std::string& text);
+
+}  // namespace serve
+}  // namespace whitenrec
+
+#endif  // WHITENREC_SERVE_HARNESS_H_

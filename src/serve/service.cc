@@ -1,0 +1,357 @@
+#include "serve/service.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <utility>
+
+#include "core/check.h"
+#include "core/parallel.h"
+#include "core/whiten_encoder.h"
+#include "linalg/gemm.h"
+
+namespace whitenrec {
+namespace serve {
+namespace {
+
+using linalg::Matrix;
+
+// Strict env parsing, same contract as the WHITENREC_GEMM family: a set but
+// malformed value aborts loudly rather than silently serving with defaults.
+std::size_t EnvSize(const char* name, std::size_t fallback) {
+  const char* s = std::getenv(name);
+  if (s == nullptr || *s == '\0') return fallback;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(s, &end, 10);
+  if (end == s || *end != '\0') {
+    std::fprintf(stderr, "%s: expected a non-negative integer, got \"%s\"\n",
+                 name, s);
+    std::abort();
+  }
+  return static_cast<std::size_t>(v);
+}
+
+std::uint64_t EnvU64(const char* name, std::uint64_t fallback) {
+  return static_cast<std::uint64_t>(
+      EnvSize(name, static_cast<std::size_t>(fallback)));
+}
+
+}  // namespace
+
+ServeConfig ServeConfig::FromEnv() {
+  ServeConfig config;
+  config.top_k = EnvSize("WHITENREC_SERVE_TOPK", config.top_k);
+  config.max_cached_sessions =
+      EnvSize("WHITENREC_SERVE_CACHE_SESSIONS", config.max_cached_sessions);
+  config.max_batch = EnvSize("WHITENREC_SERVE_MAX_BATCH", config.max_batch);
+  config.batch_window_ns =
+      EnvU64("WHITENREC_SERVE_WINDOW_NS", config.batch_window_ns);
+  config.refit_every = EnvSize("WHITENREC_SERVE_REFIT_EVERY",
+                               config.refit_every);
+  return config;
+}
+
+RecommendService::RecommendService(seqrec::SasRecModel* model,
+                                   const ServeConfig& config)
+    : model_(model), config_(config) {
+  WR_CHECK(model != nullptr);
+  WR_CHECK(config.top_k > 0);
+  WR_CHECK(config.max_batch > 0);
+  WR_CHECK(config.refit_every > 0);
+  item_table_ = model_->EncodeItems(/*train=*/false);
+}
+
+bool RecommendService::AppendAndEncode(Session* session, std::size_t item,
+                                       Matrix* h_row) const {
+  const std::size_t max_len = model_->config().max_len;
+  if (session->window.size() == max_len) {
+    // Window shift: every remaining position moves down by one, so all
+    // cached K/V rows are stale. Drop the oldest item and replay.
+    session->window.erase(session->window.begin());
+    session->state.Clear();
+    session->has_state = false;
+  }
+  session->window.push_back(item);
+  const bool incremental = session->has_state;
+  if (!session->has_state) {
+    session->state.Clear();
+    for (std::size_t t = 0; t + 1 < session->window.size(); ++t) {
+      model_->EncodeSequenceStep(item_table_, session->window[t],
+                                 &session->state, h_row);
+    }
+  }
+  model_->EncodeSequenceStep(item_table_, item, &session->state, h_row);
+  return incremental;
+}
+
+void RecommendService::EvictFor(const std::vector<std::uint64_t>& needed) {
+  // Sessions the incoming slice will touch (they are about to gain state and
+  // must not be evicted from under the batch phase).
+  const std::size_t incoming = needed.size();
+  if (incoming >= config_.max_cached_sessions) {
+    // Cap smaller than one batch: evict everything not in the batch; the
+    // batch itself is allowed to exceed the cap transiently.
+    for (auto& entry : sessions_) {
+      if (entry.second.has_state &&
+          std::find(needed.begin(), needed.end(), entry.first) ==
+              needed.end()) {
+        entry.second.state.Clear();
+        entry.second.has_state = false;
+        --stateful_sessions_;
+        ++stats_.evictions;
+      }
+    }
+    return;
+  }
+  // Count how many of the needed sessions already hold state; the rest will
+  // be created by the batch phase.
+  std::size_t already = 0;
+  for (std::uint64_t id : needed) {
+    const auto it = sessions_.find(id);
+    if (it != sessions_.end() && it->second.has_state) ++already;
+  }
+  const std::size_t after = stateful_sessions_ + (incoming - already);
+  if (after <= config_.max_cached_sessions) return;
+  std::size_t to_evict = after - config_.max_cached_sessions;
+
+  // LRU among stateful sessions not needed by this slice. The map's
+  // iteration order is unspecified, but the victims are chosen by a total
+  // order on (last_use, session_id) — last_use is a deterministic request
+  // sequence number — so the evicted SET is iteration-order independent.
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> candidates;
+  candidates.reserve(sessions_.size());
+  for (const auto& entry : sessions_) {
+    if (!entry.second.has_state) continue;
+    if (std::find(needed.begin(), needed.end(), entry.first) != needed.end()) {
+      continue;
+    }
+    candidates.emplace_back(entry.second.last_use, entry.first);
+  }
+  std::sort(candidates.begin(), candidates.end());
+  for (const auto& victim : candidates) {
+    if (to_evict == 0) break;
+    Session& session = sessions_[victim.second];
+    session.state.Clear();
+    session.has_state = false;
+    --stateful_sessions_;
+    ++stats_.evictions;
+    --to_evict;
+  }
+}
+
+void RecommendService::HandleSlice(const std::vector<ServeRequest>& requests,
+                                   std::size_t begin, std::size_t end,
+                                   std::vector<ServeResponse>* responses) {
+  const std::size_t n = end - begin;
+  const std::size_t hidden = model_->config().hidden_dim;
+
+  // Serial pre-phase: group the slice's requests by session in first-arrival
+  // order and run eviction. Grouping guarantees the parallel phase touches
+  // each session from exactly one chunk, in arrival order.
+  std::vector<std::uint64_t> order;            // unique session ids
+  std::vector<std::vector<std::size_t>> bins;  // request indices per session
+  {
+    std::unordered_map<std::uint64_t, std::size_t> slot;
+    for (std::size_t r = begin; r < end; ++r) {
+      const std::uint64_t id = requests[r].session_id;
+      WR_CHECK_LT(requests[r].item, item_table_.rows());
+      const auto it = slot.find(id);
+      if (it == slot.end()) {
+        slot.emplace(id, order.size());
+        order.push_back(id);
+        bins.emplace_back(1, r);
+      } else {
+        bins[it->second].push_back(r);
+      }
+    }
+  }
+  EvictFor(order);
+  for (std::uint64_t id : order) {
+    sessions_[id];  // materialize entries on the serial path
+  }
+
+  // Parallel phase: per-session incremental forwards. Distinct sessions own
+  // disjoint state, and sessions_ is not resized here, so chunks race on
+  // nothing; within a session requests run in arrival order.
+  Matrix users(n, hidden);
+  std::vector<std::vector<std::size_t>> exclusions(n);
+  std::vector<unsigned char> hit(n, 0);
+  std::vector<std::size_t> lens(n, 0);
+  core::ParallelFor(
+      0, order.size(), 1, [&](std::size_t s0, std::size_t s1) {
+        Matrix h_row;
+        for (std::size_t s = s0; s < s1; ++s) {
+          Session& session = sessions_.find(order[s])->second;
+          for (std::size_t r : bins[s]) {
+            const std::size_t out = r - begin;
+            hit[out] = AppendAndEncode(&session, requests[r].item, &h_row)
+                           ? 1
+                           : 0;
+            users.SetRow(out, h_row.Row(0));
+            lens[out] = session.window.size();
+            if (config_.exclude_history) {
+              exclusions[out] = session.window;
+              std::sort(exclusions[out].begin(), exclusions[out].end());
+            }
+          }
+        }
+      });
+
+  // Serial post-phase bookkeeping.
+  for (std::size_t s = 0; s < order.size(); ++s) {
+    Session& session = sessions_.find(order[s])->second;
+    if (!session.has_state) {
+      session.has_state = true;
+      ++stateful_sessions_;
+    }
+    session.last_use = ++request_seq_;
+  }
+
+  // Fused scoring: one streamed GEMM over the whole micro-batch with an
+  // O(K)-state top-K epilogue per request — the (n, num_items) score matrix
+  // never exists. Selector state is per-row and the epilogue sees disjoint
+  // row ranges, so the concurrent panel callbacks are race-free; the
+  // selected set is feed-order independent (strict total order).
+  std::vector<linalg::TopKSelector> selectors;
+  selectors.reserve(n);
+  for (std::size_t r = 0; r < n; ++r) selectors.emplace_back(config_.top_k);
+  linalg::StreamMatMulTransB(
+      users, item_table_,
+      [&](std::size_t i0, std::size_t i1, std::size_t j0, std::size_t jn,
+          const Matrix& panel) {
+        for (std::size_t r = i0; r < i1; ++r) {
+          const double* prow = panel.RowPtr(r);
+          const std::vector<std::size_t>& excl = exclusions[r];
+          linalg::TopKSelector& sel = selectors[r];
+          for (std::size_t c = 0; c < jn; ++c) {
+            const std::size_t item = j0 + c;
+            if (!excl.empty() &&
+                std::binary_search(excl.begin(), excl.end(), item)) {
+              continue;
+            }
+            sel.Push(item, prow[c]);
+          }
+        }
+      });
+
+  for (std::size_t r = 0; r < n; ++r) {
+    ServeResponse& response = (*responses)[begin + r];
+    response.topk = selectors[r].SortedDescending();
+    response.incremental = hit[r] != 0;
+    response.session_len = lens[r];
+    if (hit[r] != 0) {
+      ++stats_.cache_hits;
+    } else {
+      ++stats_.recomputes;
+    }
+  }
+  stats_.requests += n;
+  ++stats_.batches;
+}
+
+ServeResponse RecommendService::Handle(const ServeRequest& request) {
+  std::vector<ServeRequest> one(1, request);
+  std::vector<ServeResponse> responses(1);
+  HandleSlice(one, 0, 1, &responses);
+  return std::move(responses[0]);
+}
+
+std::vector<ServeResponse> RecommendService::HandleBatch(
+    const std::vector<ServeRequest>& requests) {
+  std::vector<ServeResponse> responses(requests.size());
+  for (std::size_t begin = 0; begin < requests.size();
+       begin += config_.max_batch) {
+    const std::size_t end =
+        std::min(requests.size(), begin + config_.max_batch);
+    HandleSlice(requests, begin, end, &responses);
+  }
+  return responses;
+}
+
+Status RecommendService::EnableIngest(const Matrix& raw_features,
+                                      WhiteningKind kind, double epsilon) {
+  auto* encoder = dynamic_cast<TextFeatureEncoder*>(model_->encoder());
+  if (encoder == nullptr) {
+    return Status::InvalidArgument(
+        "ingest requires a TextFeatureEncoder-backed model");
+  }
+  if (raw_features.rows() != encoder->num_items()) {
+    return Status::InvalidArgument("raw feature rows != catalog size");
+  }
+  if (raw_features.rows() < 2) {
+    return Status::InvalidArgument("need >= 2 items to fit whitening");
+  }
+  whiten_options_ = WhiteningOptions();
+  whiten_options_.kind = kind;
+  whiten_options_.epsilon = epsilon;
+  raw_features_ = raw_features;
+  whiten_acc_ = IncrementalWhitening(raw_features.cols());
+  whiten_acc_.Add(raw_features);
+  pending_ingests_ = 0;
+  ingest_enabled_ = true;
+  return Status::OK();
+}
+
+Status RecommendService::IngestItem(const std::vector<double>& raw_feature) {
+  if (!ingest_enabled_) {
+    return Status::InvalidArgument("call EnableIngest first");
+  }
+  if (raw_feature.size() != raw_features_.cols()) {
+    return Status::InvalidArgument("raw feature dimension mismatch");
+  }
+  // Append the row to the raw catalog and fold it into the streaming
+  // whitening statistics (exact Welford update, no rescan).
+  Matrix grown(raw_features_.rows() + 1, raw_features_.cols());
+  for (std::size_t r = 0; r < raw_features_.rows(); ++r) {
+    grown.SetRow(r, raw_features_.Row(r));
+  }
+  double* last = grown.RowPtr(raw_features_.rows());
+  for (std::size_t c = 0; c < raw_feature.size(); ++c) {
+    last[c] = raw_feature[c];
+  }
+  Matrix row(1, raw_feature.size());
+  std::memcpy(row.RowPtr(0), raw_feature.data(),
+              raw_feature.size() * sizeof(double));
+  whiten_acc_.Add(row);
+  raw_features_ = std::move(grown);
+  ++pending_ingests_;
+  ++stats_.ingested;
+  if (pending_ingests_ >= config_.refit_every) return Refit();
+  return Status::OK();
+}
+
+Status RecommendService::RefitNow() {
+  if (!ingest_enabled_) {
+    return Status::InvalidArgument("call EnableIngest first");
+  }
+  if (pending_ingests_ == 0) return Status::OK();
+  return Refit();
+}
+
+Status RecommendService::Refit() {
+  auto* encoder = dynamic_cast<TextFeatureEncoder*>(model_->encoder());
+  WR_CHECK(encoder != nullptr);  // EnableIngest verified this
+  Result<FittedWhitening> fitted = whiten_acc_.Fit(whiten_options_);
+  if (!fitted.ok()) return fitted.status();
+  Matrix whitened = ApplyWhitening(fitted.value(), raw_features_);
+  Status replaced = encoder->ReplaceFeatures(std::move(whitened));
+  if (!replaced.ok()) return replaced;
+  // The whole item table changed: rebuild it and invalidate every cached
+  // session state. Windows are kept — the next request per session replays
+  // them against the new table (counted as a recompute, not an error).
+  item_table_ = model_->EncodeItems(/*train=*/false);
+  for (auto& entry : sessions_) {
+    if (entry.second.has_state) {
+      entry.second.state.Clear();
+      entry.second.has_state = false;
+    }
+  }
+  stateful_sessions_ = 0;
+  pending_ingests_ = 0;
+  ++stats_.refits;
+  return Status::OK();
+}
+
+}  // namespace serve
+}  // namespace whitenrec

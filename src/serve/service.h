@@ -1,0 +1,186 @@
+#ifndef WHITENREC_SERVE_SERVICE_H_
+#define WHITENREC_SERVE_SERVICE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "core/incremental_whitening.h"
+#include "core/status.h"
+#include "core/whitening.h"
+#include "linalg/matrix.h"
+#include "linalg/topk.h"
+#include "seqrec/model.h"
+
+namespace whitenrec {
+namespace serve {
+
+// Serving knobs. Defaults() gives the compiled-in values; FromEnv() overlays
+// WHITENREC_SERVE_* environment variables (see README.md / DESIGN.md Sec. 9):
+//   WHITENREC_SERVE_TOPK            top_k
+//   WHITENREC_SERVE_WINDOW_NS       batch_window_ns (micro-batching window)
+//   WHITENREC_SERVE_MAX_BATCH       max_batch
+//   WHITENREC_SERVE_CACHE_SESSIONS  max_cached_sessions
+//   WHITENREC_SERVE_REFIT_EVERY     refit_every
+// Malformed values abort with a message naming the variable, same contract
+// as the WHITENREC_GEMM/WHITENREC_SCORING knobs.
+struct ServeConfig {
+  // Recommendations returned per request.
+  std::size_t top_k = 10;
+  // Sessions allowed to hold live transformer K/V state; beyond this the
+  // least-recently-used stateful session is evicted (its next request falls
+  // back to a full window recompute — a cost, never a correctness, event).
+  std::size_t max_cached_sessions = 4096;
+  // Requests coalesced into one fused scoring pass, at most.
+  std::size_t max_batch = 256;
+  // Micro-batcher flush window on the virtual arrival clock. 0 disables
+  // coalescing (every request is its own batch).
+  std::uint64_t batch_window_ns = 1000000;  // 1 ms
+  // Item-ingest path: refit the whitening transform and rebuild the item
+  // table after this many ingested items.
+  std::size_t refit_every = 32;
+  // Drop items already in the session's window from the recommendations.
+  bool exclude_history = true;
+
+  static ServeConfig Defaults() { return ServeConfig(); }
+  static ServeConfig FromEnv();
+};
+
+struct ServeRequest {
+  std::uint64_t session_id = 0;
+  std::size_t item = 0;  // the item the session just consumed
+};
+
+struct ServeResponse {
+  // Top-K next-item recommendations in canonical ranking order
+  // (linalg::RanksBefore: score desc, item id asc).
+  std::vector<linalg::ScoredItem> topk;
+  // True when the session's cached hidden state was extended in place;
+  // false when the window had to be replayed (cold session, eviction, or
+  // max_len truncation shift). Purely informational: responses are bitwise
+  // identical either way.
+  bool incremental = false;
+  // Items in the session window after this request (<= model max_len).
+  std::size_t session_len = 0;
+};
+
+// Counters since construction / ResetStats(); all updated on the serial
+// control path so reads need no synchronization.
+struct ServeStats {
+  std::size_t requests = 0;
+  std::size_t batches = 0;
+  std::size_t cache_hits = 0;   // responses served incrementally
+  std::size_t recomputes = 0;   // responses that replayed the window
+  std::size_t evictions = 0;    // session states dropped by the LRU cap
+  std::size_t ingested = 0;     // items accepted by IngestItem
+  std::size_t refits = 0;       // whitening refits + item-table rebuilds
+};
+
+// Online recommendation core: holds a trained SASRec model plus its encoded
+// item table and answers "session s consumed item i — what next?" requests.
+//
+// Determinism contract (tests/serving_test.cc): for a fixed model and a
+// fixed request trace, responses are bitwise identical whether requests are
+// served one at a time or coalesced into micro-batches of any size, at any
+// thread count, with any cache capacity. This holds because
+//   - per-session state evolves only from that session's own requests, in
+//     arrival order (the batch phase parallelizes across sessions, never
+//     within one);
+//   - the incremental append-one-item forward is bitwise identical to the
+//     full window recompute (seqrec::SasRecModel::EncodeSequenceStep);
+//   - scoring is the canonical GEMM (per-element ascending-k dot products)
+//     streamed through the O(K) TopKSelector, so each request's scores
+//     never depend on which other requests share its batch.
+//
+// Threading: Handle/HandleBatch/IngestItem must be called from one thread
+// (the micro-batcher); internally HandleBatch fans out across sessions via
+// core::ParallelFor. The model is borrowed, not owned, and must outlive the
+// service; the service assumes exclusive use of it while serving.
+class RecommendService {
+ public:
+  RecommendService(seqrec::SasRecModel* model, const ServeConfig& config);
+
+  // Serves one request alone (a batch of one).
+  ServeResponse Handle(const ServeRequest& request);
+
+  // Serves a micro-batch: one fused GEMM scoring pass over all coalesced
+  // requests. Requests beyond max_batch are processed in successive slices
+  // (responses are unaffected — see the determinism contract). responses[i]
+  // answers requests[i].
+  std::vector<ServeResponse> HandleBatch(
+      const std::vector<ServeRequest>& requests);
+
+  // --- Online item ingest --------------------------------------------------
+  // Arms the ingest path: `raw_features` are the unwhitened text embeddings
+  // the catalog was built from (row r = item r), `kind`/`epsilon` the
+  // whitening to refit. Requires the model's encoder to be a
+  // TextFeatureEncoder (WhitenRec / SASRec^T style).
+  Status EnableIngest(const linalg::Matrix& raw_features, WhiteningKind kind,
+                      double epsilon);
+
+  // Accepts one new item's raw text embedding. The item becomes scorable at
+  // the next refit (every config.refit_every ingests, or RefitNow()), when
+  // the whitening transform is refit from the streaming accumulator, the
+  // whole catalog re-whitened, the item table rebuilt through the trained
+  // projection head, and every cached session state invalidated (their
+  // windows replay against the new table on next use).
+  Status IngestItem(const std::vector<double>& raw_feature);
+
+  // Forces the pending ingests to be folded in immediately.
+  Status RefitNow();
+
+  std::size_t num_items() const { return item_table_.rows(); }
+  std::size_t pending_ingests() const { return pending_ingests_; }
+  std::size_t cached_sessions() const { return stateful_sessions_; }
+  const ServeConfig& config() const { return config_; }
+  const ServeStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = ServeStats(); }
+
+ private:
+  struct Session {
+    std::vector<std::size_t> window;  // last <= max_len items, oldest first
+    seqrec::SasRecModel::SessionStepState state;
+    bool has_state = false;  // false: cold, evicted, or invalidated
+    std::uint64_t last_use = 0;  // request sequence number (deterministic)
+  };
+
+  // Serves requests[begin, end) as one coalesced scoring pass.
+  void HandleSlice(const std::vector<ServeRequest>& requests,
+                   std::size_t begin, std::size_t end,
+                   std::vector<ServeResponse>* responses);
+
+  // Appends the request item to the session (handling truncation shifts and
+  // cold/evicted replay) and writes the last hidden row. Returns true when
+  // the append was incremental. Called concurrently for distinct sessions.
+  bool AppendAndEncode(Session* session, std::size_t item,
+                       linalg::Matrix* h_row) const;
+
+  // Evicts LRU session states until the batch's sessions fit the cap.
+  // `needed` lists the sessions the current slice is about to touch.
+  void EvictFor(const std::vector<std::uint64_t>& needed);
+
+  Status Refit();
+
+  seqrec::SasRecModel* model_;  // borrowed
+  ServeConfig config_;
+  linalg::Matrix item_table_;  // (num_items, d) from EncodeItems(false)
+
+  std::unordered_map<std::uint64_t, Session> sessions_;
+  std::size_t stateful_sessions_ = 0;
+  std::uint64_t request_seq_ = 0;  // logical clock for LRU ordering
+
+  // Ingest state (EnableIngest).
+  bool ingest_enabled_ = false;
+  WhiteningOptions whiten_options_;
+  linalg::Matrix raw_features_;  // grows with the catalog
+  IncrementalWhitening whiten_acc_{1};
+  std::size_t pending_ingests_ = 0;
+
+  ServeStats stats_;
+};
+
+}  // namespace serve
+}  // namespace whitenrec
+
+#endif  // WHITENREC_SERVE_SERVICE_H_

@@ -92,6 +92,18 @@ TEST(RawThreadTest, CatchesOpenMpPragma) {
   EXPECT_TRUE(HasRule(LintFile("src/linalg/sum.cc", src), "raw-thread"));
 }
 
+TEST(RawThreadTest, CatchesPthreadCreateInServe) {
+  const std::string src =
+      "void Spawn() {\n"
+      "  pthread_t tid;\n"
+      "  pthread_create(&tid, nullptr, Worker, nullptr);\n"
+      "}\n";
+  const auto findings = FindingsFor("src/serve/service.cc", src, "raw-thread");
+  ASSERT_EQ(findings.size(), 2u);
+  EXPECT_EQ(findings[0].line, 2u);
+  EXPECT_EQ(findings[1].line, 3u);
+}
+
 TEST(RawThreadTest, ExemptInCoreParallel) {
   const std::string src = "std::thread worker_;\n";
   EXPECT_TRUE(LintFile("src/core/parallel.cc", src).empty());
@@ -295,6 +307,25 @@ TEST(FullLogitsTest, BenchAndTestsMayMaterialize) {
   const std::string src = "  Matrix scores(rows, num_items);\n";
   EXPECT_TRUE(LintFile("bench/bench_foo.cc", src).empty());
   EXPECT_TRUE(LintFile("tests/foo_test.cc", src).empty());
+}
+
+TEST(FullLogitsTest, CatchesPerCatalogVectorInServe) {
+  // In src/serve/ even a 1-D catalog-sized buffer violates the O(K)
+  // micro-batch contract; the same lines are legitimate elsewhere in src/.
+  const std::string decl = "  std::vector<double> scores(num_items);\n";
+  const std::string resize = "  scores.resize(num_items, 0.0);\n";
+  const std::string assign = "  excluded.assign(num_items, 0);\n";
+  for (const std::string& src : {decl, resize, assign}) {
+    EXPECT_TRUE(
+        HasRule(LintFile("src/serve/service.cc", src), "full-logits"))
+        << src;
+    EXPECT_FALSE(
+        HasRule(LintFile("src/seqrec/trainer.cc", src), "full-logits"))
+        << src;
+  }
+  // O(K) state stays clean in serve/.
+  const std::string ok = "  std::vector<double> topk_scores(config_.top_k);\n";
+  EXPECT_FALSE(HasRule(LintFile("src/serve/service.cc", ok), "full-logits"));
 }
 
 TEST(FullLogitsTest, AllowAnnotationSilences) {

@@ -1,0 +1,746 @@
+// Online serving core contracts (ISSUE 6):
+//  * the incremental session-cache forward (EncodeSequenceStep) is BITWISE
+//    identical to the full batched eval forward at every prefix length up
+//    to max_len truncation, across evictions and thread counts;
+//  * micro-batched responses are bitwise identical to serving each request
+//    alone, for every batch-window size, thread count, and cache capacity
+//    (eviction is a cost event, never a correctness event);
+//  * the synthetic traffic generator replays identical traces from a seed;
+//  * the latency histogram reports exact quantiles on hand-computed
+//    distributions in its unit-bucket region and merges associatively;
+//  * the WHITENREC_SERVE_* env knobs parse strictly;
+//  * the ingest path grows the catalog through an online whitening refit
+//    without breaking serving.
+// The *Soak* test doubles as the randomized-traffic TSan workload run by
+// `make check-serve` (WHITENREC_SERVE_SOAK scales it up).
+
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/parallel.h"
+#include "data/batcher.h"
+#include "data/generator.h"
+#include "linalg/rng.h"
+#include "seqrec/baselines.h"
+#include "seqrec/trainer.h"
+#include "serve/harness.h"
+#include "serve/latency_histogram.h"
+#include "serve/service.h"
+#include "serve/traffic.h"
+
+namespace whitenrec {
+namespace serve {
+namespace {
+
+using linalg::Matrix;
+using linalg::ScoredItem;
+
+const std::vector<std::size_t> kThreadCounts = {1, 4};
+
+// Tiny dataset + untrained (random-init) WhitenRec model: the serving
+// contracts are about bitwise reproducibility of the forward pass, which is
+// independent of training.
+struct ServingFixture {
+  ServingFixture()
+      : data(data::GenerateDataset(data::ToysProfile(0.05))),
+        rec(seqrec::MakeWhitenRec(data.dataset, ModelConfig(), WConfig())) {}
+
+  static seqrec::SasRecConfig ModelConfig() {
+    seqrec::SasRecConfig config;
+    config.hidden_dim = 16;
+    config.num_blocks = 2;
+    config.num_heads = 2;
+    config.ffn_hidden = 32;
+    config.max_len = 8;
+    return config;
+  }
+  static WhitenRecConfig WConfig() {
+    WhitenRecConfig config;
+    config.out_dim = 16;
+    return config;
+  }
+
+  seqrec::SasRecModel* model() { return rec->model(); }
+
+  data::GeneratedData data;
+  std::unique_ptr<seqrec::SasRecRecommender> rec;
+};
+
+ServingFixture& Fixture() {
+  static ServingFixture* fixture = new ServingFixture();
+  return *fixture;
+}
+
+// Ingest refits mutate the model's catalog in place, so tests that exercise
+// it build a private model instead of touching the shared fixture.
+std::unique_ptr<seqrec::SasRecRecommender> FreshModel() {
+  return seqrec::MakeWhitenRec(Fixture().data.dataset,
+                               ServingFixture::ModelConfig(),
+                               ServingFixture::WConfig());
+}
+
+bool BitwiseEqualRows(const double* a, const double* b, std::size_t n) {
+  return std::memcmp(a, b, n * sizeof(double)) == 0;
+}
+
+bool SameResponses(const std::vector<ServeResponse>& a,
+                   const std::vector<ServeResponse>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].topk.size() != b[i].topk.size()) return false;
+    if (a[i].session_len != b[i].session_len) return false;
+    for (std::size_t k = 0; k < a[i].topk.size(); ++k) {
+      if (a[i].topk[k].item != b[i].topk[k].item) return false;
+      if (!BitwiseEqualRows(&a[i].topk[k].score, &b[i].topk[k].score, 1)) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+// An unpadded single-sequence eval batch over `items`.
+data::Batch MakeBatch(const std::vector<std::size_t>& items) {
+  data::Batch batch;
+  batch.batch_size = 1;
+  batch.seq_len = items.size();
+  batch.items = items;
+  batch.input_mask.assign(items.size(), 1.0);
+  batch.targets.assign(items.size(), 0);
+  batch.target_weights.assign(items.size(), 0.0);
+  batch.last_position = {items.size() - 1};
+  batch.users = {0};
+  return batch;
+}
+
+// ---------------------------------------------------------------------------
+// Satellite 1: incremental forward parity.
+// ---------------------------------------------------------------------------
+
+TEST(IncrementalForward, BitwiseMatchesBatchedForwardAtEveryPrefix) {
+  seqrec::SasRecModel* model = Fixture().model();
+  const std::size_t max_len = model->config().max_len;
+  const std::size_t hidden = model->config().hidden_dim;
+  const Matrix v = model->EncodeItems(/*train=*/false);
+  linalg::Rng rng(7);
+
+  for (std::size_t threads : kThreadCounts) {
+    core::SetNumThreads(threads);
+    for (std::size_t len = 1; len <= max_len; ++len) {
+      std::vector<std::size_t> items(len);
+      for (std::size_t t = 0; t < len; ++t) {
+        items[t] = rng.UniformInt(v.rows());
+      }
+      const Matrix h_full =
+          model->EncodeSequences(MakeBatch(items), v, /*train=*/false);
+
+      seqrec::SasRecModel::SessionStepState state;
+      Matrix h_row;
+      for (std::size_t t = 0; t < len; ++t) {
+        model->EncodeSequenceStep(v, items[t], &state, &h_row);
+        ASSERT_TRUE(BitwiseEqualRows(h_row.RowPtr(0), h_full.RowPtr(t),
+                                     hidden))
+            << "threads=" << threads << " len=" << len << " position=" << t;
+      }
+    }
+  }
+  core::SetNumThreads(0);
+}
+
+TEST(IncrementalForward, ReplayAfterClearMatchesUninterruptedSession) {
+  // Eviction = losing the KV cache mid-session. Replaying the window into a
+  // fresh cache must land bitwise on the uninterrupted session's state.
+  seqrec::SasRecModel* model = Fixture().model();
+  const std::size_t hidden = model->config().hidden_dim;
+  const std::size_t max_len = model->config().max_len;
+  const Matrix v = model->EncodeItems(/*train=*/false);
+  linalg::Rng rng(11);
+  std::vector<std::size_t> items(max_len);
+  for (std::size_t t = 0; t < max_len; ++t) {
+    items[t] = rng.UniformInt(v.rows());
+  }
+
+  for (std::size_t cut = 1; cut < max_len; ++cut) {
+    seqrec::SasRecModel::SessionStepState uninterrupted;
+    seqrec::SasRecModel::SessionStepState evicted;
+    Matrix h_a;
+    Matrix h_b;
+    for (std::size_t t = 0; t < max_len; ++t) {
+      model->EncodeSequenceStep(v, items[t], &uninterrupted, &h_a);
+      if (t == cut) {
+        // Simulate the eviction: drop state, replay the prefix.
+        evicted.Clear();
+        for (std::size_t r = 0; r < t; ++r) {
+          model->EncodeSequenceStep(v, items[r], &evicted, &h_b);
+        }
+      }
+      model->EncodeSequenceStep(v, items[t], &evicted, &h_b);
+      ASSERT_TRUE(BitwiseEqualRows(h_a.RowPtr(0), h_b.RowPtr(0), hidden))
+          << "cut=" << cut << " t=" << t;
+    }
+  }
+}
+
+TEST(IncrementalForward, TruncationShiftMatchesBatchedWindow) {
+  // Streams longer than max_len: the service drops the oldest item and
+  // replays. The replayed hidden state must equal the batched forward over
+  // exactly the truncated window.
+  seqrec::SasRecModel* model = Fixture().model();
+  const std::size_t hidden = model->config().hidden_dim;
+  const std::size_t max_len = model->config().max_len;
+  const Matrix v = model->EncodeItems(/*train=*/false);
+  linalg::Rng rng(13);
+  std::vector<std::size_t> stream(3 * max_len);
+  for (std::size_t t = 0; t < stream.size(); ++t) {
+    stream[t] = rng.UniformInt(v.rows());
+  }
+
+  std::vector<std::size_t> window;
+  seqrec::SasRecModel::SessionStepState state;
+  Matrix h_step;
+  for (std::size_t t = 0; t < stream.size(); ++t) {
+    if (window.size() == max_len) {
+      window.erase(window.begin());
+      state.Clear();
+    }
+    window.push_back(stream[t]);
+    if (state.len() + 1 != window.size()) {
+      state.Clear();
+      for (std::size_t r = 0; r + 1 < window.size(); ++r) {
+        model->EncodeSequenceStep(v, window[r], &state, &h_step);
+      }
+    }
+    model->EncodeSequenceStep(v, stream[t], &state, &h_step);
+
+    const Matrix h_full =
+        model->EncodeSequences(MakeBatch(window), v, /*train=*/false);
+    ASSERT_TRUE(BitwiseEqualRows(h_step.RowPtr(0),
+                                 h_full.RowPtr(window.size() - 1), hidden))
+        << "t=" << t;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Satellite 2: micro-batch determinism.
+// ---------------------------------------------------------------------------
+
+// Cuts a trace into micro-batches exactly like the harness batcher: same
+// virtual window index, capped at max_batch.
+std::vector<std::vector<ServeRequest>> CutBatches(
+    const std::vector<TraceRequest>& trace, std::uint64_t window_ns,
+    std::size_t max_batch) {
+  std::vector<std::vector<ServeRequest>> batches;
+  for (std::size_t i = 0; i < trace.size();) {
+    std::vector<ServeRequest> batch;
+    if (window_ns == 0) {
+      batch.push_back(ServeRequest{trace[i].session_id, trace[i].item});
+      ++i;
+    } else {
+      const std::uint64_t window = trace[i].arrival_ns / window_ns;
+      while (i < trace.size() && trace[i].arrival_ns / window_ns == window &&
+             batch.size() < max_batch) {
+        batch.push_back(ServeRequest{trace[i].session_id, trace[i].item});
+        ++i;
+      }
+    }
+    batches.push_back(std::move(batch));
+  }
+  return batches;
+}
+
+std::vector<ServeResponse> ServeTrace(seqrec::SasRecModel* model,
+                                      const std::vector<TraceRequest>& trace,
+                                      const ServeConfig& config,
+                                      std::uint64_t window_ns,
+                                      ServeStats* stats = nullptr) {
+  RecommendService service(model, config);
+  std::vector<ServeResponse> responses;
+  responses.reserve(trace.size());
+  for (const std::vector<ServeRequest>& batch :
+       CutBatches(trace, window_ns, config.max_batch)) {
+    std::vector<ServeResponse> out = service.HandleBatch(batch);
+    for (ServeResponse& r : out) responses.push_back(std::move(r));
+  }
+  if (stats != nullptr) *stats = service.stats();
+  return responses;
+}
+
+TEST(MicroBatching, CoalescedBitwiseEqualsSingleAtEveryWindowAndThreadCount) {
+  seqrec::SasRecModel* model = Fixture().model();
+  TrafficConfig traffic;
+  traffic.num_sessions = 24;
+  traffic.num_requests = 400;
+  traffic.seed = 99;
+  const std::vector<TraceRequest> trace =
+      GenerateTrace(Fixture().data.dataset.sequences, traffic);
+
+  ServeConfig config;
+  config.top_k = 10;
+
+  // Reference: every request served alone, single thread.
+  core::SetNumThreads(1);
+  const std::vector<ServeResponse> reference =
+      ServeTrace(model, trace, config, /*window_ns=*/0);
+  ASSERT_EQ(reference.size(), trace.size());
+  for (const ServeResponse& r : reference) {
+    ASSERT_EQ(r.topk.size(), config.top_k);
+  }
+
+  const std::vector<std::uint64_t> windows = {0, 1, 50000, 1000000,
+                                              1000000000000ull};
+  for (std::size_t threads : kThreadCounts) {
+    core::SetNumThreads(threads);
+    for (std::uint64_t window_ns : windows) {
+      const std::vector<ServeResponse> got =
+          ServeTrace(model, trace, config, window_ns);
+      ASSERT_TRUE(SameResponses(reference, got))
+          << "window_ns=" << window_ns << " threads=" << threads;
+    }
+  }
+  core::SetNumThreads(0);
+}
+
+TEST(MicroBatching, EvictionIsCostNotCorrectness) {
+  seqrec::SasRecModel* model = Fixture().model();
+  TrafficConfig traffic;
+  traffic.num_sessions = 16;
+  traffic.num_requests = 300;
+  traffic.seed = 5;
+  const std::vector<TraceRequest> trace =
+      GenerateTrace(Fixture().data.dataset.sequences, traffic);
+
+  ServeConfig roomy;
+  roomy.top_k = 8;
+  roomy.max_cached_sessions = 1 << 20;
+  ServeStats roomy_stats;
+  const std::vector<ServeResponse> reference =
+      ServeTrace(model, trace, roomy, /*window_ns=*/200000, &roomy_stats);
+  EXPECT_EQ(roomy_stats.evictions, 0u);
+
+  for (std::size_t cap : {std::size_t{0}, std::size_t{1}, std::size_t{3}}) {
+    ServeConfig tight = roomy;
+    tight.max_cached_sessions = cap;
+    ServeStats tight_stats;
+    const std::vector<ServeResponse> got =
+        ServeTrace(model, trace, tight, /*window_ns=*/200000, &tight_stats);
+    ASSERT_TRUE(SameResponses(reference, got)) << "cap=" << cap;
+    EXPECT_GT(tight_stats.evictions, 0u) << "cap=" << cap;
+    EXPECT_GT(tight_stats.recomputes, roomy_stats.recomputes) << "cap=" << cap;
+  }
+}
+
+TEST(MicroBatching, ExcludesSessionHistoryFromRecommendations) {
+  seqrec::SasRecModel* model = Fixture().model();
+  ServeConfig config;
+  config.top_k = 5;
+  RecommendService service(model, config);
+  const std::uint64_t session = 42;
+  std::vector<std::size_t> consumed;
+  linalg::Rng rng(3);
+  for (std::size_t t = 0; t < model->config().max_len; ++t) {
+    const std::size_t item = rng.UniformInt(service.num_items());
+    consumed.push_back(item);
+    const ServeResponse response =
+        service.Handle(ServeRequest{session, item});
+    ASSERT_EQ(response.session_len, consumed.size());
+    for (const ScoredItem& hit : response.topk) {
+      for (std::size_t seen : consumed) {
+        EXPECT_NE(hit.item, seen) << "recommended an already-consumed item";
+      }
+    }
+  }
+}
+
+TEST(Traffic, SameSeedReplaysIdenticalTrace) {
+  TrafficConfig config;
+  config.num_sessions = 32;
+  config.num_requests = 500;
+  config.seed = 1234;
+  const auto& sequences = Fixture().data.dataset.sequences;
+  const std::vector<TraceRequest> a = GenerateTrace(sequences, config);
+  const std::vector<TraceRequest> b = GenerateTrace(sequences, config);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i].arrival_ns, b[i].arrival_ns);
+    ASSERT_EQ(a[i].session_id, b[i].session_id);
+    ASSERT_EQ(a[i].item, b[i].item);
+  }
+
+  config.seed = 4321;
+  const std::vector<TraceRequest> c = GenerateTrace(sequences, config);
+  bool differs = false;
+  for (std::size_t i = 0; i < a.size() && !differs; ++i) {
+    differs = a[i].arrival_ns != c[i].arrival_ns ||
+              a[i].session_id != c[i].session_id || a[i].item != c[i].item;
+  }
+  EXPECT_TRUE(differs) << "different seeds produced the same trace";
+}
+
+TEST(Traffic, ArrivalsStrictlyIncreaseAndZipfSkews) {
+  TrafficConfig config;
+  config.num_sessions = 50;
+  config.num_requests = 2000;
+  config.zipf_exponent = 1.2;
+  const auto& sequences = Fixture().data.dataset.sequences;
+  const std::vector<TraceRequest> trace = GenerateTrace(sequences, config);
+  std::vector<std::size_t> hits(config.num_sessions, 0);
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    if (i > 0) ASSERT_GT(trace[i].arrival_ns, trace[i - 1].arrival_ns);
+    ASSERT_LT(trace[i].session_id, config.num_sessions);
+    ++hits[trace[i].session_id];
+  }
+  // Session 0 must dominate the tail under a Zipf law.
+  EXPECT_GT(hits[0], hits[config.num_sessions - 1] * 2);
+}
+
+// ---------------------------------------------------------------------------
+// Satellite 3: latency histogram.
+// ---------------------------------------------------------------------------
+
+TEST(LatencyHistogram, ExactQuantilesOnHandComputedDistribution) {
+  LatencyHistogram hist;
+  for (std::uint64_t v = 1; v <= 100; ++v) hist.Record(v);
+  // rank = ceil(q * 100): p50 -> 50th smallest, p99 -> 99th, p999 -> 100th.
+  EXPECT_EQ(hist.Quantile(0.50), 50u);
+  EXPECT_EQ(hist.Quantile(0.99), 99u);
+  EXPECT_EQ(hist.Quantile(0.999), 100u);
+  EXPECT_EQ(hist.Quantile(0.0), 1u);
+  EXPECT_EQ(hist.Quantile(1.0), 100u);
+  EXPECT_EQ(hist.count(), 100u);
+  EXPECT_EQ(hist.sum(), 5050u);
+  EXPECT_EQ(hist.min(), 1u);
+  EXPECT_EQ(hist.max(), 100u);
+  EXPECT_DOUBLE_EQ(hist.Mean(), 50.5);
+
+  // Skewed distribution: 90 fast, 9 medium, 1 slow.
+  LatencyHistogram skew;
+  for (int i = 0; i < 90; ++i) skew.Record(10);
+  for (int i = 0; i < 9; ++i) skew.Record(100);
+  skew.Record(200);
+  EXPECT_EQ(skew.Quantile(0.50), 10u);
+  EXPECT_EQ(skew.Quantile(0.90), 10u);
+  EXPECT_EQ(skew.Quantile(0.99), 100u);
+  EXPECT_EQ(skew.Quantile(0.999), 200u);
+}
+
+TEST(LatencyHistogram, EmptyAndSingleValue) {
+  LatencyHistogram empty;
+  EXPECT_EQ(empty.count(), 0u);
+  EXPECT_EQ(empty.Quantile(0.5), 0u);
+  EXPECT_EQ(empty.min(), 0u);
+  EXPECT_EQ(empty.max(), 0u);
+  EXPECT_DOUBLE_EQ(empty.Mean(), 0.0);
+
+  LatencyHistogram one;
+  one.Record(77);
+  for (double q : {0.0, 0.5, 0.99, 0.999, 1.0}) {
+    EXPECT_EQ(one.Quantile(q), 77u) << "q=" << q;
+  }
+}
+
+TEST(LatencyHistogram, MergeIsAssociativeAndCommutative) {
+  linalg::Rng rng(2024);
+  auto fill = [&rng](LatencyHistogram* h, std::size_t n) {
+    for (std::size_t i = 0; i < n; ++i) {
+      // Mix unit-bucket and log-bucket regions up to ~17 minutes in ns.
+      const std::uint64_t v = rng.NextU64() % 1000000000000ull;
+      h->Record(v);
+    }
+  };
+  LatencyHistogram a;
+  LatencyHistogram b;
+  LatencyHistogram c;
+  fill(&a, 500);
+  fill(&b, 300);
+  fill(&c, 700);
+
+  LatencyHistogram ab_c = a;  // (a + b) + c
+  ab_c.Merge(b);
+  ab_c.Merge(c);
+  LatencyHistogram bc = b;  // a + (b + c)
+  bc.Merge(c);
+  LatencyHistogram a_bc = a;
+  a_bc.Merge(bc);
+  LatencyHistogram cba = c;  // commuted order
+  cba.Merge(b);
+  cba.Merge(a);
+
+  for (const LatencyHistogram* other : {&a_bc, &cba}) {
+    EXPECT_EQ(ab_c.count(), other->count());
+    EXPECT_EQ(ab_c.sum(), other->sum());
+    EXPECT_EQ(ab_c.min(), other->min());
+    EXPECT_EQ(ab_c.max(), other->max());
+    ASSERT_EQ(ab_c.buckets(), other->buckets());
+  }
+  // Identical bucket contents imply identical quantiles.
+  for (double q : {0.5, 0.99, 0.999}) {
+    EXPECT_EQ(ab_c.Quantile(q), a_bc.Quantile(q));
+  }
+}
+
+TEST(LatencyHistogram, BucketBoundsRoundTripWithBoundedRelativeError) {
+  linalg::Rng rng(55);
+  std::vector<std::uint64_t> probes = {0,       1,   255, 256, 257,
+                                       511,     512, 1023, 1024, 65535,
+                                       1u << 30};
+  for (std::size_t i = 0; i < 200; ++i) {
+    probes.push_back(rng.NextU64() % 1000000000000ull);
+  }
+  for (std::uint64_t v : probes) {
+    const std::size_t index = LatencyHistogram::BucketIndex(v);
+    ASSERT_LT(index, LatencyHistogram::NumBuckets());
+    const std::uint64_t lower = LatencyHistogram::BucketLowerBound(index);
+    ASSERT_LE(lower, v) << "v=" << v;
+    if (v < LatencyHistogram::kExactMax) {
+      ASSERT_EQ(lower, v);
+    } else {
+      // Bucket width <= lower / kLogSubBuckets in the log region.
+      ASSERT_LE(v - lower, lower / LatencyHistogram::kLogSubBuckets)
+          << "v=" << v;
+    }
+    if (index + 1 < LatencyHistogram::NumBuckets()) {
+      ASSERT_GT(LatencyHistogram::BucketLowerBound(index + 1), v) << "v=" << v;
+    }
+  }
+}
+
+TEST(LatencyHistogram, QuantilesAreMonotone) {
+  linalg::Rng rng(77);
+  LatencyHistogram hist;
+  for (std::size_t i = 0; i < 5000; ++i) {
+    hist.Record(rng.NextU64() % 100000000ull);
+  }
+  std::uint64_t prev = 0;
+  for (double q : {0.01, 0.1, 0.25, 0.5, 0.9, 0.99, 0.999, 1.0}) {
+    const std::uint64_t value = hist.Quantile(q);
+    EXPECT_GE(value, prev) << "q=" << q;
+    prev = value;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Satellite 4 support: env knob parsing.
+// ---------------------------------------------------------------------------
+
+TEST(ServeConfig, FromEnvOverlaysKnobs) {
+  ASSERT_EQ(setenv("WHITENREC_SERVE_TOPK", "25", 1), 0);
+  ASSERT_EQ(setenv("WHITENREC_SERVE_WINDOW_NS", "777", 1), 0);
+  ASSERT_EQ(setenv("WHITENREC_SERVE_MAX_BATCH", "33", 1), 0);
+  ASSERT_EQ(setenv("WHITENREC_SERVE_CACHE_SESSIONS", "99", 1), 0);
+  ASSERT_EQ(setenv("WHITENREC_SERVE_REFIT_EVERY", "5", 1), 0);
+  const ServeConfig config = ServeConfig::FromEnv();
+  EXPECT_EQ(config.top_k, 25u);
+  EXPECT_EQ(config.batch_window_ns, 777u);
+  EXPECT_EQ(config.max_batch, 33u);
+  EXPECT_EQ(config.max_cached_sessions, 99u);
+  EXPECT_EQ(config.refit_every, 5u);
+  for (const char* name :
+       {"WHITENREC_SERVE_TOPK", "WHITENREC_SERVE_WINDOW_NS",
+        "WHITENREC_SERVE_MAX_BATCH", "WHITENREC_SERVE_CACHE_SESSIONS",
+        "WHITENREC_SERVE_REFIT_EVERY"}) {
+    unsetenv(name);
+  }
+  const ServeConfig defaults = ServeConfig::FromEnv();
+  EXPECT_EQ(defaults.top_k, ServeConfig().top_k);
+  EXPECT_EQ(defaults.batch_window_ns, ServeConfig().batch_window_ns);
+}
+
+// ---------------------------------------------------------------------------
+// Ingest path: online whitening refit.
+// ---------------------------------------------------------------------------
+
+TEST(Ingest, GrowsCatalogThroughOnlineWhiteningRefit) {
+  auto rec = FreshModel();
+  seqrec::SasRecModel* model = rec->model();
+  ServeConfig config;
+  config.top_k = 5;
+  config.refit_every = 4;
+  RecommendService service(model, config);
+  const std::size_t before = service.num_items();
+
+  const Matrix& raw = Fixture().data.dataset.text_embeddings;
+  ASSERT_TRUE(service
+                  .EnableIngest(raw, WhiteningKind::kZca, /*epsilon=*/1e-5)
+                  .ok());
+
+  // Warm a session, then ingest through a refit boundary.
+  const ServeResponse warm1 =
+      service.Handle(ServeRequest{7, 0});
+  const ServeResponse warm2 = service.Handle(ServeRequest{7, 1 % before});
+  EXPECT_FALSE(warm1.incremental);
+  EXPECT_TRUE(warm2.incremental);
+
+  linalg::Rng rng(21);
+  for (std::size_t i = 0; i < config.refit_every; ++i) {
+    std::vector<double> feature = raw.Row(i % raw.rows());
+    for (double& x : feature) x += rng.Gaussian() * 0.05;
+    ASSERT_TRUE(service.IngestItem(feature).ok()) << "i=" << i;
+  }
+  EXPECT_EQ(service.num_items(), before + config.refit_every);
+  EXPECT_EQ(service.pending_ingests(), 0u);
+  EXPECT_EQ(service.stats().refits, 1u);
+
+  // The refit invalidated every cached session state: the next request
+  // replays the window (recompute), then the session is warm again.
+  const ServeResponse after = service.Handle(ServeRequest{7, 0});
+  EXPECT_FALSE(after.incremental);
+  const ServeResponse warm3 = service.Handle(ServeRequest{7, 1 % before});
+  EXPECT_TRUE(warm3.incremental);
+  ASSERT_EQ(after.topk.size(), config.top_k);
+  for (const ScoredItem& hit : after.topk) {
+    EXPECT_TRUE(std::isfinite(hit.score));
+    EXPECT_LT(hit.item, service.num_items());
+  }
+
+  // New items are scorable: request one of them directly.
+  const ServeResponse on_new =
+      service.Handle(ServeRequest{8, before});  // first ingested item
+  EXPECT_EQ(on_new.topk.size(), config.top_k);
+
+  // Dimension mismatch is rejected.
+  EXPECT_FALSE(service.IngestItem(std::vector<double>(raw.cols() + 1, 0.0))
+                   .ok());
+}
+
+TEST(Ingest, RequiresTextFeatureEncoder) {
+  auto id_rec = seqrec::MakeSasRecId(Fixture().data.dataset,
+                                     ServingFixture::ModelConfig());
+  RecommendService service(id_rec->model(), ServeConfig());
+  const Status armed = service.EnableIngest(
+      Fixture().data.dataset.text_embeddings, WhiteningKind::kZca, 1e-5);
+  EXPECT_FALSE(armed.ok());
+  EXPECT_FALSE(service.IngestItem(std::vector<double>(4, 0.0)).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Harness + BENCH_serving.json schema.
+// ---------------------------------------------------------------------------
+
+TEST(Harness, SweepProducesValidSchemaCheckedJson) {
+  seqrec::SasRecModel* model = Fixture().model();
+  HarnessConfig config;
+  config.traffic.num_sessions = 12;
+  config.traffic.num_requests = 120;
+  config.batch_windows_ns = {0, 500000};
+  config.thread_counts = {1, 2};
+  const ServingBenchResult result = RunServingHarness(
+      model, Fixture().data.dataset.sequences, config);
+  ASSERT_EQ(result.points.size(), 4u);
+  for (const SweepPoint& point : result.points) {
+    EXPECT_GT(point.qps, 0.0);
+    EXPECT_LE(point.p50_ns, point.p99_ns);
+    EXPECT_LE(point.p99_ns, point.p999_ns);
+    EXPECT_EQ(point.num_batches > 0, true);
+  }
+  // Coalescing windows can only grow the mean batch size.
+  EXPECT_GE(result.points[1].mean_batch_size, result.points[0].mean_batch_size);
+
+  const std::string json = ServingBenchJson(result);
+  EXPECT_TRUE(ValidateServingBenchJson(json).ok())
+      << ValidateServingBenchJson(json).message();
+}
+
+TEST(Harness, SchemaCheckerRejectsMalformedDocuments) {
+  EXPECT_FALSE(ValidateServingBenchJson("").ok());
+  EXPECT_FALSE(ValidateServingBenchJson("not json at all").ok());
+  EXPECT_FALSE(ValidateServingBenchJson("[1, 2, 3]").ok());
+  EXPECT_FALSE(ValidateServingBenchJson("{\"bench\": \"serving\"}").ok());
+  // Wrong bench tag.
+  EXPECT_FALSE(
+      ValidateServingBenchJson(
+          "{\"bench\": \"other\", \"catalog_items\": 1, \"hidden_dim\": 1, "
+          "\"top_k\": 1, \"traffic\": {}, \"sweep\": []}")
+          .ok());
+  // Complete but with inverted percentiles: must be rejected.
+  const std::string inverted =
+      "{\"bench\": \"serving\", \"catalog_items\": 10, \"hidden_dim\": 4, "
+      "\"top_k\": 2, \"traffic\": {\"num_sessions\": 1, \"num_requests\": 1, "
+      "\"zipf_exponent\": 1, \"mean_interarrival_ns\": 1, \"seed\": 1}, "
+      "\"sweep\": [{\"batch_window_ns\": 0, \"threads\": 1, \"qps\": 1, "
+      "\"p50_ns\": 100, \"p99_ns\": 50, \"p999_ns\": 60, \"mean_ns\": 1, "
+      "\"num_batches\": 1, \"mean_batch_size\": 1, \"cache_hit_rate\": 0, "
+      "\"service_seconds\": 1}]}";
+  const Status status = ValidateServingBenchJson(inverted);
+  EXPECT_FALSE(status.ok());
+  // An empty sweep is also invalid.
+  const std::string empty_sweep =
+      "{\"bench\": \"serving\", \"catalog_items\": 10, \"hidden_dim\": 4, "
+      "\"top_k\": 2, \"traffic\": {\"num_sessions\": 1, \"num_requests\": 1, "
+      "\"zipf_exponent\": 1, \"mean_interarrival_ns\": 1, \"seed\": 1}, "
+      "\"sweep\": []}";
+  EXPECT_FALSE(ValidateServingBenchJson(empty_sweep).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Randomized-traffic soak: the check-serve TSan workload. Scaled up via
+// WHITENREC_SERVE_SOAK (request multiplier); small by default so the tier-1
+// run stays fast.
+// ---------------------------------------------------------------------------
+
+TEST(Soak, RandomizedTrafficWithIngestStaysWellFormed) {
+  auto rec = FreshModel();
+  seqrec::SasRecModel* model = rec->model();
+  const char* soak = std::getenv("WHITENREC_SERVE_SOAK");
+  const std::size_t multiplier =
+      soak != nullptr ? static_cast<std::size_t>(std::atoi(soak)) : 1;
+  ASSERT_GE(multiplier, 1u);
+
+  TrafficConfig traffic;
+  traffic.num_sessions = 40;
+  traffic.num_requests = 600 * multiplier;
+  traffic.zipf_exponent = 1.1;
+  traffic.seed = 31337;
+  const std::vector<TraceRequest> trace =
+      GenerateTrace(Fixture().data.dataset.sequences, traffic);
+
+  ServeConfig config;
+  config.top_k = 10;
+  config.max_cached_sessions = 8;  // force steady eviction pressure
+  config.max_batch = 32;
+  config.refit_every = 64;
+  RecommendService service(model, config);
+  const Matrix& raw = Fixture().data.dataset.text_embeddings;
+  ASSERT_TRUE(
+      service.EnableIngest(raw, WhiteningKind::kZca, /*epsilon=*/1e-5).ok());
+
+  linalg::Rng rng(8);
+  std::size_t served = 0;
+  const std::vector<std::vector<ServeRequest>> batches =
+      CutBatches(trace, /*window_ns=*/250000, config.max_batch);
+  for (std::size_t b = 0; b < batches.size(); ++b) {
+    const std::vector<ServeResponse> responses =
+        service.HandleBatch(batches[b]);
+    ASSERT_EQ(responses.size(), batches[b].size());
+    for (const ServeResponse& response : responses) {
+      ASSERT_EQ(response.topk.size(), config.top_k);
+      for (std::size_t k = 1; k < response.topk.size(); ++k) {
+        // Canonical ranking order.
+        ASSERT_TRUE(linalg::RanksBefore(response.topk[k - 1],
+                                        response.topk[k]));
+      }
+      for (const ScoredItem& hit : response.topk) {
+        ASSERT_TRUE(std::isfinite(hit.score));
+        ASSERT_LT(hit.item, service.num_items());
+      }
+    }
+    served += responses.size();
+    // Interleave catalog growth with serving.
+    if (b % 7 == 3) {
+      std::vector<double> feature = raw.Row(rng.UniformInt(raw.rows()));
+      for (double& x : feature) x += rng.Gaussian() * 0.02;
+      ASSERT_TRUE(service.IngestItem(feature).ok());
+    }
+  }
+  EXPECT_EQ(served, trace.size());
+  EXPECT_GT(service.stats().evictions, 0u);
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace whitenrec

@@ -104,7 +104,7 @@ struct FileContext {
 void CheckRawThread(const FileContext& ctx) {
   if (StartsWith(ctx.path, "src/core/parallel.")) return;
   static const std::regex kThread(
-      R"(std::(jthread|thread|async)\b|#\s*pragma\s+omp\b|\bomp_set_num_threads\b|#\s*include\s*<omp\.h>|std::execution::par)");
+      R"(std::(jthread|thread|async)\b|#\s*pragma\s+omp\b|\bomp_set_num_threads\b|#\s*include\s*<omp\.h>|std::execution::par|\bpthread_(create|t)\b)");
   for (std::size_t i = 0; i < ctx.scrubbed.size(); ++i) {
     if (std::regex_search(ctx.scrubbed[i], kThread)) {
       ctx.Report(i + 1, "raw-thread",
@@ -435,6 +435,24 @@ void CheckFullLogits(const FileContext& ctx) {
           }
         }
         pos = tok_end;
+      }
+    }
+  }
+
+  // Serving hot path (src/serve/): the micro-batch contract is O(K) state
+  // per request, so even a 1-D per-catalog buffer — a vector sized by
+  // num_items — defeats it. Elsewhere such vectors are legitimate (index
+  // maps, exclusion bitmaps in offline eval), so the tighter net applies to
+  // serve/ only.
+  if (StartsWith(ctx.path, "src/serve/")) {
+    static const std::regex kVecCatalog(
+        R"(vector\s*<[^;=]*>[^(;=]*\(\s*[^)]*\bnum_items\b|\.(resize|assign|reserve)\s*\(\s*[^)]*\bnum_items\b)");
+    for (std::size_t i = 0; i < ctx.scrubbed.size(); ++i) {
+      if (std::regex_search(ctx.scrubbed[i], kVecCatalog)) {
+        ctx.Report(i + 1, "full-logits",
+                   "per-catalog buffer in the serving path; serving must "
+                   "keep O(K) state per request and stream score tiles "
+                   "(StreamMatMulTransB + TopKSelector)");
       }
     }
   }
