@@ -12,10 +12,13 @@
 #   8. check-tsan   — parallel + determinism suites under ThreadSanitizer
 #   9. check-serve  — serving suite, randomized-traffic soak under TSan,
 #      and a schema-checked out/BENCH_serving.json from bench_serving
+#  10. check-ann    — retrieval suite (deterministic k-means + IVF), the same
+#      suite under TSan, and a schema-checked out/BENCH_ann.json from a
+#      small-catalog bench_ann run
 #
 # Usage: scripts/ci.sh [build-dir]   (default: build-ci)
 #
-# Stages 7-9 configure sibling build trees inside the build dir, so a
+# Stages 7-10 configure sibling build trees inside the build dir, so a
 # single invocation leaves everything needed to re-run any stage by hand.
 
 set -euo pipefail
@@ -25,33 +28,36 @@ BUILD_DIR="${1:-build-ci}"
 
 JOBS="$(nproc 2>/dev/null || echo 2)"
 
-echo "==> [1/9] configure + build (WHITENREC_WERROR=ON)"
+echo "==> [1/10] configure + build (WHITENREC_WERROR=ON)"
 cmake -S . -B "${BUILD_DIR}" -DWHITENREC_WERROR=ON
 cmake --build "${BUILD_DIR}" --parallel "${JOBS}"
 
-echo "==> [2/9] tier-1 tests"
+echo "==> [2/10] tier-1 tests"
 ctest --test-dir "${BUILD_DIR}" -L tier1 --output-on-failure -j "${JOBS}"
 
-echo "==> [3/9] tier-1 tests (WHITENREC_SCORING=fused)"
+echo "==> [3/10] tier-1 tests (WHITENREC_SCORING=fused)"
 WHITENREC_SCORING=fused \
   ctest --test-dir "${BUILD_DIR}" -L tier1 --output-on-failure -j "${JOBS}"
 
-echo "==> [4/9] check-lint"
+echo "==> [4/10] check-lint"
 cmake --build "${BUILD_DIR}" --target check-lint
 
-echo "==> [5/9] check-tidy"
+echo "==> [5/10] check-tidy"
 cmake --build "${BUILD_DIR}" --target check-tidy
 
-echo "==> [6/9] check-faults"
+echo "==> [6/10] check-faults"
 cmake --build "${BUILD_DIR}" --target check-faults
 
-echo "==> [7/9] check-asan"
+echo "==> [7/10] check-asan"
 cmake --build "${BUILD_DIR}" --target check-asan
 
-echo "==> [8/9] check-tsan"
+echo "==> [8/10] check-tsan"
 cmake --build "${BUILD_DIR}" --target check-tsan
 
-echo "==> [9/9] check-serve"
+echo "==> [9/10] check-serve"
 cmake --build "${BUILD_DIR}" --target check-serve
+
+echo "==> [10/10] check-ann"
+cmake --build "${BUILD_DIR}" --target check-ann
 
 echo "==> CI green"

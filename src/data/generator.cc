@@ -2,8 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
+#include <limits>
 
+#include "core/check.h"
 #include "linalg/gemm.h"
+#include "linalg/workspace.h"
 
 namespace whitenrec {
 namespace data {
@@ -86,7 +90,89 @@ std::vector<DatasetProfile> AllProfiles(double scale) {
           FoodProfile(scale)};
 }
 
+Status CheckCatalogIndexable(std::size_t num_items, std::size_t dim) {
+  const std::size_t limit =
+      static_cast<std::size_t>(std::numeric_limits<int>::max());
+  const std::size_t d = dim == 0 ? 1 : dim;
+  if (num_items > limit || num_items > limit / d) {
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "catalog of %zu items x %zu dims exceeds int indexing "
+                  "(%zu elements > %zu): shard the catalog or shrink dims",
+                  num_items, dim, num_items * d, limit);
+    return Status::InvalidArgument(buf);
+  }
+  return Status::OK();
+}
+
+linalg::Matrix GenerateItemFeatures(const ItemFeatureConfig& config) {
+  WR_CHECK_GT(config.num_items, 0u);
+  WR_CHECK_GT(config.embed_dim, 0u);
+  WR_CHECK_GT(config.latent_dim, 0u);
+  WR_CHECK_GT(config.num_categories, 0u);
+  const Status indexable =
+      CheckCatalogIndexable(config.num_items, config.embed_dim);
+  WR_CHECK_MSG(indexable.ok(), indexable.message().c_str());
+
+  const std::size_t n = config.num_items;
+  const std::size_t d = config.embed_dim;
+  const std::size_t k = config.latent_dim;
+  linalg::Rng rng(config.seed);
+
+  // Shared structure, drawn once: category centers in latent space, the
+  // latent->embed projection, and the common bias direction (the anisotropy
+  // the whitening step later removes).
+  Matrix centers = rng.GaussianMatrix(config.num_categories, k, 1.0);
+  Matrix projection =
+      rng.GaussianMatrix(k, d, 1.0 / std::sqrt(static_cast<double>(k)));
+  std::vector<double> bias(d);
+  for (std::size_t c = 0; c < d; ++c) bias[c] = rng.Gaussian();
+  const double bias_norm = linalg::Norm(bias);
+  if (bias_norm > 1e-12) {
+    for (std::size_t c = 0; c < d; ++c) bias[c] /= bias_norm;
+  }
+
+  Matrix features(n, d);
+  const std::size_t block = std::max<std::size_t>(1, config.block_rows);
+  linalg::Workspace ws;
+  for (std::size_t b0 = 0; b0 < n; b0 += block) {
+    const std::size_t bn = std::min(block, n - b0);
+    Matrix& latents = ws.Mat(0, bn, k);
+    Matrix& eps = ws.Mat(1, bn, d);
+    // All per-item randomness is drawn here in strict ascending item order —
+    // a fixed number of draws per item — so the stream position at item i
+    // (and therefore every value) is independent of block_rows.
+    for (std::size_t r = 0; r < bn; ++r) {
+      const std::size_t cat = rng.UniformInt(config.num_categories);
+      double* z = latents.RowPtr(r);
+      for (std::size_t c = 0; c < k; ++c) {
+        z[c] = config.category_spread * centers(cat, c) + rng.Gaussian();
+      }
+      double* e = eps.RowPtr(r);
+      for (std::size_t c = 0; c < d; ++c) e[c] = rng.Gaussian();
+    }
+    // Per-element canonical accumulation makes the block GEMM bitwise equal
+    // to the corresponding rows of the full-catalog product.
+    Matrix& projected = ws.MatRef(2);
+    linalg::MatMulInto(latents, projection, &projected);
+    for (std::size_t r = 0; r < bn; ++r) {
+      double* out = features.RowPtr(b0 + r);
+      const double* p = projected.RowPtr(r);
+      const double* e = eps.RowPtr(r);
+      for (std::size_t c = 0; c < d; ++c) {
+        out[c] = p[c] + config.anisotropy * bias[c] + config.noise * e[c];
+      }
+    }
+  }
+  return features;
+}
+
 GeneratedData GenerateDataset(const DatasetProfile& profile) {
+  {
+    const Status indexable = CheckCatalogIndexable(profile.catalog.num_items,
+                                                   profile.plm.embed_dim);
+    WR_CHECK_MSG(indexable.ok(), indexable.message().c_str());
+  }
   linalg::Rng rng(profile.seed);
   GeneratedData out;
   out.catalog = text::GenerateCatalog(profile.catalog, &rng);

@@ -1,10 +1,13 @@
 #ifndef WHITENREC_DATA_GENERATOR_H_
 #define WHITENREC_DATA_GENERATOR_H_
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
+#include "core/status.h"
 #include "data/dataset.h"
+#include "linalg/matrix.h"
 #include "linalg/rng.h"
 #include "text/catalog.h"
 #include "text/sim_plm.h"
@@ -58,6 +61,46 @@ struct GeneratedData {
 // Generates catalog, text embeddings, and user sequences, then applies the
 // five-core filter. Deterministic given profile.seed.
 GeneratedData GenerateDataset(const DatasetProfile& profile);
+
+// --- Million-item catalogs (retrieval benches) ------------------------------
+
+// Guards index arithmetic before a large catalog is materialized: OK when
+// num_items * dim stays within int indexing (the narrowest index type any
+// kernel downcasts to), InvalidArgument with a message naming both sizes
+// otherwise. GenerateItemFeatures and GenerateDataset fail fast on it.
+Status CheckCatalogIndexable(std::size_t num_items, std::size_t dim);
+
+// Lightweight synthetic item text-embeddings at million-item scale, for the
+// retrieval/ANN benches where the full SimPLM pipeline (per-item token
+// draws, degeneration operator, corpus calibration) would dominate the run.
+// The generative model keeps the geometry the paper studies: a low-rank
+// category/latent structure projected to embed_dim, a common bias direction
+// (anisotropy — what whitening removes), and per-dimension residual noise.
+struct ItemFeatureConfig {
+  std::size_t num_items = 0;      // required: >= 1
+  std::size_t embed_dim = 32;     // text-embedding dimension
+  std::size_t latent_dim = 8;     // low-rank semantic structure
+  std::size_t num_categories = 64;
+  // Scale of the category centers relative to the unit within-category
+  // scatter. 1.0 gives diffuse, heavily overlapping topics; >= ~3 gives the
+  // well-separated topical clusters real text-embedding catalogs exhibit
+  // (what IVF-style indexes exploit).
+  double category_spread = 1.0;
+  double anisotropy = 4.0;        // common-direction bias strength
+  double noise = 0.25;            // residual noise stddev
+  // Streaming block height: per-item draws and the latent->embed projection
+  // run block-by-block through a Workspace arena, so temporaries stay
+  // O(block_rows * embed_dim) instead of a second full-catalog matrix.
+  std::size_t block_rows = 8192;
+  std::uint64_t seed = 7;
+};
+
+// Deterministic given config.seed, and bitwise invariant to block_rows: all
+// per-item randomness is drawn in strict ascending item order before each
+// block's projection GEMM, whose per-element canonical accumulation is
+// partition-invariant. Aborts (after CheckCatalogIndexable) on catalogs that
+// would overflow int indexing.
+linalg::Matrix GenerateItemFeatures(const ItemFeatureConfig& config);
 
 }  // namespace data
 }  // namespace whitenrec

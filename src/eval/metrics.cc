@@ -112,5 +112,26 @@ std::vector<char> PopularityHeadSet(const std::vector<std::size_t>& popularity,
   return head;
 }
 
+double RecallVsReference(const std::vector<std::size_t>& candidate,
+                         const std::vector<std::size_t>& reference) {
+  if (reference.empty()) return 1.0;
+  std::vector<std::size_t> cand = candidate;
+  std::sort(cand.begin(), cand.end());
+  std::size_t hits = 0;
+  for (std::size_t item : reference) {
+    if (std::binary_search(cand.begin(), cand.end(), item)) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(reference.size());
+}
+
+double RecallVsReference(const std::vector<linalg::ScoredItem>& candidate,
+                         const std::vector<linalg::ScoredItem>& reference) {
+  std::vector<std::size_t> cand(candidate.size());
+  std::vector<std::size_t> ref(reference.size());
+  for (std::size_t i = 0; i < candidate.size(); ++i) cand[i] = candidate[i].item;
+  for (std::size_t i = 0; i < reference.size(); ++i) ref[i] = reference[i].item;
+  return RecallVsReference(cand, ref);
+}
+
 }  // namespace eval
 }  // namespace whitenrec

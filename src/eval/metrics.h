@@ -6,6 +6,7 @@
 
 #include "core/check.h"
 #include "linalg/rng.h"
+#include "linalg/topk.h"
 
 namespace whitenrec {
 namespace eval {
@@ -80,6 +81,19 @@ std::size_t SampledRankOfTarget(const std::vector<double>& scores,
                                 std::size_t target,
                                 const std::vector<char>& excluded,
                                 std::size_t num_negatives, linalg::Rng* rng);
+
+// Recall@K of a candidate top-K list against a reference top-K list: the
+// fraction of reference items also present in the candidate list (set
+// overlap over |reference|). Order and scores are ignored — both lists are
+// selections under the canonical total order (linalg::RanksBefore), so set
+// overlap is the right notion of agreement: an ANN list is "correct" exactly
+// when it recovered the reference set. An empty reference scores 1.0 (there
+// was nothing to recover). Used by bench_ann and the retrieval tests.
+double RecallVsReference(const std::vector<std::size_t>& candidate,
+                         const std::vector<std::size_t>& reference);
+// Convenience overload over scored lists (e.g. TopKSelector output).
+double RecallVsReference(const std::vector<linalg::ScoredItem>& candidate,
+                         const std::vector<linalg::ScoredItem>& reference);
 
 }  // namespace eval
 }  // namespace whitenrec

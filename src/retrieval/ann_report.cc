@@ -1,0 +1,134 @@
+#include "retrieval/ann_report.h"
+
+#include <cstdarg>
+#include <cstdio>
+
+#include "core/json.h"
+
+namespace whitenrec {
+namespace retrieval {
+namespace {
+
+void AppendF(std::string* out, const char* fmt, ...) {
+  char buf[256];
+  va_list ap;
+  va_start(ap, fmt);
+  std::vsnprintf(buf, sizeof(buf), fmt, ap);
+  va_end(ap);
+  out->append(buf);
+}
+
+}  // namespace
+
+std::string AnnBenchJson(const AnnBenchResult& result) {
+  std::string out;
+  out += "{\n";
+  out += "  \"bench\": \"ann\",\n";
+  AppendF(&out, "  \"top_k\": %zu,\n", result.top_k);
+  AppendF(&out, "  \"dim\": %zu,\n", result.dim);
+  AppendF(&out, "  \"queries\": %zu,\n", result.queries);
+  out += "  \"sweep\": [\n";
+  for (std::size_t s = 0; s < result.sweep.size(); ++s) {
+    const AnnCatalogSweep& sweep = result.sweep[s];
+    AppendF(&out,
+            "    {\"catalog_items\": %zu, \"clusters\": %zu, "
+            "\"build_seconds\": %.6g, \"exact_qps\": %.6g, \"points\": [\n",
+            sweep.catalog_items, sweep.clusters, sweep.build_seconds,
+            sweep.exact_qps);
+    for (std::size_t p = 0; p < sweep.points.size(); ++p) {
+      const AnnProbePoint& point = sweep.points[p];
+      AppendF(&out,
+              "      {\"nprobe\": %zu, \"recall_at_k\": %.6g, "
+              "\"ivf_qps\": %.6g, \"speedup_vs_exact\": %.6g, "
+              "\"mean_candidates\": %.6g}%s\n",
+              point.nprobe, point.recall_at_k, point.ivf_qps,
+              point.speedup_vs_exact, point.mean_candidates,
+              p + 1 < sweep.points.size() ? "," : "");
+    }
+    AppendF(&out, "    ]}%s\n", s + 1 < result.sweep.size() ? "," : "");
+  }
+  out += "  ]\n";
+  out += "}\n";
+  return out;
+}
+
+Status ValidateAnnBenchJson(const std::string& text) {
+  using core::JsonValue;
+  JsonValue root;
+  Status parsed = core::ParseJson(text, &root);
+  if (!parsed.ok()) return parsed;
+  if (root.kind != JsonValue::Kind::kObject) {
+    return Status::InvalidArgument("top level must be an object");
+  }
+  const auto bench = root.object.find("bench");
+  if (bench == root.object.end() ||
+      bench->second.kind != JsonValue::Kind::kString ||
+      bench->second.str != "ann") {
+    return Status::InvalidArgument("\"bench\" must be the string \"ann\"");
+  }
+  for (const char* key : {"top_k", "dim", "queries"}) {
+    Status s = core::RequireJsonNumber(root, key, nullptr);
+    if (!s.ok()) return s;
+  }
+  const auto sweep = root.object.find("sweep");
+  if (sweep == root.object.end() ||
+      sweep->second.kind != JsonValue::Kind::kArray) {
+    return Status::InvalidArgument("missing \"sweep\" array");
+  }
+  if (sweep->second.array.empty()) {
+    return Status::InvalidArgument("\"sweep\" must be non-empty");
+  }
+  for (const JsonValue& entry : sweep->second.array) {
+    if (entry.kind != JsonValue::Kind::kObject) {
+      return Status::InvalidArgument("sweep entries must be objects");
+    }
+    for (const char* key :
+         {"catalog_items", "clusters", "build_seconds", "exact_qps"}) {
+      Status s = core::RequireJsonNumber(entry, key, nullptr);
+      if (!s.ok()) return s;
+    }
+    const auto points = entry.object.find("points");
+    if (points == entry.object.end() ||
+        points->second.kind != JsonValue::Kind::kArray ||
+        points->second.array.empty()) {
+      return Status::InvalidArgument(
+          "each sweep entry needs a non-empty \"points\" array");
+    }
+    double prev_nprobe = 0.0;
+    double prev_recall = -1.0;
+    for (const JsonValue& point : points->second.array) {
+      if (point.kind != JsonValue::Kind::kObject) {
+        return Status::InvalidArgument("points entries must be objects");
+      }
+      for (const char* key :
+           {"ivf_qps", "speedup_vs_exact", "mean_candidates"}) {
+        Status s = core::RequireJsonNumber(point, key, nullptr);
+        if (!s.ok()) return s;
+      }
+      double nprobe = 0.0;
+      double recall = 0.0;
+      Status s = core::RequireJsonNumber(point, "nprobe", &nprobe);
+      if (s.ok()) s = core::RequireJsonNumber(point, "recall_at_k", &recall);
+      if (!s.ok()) return s;
+      if (recall < 0.0 || recall > 1.0) {
+        return Status::InvalidArgument("recall_at_k must be in [0, 1]");
+      }
+      if (nprobe <= prev_nprobe) {
+        return Status::InvalidArgument(
+            "nprobe must be strictly increasing within a sweep entry");
+      }
+      // Recall-vs-exact is provably monotone in nprobe (nested candidate
+      // sets, see retrieval/ivf_index.h); a dip means a bug, not noise.
+      if (recall < prev_recall) {
+        return Status::InvalidArgument(
+            "recall_at_k must be non-decreasing in nprobe");
+      }
+      prev_nprobe = nprobe;
+      prev_recall = recall;
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace retrieval
+}  // namespace whitenrec

@@ -1,0 +1,91 @@
+#include "retrieval/ivf_index.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "core/check.h"
+#include "linalg/gemm.h"
+
+namespace whitenrec {
+namespace retrieval {
+
+using linalg::Matrix;
+
+IvfIndex IvfIndex::Build(const Matrix& items, const IvfBuildConfig& config) {
+  const std::size_t num_items = items.rows();
+  WR_CHECK_GT(num_items, 0u);
+
+  std::size_t clusters = config.clusters;
+  if (clusters == 0) {
+    // Auto: ~sqrt(n) balances the O(clusters*d) probe scan against the
+    // O((n/clusters)*nprobe*d) rerank.
+    clusters = static_cast<std::size_t>(
+        std::ceil(std::sqrt(static_cast<double>(num_items))));
+  }
+  clusters = std::max<std::size_t>(1, std::min(clusters, num_items));
+
+  KMeansConfig kconfig;
+  kconfig.clusters = clusters;
+  kconfig.iterations = config.iterations;
+  kconfig.max_train_rows = config.max_train_rows;
+  kconfig.seed = config.seed;
+  KMeansResult km = FitKMeans(items, kconfig);
+
+  IvfIndex index;
+  index.num_items_ = num_items;
+  index.centroids_ = std::move(km.centroids);
+  index.members_.assign(index.centroids_.rows(), {});
+  // Sizing pass so the member lists allocate exactly once. km.assignment is
+  // the builder's per-catalog buffer (sanctioned by the scoped full-logits
+  // allow inside the k-means builder); nothing per-catalog survives into the
+  // query path.
+  std::vector<std::size_t> counts(index.centroids_.rows(), 0);
+  for (std::size_t i = 0; i < num_items; ++i) ++counts[km.assignment[i]];
+  for (std::size_t c = 0; c < index.members_.size(); ++c) {
+    index.members_[c].reserve(counts[c]);
+  }
+  // Ascending item-id order per cluster falls out of the ascending scan.
+  for (std::size_t i = 0; i < num_items; ++i) {
+    index.members_[km.assignment[i]].push_back(i);
+  }
+  return index;
+}
+
+void IvfIndex::Search(const Matrix& queries, std::size_t qi,
+                      const Matrix& items, std::size_t nprobe,
+                      const std::vector<std::size_t>& sorted_exclusions,
+                      linalg::TopKSelector* selector) const {
+  WR_CHECK(selector != nullptr);
+  WR_CHECK_EQ(items.rows(), num_items_);
+  WR_CHECK_EQ(queries.cols(), centroids_.cols());
+  const std::size_t probes =
+      std::max<std::size_t>(1, std::min(nprobe, clusters()));
+
+  // Probe selection: top-`probes` centroids by inner product under the
+  // canonical total order. O(clusters * d) work, O(probes) state.
+  linalg::TopKSelector probe_selector(probes);
+  for (std::size_t c = 0; c < centroids_.rows(); ++c) {
+    probe_selector.Push(c, linalg::RowDotTransB(queries, qi, centroids_, c));
+  }
+  const std::vector<linalg::ScoredItem> probed =
+      probe_selector.SortedDescending();
+
+  // Exact rerank of the gathered candidates. RowDotTransB reproduces the
+  // exact path's GEMM scores bit-for-bit, and the selector's total order is
+  // feed-order independent, so nprobe == clusters recovers exact search
+  // exactly — ties included.
+  const std::vector<std::size_t>& excl = sorted_exclusions;
+  for (const linalg::ScoredItem& probe : probed) {
+    for (std::size_t item : members_[probe.item]) {
+      if (!excl.empty() &&
+          std::binary_search(excl.begin(), excl.end(), item)) {
+        continue;
+      }
+      selector->Push(item, linalg::RowDotTransB(queries, qi, items, item));
+    }
+  }
+}
+
+}  // namespace retrieval
+}  // namespace whitenrec

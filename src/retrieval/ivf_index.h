@@ -1,0 +1,79 @@
+#ifndef WHITENREC_RETRIEVAL_IVF_INDEX_H_
+#define WHITENREC_RETRIEVAL_IVF_INDEX_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "linalg/matrix.h"
+#include "linalg/topk.h"
+#include "retrieval/kmeans.h"
+
+namespace whitenrec {
+namespace retrieval {
+
+// Inverted-file (IVF) index over the whitened item table: deterministic
+// k-means partitions the catalog into clusters; a query probes the nprobe
+// centroids with the highest inner product, then exact-reranks the gathered
+// candidates with the canonical TopKSelector total order (score desc, id
+// asc).
+//
+// Why this is deterministic AND monotone (DESIGN.md §10):
+//  * The probe set is a top-nprobe selection over centroid scores under the
+//    strict total order, so it is unique — and nested: the top-(P+1) probe
+//    set contains the top-P set. Candidate sets therefore grow with nprobe,
+//    which makes recall@K-vs-exact monotone non-decreasing in nprobe (any
+//    exact-top-K item beats all but < K items of the FULL catalog, so once
+//    gathered it can never be displaced from the candidate top-K).
+//  * Candidate scores come from linalg::RowDotTransB — bitwise identical to
+//    the corresponding streamed/materialized GEMM elements — so at
+//    nprobe == clusters the selected list equals exact search exactly,
+//    including ties.
+//  * Cluster member lists are stored in ascending item id; the selector's
+//    total order makes the selected SET feed-order independent anyway.
+struct IvfBuildConfig {
+  std::size_t clusters = 0;  // 0 = auto: ~sqrt(num_items), at least 1
+  std::size_t iterations = 8;
+  std::size_t max_train_rows = 65536;
+  std::uint64_t seed = 0x5eedc1u;
+};
+
+class IvfIndex {
+ public:
+  IvfIndex() = default;
+
+  // Builds the index from the (num_items, d) item table. The table is read
+  // during Build and again during Search; callers pass the same (content-
+  // identical) table to Search — the index stores only centroids and id
+  // lists, never a copy of the embeddings.
+  static IvfIndex Build(const linalg::Matrix& items,
+                        const IvfBuildConfig& config);
+
+  std::size_t clusters() const { return centroids_.rows(); }
+  std::size_t num_items() const { return num_items_; }
+  const linalg::Matrix& centroids() const { return centroids_; }
+  const std::vector<std::size_t>& cluster_members(std::size_t c) const {
+    return members_[c];
+  }
+
+  // Scores row `qi` of `queries` against the probed clusters of `items` and
+  // pushes every candidate into *selector (already sized to the caller's K).
+  // `sorted_exclusions` (ascending, possibly empty) is skipped exactly like
+  // the exact path skips it. nprobe is clamped to clusters(); nprobe == 0 is
+  // treated as 1. Work is O(clusters * d + candidates * d); no O(num_items)
+  // buffer is touched.
+  void Search(const linalg::Matrix& queries, std::size_t qi,
+              const linalg::Matrix& items, std::size_t nprobe,
+              const std::vector<std::size_t>& sorted_exclusions,
+              linalg::TopKSelector* selector) const;
+
+ private:
+  std::size_t num_items_ = 0;
+  linalg::Matrix centroids_;                       // (clusters, d)
+  std::vector<std::vector<std::size_t>> members_;  // ascending ids per cluster
+};
+
+}  // namespace retrieval
+}  // namespace whitenrec
+
+#endif  // WHITENREC_RETRIEVAL_IVF_INDEX_H_

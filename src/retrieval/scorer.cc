@@ -1,0 +1,161 @@
+#include "retrieval/scorer.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "core/check.h"
+#include "core/parallel.h"
+#include "linalg/gemm.h"
+#include "retrieval/ivf_index.h"
+
+namespace whitenrec {
+namespace retrieval {
+namespace {
+
+using linalg::Matrix;
+
+// Strict env parsing, same contract as the WHITENREC_GEMM family.
+std::size_t EnvSize(const char* name, std::size_t fallback) {
+  const char* s = std::getenv(name);
+  if (s == nullptr || *s == '\0') return fallback;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(s, &end, 10);
+  if (end == s || *end != '\0') {
+    std::fprintf(stderr, "%s: expected a non-negative integer, got \"%s\"\n",
+                 name, s);
+    std::abort();
+  }
+  return static_cast<std::size_t>(v);
+}
+
+// Exact fused scoring: the streamed GEMM + per-row bounded selector pass,
+// verbatim the pre-Scorer serving/eval epilogue so kExact stays bitwise
+// identical to the old inline code.
+class ExactScorer final : public Scorer {
+ public:
+  void Rebuild(const Matrix& items) override {
+    items_ = &items;
+    num_items_ = items.rows();
+  }
+
+  void TopKBatch(
+      const Matrix& users,
+      const std::vector<std::vector<std::size_t>>& exclusions,
+      std::vector<linalg::TopKSelector>* selectors) const override {
+    WR_CHECK(items_ != nullptr);
+    WR_CHECK_EQ(selectors->size(), users.rows());
+    WR_CHECK(exclusions.empty() || exclusions.size() == users.rows());
+    static const std::vector<std::size_t> kNoExclusions;
+    linalg::StreamMatMulTransB(
+        users, *items_,
+        [&](std::size_t i0, std::size_t i1, std::size_t j0, std::size_t jn,
+            const Matrix& panel) {
+          for (std::size_t r = i0; r < i1; ++r) {
+            const double* prow = panel.RowPtr(r);
+            const std::vector<std::size_t>& excl =
+                exclusions.empty() ? kNoExclusions : exclusions[r];
+            linalg::TopKSelector& sel = (*selectors)[r];
+            for (std::size_t c = 0; c < jn; ++c) {
+              const std::size_t item = j0 + c;
+              if (!excl.empty() &&
+                  std::binary_search(excl.begin(), excl.end(), item)) {
+                continue;
+              }
+              sel.Push(item, prow[c]);
+            }
+          }
+        });
+  }
+
+  ScorerKind kind() const override { return ScorerKind::kExact; }
+
+ private:
+  const Matrix* items_ = nullptr;  // borrowed
+};
+
+// Sublinear IVF scoring: rebuilds the deterministic index on Rebuild, then
+// probes + exact-reranks per query row. Rows are independent pure functions
+// of the installed index, so the per-row ParallelFor cannot change results.
+class IvfScorer final : public Scorer {
+ public:
+  explicit IvfScorer(const ScorerConfig& config) : config_(config) {}
+
+  void Rebuild(const Matrix& items) override {
+    items_ = &items;
+    num_items_ = items.rows();
+    IvfBuildConfig build;
+    build.clusters = config_.clusters;
+    build.iterations = config_.iterations;
+    build.max_train_rows = config_.max_train_rows;
+    build.seed = config_.seed;
+    index_ = IvfIndex::Build(items, build);
+  }
+
+  void TopKBatch(
+      const Matrix& users,
+      const std::vector<std::vector<std::size_t>>& exclusions,
+      std::vector<linalg::TopKSelector>* selectors) const override {
+    WR_CHECK(items_ != nullptr);
+    WR_CHECK_EQ(selectors->size(), users.rows());
+    WR_CHECK(exclusions.empty() || exclusions.size() == users.rows());
+    static const std::vector<std::size_t> kNoExclusions;
+    core::ParallelFor(0, users.rows(), 1, [&](std::size_t r0, std::size_t r1) {
+      for (std::size_t r = r0; r < r1; ++r) {
+        const std::vector<std::size_t>& excl =
+            exclusions.empty() ? kNoExclusions : exclusions[r];
+        index_.Search(users, r, *items_, config_.nprobe, excl,
+                      &(*selectors)[r]);
+      }
+    });
+  }
+
+  ScorerKind kind() const override { return ScorerKind::kIvf; }
+
+ private:
+  ScorerConfig config_;
+  const Matrix* items_ = nullptr;  // borrowed
+  IvfIndex index_;
+};
+
+}  // namespace
+
+const char* ScorerKindName(ScorerKind kind) {
+  return kind == ScorerKind::kExact ? "exact" : "ivf";
+}
+
+ScorerConfig ScorerConfig::FromEnv() {
+  ScorerConfig config;
+  const char* kind = std::getenv("WHITENREC_SCORER");
+  if (kind != nullptr && *kind != '\0') {
+    if (std::strcmp(kind, "exact") == 0) {
+      config.kind = ScorerKind::kExact;
+    } else if (std::strcmp(kind, "ivf") == 0) {
+      config.kind = ScorerKind::kIvf;
+    } else {
+      std::fprintf(stderr,
+                   "WHITENREC_SCORER: expected \"exact\" or \"ivf\", got "
+                   "\"%s\"\n",
+                   kind);
+      std::abort();
+    }
+  }
+  config.clusters = EnvSize("WHITENREC_IVF_CLUSTERS", config.clusters);
+  config.nprobe = EnvSize("WHITENREC_IVF_NPROBE", config.nprobe);
+  if (config.kind == ScorerKind::kIvf && config.nprobe == 0) {
+    std::fprintf(stderr, "WHITENREC_IVF_NPROBE: must be >= 1\n");
+    std::abort();
+  }
+  return config;
+}
+
+std::unique_ptr<Scorer> MakeScorer(const ScorerConfig& config) {
+  if (config.kind == ScorerKind::kIvf) {
+    return std::make_unique<IvfScorer>(config);
+  }
+  return std::make_unique<ExactScorer>();
+}
+
+}  // namespace retrieval
+}  // namespace whitenrec

@@ -13,6 +13,7 @@
 #include "eval/metrics.h"
 #include "linalg/gemm.h"
 #include "linalg/topk.h"
+#include "retrieval/scorer.h"
 
 namespace whitenrec {
 namespace seqrec {
@@ -424,38 +425,46 @@ std::vector<std::vector<std::size_t>> TopKRecommendations(
   out.reserve(instances.size());
   const std::vector<data::Batch> batches =
       data::MakeEvalBatches(instances, max_len, batch_size);
+  // Factorized batches route through the Scorer seam (retrieval/scorer.h):
+  // WHITENREC_SCORING=fused selects the exact streaming scorer (identical
+  // lists to the materialized selection below — same strict total order),
+  // and WHITENREC_SCORER=ivf swaps in the sublinear IVF index regardless of
+  // the scoring mode. The scorer indexes the item table once: eval re-encodes
+  // a bitwise-identical table per batch into the same Matrix object, so the
+  // borrowed table stays valid and current across batches.
+  const retrieval::ScorerConfig scorer_config =
+      retrieval::ScorerConfig::FromEnv();
   const bool fused =
       linalg::CurrentScoringMode() == linalg::ScoringMode::kFused;
+  const bool want_scorer =
+      fused || scorer_config.kind == retrieval::ScorerKind::kIvf;
+  std::unique_ptr<retrieval::Scorer> scorer;
   Matrix users;
   Matrix item_table;
   std::size_t inst_base = 0;
   for (const data::Batch& batch : batches) {
     const std::size_t rows = batch.batch_size;
     std::vector<std::vector<std::size_t>> lists(rows);
-    if (fused && recommender->ScoreFactors(batch, &users, &item_table)) {
-      // Streaming: one bounded selector per user, fed score panels from the
-      // fused GEMM epilogue. O(k) ranking state per row, never a full score
-      // row. The selector's strict total order (score desc, item id asc)
-      // makes the list identical to the materialized selection below.
-      SortedExclusions excl;
-      excl.Build(instances, inst_base, rows, train_sequences);
+    if (want_scorer &&
+        recommender->ScoreFactors(batch, &users, &item_table)) {
+      // One bounded selector per user: O(k) ranking state per row, never a
+      // full score row, for the exact and the IVF backend alike.
+      std::vector<std::vector<std::size_t>> exclusions(rows);
+      for (std::size_t b = 0; b < rows; ++b) {
+        const data::EvalInstance& inst = instances[inst_base + b];
+        if (inst.user < train_sequences.size()) {
+          exclusions[b] = train_sequences[inst.user];
+          std::sort(exclusions[b].begin(), exclusions[b].end());
+        }
+      }
       std::vector<linalg::TopKSelector> selectors;
       selectors.reserve(rows);
       for (std::size_t b = 0; b < rows; ++b) selectors.emplace_back(k);
-      linalg::StreamMatMulTransB(
-          users, item_table,
-          [&](std::size_t i0, std::size_t i1, std::size_t j0, std::size_t jn,
-              const Matrix& panel) {
-            for (std::size_t b = i0; b < i1; ++b) {
-              const double* prow = panel.RowPtr(b);
-              linalg::TopKSelector& sel = selectors[b];
-              for (std::size_t c = 0; c < jn; ++c) {
-                const std::size_t item = j0 + c;
-                if (excl.IsExcluded(b, item)) continue;
-                sel.Push(item, prow[c]);
-              }
-            }
-          });
+      if (scorer == nullptr) {
+        scorer = retrieval::MakeScorer(scorer_config);
+        scorer->Rebuild(item_table);
+      }
+      scorer->TopKBatch(users, exclusions, &selectors);
       for (std::size_t b = 0; b < rows; ++b) {
         const std::vector<linalg::ScoredItem> top =
             selectors[b].SortedDescending();

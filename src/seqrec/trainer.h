@@ -145,11 +145,12 @@ class SasRecRecommender : public Recommender {
 
 // Top-K recommendation lists: for each instance, the K best-scoring items
 // (excluding the user's training items), ordered by score descending with
-// ties broken toward the smaller item id. Under WHITENREC_SCORING=fused and
-// a factorizable recommender this runs through the streaming bounded top-K
-// selector (O(K) state per user, score panels consumed tile-by-tile); the
-// materialized path selects from full score rows. Both paths return
-// IDENTICAL lists (tests/topk_test.cc).
+// ties broken toward the smaller item id. Factorizable recommenders route
+// through the retrieval::Scorer seam: WHITENREC_SCORING=fused selects the
+// exact streaming bounded top-K selector (O(K) state per user, score panels
+// consumed tile-by-tile) and returns lists IDENTICAL to the materialized
+// full-score-row path (tests/topk_test.cc); WHITENREC_SCORER=ivf swaps in
+// the sublinear IVF index (recall-vs-exact reported by bench_ann).
 std::vector<std::vector<std::size_t>> TopKRecommendations(
     Recommender* recommender, const std::vector<data::EvalInstance>& instances,
     const std::vector<std::vector<std::size_t>>& train_sequences,

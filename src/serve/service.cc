@@ -49,6 +49,7 @@ ServeConfig ServeConfig::FromEnv() {
       EnvU64("WHITENREC_SERVE_WINDOW_NS", config.batch_window_ns);
   config.refit_every = EnvSize("WHITENREC_SERVE_REFIT_EVERY",
                                config.refit_every);
+  config.scorer = retrieval::ScorerConfig::FromEnv();
   return config;
 }
 
@@ -60,6 +61,9 @@ RecommendService::RecommendService(seqrec::SasRecModel* model,
   WR_CHECK(config.max_batch > 0);
   WR_CHECK(config.refit_every > 0);
   item_table_ = model_->EncodeItems(/*train=*/false);
+  scorer_ = retrieval::MakeScorer(config.scorer);
+  scorer_->Rebuild(item_table_);
+  ++stats_.index_rebuilds;
 }
 
 bool RecommendService::AppendAndEncode(Session* session, std::size_t item,
@@ -208,32 +212,16 @@ void RecommendService::HandleSlice(const std::vector<ServeRequest>& requests,
     session.last_use = ++request_seq_;
   }
 
-  // Fused scoring: one streamed GEMM over the whole micro-batch with an
-  // O(K)-state top-K epilogue per request — the (n, num_items) score matrix
-  // never exists. Selector state is per-row and the epilogue sees disjoint
-  // row ranges, so the concurrent panel callbacks are race-free; the
-  // selected set is feed-order independent (strict total order).
+  // Scoring goes through the Scorer seam (retrieval/scorer.h): exact is the
+  // fused streamed-GEMM + O(K) selector pass (the pre-Scorer code verbatim,
+  // so default responses are bitwise unchanged); ivf probes the deterministic
+  // IVF index and exact-reranks candidates with the same selectors. Either
+  // way the (n, num_items) score matrix never exists and the selected set is
+  // feed-order independent (strict total order).
   std::vector<linalg::TopKSelector> selectors;
   selectors.reserve(n);
   for (std::size_t r = 0; r < n; ++r) selectors.emplace_back(config_.top_k);
-  linalg::StreamMatMulTransB(
-      users, item_table_,
-      [&](std::size_t i0, std::size_t i1, std::size_t j0, std::size_t jn,
-          const Matrix& panel) {
-        for (std::size_t r = i0; r < i1; ++r) {
-          const double* prow = panel.RowPtr(r);
-          const std::vector<std::size_t>& excl = exclusions[r];
-          linalg::TopKSelector& sel = selectors[r];
-          for (std::size_t c = 0; c < jn; ++c) {
-            const std::size_t item = j0 + c;
-            if (!excl.empty() &&
-                std::binary_search(excl.begin(), excl.end(), item)) {
-              continue;
-            }
-            sel.Push(item, prow[c]);
-          }
-        }
-      });
+  scorer_->TopKBatch(users, exclusions, &selectors);
 
   for (std::size_t r = 0; r < n; ++r) {
     ServeResponse& response = (*responses)[begin + r];
@@ -337,10 +325,15 @@ Status RecommendService::Refit() {
   Matrix whitened = ApplyWhitening(fitted.value(), raw_features_);
   Status replaced = encoder->ReplaceFeatures(std::move(whitened));
   if (!replaced.ok()) return replaced;
-  // The whole item table changed: rebuild it and invalidate every cached
-  // session state. Windows are kept — the next request per session replays
-  // them against the new table (counted as a recompute, not an error).
+  // The whole item table changed: rebuild it, re-index it, and invalidate
+  // every cached session state. Windows are kept — the next request per
+  // session replays them against the new table (counted as a recompute, not
+  // an error). The scorer rebuild runs on every refit, so the index cadence
+  // mirrors the whitening refit cadence and responses stay a pure function
+  // of the ingest history.
   item_table_ = model_->EncodeItems(/*train=*/false);
+  scorer_->Rebuild(item_table_);
+  ++stats_.index_rebuilds;
   for (auto& entry : sessions_) {
     if (entry.second.has_state) {
       entry.second.state.Clear();

@@ -3,6 +3,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <unordered_map>
 #include <vector>
 
@@ -11,6 +12,7 @@
 #include "core/whitening.h"
 #include "linalg/matrix.h"
 #include "linalg/topk.h"
+#include "retrieval/scorer.h"
 #include "seqrec/model.h"
 
 namespace whitenrec {
@@ -23,6 +25,9 @@ namespace serve {
 //   WHITENREC_SERVE_MAX_BATCH       max_batch
 //   WHITENREC_SERVE_CACHE_SESSIONS  max_cached_sessions
 //   WHITENREC_SERVE_REFIT_EVERY     refit_every
+// plus the retrieval knobs (retrieval/scorer.h): WHITENREC_SCORER selects
+// exact fused scoring or the sublinear IVF index, WHITENREC_IVF_CLUSTERS /
+// WHITENREC_IVF_NPROBE size it.
 // Malformed values abort with a message naming the variable, same contract
 // as the WHITENREC_GEMM/WHITENREC_SCORING knobs.
 struct ServeConfig {
@@ -42,6 +47,10 @@ struct ServeConfig {
   std::size_t refit_every = 32;
   // Drop items already in the session's window from the recommendations.
   bool exclude_history = true;
+  // Top-K scoring backend (exact fused | IVF) and its index knobs. The IVF
+  // index is rebuilt deterministically on every ingest refit, so the scorer
+  // always indexes the table the model scores against.
+  retrieval::ScorerConfig scorer;
 
   static ServeConfig Defaults() { return ServeConfig(); }
   static ServeConfig FromEnv();
@@ -75,6 +84,7 @@ struct ServeStats {
   std::size_t evictions = 0;    // session states dropped by the LRU cap
   std::size_t ingested = 0;     // items accepted by IngestItem
   std::size_t refits = 0;       // whitening refits + item-table rebuilds
+  std::size_t index_rebuilds = 0;  // scorer Rebuild calls (construction+refit)
 };
 
 // Online recommendation core: holds a trained SASRec model plus its encoded
@@ -165,6 +175,9 @@ class RecommendService {
   seqrec::SasRecModel* model_;  // borrowed
   ServeConfig config_;
   linalg::Matrix item_table_;  // (num_items, d) from EncodeItems(false)
+  // Top-K backend over item_table_ (borrowed by the scorer; Refit() rebuilds
+  // the table and immediately re-calls scorer_->Rebuild on it).
+  std::unique_ptr<retrieval::Scorer> scorer_;
 
   std::unordered_map<std::uint64_t, Session> sessions_;
   std::size_t stateful_sessions_ = 0;

@@ -335,6 +335,42 @@ TEST(FullLogitsTest, AllowAnnotationSilences) {
   EXPECT_TRUE(LintFile("src/seqrec/scorer.cc", src).empty());
 }
 
+TEST(FullLogitsTest, CatchesPerCatalogVectorInRetrieval) {
+  // src/retrieval/ query paths must be O(clusters + candidates): the tight
+  // per-catalog-vector net that guards serve/ applies there too.
+  const std::string decl = "  std::vector<double> dist(num_items);\n";
+  const std::string assign = "  assignment.assign(num_items, 0);\n";
+  for (const std::string& src : {decl, assign}) {
+    EXPECT_TRUE(
+        HasRule(LintFile("src/retrieval/ivf_index.cc", src), "full-logits"))
+        << src;
+    EXPECT_FALSE(
+        HasRule(LintFile("src/eval/metrics.cc", src), "full-logits"))
+        << src;
+  }
+  // O(clusters)/O(K) state stays clean.
+  const std::string ok =
+      "  std::vector<std::size_t> counts(clusters, 0);\n"
+      "  linalg::TopKSelector probe_selector(probes);\n";
+  EXPECT_FALSE(
+      HasRule(LintFile("src/retrieval/ivf_index.cc", ok), "full-logits"));
+}
+
+TEST(FullLogitsTest, RetrievalIndexBuilderAllowIsScoped) {
+  // The index builder legitimately labels every item once; the scoped allow
+  // silences exactly that line and nothing else in the file.
+  const std::string src =
+      "void Build(std::size_t num_items) {\n"
+      "  // whitenrec-lint: allow(full-logits)\n"
+      "  assignment.assign(num_items, 0);\n"
+      "  std::vector<double> dist(num_items);\n"
+      "}\n";
+  const auto findings =
+      FindingsFor("src/retrieval/kmeans.cc", src, "full-logits");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].line, 4u);
+}
+
 // ---------------------------------------------------------------------------
 // stdout-in-library
 // ---------------------------------------------------------------------------

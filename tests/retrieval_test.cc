@@ -1,0 +1,663 @@
+// Sublinear retrieval contracts (ISSUE 7):
+//  * deterministic k-means: bitwise-identical centroids and assignments at
+//    any thread count and across repeated runs; duplicate points and
+//    clusters > points degrade gracefully (empty/singleton clusters);
+//  * IVF search: recall@K-vs-exact is monotone non-decreasing in nprobe and
+//    exactly 1.0 at nprobe == clusters (exact-parity fallback), including
+//    under exclusions — lists then match exact search bitwise;
+//  * the Scorer seam: WHITENREC_SCORER/WHITENREC_IVF_* knobs parse strictly,
+//    the exact scorer reproduces the inline streamed scoring, and eval
+//    TopKRecommendations under WHITENREC_SCORER=ivf at full probe equals the
+//    exact lists;
+//  * IVF serving: responses bitwise reproducible across thread counts,
+//    batch windows, and repeated runs, and ingest-triggered index rebuilds
+//    keep responses a pure function of the ingest history;
+//  * the BENCH_ann.json schema validator accepts the writer's output and
+//    rejects shape/range/monotonicity violations;
+//  * eval::RecallVsReference and data::CheckCatalogIndexable /
+//    GenerateItemFeatures (block-size invariance) unit contracts.
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+#include <limits>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/parallel.h"
+#include "data/generator.h"
+#include "data/split.h"
+#include "eval/metrics.h"
+#include "linalg/gemm.h"
+#include "linalg/rng.h"
+#include "linalg/topk.h"
+#include "retrieval/ann_report.h"
+#include "retrieval/ivf_index.h"
+#include "retrieval/kmeans.h"
+#include "retrieval/scorer.h"
+#include "seqrec/baselines.h"
+#include "seqrec/trainer.h"
+#include "serve/service.h"
+
+namespace whitenrec {
+namespace retrieval {
+namespace {
+
+using linalg::Matrix;
+using linalg::ScoredItem;
+
+const std::vector<std::size_t> kThreadCounts = {1, 2, 5};
+
+Matrix RandomPoints(std::size_t rows, std::size_t cols, std::uint64_t seed) {
+  linalg::Rng rng(seed);
+  return rng.GaussianMatrix(rows, cols, 1.0);
+}
+
+bool BitwiseEqual(const Matrix& a, const Matrix& b) {
+  return a.rows() == b.rows() && a.cols() == b.cols() &&
+         std::memcmp(a.data(), b.data(), a.size() * sizeof(double)) == 0;
+}
+
+// Restores an env var on scope exit; sets it when value != nullptr.
+class ScopedEnv {
+ public:
+  ScopedEnv(const char* name, const char* value) : name_(name) {
+    const char* old = std::getenv(name);
+    had_old_ = old != nullptr;
+    if (had_old_) old_ = old;
+    if (value != nullptr) {
+      ::setenv(name, value, 1);
+    } else {
+      ::unsetenv(name);
+    }
+  }
+  ~ScopedEnv() {
+    if (had_old_) {
+      ::setenv(name_, old_.c_str(), 1);
+    } else {
+      ::unsetenv(name_);
+    }
+  }
+
+ private:
+  const char* name_;
+  bool had_old_ = false;
+  std::string old_;
+};
+
+// ---------------------------------------------------------------------------
+// k-means determinism and degenerate shapes.
+// ---------------------------------------------------------------------------
+
+TEST(KMeans, BitwiseIdenticalAcrossThreadCountsAndRuns) {
+  const Matrix points = RandomPoints(400, 12, 21);
+  KMeansConfig config;
+  config.clusters = 16;
+  config.iterations = 6;
+  config.seed = 5;
+
+  const std::size_t saved = core::NumThreads();
+  KMeansResult reference;
+  bool have_reference = false;
+  for (std::size_t threads : kThreadCounts) {
+    core::SetNumThreads(threads);
+    const KMeansResult run = FitKMeans(points, config);
+    const KMeansResult rerun = FitKMeans(points, config);
+    EXPECT_TRUE(BitwiseEqual(run.centroids, rerun.centroids))
+        << "run-to-run drift at " << threads << " threads";
+    EXPECT_EQ(run.assignment, rerun.assignment);
+    if (!have_reference) {
+      reference = run;
+      have_reference = true;
+    } else {
+      EXPECT_TRUE(BitwiseEqual(reference.centroids, run.centroids))
+          << "thread-count drift at " << threads << " threads";
+      EXPECT_EQ(reference.assignment, run.assignment);
+    }
+  }
+  core::SetNumThreads(saved);
+}
+
+TEST(KMeans, TrainingSampleKeepsFullAssignmentComplete) {
+  const Matrix points = RandomPoints(300, 6, 3);
+  KMeansConfig config;
+  config.clusters = 8;
+  config.max_train_rows = 64;  // force the strided sample path
+  const KMeansResult result = FitKMeans(points, config);
+  ASSERT_EQ(result.assignment.size(), points.rows());
+  for (std::size_t i = 0; i < points.rows(); ++i) {
+    EXPECT_LT(result.assignment[i], result.centroids.rows());
+    EXPECT_EQ(result.assignment[i],
+              NearestCentroid(result.centroids, points, i));
+  }
+}
+
+TEST(KMeans, DuplicatePointsAndEmptyClustersDoNotAbort) {
+  // 10 identical rows, 4 clusters: k-means++ hits the zero-total-weight
+  // fallback, every point ties to centroid 0, clusters 1..3 go empty and
+  // keep their seeded centroids.
+  Matrix points(10, 4);
+  for (std::size_t r = 0; r < points.rows(); ++r) {
+    for (std::size_t c = 0; c < points.cols(); ++c) points(r, c) = 1.5;
+  }
+  KMeansConfig config;
+  config.clusters = 4;
+  const KMeansResult result = FitKMeans(points, config);
+  EXPECT_EQ(result.centroids.rows(), 4u);
+  for (std::size_t i = 0; i < points.rows(); ++i) {
+    EXPECT_EQ(result.assignment[i], 0u);  // tie -> smallest centroid id
+  }
+}
+
+TEST(KMeans, SingletonClustersWhenClustersEqualsPoints) {
+  const Matrix points = RandomPoints(5, 3, 9);
+  KMeansConfig config;
+  config.clusters = 5;
+  const KMeansResult result = FitKMeans(points, config);
+  // Every point sits alone in some cluster: assignments are a permutation.
+  std::vector<std::size_t> counts(5, 0);
+  for (std::uint32_t a : result.assignment) ++counts[a];
+  for (std::size_t c = 0; c < counts.size(); ++c) EXPECT_EQ(counts[c], 1u);
+}
+
+TEST(KMeans, MoreClustersThanPointsClamps) {
+  const Matrix points = RandomPoints(3, 2, 11);
+  KMeansConfig config;
+  config.clusters = 10;
+  const KMeansResult result = FitKMeans(points, config);
+  EXPECT_EQ(result.centroids.rows(), 3u);
+}
+
+// ---------------------------------------------------------------------------
+// IVF: monotone recall, exact parity, exclusions.
+// ---------------------------------------------------------------------------
+
+struct IvfCase {
+  Matrix items;
+  Matrix queries;
+  IvfIndex index;
+  std::size_t clusters = 0;
+
+  IvfCase(std::size_t num_items, std::size_t dim, std::size_t num_queries,
+          std::size_t want_clusters) {
+    items = RandomPoints(num_items, dim, 33);
+    queries = RandomPoints(num_queries, dim, 44);
+    IvfBuildConfig config;
+    config.clusters = want_clusters;
+    index = IvfIndex::Build(items, config);
+    clusters = index.clusters();
+  }
+
+  std::vector<ScoredItem> ExactTopK(std::size_t qi, std::size_t k,
+                                    const std::vector<std::size_t>& excl)
+      const {
+    linalg::TopKSelector sel(k);
+    for (std::size_t j = 0; j < items.rows(); ++j) {
+      if (!excl.empty() && std::binary_search(excl.begin(), excl.end(), j)) {
+        continue;
+      }
+      sel.Push(j, linalg::RowDotTransB(queries, qi, items, j));
+    }
+    return sel.SortedDescending();
+  }
+
+  std::vector<ScoredItem> IvfTopK(std::size_t qi, std::size_t k,
+                                  std::size_t nprobe,
+                                  const std::vector<std::size_t>& excl) const {
+    linalg::TopKSelector sel(k);
+    index.Search(queries, qi, items, nprobe, excl, &sel);
+    return sel.SortedDescending();
+  }
+};
+
+TEST(IvfIndex, MemberListsPartitionTheCatalogAscending) {
+  const IvfCase c(300, 8, 1, 12);
+  std::vector<char> seen(300, 0);
+  for (std::size_t cl = 0; cl < c.clusters; ++cl) {
+    const std::vector<std::size_t>& members = c.index.cluster_members(cl);
+    for (std::size_t m = 0; m < members.size(); ++m) {
+      if (m > 0) {
+        EXPECT_LT(members[m - 1], members[m]);
+      }
+      ASSERT_LT(members[m], seen.size());
+      EXPECT_EQ(seen[members[m]], 0);
+      seen[members[m]] = 1;
+    }
+  }
+  for (std::size_t i = 0; i < seen.size(); ++i) EXPECT_EQ(seen[i], 1);
+}
+
+TEST(IvfIndex, RecallMonotoneInNprobeAndExactAtFullProbe) {
+  const IvfCase c(500, 16, 24, 20);
+  const std::size_t k = 10;
+  const std::vector<std::size_t> no_excl;
+  for (std::size_t qi = 0; qi < c.queries.rows(); ++qi) {
+    const std::vector<ScoredItem> exact = c.ExactTopK(qi, k, no_excl);
+    double prev_recall = -1.0;
+    for (std::size_t nprobe = 1; nprobe <= c.clusters; ++nprobe) {
+      const std::vector<ScoredItem> approx = c.IvfTopK(qi, k, nprobe, no_excl);
+      const double recall = eval::RecallVsReference(approx, exact);
+      EXPECT_GE(recall, prev_recall)
+          << "recall dipped at query " << qi << " nprobe " << nprobe;
+      prev_recall = recall;
+    }
+    // Exact parity: probing every cluster IS exact search, bitwise.
+    const std::vector<ScoredItem> full = c.IvfTopK(qi, k, c.clusters, no_excl);
+    ASSERT_EQ(full.size(), exact.size());
+    for (std::size_t r = 0; r < full.size(); ++r) {
+      EXPECT_EQ(full[r].item, exact[r].item);
+      EXPECT_EQ(std::memcmp(&full[r].score, &exact[r].score, sizeof(double)),
+                0);
+    }
+  }
+}
+
+TEST(IvfIndex, ExactParityHoldsUnderExclusions) {
+  const IvfCase c(200, 8, 8, 10);
+  std::vector<std::size_t> excl = {3, 17, 40, 41, 42, 118, 199};
+  for (std::size_t qi = 0; qi < c.queries.rows(); ++qi) {
+    const std::vector<ScoredItem> exact = c.ExactTopK(qi, 5, excl);
+    const std::vector<ScoredItem> full = c.IvfTopK(qi, 5, c.clusters, excl);
+    ASSERT_EQ(full.size(), exact.size());
+    for (std::size_t r = 0; r < full.size(); ++r) {
+      EXPECT_EQ(full[r].item, exact[r].item);
+      for (std::size_t e : excl) EXPECT_NE(full[r].item, e);
+    }
+  }
+}
+
+TEST(IvfIndex, SearchIsThreadCountInvariant) {
+  const IvfCase c(300, 8, 16, 12);
+  ScorerConfig config;
+  config.kind = ScorerKind::kIvf;
+  config.clusters = 12;
+  config.nprobe = 3;
+  std::unique_ptr<Scorer> scorer = MakeScorer(config);
+  scorer->Rebuild(c.items);
+
+  const std::size_t saved = core::NumThreads();
+  std::vector<std::vector<ScoredItem>> reference;
+  for (std::size_t threads : kThreadCounts) {
+    core::SetNumThreads(threads);
+    std::vector<linalg::TopKSelector> selectors;
+    for (std::size_t r = 0; r < c.queries.rows(); ++r) {
+      selectors.emplace_back(10);
+    }
+    scorer->TopKBatch(c.queries, {}, &selectors);
+    std::vector<std::vector<ScoredItem>> lists;
+    for (const linalg::TopKSelector& sel : selectors) {
+      lists.push_back(sel.SortedDescending());
+    }
+    if (reference.empty()) {
+      reference = lists;
+    } else {
+      ASSERT_EQ(reference.size(), lists.size());
+      for (std::size_t q = 0; q < lists.size(); ++q) {
+        ASSERT_EQ(reference[q].size(), lists[q].size());
+        for (std::size_t r = 0; r < lists[q].size(); ++r) {
+          EXPECT_EQ(reference[q][r].item, lists[q][r].item);
+          EXPECT_EQ(std::memcmp(&reference[q][r].score, &lists[q][r].score,
+                                sizeof(double)),
+                    0);
+        }
+      }
+    }
+  }
+  core::SetNumThreads(saved);
+}
+
+// ---------------------------------------------------------------------------
+// Scorer seam: env knobs, exact backend parity.
+// ---------------------------------------------------------------------------
+
+TEST(ScorerConfig, FromEnvParsesAndDefaults) {
+  {
+    ScopedEnv kind("WHITENREC_SCORER", nullptr);
+    ScopedEnv clusters("WHITENREC_IVF_CLUSTERS", nullptr);
+    ScopedEnv nprobe("WHITENREC_IVF_NPROBE", nullptr);
+    const ScorerConfig config = ScorerConfig::FromEnv();
+    EXPECT_EQ(config.kind, ScorerKind::kExact);
+    EXPECT_EQ(config.clusters, 0u);
+    EXPECT_EQ(config.nprobe, 8u);
+  }
+  {
+    ScopedEnv kind("WHITENREC_SCORER", "ivf");
+    ScopedEnv clusters("WHITENREC_IVF_CLUSTERS", "64");
+    ScopedEnv nprobe("WHITENREC_IVF_NPROBE", "4");
+    const ScorerConfig config = ScorerConfig::FromEnv();
+    EXPECT_EQ(config.kind, ScorerKind::kIvf);
+    EXPECT_EQ(config.clusters, 64u);
+    EXPECT_EQ(config.nprobe, 4u);
+  }
+}
+
+TEST(Scorer, ExactBackendMatchesBruteForce) {
+  const Matrix items = RandomPoints(150, 8, 55);
+  const Matrix users = RandomPoints(7, 8, 66);
+  std::unique_ptr<Scorer> scorer = MakeScorer(ScorerConfig());
+  scorer->Rebuild(items);
+  std::vector<std::vector<std::size_t>> exclusions(users.rows());
+  exclusions[2] = {1, 5, 9};
+  std::vector<linalg::TopKSelector> selectors;
+  for (std::size_t r = 0; r < users.rows(); ++r) selectors.emplace_back(6);
+  scorer->TopKBatch(users, exclusions, &selectors);
+  for (std::size_t r = 0; r < users.rows(); ++r) {
+    linalg::TopKSelector brute(6);
+    for (std::size_t j = 0; j < items.rows(); ++j) {
+      const std::vector<std::size_t>& excl = exclusions[r];
+      if (std::binary_search(excl.begin(), excl.end(), j)) continue;
+      brute.Push(j, linalg::RowDotTransB(users, r, items, j));
+    }
+    const std::vector<ScoredItem> want = brute.SortedDescending();
+    const std::vector<ScoredItem> got = selectors[r].SortedDescending();
+    ASSERT_EQ(want.size(), got.size());
+    for (std::size_t i = 0; i < want.size(); ++i) {
+      EXPECT_EQ(want[i].item, got[i].item);
+      EXPECT_EQ(std::memcmp(&want[i].score, &got[i].score, sizeof(double)),
+                0);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Serving through the IVF scorer: reproducibility + ingest rebuilds.
+// ---------------------------------------------------------------------------
+
+struct ServingFixture {
+  ServingFixture()
+      : data(data::GenerateDataset(data::ToysProfile(0.05))) {}
+
+  static seqrec::SasRecConfig ModelConfig() {
+    seqrec::SasRecConfig config;
+    config.hidden_dim = 16;
+    config.num_blocks = 1;
+    config.num_heads = 2;
+    config.ffn_hidden = 32;
+    config.max_len = 8;
+    return config;
+  }
+
+  std::unique_ptr<seqrec::SasRecRecommender> FreshModel() const {
+    WhitenRecConfig wconfig;
+    wconfig.out_dim = 16;
+    return seqrec::MakeWhitenRec(data.dataset, ModelConfig(), wconfig);
+  }
+
+  serve::ServeConfig IvfServeConfig() const {
+    serve::ServeConfig config;
+    config.top_k = 5;
+    config.refit_every = 4;
+    config.scorer.kind = ScorerKind::kIvf;
+    config.scorer.clusters = 8;
+    config.scorer.nprobe = 3;
+    return config;
+  }
+
+  std::vector<serve::ServeRequest> Trace(std::size_t n) const {
+    std::vector<serve::ServeRequest> trace;
+    linalg::Rng rng(17);
+    const std::size_t num_items = data.dataset.num_items;
+    for (std::size_t i = 0; i < n; ++i) {
+      trace.push_back(serve::ServeRequest{rng.UniformInt(7),
+                                          rng.UniformInt(num_items)});
+    }
+    return trace;
+  }
+
+  data::GeneratedData data;
+};
+
+ServingFixture& Fixture() {
+  static ServingFixture* fixture = new ServingFixture();
+  return *fixture;
+}
+
+bool SameResponses(const std::vector<serve::ServeResponse>& a,
+                   const std::vector<serve::ServeResponse>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].topk.size() != b[i].topk.size()) return false;
+    if (a[i].session_len != b[i].session_len) return false;
+    for (std::size_t k = 0; k < a[i].topk.size(); ++k) {
+      if (a[i].topk[k].item != b[i].topk[k].item) return false;
+      if (std::memcmp(&a[i].topk[k].score, &b[i].topk[k].score,
+                      sizeof(double)) != 0) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+TEST(IvfServing, ReproducibleAcrossThreadsBatchingAndRuns) {
+  ServingFixture& fixture = Fixture();
+  const std::vector<serve::ServeRequest> trace = fixture.Trace(60);
+
+  const std::size_t saved = core::NumThreads();
+  std::vector<serve::ServeResponse> reference;
+  bool have_reference = false;
+  for (std::size_t threads : kThreadCounts) {
+    core::SetNumThreads(threads);
+    for (std::size_t slice : {std::size_t{1}, std::size_t{7},
+                              std::size_t{60}}) {
+      auto rec = fixture.FreshModel();
+      serve::RecommendService service(rec->model(),
+                                      fixture.IvfServeConfig());
+      std::vector<serve::ServeResponse> responses;
+      for (std::size_t begin = 0; begin < trace.size(); begin += slice) {
+        const std::size_t end = std::min(trace.size(), begin + slice);
+        const std::vector<serve::ServeRequest> chunk(
+            trace.begin() + static_cast<std::ptrdiff_t>(begin),
+            trace.begin() + static_cast<std::ptrdiff_t>(end));
+        for (serve::ServeResponse& r : service.HandleBatch(chunk)) {
+          responses.push_back(std::move(r));
+        }
+      }
+      if (!have_reference) {
+        reference = std::move(responses);
+        have_reference = true;
+      } else {
+        EXPECT_TRUE(SameResponses(reference, responses))
+            << "threads=" << threads << " slice=" << slice;
+      }
+    }
+  }
+  core::SetNumThreads(saved);
+}
+
+TEST(IvfServing, IngestRebuildKeepsResponsesReproducible) {
+  ServingFixture& fixture = Fixture();
+  const std::vector<serve::ServeRequest> trace = fixture.Trace(24);
+  const std::size_t feature_dim =
+      fixture.data.dataset.text_embeddings.cols();
+
+  // The same interleaved ingest/serve schedule must produce identical
+  // responses on two independent services (fixed rebuild cadence
+  // refit_every=4 -> index rebuilds are part of the deterministic state).
+  auto run = [&]() {
+    auto rec = fixture.FreshModel();
+    serve::RecommendService service(rec->model(), fixture.IvfServeConfig());
+    EXPECT_TRUE(service
+                    .EnableIngest(fixture.data.dataset.text_embeddings,
+                                  WhiteningKind::kZca, 1e-5)
+                    .ok());
+    linalg::Rng rng(23);
+    std::vector<serve::ServeResponse> responses;
+    for (std::size_t i = 0; i < trace.size(); ++i) {
+      std::vector<double> feature(feature_dim);
+      for (double& x : feature) x = rng.Gaussian();
+      EXPECT_TRUE(service.IngestItem(feature).ok());
+      responses.push_back(service.Handle(trace[i]));
+    }
+    const serve::ServeStats stats = service.stats();
+    // 24 ingests at refit_every=4 -> 6 refits, each rebuilding the index,
+    // plus the construction-time build.
+    EXPECT_EQ(stats.refits, 6u);
+    EXPECT_EQ(stats.index_rebuilds, 7u);
+    return responses;
+  };
+  const std::vector<serve::ServeResponse> first = run();
+  const std::vector<serve::ServeResponse> second = run();
+  EXPECT_TRUE(SameResponses(first, second));
+}
+
+// ---------------------------------------------------------------------------
+// Eval path: TopKRecommendations under WHITENREC_SCORER=ivf.
+// ---------------------------------------------------------------------------
+
+TEST(TopKRecommendationsIvf, FullProbeMatchesExactLists) {
+  ServingFixture& fixture = Fixture();
+  auto rec = fixture.FreshModel();
+  const data::Dataset& ds = fixture.data.dataset;
+  std::vector<data::EvalInstance> instances;
+  for (std::size_t u = 0; u < std::min<std::size_t>(ds.sequences.size(), 12);
+       ++u) {
+    const std::vector<std::size_t>& seq = ds.sequences[u];
+    if (seq.size() < 2) continue;
+    data::EvalInstance inst;
+    inst.user = u;
+    inst.input.assign(seq.begin(), seq.end() - 1);
+    inst.target = seq.back();
+    instances.push_back(inst);
+  }
+  ASSERT_FALSE(instances.empty());
+
+  std::vector<std::vector<std::size_t>> exact;
+  {
+    ScopedEnv kind("WHITENREC_SCORER", nullptr);
+    exact = seqrec::TopKRecommendations(rec.get(), instances, ds.sequences,
+                                        8, 5);
+  }
+  {
+    ScopedEnv kind("WHITENREC_SCORER", "ivf");
+    ScopedEnv clusters("WHITENREC_IVF_CLUSTERS", "6");
+    ScopedEnv nprobe("WHITENREC_IVF_NPROBE", "6");
+    const std::vector<std::vector<std::size_t>> ivf =
+        seqrec::TopKRecommendations(rec.get(), instances, ds.sequences, 8, 5);
+    EXPECT_EQ(exact, ivf);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// RecallVsReference.
+// ---------------------------------------------------------------------------
+
+TEST(RecallVsReference, CountsSetOverlap) {
+  EXPECT_DOUBLE_EQ(
+      eval::RecallVsReference(std::vector<std::size_t>{1, 2, 3},
+                              std::vector<std::size_t>{1, 2, 3}),
+      1.0);
+  EXPECT_DOUBLE_EQ(
+      eval::RecallVsReference(std::vector<std::size_t>{3, 2, 9},
+                              std::vector<std::size_t>{1, 2, 3}),
+      2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(
+      eval::RecallVsReference(std::vector<std::size_t>{7, 8},
+                              std::vector<std::size_t>{1, 2}),
+      0.0);
+  // Order is irrelevant; an empty reference scores 1.0.
+  EXPECT_DOUBLE_EQ(
+      eval::RecallVsReference(std::vector<std::size_t>{9, 1},
+                              std::vector<std::size_t>{1, 9}),
+      1.0);
+  EXPECT_DOUBLE_EQ(eval::RecallVsReference(std::vector<std::size_t>{1},
+                                           std::vector<std::size_t>{}),
+                   1.0);
+}
+
+TEST(RecallVsReference, ScoredItemOverloadIgnoresScores) {
+  const std::vector<ScoredItem> cand = {{0.9, 4}, {0.1, 2}};
+  const std::vector<ScoredItem> ref = {{0.5, 2}, {0.4, 7}};
+  EXPECT_DOUBLE_EQ(eval::RecallVsReference(cand, ref), 0.5);
+}
+
+// ---------------------------------------------------------------------------
+// BENCH_ann.json schema.
+// ---------------------------------------------------------------------------
+
+AnnBenchResult SmallResult() {
+  AnnBenchResult result;
+  result.top_k = 10;
+  result.dim = 16;
+  result.queries = 32;
+  AnnCatalogSweep sweep;
+  sweep.catalog_items = 1000;
+  sweep.clusters = 32;
+  sweep.build_seconds = 0.01;
+  sweep.exact_qps = 1000.0;
+  sweep.points = {{1, 0.62, 9000.0, 9.0, 31.0},
+                  {4, 0.91, 4000.0, 4.0, 125.0},
+                  {16, 1.0, 1500.0, 1.5, 500.0}};
+  result.sweep.push_back(sweep);
+  return result;
+}
+
+TEST(AnnBenchJson, WriterOutputValidates) {
+  const std::string json = AnnBenchJson(SmallResult());
+  const Status status = ValidateAnnBenchJson(json);
+  EXPECT_TRUE(status.ok()) << status.message();
+}
+
+TEST(AnnBenchJson, RejectsShapeAndRangeViolations) {
+  EXPECT_FALSE(ValidateAnnBenchJson("{}").ok());
+  EXPECT_FALSE(ValidateAnnBenchJson("not json").ok());
+
+  AnnBenchResult bad_recall = SmallResult();
+  bad_recall.sweep[0].points[1].recall_at_k = 1.5;
+  EXPECT_FALSE(ValidateAnnBenchJson(AnnBenchJson(bad_recall)).ok());
+
+  AnnBenchResult dip = SmallResult();
+  dip.sweep[0].points[2].recall_at_k = 0.5;  // below the nprobe=4 point
+  EXPECT_FALSE(ValidateAnnBenchJson(AnnBenchJson(dip)).ok());
+
+  AnnBenchResult unordered = SmallResult();
+  std::swap(unordered.sweep[0].points[0], unordered.sweep[0].points[1]);
+  EXPECT_FALSE(ValidateAnnBenchJson(AnnBenchJson(unordered)).ok());
+
+  AnnBenchResult empty_points = SmallResult();
+  empty_points.sweep[0].points.clear();
+  EXPECT_FALSE(ValidateAnnBenchJson(AnnBenchJson(empty_points)).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Generator scaling satellites.
+// ---------------------------------------------------------------------------
+
+TEST(CatalogIndexable, GuardsIntOverflow) {
+  EXPECT_TRUE(data::CheckCatalogIndexable(1000000, 64).ok());
+  const std::size_t int_max =
+      static_cast<std::size_t>(std::numeric_limits<int>::max());
+  EXPECT_FALSE(data::CheckCatalogIndexable(int_max, 2).ok());
+  EXPECT_FALSE(data::CheckCatalogIndexable(int_max / 8 + 1, 8).ok());
+  EXPECT_TRUE(data::CheckCatalogIndexable(int_max / 8, 8).ok());
+  const Status status = data::CheckCatalogIndexable(int_max, 64);
+  EXPECT_NE(status.message().find("int indexing"), std::string::npos);
+}
+
+TEST(GenerateItemFeatures, DeterministicAndBlockSizeInvariant) {
+  data::ItemFeatureConfig config;
+  config.num_items = 1000;
+  config.embed_dim = 16;
+  config.latent_dim = 4;
+  config.num_categories = 8;
+  config.seed = 77;
+  config.block_rows = 128;
+  const Matrix a = data::GenerateItemFeatures(config);
+  const Matrix b = data::GenerateItemFeatures(config);
+  EXPECT_TRUE(BitwiseEqual(a, b));
+  config.block_rows = 1000;  // one block
+  const Matrix c = data::GenerateItemFeatures(config);
+  EXPECT_TRUE(BitwiseEqual(a, c));
+  config.block_rows = 37;  // ragged blocks
+  const Matrix d = data::GenerateItemFeatures(config);
+  EXPECT_TRUE(BitwiseEqual(a, d));
+  ASSERT_EQ(a.rows(), 1000u);
+  ASSERT_EQ(a.cols(), 16u);
+}
+
+}  // namespace
+}  // namespace retrieval
+}  // namespace whitenrec

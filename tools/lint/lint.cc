@@ -439,20 +439,24 @@ void CheckFullLogits(const FileContext& ctx) {
     }
   }
 
-  // Serving hot path (src/serve/): the micro-batch contract is O(K) state
-  // per request, so even a 1-D per-catalog buffer — a vector sized by
-  // num_items — defeats it. Elsewhere such vectors are legitimate (index
-  // maps, exclusion bitmaps in offline eval), so the tighter net applies to
-  // serve/ only.
-  if (StartsWith(ctx.path, "src/serve/")) {
+  // Serving and retrieval hot paths: the micro-batch contract is O(K) state
+  // per request, and IVF candidate gathering is O(clusters + candidates), so
+  // even a 1-D per-catalog buffer — a vector sized by num_items — defeats
+  // them. Elsewhere such vectors are legitimate (index maps, exclusion
+  // bitmaps in offline eval), so the tighter net applies to serve/ and
+  // retrieval/ only; the retrieval index BUILDER legitimately labels every
+  // item once and carries a scoped allow.
+  if (StartsWith(ctx.path, "src/serve/") ||
+      StartsWith(ctx.path, "src/retrieval/")) {
     static const std::regex kVecCatalog(
         R"(vector\s*<[^;=]*>[^(;=]*\(\s*[^)]*\bnum_items\b|\.(resize|assign|reserve)\s*\(\s*[^)]*\bnum_items\b)");
     for (std::size_t i = 0; i < ctx.scrubbed.size(); ++i) {
       if (std::regex_search(ctx.scrubbed[i], kVecCatalog)) {
         ctx.Report(i + 1, "full-logits",
-                   "per-catalog buffer in the serving path; serving must "
-                   "keep O(K) state per request and stream score tiles "
-                   "(StreamMatMulTransB + TopKSelector)");
+                   "per-catalog buffer in the serving/retrieval path; these "
+                   "paths must keep O(K) state per request and stream score "
+                   "tiles (StreamMatMulTransB + TopKSelector) or probe "
+                   "cluster lists (retrieval/ivf_index.h)");
       }
     }
   }
