@@ -5,8 +5,8 @@
 // transformed features and the downstream recommendation quality on Arts.
 
 #include "bench_common.h"
-#include "core/whiten_encoder.h"
-#include "core/whitening.h"
+#include "whitening/whiten_encoder.h"
+#include "whitening/whitening.h"
 #include "linalg/eigen.h"
 #include "linalg/stats.h"
 #include "seqrec/trainer.h"

@@ -30,7 +30,7 @@
 #include "bench_common.h"
 #include "bench_json.h"
 #include "core/faultfs.h"
-#include "core/whitening.h"
+#include "whitening/whitening.h"
 #include "eval/metrics.h"
 #include "linalg/gemm.h"
 #include "linalg/rng.h"

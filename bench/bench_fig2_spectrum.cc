@@ -4,7 +4,7 @@
 
 #include "analysis/spectrum.h"
 #include "bench_common.h"
-#include "core/whitening.h"
+#include "whitening/whitening.h"
 #include "linalg/stats.h"
 
 int main(int argc, char** argv) {

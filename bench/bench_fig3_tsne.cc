@@ -13,7 +13,7 @@
 #include "analysis/tsne.h"
 #include "bench_common.h"
 #include "bench_json.h"
-#include "core/whitening.h"
+#include "whitening/whitening.h"
 
 namespace whitenrec {
 namespace {

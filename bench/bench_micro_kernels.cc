@@ -13,9 +13,9 @@
 #include <benchmark/benchmark.h>
 
 #include "bench_json.h"
-#include "core/flow_whitening.h"
+#include "whitening/flow_whitening.h"
 #include "core/parallel.h"
-#include "core/whitening.h"
+#include "whitening/whitening.h"
 #include "data/generator.h"
 #include "data/split.h"
 #include "linalg/eigen.h"

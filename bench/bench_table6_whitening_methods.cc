@@ -2,8 +2,8 @@
 // (PW, BERT-flow surrogate, PCA, BN, CD, ZCA) on all four datasets.
 
 #include "bench_common.h"
-#include "core/flow_whitening.h"
-#include "core/parametric_whitening.h"
+#include "whitening/flow_whitening.h"
+#include "whitening/parametric_whitening.h"
 #include "seqrec/baselines.h"
 
 namespace whitenrec {

@@ -5,7 +5,7 @@
 
 #include <cstdio>
 
-#include "core/incremental_whitening.h"
+#include "whitening/incremental_whitening.h"
 #include "data/generator.h"
 #include "data/split.h"
 #include "linalg/stats.h"

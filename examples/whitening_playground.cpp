@@ -1,12 +1,12 @@
 // Whitening playground: applies every transform in the library to the same
 // anisotropic embedding cloud and reports isotropy diagnostics — a compact
-// tour of the core/whitening API (ZCA / PCA / CD / BN, group whitening, and
+// tour of the whitening/whitening API (ZCA / PCA / CD / BN, group whitening, and
 // the BERT-flow surrogate).
 
 #include <cstdio>
 
-#include "core/flow_whitening.h"
-#include "core/whitening.h"
+#include "whitening/flow_whitening.h"
+#include "whitening/whitening.h"
 #include "data/generator.h"
 #include "linalg/eigen.h"
 #include "linalg/stats.h"

@@ -15,6 +15,9 @@
 #  10. check-ann    — retrieval suite (deterministic k-means + IVF), the same
 #      suite under TSan, and a schema-checked out/BENCH_ann.json from a
 #      small-catalog bench_ann run
+#  11. check-analyze — cross-TU analyzer (include-graph layering, env-knob
+#      registry, hot-path allocation) over the whole tree; writes a
+#      schema-validated out/ANALYZE.json
 #
 # Usage: scripts/ci.sh [build-dir]   (default: build-ci)
 #
@@ -28,36 +31,39 @@ BUILD_DIR="${1:-build-ci}"
 
 JOBS="$(nproc 2>/dev/null || echo 2)"
 
-echo "==> [1/10] configure + build (WHITENREC_WERROR=ON)"
+echo "==> [1/11] configure + build (WHITENREC_WERROR=ON)"
 cmake -S . -B "${BUILD_DIR}" -DWHITENREC_WERROR=ON
 cmake --build "${BUILD_DIR}" --parallel "${JOBS}"
 
-echo "==> [2/10] tier-1 tests"
+echo "==> [2/11] tier-1 tests"
 ctest --test-dir "${BUILD_DIR}" -L tier1 --output-on-failure -j "${JOBS}"
 
-echo "==> [3/10] tier-1 tests (WHITENREC_SCORING=fused)"
+echo "==> [3/11] tier-1 tests (WHITENREC_SCORING=fused)"
 WHITENREC_SCORING=fused \
   ctest --test-dir "${BUILD_DIR}" -L tier1 --output-on-failure -j "${JOBS}"
 
-echo "==> [4/10] check-lint"
+echo "==> [4/11] check-lint"
 cmake --build "${BUILD_DIR}" --target check-lint
 
-echo "==> [5/10] check-tidy"
+echo "==> [5/11] check-tidy"
 cmake --build "${BUILD_DIR}" --target check-tidy
 
-echo "==> [6/10] check-faults"
+echo "==> [6/11] check-faults"
 cmake --build "${BUILD_DIR}" --target check-faults
 
-echo "==> [7/10] check-asan"
+echo "==> [7/11] check-asan"
 cmake --build "${BUILD_DIR}" --target check-asan
 
-echo "==> [8/10] check-tsan"
+echo "==> [8/11] check-tsan"
 cmake --build "${BUILD_DIR}" --target check-tsan
 
-echo "==> [9/10] check-serve"
+echo "==> [9/11] check-serve"
 cmake --build "${BUILD_DIR}" --target check-serve
 
-echo "==> [10/10] check-ann"
+echo "==> [10/11] check-ann"
 cmake --build "${BUILD_DIR}" --target check-ann
+
+echo "==> [11/11] check-analyze"
+cmake --build "${BUILD_DIR}" --target check-analyze
 
 echo "==> CI green"

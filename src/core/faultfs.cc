@@ -7,6 +7,7 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
@@ -104,12 +105,26 @@ void FaultInjector::ConfigureFromEnv() {
   if (const char* s = std::getenv("WHITENREC_FAULT_SEED")) {
     char* end = nullptr;
     const unsigned long long v = std::strtoull(s, &end, 10);
-    if (end != s && *end == '\0') seed = static_cast<std::uint64_t>(v);
+    if (end == s || *end != '\0') {
+      std::fprintf(stderr,
+                   "invalid WHITENREC_FAULT_SEED value '%s' (expected an "
+                   "unsigned integer)\n",
+                   s);
+      std::abort();
+    }
+    seed = static_cast<std::uint64_t>(v);
   }
   if (const char* s = std::getenv("WHITENREC_FAULT_RATE")) {
     char* end = nullptr;
     const double v = std::strtod(s, &end);
-    if (end != s && *end == '\0') rate = v;
+    if (end == s || *end != '\0') {
+      std::fprintf(stderr,
+                   "invalid WHITENREC_FAULT_RATE value '%s' (expected a "
+                   "real number in [0, 1])\n",
+                   s);
+      std::abort();
+    }
+    rate = v;
   }
   Configure(seed, rate);
 }

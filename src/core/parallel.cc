@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstdio>
 #include <cstdlib>
 #include <memory>
 
@@ -92,9 +93,17 @@ std::size_t HardwareThreads() {
 
 std::size_t InitialThreadCount() {
   const char* env = std::getenv("WHITENREC_THREADS");
-  if (env != nullptr) {
-    const long v = std::atol(env);
-    if (v >= 1) return static_cast<std::size_t>(v);
+  if (env != nullptr && *env != '\0') {
+    char* end = nullptr;
+    const unsigned long long v = std::strtoull(env, &end, 10);
+    if (end == env || *end != '\0' || v == 0) {
+      std::fprintf(stderr,
+                   "invalid WHITENREC_THREADS value '%s' (expected a "
+                   "positive integer)\n",
+                   env);
+      std::abort();
+    }
+    return static_cast<std::size_t>(v);
   }
   return HardwareThreads();
 }

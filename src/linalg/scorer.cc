@@ -1,0 +1,64 @@
+#include "linalg/scorer.h"
+
+#include <algorithm>
+
+#include "core/check.h"
+#include "linalg/gemm.h"
+
+namespace whitenrec {
+namespace linalg {
+namespace {
+
+// Exact fused scoring: the streamed GEMM + per-row bounded selector pass,
+// verbatim the pre-Scorer serving/eval epilogue so the exact backend stays
+// bitwise identical to the old inline code.
+class ExactScorer final : public Scorer {
+ public:
+  void Rebuild(const Matrix& items) override {
+    items_ = &items;
+    num_items_ = items.rows();
+  }
+
+  void TopKBatch(
+      const Matrix& users,
+      const std::vector<std::vector<std::size_t>>& exclusions,
+      std::vector<TopKSelector>* selectors) const override {
+    WR_CHECK(items_ != nullptr);
+    WR_CHECK_EQ(selectors->size(), users.rows());
+    WR_CHECK(exclusions.empty() || exclusions.size() == users.rows());
+    static const std::vector<std::size_t> kNoExclusions;
+    StreamMatMulTransB(
+        users, *items_,
+        [&](std::size_t i0, std::size_t i1, std::size_t j0, std::size_t jn,
+            const Matrix& panel) {
+          for (std::size_t r = i0; r < i1; ++r) {
+            const double* prow = panel.RowPtr(r);
+            const std::vector<std::size_t>& excl =
+                exclusions.empty() ? kNoExclusions : exclusions[r];
+            TopKSelector& sel = (*selectors)[r];
+            for (std::size_t c = 0; c < jn; ++c) {
+              const std::size_t item = j0 + c;
+              if (!excl.empty() &&
+                  std::binary_search(excl.begin(), excl.end(), item)) {
+                continue;
+              }
+              sel.Push(item, prow[c]);
+            }
+          }
+        });
+  }
+
+  const char* name() const override { return "exact"; }
+
+ private:
+  const Matrix* items_ = nullptr;  // borrowed
+};
+
+}  // namespace
+
+std::unique_ptr<Scorer> MakeExactScorer() {
+  return std::make_unique<ExactScorer>();
+}
+
+}  // namespace linalg
+}  // namespace whitenrec

@@ -1,13 +1,12 @@
 #include "retrieval/scorer.h"
 
-#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <vector>
 
 #include "core/check.h"
 #include "core/parallel.h"
-#include "linalg/gemm.h"
 #include "retrieval/ivf_index.h"
 
 namespace whitenrec {
@@ -29,51 +28,6 @@ std::size_t EnvSize(const char* name, std::size_t fallback) {
   }
   return static_cast<std::size_t>(v);
 }
-
-// Exact fused scoring: the streamed GEMM + per-row bounded selector pass,
-// verbatim the pre-Scorer serving/eval epilogue so kExact stays bitwise
-// identical to the old inline code.
-class ExactScorer final : public Scorer {
- public:
-  void Rebuild(const Matrix& items) override {
-    items_ = &items;
-    num_items_ = items.rows();
-  }
-
-  void TopKBatch(
-      const Matrix& users,
-      const std::vector<std::vector<std::size_t>>& exclusions,
-      std::vector<linalg::TopKSelector>* selectors) const override {
-    WR_CHECK(items_ != nullptr);
-    WR_CHECK_EQ(selectors->size(), users.rows());
-    WR_CHECK(exclusions.empty() || exclusions.size() == users.rows());
-    static const std::vector<std::size_t> kNoExclusions;
-    linalg::StreamMatMulTransB(
-        users, *items_,
-        [&](std::size_t i0, std::size_t i1, std::size_t j0, std::size_t jn,
-            const Matrix& panel) {
-          for (std::size_t r = i0; r < i1; ++r) {
-            const double* prow = panel.RowPtr(r);
-            const std::vector<std::size_t>& excl =
-                exclusions.empty() ? kNoExclusions : exclusions[r];
-            linalg::TopKSelector& sel = (*selectors)[r];
-            for (std::size_t c = 0; c < jn; ++c) {
-              const std::size_t item = j0 + c;
-              if (!excl.empty() &&
-                  std::binary_search(excl.begin(), excl.end(), item)) {
-                continue;
-              }
-              sel.Push(item, prow[c]);
-            }
-          }
-        });
-  }
-
-  ScorerKind kind() const override { return ScorerKind::kExact; }
-
- private:
-  const Matrix* items_ = nullptr;  // borrowed
-};
 
 // Sublinear IVF scoring: rebuilds the deterministic index on Rebuild, then
 // probes + exact-reranks per query row. Rows are independent pure functions
@@ -111,7 +65,7 @@ class IvfScorer final : public Scorer {
     });
   }
 
-  ScorerKind kind() const override { return ScorerKind::kIvf; }
+  const char* name() const override { return "ivf"; }
 
  private:
   ScorerConfig config_;
@@ -154,7 +108,7 @@ std::unique_ptr<Scorer> MakeScorer(const ScorerConfig& config) {
   if (config.kind == ScorerKind::kIvf) {
     return std::make_unique<IvfScorer>(config);
   }
-  return std::make_unique<ExactScorer>();
+  return linalg::MakeExactScorer();
 }
 
 }  // namespace retrieval

@@ -4,22 +4,25 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
-#include <vector>
 
-#include "linalg/matrix.h"
-#include "linalg/topk.h"
+#include "linalg/scorer.h"
 
 namespace whitenrec {
 namespace retrieval {
 
-// Model-agnostic batched top-K scoring: the serving core and the eval
-// recommendation path both reduce to "score these user rows against the item
-// table and keep each row's top-K under the canonical total order". Scorer
-// is that seam; kExact is the fused streaming GEMM (bitwise the pre-Scorer
-// behavior), kIvf the sublinear IVF index (ivf_index.h).
+// Backend selection for the linalg::Scorer seam: kExact is the fused
+// streaming GEMM (linalg/scorer.h, bitwise the pre-Scorer behavior), kIvf
+// the sublinear IVF index (ivf_index.h). The abstract interface lives in
+// linalg so lower layers (seqrec eval) can consume an injected backend
+// without including this module; this header owns the concrete backends and
+// the env-driven choice between them.
 enum class ScorerKind { kExact, kIvf };
 
 const char* ScorerKindName(ScorerKind kind);
+
+// Scorer is the linalg seam; the alias keeps backend-agnostic call sites
+// (serving, benches) readable at this layer.
+using Scorer = linalg::Scorer;
 
 // Knobs. Defaults() gives the compiled-in values; FromEnv() overlays
 //   WHITENREC_SCORER        "exact" | "ivf"
@@ -36,42 +39,6 @@ struct ScorerConfig {
 
   static ScorerConfig Defaults() { return ScorerConfig(); }
   static ScorerConfig FromEnv();
-};
-
-// Batched top-K scorer over a borrowed item table.
-//
-// Lifecycle: Rebuild(items) installs (and for IVF, indexes) the table;
-// TopKBatch scores against the installed table. `items` is borrowed — it
-// must outlive the scorer and stay unchanged until the next Rebuild (the
-// serving core re-calls Rebuild on every ingest refit, mirroring the
-// whitening refit cadence).
-//
-// Determinism: TopKBatch fills selectors whose selected lists are a pure
-// function of (users, installed table, exclusions) — independent of thread
-// count, batch slicing, and for IVF also of probe traversal order (strict
-// total order everywhere, see ivf_index.h).
-class Scorer {
- public:
-  virtual ~Scorer() = default;
-
-  // Installs the (num_items, d) item table, rebuilding any index.
-  virtual void Rebuild(const linalg::Matrix& items) = 0;
-
-  // Scores users row r against the installed table into (*selectors)[r]
-  // (pre-constructed with the caller's K; this call does not Reset them).
-  // exclusions[r] lists item ids to skip, sorted ascending (empty = none);
-  // an empty outer vector means no row excludes anything.
-  virtual void TopKBatch(
-      const linalg::Matrix& users,
-      const std::vector<std::vector<std::size_t>>& exclusions,
-      std::vector<linalg::TopKSelector>* selectors) const = 0;
-
-  virtual ScorerKind kind() const = 0;
-
-  std::size_t num_items() const { return num_items_; }
-
- protected:
-  std::size_t num_items_ = 0;
 };
 
 std::unique_ptr<Scorer> MakeScorer(const ScorerConfig& config);

@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
-#include "core/parametric_whitening.h"
+#include "whitening/parametric_whitening.h"
 #include "linalg/gemm.h"
 #include "nn/loss.h"
 #include "nn/tensor.h"

@@ -5,7 +5,7 @@
 #include <string>
 #include <vector>
 
-#include "core/whiten_encoder.h"
+#include "whitening/whiten_encoder.h"
 #include "data/dataset.h"
 #include "seqrec/trainer.h"
 

@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
-#include "core/whiten_encoder.h"
+#include "whitening/whiten_encoder.h"
 #include "linalg/stats.h"
 #include "nn/loss.h"
 #include "nn/tensor.h"

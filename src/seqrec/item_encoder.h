@@ -5,7 +5,7 @@
 #include <string>
 #include <vector>
 
-#include "core/item_encoder.h"
+#include "whitening/item_encoder.h"
 #include "linalg/rng.h"
 #include "nn/layers.h"
 

@@ -13,7 +13,7 @@
 #include "eval/metrics.h"
 #include "linalg/gemm.h"
 #include "linalg/topk.h"
-#include "retrieval/scorer.h"
+#include "linalg/scorer.h"
 
 namespace whitenrec {
 namespace seqrec {
@@ -127,6 +127,9 @@ eval::MetricAccumulator RankInstances(
       // instance order so the metric sums never depend on the thread count.
       core::ParallelFor(0, batch.batch_size, 1, [&](std::size_t b0,
                                                     std::size_t b1) {
+        // Reference path, one allocation per chunk (not per user): the
+        // exclusion scratch is reused across the chunk via assign().
+        // whitenrec-analyze: allow(hot-alloc)
         std::vector<char> excluded(num_items, 0);
         for (std::size_t b = b0; b < b1; ++b) {
           const data::EvalInstance& inst = instances[inst_base + b];
@@ -418,27 +421,26 @@ std::size_t SasRecRecommender::NumParameters() const {
 std::vector<std::vector<std::size_t>> TopKRecommendations(
     Recommender* recommender, const std::vector<data::EvalInstance>& instances,
     const std::vector<std::vector<std::size_t>>& train_sequences,
-    std::size_t max_len, std::size_t k, std::size_t batch_size) {
+    std::size_t max_len, std::size_t k, std::size_t batch_size,
+    linalg::Scorer* scorer) {
   WR_CHECK_GT(k, 0u);
   const std::size_t num_items = recommender->num_items();
   std::vector<std::vector<std::size_t>> out;
   out.reserve(instances.size());
   const std::vector<data::Batch> batches =
       data::MakeEvalBatches(instances, max_len, batch_size);
-  // Factorized batches route through the Scorer seam (retrieval/scorer.h):
+  // Factorized batches route through the Scorer seam (linalg/scorer.h):
   // WHITENREC_SCORING=fused selects the exact streaming scorer (identical
   // lists to the materialized selection below — same strict total order),
-  // and WHITENREC_SCORER=ivf swaps in the sublinear IVF index regardless of
-  // the scoring mode. The scorer indexes the item table once: eval re-encodes
-  // a bitwise-identical table per batch into the same Matrix object, so the
-  // borrowed table stays valid and current across batches.
-  const retrieval::ScorerConfig scorer_config =
-      retrieval::ScorerConfig::FromEnv();
+  // and an injected `scorer` (e.g. retrieval's IVF backend) is used
+  // regardless of the scoring mode. The scorer indexes the item table once:
+  // eval re-encodes a bitwise-identical table per batch into the same Matrix
+  // object, so the borrowed table stays valid and current across batches.
   const bool fused =
       linalg::CurrentScoringMode() == linalg::ScoringMode::kFused;
-  const bool want_scorer =
-      fused || scorer_config.kind == retrieval::ScorerKind::kIvf;
-  std::unique_ptr<retrieval::Scorer> scorer;
+  const bool want_scorer = fused || scorer != nullptr;
+  std::unique_ptr<linalg::Scorer> owned_scorer;
+  bool scorer_ready = false;
   Matrix users;
   Matrix item_table;
   std::size_t inst_base = 0;
@@ -460,9 +462,13 @@ std::vector<std::vector<std::size_t>> TopKRecommendations(
       std::vector<linalg::TopKSelector> selectors;
       selectors.reserve(rows);
       for (std::size_t b = 0; b < rows; ++b) selectors.emplace_back(k);
-      if (scorer == nullptr) {
-        scorer = retrieval::MakeScorer(scorer_config);
+      if (!scorer_ready) {
+        if (scorer == nullptr) {
+          owned_scorer = linalg::MakeExactScorer();
+          scorer = owned_scorer.get();
+        }
         scorer->Rebuild(item_table);
+        scorer_ready = true;
       }
       scorer->TopKBatch(users, exclusions, &selectors);
       for (std::size_t b = 0; b < rows; ++b) {
@@ -474,6 +480,9 @@ std::vector<std::vector<std::size_t>> TopKRecommendations(
     } else {
       const Matrix scores = recommender->ScoreLastPositions(batch);
       core::ParallelFor(0, rows, 1, [&](std::size_t b0, std::size_t b1) {
+        // Reference fallback (materialized scores): per-chunk scratch, reused
+        // across the chunk; the fused path goes through the Scorer instead.
+        // whitenrec-analyze: allow(hot-alloc)
         std::vector<char> excluded(num_items, 0);
         std::vector<linalg::ScoredItem> cands;
         cands.reserve(num_items);

@@ -8,7 +8,7 @@
 
 #include "core/check.h"
 #include "core/parallel.h"
-#include "core/whiten_encoder.h"
+#include "whitening/whiten_encoder.h"
 #include "linalg/gemm.h"
 
 namespace whitenrec {

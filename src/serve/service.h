@@ -7,9 +7,9 @@
 #include <unordered_map>
 #include <vector>
 
-#include "core/incremental_whitening.h"
+#include "whitening/incremental_whitening.h"
 #include "core/status.h"
-#include "core/whitening.h"
+#include "whitening/whitening.h"
 #include "linalg/matrix.h"
 #include "linalg/topk.h"
 #include "retrieval/scorer.h"

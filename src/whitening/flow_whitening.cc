@@ -1,4 +1,4 @@
-#include "core/flow_whitening.h"
+#include "whitening/flow_whitening.h"
 
 #include <algorithm>
 #include <cmath>

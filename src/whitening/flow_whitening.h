@@ -1,11 +1,11 @@
-#ifndef WHITENREC_CORE_FLOW_WHITENING_H_
-#define WHITENREC_CORE_FLOW_WHITENING_H_
+#ifndef WHITENREC_WHITENING_FLOW_WHITENING_H_
+#define WHITENREC_WHITENING_FLOW_WHITENING_H_
 
 #include <cstddef>
 #include <vector>
 
 #include "core/status.h"
-#include "core/whitening.h"
+#include "whitening/whitening.h"
 #include "linalg/matrix.h"
 
 namespace whitenrec {
@@ -54,4 +54,4 @@ class FlowWhitening {
 
 }  // namespace whitenrec
 
-#endif  // WHITENREC_CORE_FLOW_WHITENING_H_
+#endif  // WHITENREC_WHITENING_FLOW_WHITENING_H_

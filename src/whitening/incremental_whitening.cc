@@ -1,4 +1,4 @@
-#include "core/incremental_whitening.h"
+#include "whitening/incremental_whitening.h"
 
 #include <cmath>
 

@@ -1,8 +1,8 @@
-#ifndef WHITENREC_CORE_INCREMENTAL_WHITENING_H_
-#define WHITENREC_CORE_INCREMENTAL_WHITENING_H_
+#ifndef WHITENREC_WHITENING_INCREMENTAL_WHITENING_H_
+#define WHITENREC_WHITENING_INCREMENTAL_WHITENING_H_
 
 #include "core/status.h"
-#include "core/whitening.h"
+#include "whitening/whitening.h"
 #include "linalg/matrix.h"
 
 namespace whitenrec {
@@ -53,4 +53,4 @@ class IncrementalWhitening {
 
 }  // namespace whitenrec
 
-#endif  // WHITENREC_CORE_INCREMENTAL_WHITENING_H_
+#endif  // WHITENREC_WHITENING_INCREMENTAL_WHITENING_H_

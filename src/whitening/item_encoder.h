@@ -1,5 +1,5 @@
-#ifndef WHITENREC_CORE_ITEM_ENCODER_H_
-#define WHITENREC_CORE_ITEM_ENCODER_H_
+#ifndef WHITENREC_WHITENING_ITEM_ENCODER_H_
+#define WHITENREC_WHITENING_ITEM_ENCODER_H_
 
 #include <string>
 #include <vector>
@@ -37,4 +37,4 @@ class ItemEncoder {
 
 }  // namespace whitenrec
 
-#endif  // WHITENREC_CORE_ITEM_ENCODER_H_
+#endif  // WHITENREC_WHITENING_ITEM_ENCODER_H_

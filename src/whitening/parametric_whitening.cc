@@ -1,4 +1,4 @@
-#include "core/parametric_whitening.h"
+#include "whitening/parametric_whitening.h"
 
 #include <cmath>
 

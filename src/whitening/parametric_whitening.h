@@ -1,12 +1,12 @@
-#ifndef WHITENREC_CORE_PARAMETRIC_WHITENING_H_
-#define WHITENREC_CORE_PARAMETRIC_WHITENING_H_
+#ifndef WHITENREC_WHITENING_PARAMETRIC_WHITENING_H_
+#define WHITENREC_WHITENING_PARAMETRIC_WHITENING_H_
 
 #include <memory>
 #include <string>
 #include <vector>
 
-#include "core/item_encoder.h"
-#include "core/whiten_encoder.h"
+#include "whitening/item_encoder.h"
+#include "whitening/whiten_encoder.h"
 #include "linalg/rng.h"
 #include "nn/layers.h"
 
@@ -14,7 +14,7 @@ namespace whitenrec {
 
 // Parametric whitening (PW) layer from UniSRec: z = (x - beta) W with a
 // learnable shift `beta` (initialized to the feature mean) and a learnable
-// linear map W. Unlike the non-parametric transforms in core/whitening.h,
+// linear map W. Unlike the non-parametric transforms in whitening/whitening.h,
 // nothing constrains the output to be decorrelated — the paper's Table VI
 // shows this is exactly why PW underperforms true whitening.
 class ParametricWhitening : public nn::Layer {
@@ -90,4 +90,4 @@ class PwEnsembleEncoder : public ItemEncoder {
 
 }  // namespace whitenrec
 
-#endif  // WHITENREC_CORE_PARAMETRIC_WHITENING_H_
+#endif  // WHITENREC_WHITENING_PARAMETRIC_WHITENING_H_

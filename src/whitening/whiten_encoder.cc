@@ -1,4 +1,4 @@
-#include "core/whiten_encoder.h"
+#include "whitening/whiten_encoder.h"
 
 #include <cmath>
 

@@ -1,12 +1,12 @@
-#ifndef WHITENREC_CORE_WHITEN_ENCODER_H_
-#define WHITENREC_CORE_WHITEN_ENCODER_H_
+#ifndef WHITENREC_WHITENING_WHITEN_ENCODER_H_
+#define WHITENREC_WHITENING_WHITEN_ENCODER_H_
 
 #include <memory>
 #include <string>
 #include <vector>
 
-#include "core/item_encoder.h"
-#include "core/whitening.h"
+#include "whitening/item_encoder.h"
+#include "whitening/whitening.h"
 #include "linalg/rng.h"
 #include "nn/layers.h"
 
@@ -150,4 +150,4 @@ Result<std::unique_ptr<ItemEncoder>> MakeWhitenRecPlusEncoder(
 
 }  // namespace whitenrec
 
-#endif  // WHITENREC_CORE_WHITEN_ENCODER_H_
+#endif  // WHITENREC_WHITENING_WHITEN_ENCODER_H_

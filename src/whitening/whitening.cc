@@ -1,4 +1,4 @@
-#include "core/whitening.h"
+#include "whitening/whitening.h"
 
 #include <cmath>
 

@@ -1,5 +1,5 @@
-#ifndef WHITENREC_CORE_WHITENING_H_
-#define WHITENREC_CORE_WHITENING_H_
+#ifndef WHITENREC_WHITENING_WHITENING_H_
+#define WHITENREC_WHITENING_WHITENING_H_
 
 #include <cstddef>
 #include <vector>
@@ -112,4 +112,4 @@ IsotropyDiagnostics MeasureIsotropy(const linalg::Matrix& z);
 
 }  // namespace whitenrec
 
-#endif  // WHITENREC_CORE_WHITENING_H_
+#endif  // WHITENREC_WHITENING_WHITENING_H_

@@ -4,7 +4,7 @@
 
 #include "analysis/spectrum.h"
 #include "analysis/tsne.h"
-#include "core/whitening.h"
+#include "whitening/whitening.h"
 #include "linalg/rng.h"
 #include "linalg/stats.h"
 

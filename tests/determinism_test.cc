@@ -10,7 +10,7 @@
 #include <gtest/gtest.h>
 
 #include "core/parallel.h"
-#include "core/whitening.h"
+#include "whitening/whitening.h"
 #include "data/generator.h"
 #include "data/split.h"
 #include "linalg/rng.h"

@@ -67,6 +67,34 @@ TEST(ScrubSourceTest, ViolationInsideLiteralIsNotReported) {
   EXPECT_TRUE(LintFile("src/core/doc.cc", src).empty());
 }
 
+TEST(ScrubSourceTest, BlanksPrefixedRawStrings) {
+  // Regression: the old per-character scrubber only recognized a bare R"(
+  // opener, so the u8R / uR / UR / LR raw-string family leaked its contents
+  // into the scrubbed text and produced phantom rule hits.
+  const std::string src =
+      "auto a = u8R\"(std::thread inside)\";\n"
+      "auto b = LR\"sep(std::random_device)sep\";\n"
+      "int tail = 3;\n";
+  const std::string scrubbed = ScrubSource(src);
+  EXPECT_EQ(scrubbed.find("thread"), std::string::npos);
+  EXPECT_EQ(scrubbed.find("random_device"), std::string::npos);
+  EXPECT_NE(scrubbed.find("int tail = 3;"), std::string::npos);
+  EXPECT_TRUE(LintFile("src/core/doc.cc", src).empty());
+}
+
+TEST(ScrubSourceTest, DigitSeparatorDoesNotDesyncScrubbing) {
+  // Regression: 1'000'000 is one pp-number, not the start of a char
+  // literal; a desynced scrubber would leave the later string unblanked.
+  const std::string src =
+      "const long n = 1'000'000;\n"
+      "const char* s = \"std::thread\";\n"
+      "int tail = 3;\n";
+  const std::string scrubbed = ScrubSource(src);
+  EXPECT_EQ(scrubbed.find("thread"), std::string::npos);
+  EXPECT_NE(scrubbed.find("int tail = 3;"), std::string::npos);
+  EXPECT_TRUE(LintFile("src/core/num.cc", src).empty());
+}
+
 // ---------------------------------------------------------------------------
 // raw-thread
 // ---------------------------------------------------------------------------

@@ -7,7 +7,7 @@
 #include <gtest/gtest.h>
 
 #include "core/status.h"
-#include "core/whitening.h"
+#include "whitening/whitening.h"
 #include "data/generator.h"
 #include "data/split.h"
 #include "linalg/stats.h"

@@ -7,8 +7,8 @@
 //    under exclusions — lists then match exact search bitwise;
 //  * the Scorer seam: WHITENREC_SCORER/WHITENREC_IVF_* knobs parse strictly,
 //    the exact scorer reproduces the inline streamed scoring, and eval
-//    TopKRecommendations under WHITENREC_SCORER=ivf at full probe equals the
-//    exact lists;
+//    TopKRecommendations with an injected IVF scorer at full probe equals
+//    the exact lists;
 //  * IVF serving: responses bitwise reproducible across thread counts,
 //    batch windows, and repeated runs, and ingest-triggered index rebuilds
 //    keep responses a pure function of the ingest history;
@@ -505,7 +505,7 @@ TEST(IvfServing, IngestRebuildKeepsResponsesReproducible) {
 }
 
 // ---------------------------------------------------------------------------
-// Eval path: TopKRecommendations under WHITENREC_SCORER=ivf.
+// Eval path: TopKRecommendations with an injected IVF scorer.
 // ---------------------------------------------------------------------------
 
 TEST(TopKRecommendationsIvf, FullProbeMatchesExactLists) {
@@ -532,11 +532,15 @@ TEST(TopKRecommendationsIvf, FullProbeMatchesExactLists) {
                                         8, 5);
   }
   {
+    // The eval path takes an injected linalg::Scorer; the env knobs choose
+    // the backend at the composition root, not inside seqrec.
     ScopedEnv kind("WHITENREC_SCORER", "ivf");
     ScopedEnv clusters("WHITENREC_IVF_CLUSTERS", "6");
     ScopedEnv nprobe("WHITENREC_IVF_NPROBE", "6");
+    std::unique_ptr<Scorer> ivf_scorer = MakeScorer(ScorerConfig::FromEnv());
     const std::vector<std::vector<std::size_t>> ivf =
-        seqrec::TopKRecommendations(rec.get(), instances, ds.sequences, 8, 5);
+        seqrec::TopKRecommendations(rec.get(), instances, ds.sequences, 8, 5,
+                                    256, ivf_scorer.get());
     EXPECT_EQ(exact, ivf);
   }
 }

@@ -3,8 +3,8 @@
 
 #include <gtest/gtest.h>
 
-#include "core/incremental_whitening.h"
-#include "core/whitening.h"
+#include "whitening/incremental_whitening.h"
+#include "whitening/whitening.h"
 #include "linalg/eigen.h"
 #include "linalg/stats.h"
 #include "nn/serialize.h"

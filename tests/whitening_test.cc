@@ -2,10 +2,10 @@
 
 #include <gtest/gtest.h>
 
-#include "core/flow_whitening.h"
-#include "core/parametric_whitening.h"
-#include "core/whiten_encoder.h"
-#include "core/whitening.h"
+#include "whitening/flow_whitening.h"
+#include "whitening/parametric_whitening.h"
+#include "whitening/whiten_encoder.h"
+#include "whitening/whitening.h"
 #include "grad_check.h"
 #include "linalg/eigen.h"
 #include "linalg/stats.h"

@@ -1,0 +1,117 @@
+#include "tools/analyze/analyze.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "tools/analyze/source_util.h"
+#include "tools/analyze/tokenize.h"
+
+namespace whitenrec {
+namespace analyze {
+
+std::vector<std::string> SplitLines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::string cur;
+  for (char c : text) {
+    if (c == '\n') {
+      lines.push_back(cur);
+      cur.clear();
+    } else {
+      cur.push_back(c);
+    }
+  }
+  lines.push_back(cur);
+  return lines;
+}
+
+bool SuppressedAt(const std::vector<std::string>& raw_lines,
+                  std::size_t line_no, const std::string& rule) {
+  for (std::size_t l = (line_no > 1 ? line_no - 1 : 1);
+       l <= line_no && l <= raw_lines.size(); ++l) {
+    const std::set<std::string> allows = ParseAllows(raw_lines[l - 1]);
+    if (allows.count(rule) || allows.count("*")) return true;
+  }
+  return false;
+}
+
+void ReportFinding(const std::vector<std::string>& raw_lines,
+                   const std::string& file, std::size_t line_no,
+                   const std::string& pass, const std::string& rule,
+                   const std::string& message,
+                   std::vector<Finding>* findings) {
+  if (SuppressedAt(raw_lines, line_no, rule)) return;
+  findings->push_back(Finding{file, line_no, pass, rule, message});
+}
+
+void SortFindings(std::vector<Finding>* findings) {
+  std::sort(findings->begin(), findings->end(),
+            [](const Finding& a, const Finding& b) {
+              if (a.file != b.file) return a.file < b.file;
+              if (a.line != b.line) return a.line < b.line;
+              return a.rule < b.rule;
+            });
+}
+
+std::string ModuleOf(const std::string& path) {
+  if (path.rfind("src/", 0) != 0) return "";
+  const std::size_t slash = path.find('/', 4);
+  if (slash == std::string::npos) return "";
+  return path.substr(4, slash - 4);
+}
+
+int LayerRank(const std::string& module) {
+  if (module == "core") return 0;
+  if (module == "linalg") return 1;
+  if (module == "nn" || module == "data" || module == "text") return 2;
+  if (module == "whitening") return 3;
+  if (module == "seqrec" || module == "eval" || module == "analysis") {
+    return 4;
+  }
+  if (module == "retrieval") return 5;
+  if (module == "serve") return 6;
+  return -1;
+}
+
+AnalyzeResult AnalyzeTree(const SourceTree& tree, const TreeInputs& inputs) {
+  AnalyzeResult result;
+  result.files_scanned = tree.files.size();
+  for (const std::vector<Finding>& pass_findings :
+       {CheckLayering(tree), CheckKnobs(tree, inputs), CheckHotAlloc(tree)}) {
+    result.findings.insert(result.findings.end(), pass_findings.begin(),
+                           pass_findings.end());
+  }
+  SortFindings(&result.findings);
+  return result;
+}
+
+SourceTree LoadTree(const std::string& root) {
+  namespace fs = std::filesystem;
+  SourceTree tree;
+  std::vector<std::string> paths;
+  for (const char* dir : {"src", "tests", "bench", "examples"}) {
+    const fs::path base = fs::path(root) / dir;
+    if (!fs::exists(base)) continue;
+    for (const auto& entry : fs::recursive_directory_iterator(base)) {
+      if (!entry.is_regular_file()) continue;
+      const std::string ext = entry.path().extension().string();
+      if (ext != ".h" && ext != ".hpp" && ext != ".cc" && ext != ".cpp") {
+        continue;
+      }
+      paths.push_back(
+          fs::relative(entry.path(), fs::path(root)).generic_string());
+    }
+  }
+  std::sort(paths.begin(), paths.end());
+  for (const std::string& rel : paths) {
+    std::ifstream in(fs::path(root) / rel, std::ios::binary);
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    tree.files.push_back(SourceFile{rel, ss.str()});
+  }
+  return tree;
+}
+
+}  // namespace analyze
+}  // namespace whitenrec

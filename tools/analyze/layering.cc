@@ -1,0 +1,166 @@
+#include <algorithm>
+#include <map>
+#include <regex>
+#include <string>
+#include <vector>
+
+#include "tools/analyze/analyze.h"
+#include "tools/analyze/source_util.h"
+#include "tools/analyze/tokenize.h"
+
+// Layering pass: parses every quoted #include in src/, checks each edge
+// against the layer order (rule upward-include), and runs a DFS over the
+// file-level include graph to reject cycles (rule include-cycle). The order
+// is the one src/CMakeLists.txt's link graph realizes:
+//
+//   rank 0  core          status/check/parallel/faultfs/json foundation
+//   rank 1  linalg        dense kernels, rng, workspace, the Scorer seam
+//   rank 2  nn data text  model blocks, datasets, the simulated PLM
+//   rank 3  whitening     the paper's whitening transforms + item encoders
+//   rank 4  seqrec eval analysis
+//   rank 5  retrieval     IVF backend implementing the linalg Scorer seam
+//   rank 6  serve         online serving on top of everything
+//
+// An include is legal when rank(included) <= rank(including): a module may
+// reach down or sideways (data -> text, seqrec -> eval) but never up — that
+// is what keeps the Scorer dependency inverted (seqrec consumes the
+// abstract linalg::Scorer; retrieval implements it) instead of regressing
+// into a seqrec -> retrieval edge. Modules outside the map (a future
+// src/<new>/ not yet ranked) are exempt from the order but still cycle-
+// checked, so adding a module fails soft until its rank is declared here.
+
+namespace whitenrec {
+namespace analyze {
+namespace {
+
+struct IncludeEdge {
+  std::string target;    // include path as written, e.g. "core/check.h"
+  std::size_t line = 0;  // 1-based
+};
+
+// Quoted includes only: system headers carry no layering information.
+std::vector<IncludeEdge> ParseIncludes(const SourceFile& file) {
+  static const std::regex kInclude(R"re(^\s*#\s*include\s*"([^"]+)")re");
+  std::vector<IncludeEdge> edges;
+  const std::vector<std::string> raw = SplitLines(file.contents);
+  const std::vector<std::string> scrubbed =
+      SplitLines(ScrubSource(file.contents));
+  for (std::size_t i = 0; i < raw.size(); ++i) {
+    // The scrubbed line keeps the directive but blanks the path (it is a
+    // string literal); requiring the directive there skips #includes that
+    // live inside comments or literals in the raw text.
+    static const std::regex kDirective(R"(^\s*#\s*include\s*)");
+    if (!std::regex_search(scrubbed[i], kDirective)) continue;
+    std::smatch m;
+    if (std::regex_search(raw[i], m, kInclude)) {
+      edges.push_back(IncludeEdge{m[1].str(), i + 1});
+    }
+  }
+  return edges;
+}
+
+const char* kLayerOrderText =
+    "core < linalg < {nn, data, text} < whitening < "
+    "{seqrec, eval, analysis} < retrieval < serve";
+
+}  // namespace
+
+std::vector<Finding> CheckLayering(const SourceTree& tree) {
+  std::vector<Finding> findings;
+
+  // Resolve include targets against the tree: "core/check.h" names
+  // "src/core/check.h" when that file exists. Only src/ participates.
+  std::map<std::string, std::size_t> index;  // path -> tree.files index
+  for (std::size_t i = 0; i < tree.files.size(); ++i) {
+    index[tree.files[i].path] = i;
+  }
+
+  struct Node {
+    std::vector<std::pair<std::size_t, std::size_t>> edges;  // (file, line)
+    std::vector<std::string> raw_lines;
+  };
+  std::map<std::size_t, Node> graph;  // src/ files only
+
+  for (std::size_t i = 0; i < tree.files.size(); ++i) {
+    const SourceFile& file = tree.files[i];
+    const std::string module = ModuleOf(file.path);
+    if (module.empty()) continue;
+    Node& node = graph[i];
+    node.raw_lines = SplitLines(file.contents);
+    const int from_rank = LayerRank(module);
+    for (const IncludeEdge& edge : ParseIncludes(file)) {
+      const auto it = index.find("src/" + edge.target);
+      if (it == index.end()) continue;  // tools/, generated, or absent
+      node.edges.emplace_back(it->second, edge.line);
+      const std::string to_module = ModuleOf(tree.files[it->second].path);
+      const int to_rank = LayerRank(to_module);
+      if (from_rank >= 0 && to_rank >= 0 && to_rank > from_rank) {
+        ReportFinding(node.raw_lines, file.path, edge.line, "layering",
+                      "upward-include",
+                      "module '" + module + "' (rank " +
+                          std::to_string(from_rank) + ") includes '" +
+                          edge.target + "' from higher-layer module '" +
+                          to_module + "' (rank " + std::to_string(to_rank) +
+                          "); the layer order is " + kLayerOrderText +
+                          " — invert the dependency (see linalg/scorer.h "
+                          "for the pattern)",
+                      &findings);
+      }
+    }
+  }
+
+  // File-level cycle detection: iterative DFS with tri-color marking. A back
+  // edge to a gray node closes a cycle; report it once, anchored at the
+  // include that closes it.
+  std::map<std::size_t, int> color;  // 0 white, 1 gray, 2 black
+  std::vector<std::size_t> path;     // current gray stack
+  for (const auto& entry : graph) {
+    const std::size_t start = entry.first;
+    if (color[start] != 0) continue;
+    struct Frame {
+      std::size_t node;
+      std::size_t next_edge;
+    };
+    std::vector<Frame> stack{{start, 0}};
+    color[start] = 1;
+    path.push_back(start);
+    while (!stack.empty()) {
+      Frame& frame = stack.back();
+      Node& node = graph[frame.node];
+      if (frame.next_edge < node.edges.size()) {
+        const auto [to, line] = node.edges[frame.next_edge++];
+        if (graph.find(to) == graph.end()) continue;  // non-src include
+        if (color[to] == 1) {
+          // Cycle: path from `to` to frame.node, closed by this include.
+          std::string desc;
+          bool in_cycle = false;
+          for (std::size_t p : path) {
+            if (p == to) in_cycle = true;
+            if (in_cycle) desc += tree.files[p].path + " -> ";
+          }
+          desc += tree.files[to].path;
+          ReportFinding(node.raw_lines, tree.files[frame.node].path, line,
+                        "layering", "include-cycle",
+                        "include cycle: " + desc +
+                            "; break it with a forward declaration or by "
+                            "moving the shared piece down a layer",
+                        &findings);
+        } else if (color[to] == 0) {
+          color[to] = 1;
+          path.push_back(to);
+          stack.push_back(Frame{to, 0});
+        }
+      } else {
+        color[frame.node] = 2;
+        path.pop_back();
+        stack.pop_back();
+      }
+    }
+  }
+
+  SortFindings(&findings);
+  return findings;
+}
+
+}  // namespace analyze
+}  // namespace whitenrec

@@ -1,0 +1,44 @@
+#ifndef WHITENREC_TOOLS_ANALYZE_SOURCE_UTIL_H_
+#define WHITENREC_TOOLS_ANALYZE_SOURCE_UTIL_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "tools/analyze/analyze.h"
+#include "tools/analyze/tokenize.h"
+
+// Internal helpers shared by the analyzer passes.
+
+namespace whitenrec {
+namespace analyze {
+
+// Splits text into lines (trailing segment kept even without newline).
+std::vector<std::string> SplitLines(const std::string& text);
+
+// True when `rule` (or the wildcard "*") is allowed on `line_no` or the line
+// above it via a whitenrec-analyze/whitenrec-lint allow() comment.
+bool SuppressedAt(const std::vector<std::string>& raw_lines,
+                  std::size_t line_no, const std::string& rule);
+
+// Appends a finding unless it is suppressed at its line.
+void ReportFinding(const std::vector<std::string>& raw_lines,
+                   const std::string& file, std::size_t line_no,
+                   const std::string& pass, const std::string& rule,
+                   const std::string& message, std::vector<Finding>* findings);
+
+// Sorts findings by (file, line, rule) for stable, diffable output.
+void SortFindings(std::vector<Finding>* findings);
+
+// Module name of a src/ path ("src/nn/gru.cc" -> "nn"), or "" when the path
+// is not of the form src/<module>/...
+std::string ModuleOf(const std::string& path);
+
+// Layer rank of a module per the enforced order (0 = core ... 6 = serve), or
+// -1 for modules outside the layering contract.
+int LayerRank(const std::string& module);
+
+}  // namespace analyze
+}  // namespace whitenrec
+
+#endif  // WHITENREC_TOOLS_ANALYZE_SOURCE_UTIL_H_

@@ -1,0 +1,280 @@
+#include "tools/analyze/tokenize.h"
+
+#include <algorithm>
+#include <cctype>
+
+namespace whitenrec {
+namespace analyze {
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool IsDigit(char c) { return std::isdigit(static_cast<unsigned char>(c)); }
+
+// Encoding prefixes that turn a following quote into a literal instead of a
+// fresh token. The raw-string set is the reason this lexer exists: the old
+// scrubber required a non-alnum character before 'R', so u8R"(...)" leaked
+// its contents into the scrubbed text.
+bool IsRawStringPrefix(const std::string& ident) {
+  return ident == "R" || ident == "u8R" || ident == "uR" || ident == "UR" ||
+         ident == "LR";
+}
+
+bool IsEncodingPrefix(const std::string& ident) {
+  return ident == "u8" || ident == "u" || ident == "U" || ident == "L";
+}
+
+// Multi-character punctuators, longest first so maximal munch works by
+// scanning the table in order.
+const char* const kPuncts[] = {
+    "<<=", ">>=", "->*", "...", "::", "->", "++", "--", "<<", ">>",
+    "<=",  ">=",  "==",  "!=",  "&&", "||", "+=", "-=", "*=", "/=",
+    "%=",  "&=",  "|=",  "^=",  "##",
+};
+
+// One lexed region of the input: [begin, end) plus its classification. The
+// token stream and the scrubbed text are both derived from these spans, so
+// they agree byte-for-byte on where every literal starts and ends.
+struct Span {
+  TokKind kind;
+  std::size_t begin;
+  std::size_t end;
+  bool is_space;  // inter-token whitespace, no token emitted
+};
+
+class Lexer {
+ public:
+  explicit Lexer(const std::string& text) : text_(text) {}
+
+  std::vector<Span> Run() {
+    std::vector<Span> spans;
+    while (pos_ < text_.size()) {
+      const std::size_t begin = pos_;
+      const char c = text_[pos_];
+      if (c == '\n' || c == ' ' || c == '\t' || c == '\r' || c == '\v' ||
+          c == '\f') {
+        ++pos_;
+        spans.push_back(Span{TokKind::kPunct, begin, pos_, true});
+      } else if (c == '/' && Peek(1) == '/') {
+        LexLineComment();
+        spans.push_back(Span{TokKind::kComment, begin, pos_, false});
+      } else if (c == '/' && Peek(1) == '*') {
+        LexBlockComment();
+        spans.push_back(Span{TokKind::kComment, begin, pos_, false});
+      } else if (IsIdentStart(c)) {
+        spans.push_back(LexIdentOrLiteral(begin));
+      } else if (IsDigit(c) || (c == '.' && IsDigit(Peek(1)))) {
+        LexNumber();
+        spans.push_back(Span{TokKind::kNumber, begin, pos_, false});
+      } else if (c == '"') {
+        LexQuoted('"');
+        spans.push_back(Span{TokKind::kString, begin, pos_, false});
+      } else if (c == '\'') {
+        LexQuoted('\'');
+        spans.push_back(Span{TokKind::kCharLit, begin, pos_, false});
+      } else {
+        LexPunct();
+        spans.push_back(Span{TokKind::kPunct, begin, pos_, false});
+      }
+    }
+    return spans;
+  }
+
+ private:
+  char Peek(std::size_t ahead) const {
+    return pos_ + ahead < text_.size() ? text_[pos_ + ahead] : '\0';
+  }
+
+  void LexLineComment() {
+    while (pos_ < text_.size() && text_[pos_] != '\n') ++pos_;
+  }
+
+  void LexBlockComment() {
+    pos_ += 2;
+    while (pos_ < text_.size()) {
+      if (text_[pos_] == '*' && Peek(1) == '/') {
+        pos_ += 2;
+        return;
+      }
+      ++pos_;
+    }
+  }
+
+  Span LexIdentOrLiteral(std::size_t begin) {
+    while (pos_ < text_.size() && IsIdentChar(text_[pos_])) ++pos_;
+    const std::string ident = text_.substr(begin, pos_ - begin);
+    if (pos_ < text_.size()) {
+      const char q = text_[pos_];
+      if (q == '"' && IsRawStringPrefix(ident)) {
+        LexRawString();
+        return Span{TokKind::kString, begin, pos_, false};
+      }
+      if (q == '"' && IsEncodingPrefix(ident)) {
+        LexQuoted('"');
+        return Span{TokKind::kString, begin, pos_, false};
+      }
+      if (q == '\'' && IsEncodingPrefix(ident)) {
+        LexQuoted('\'');
+        return Span{TokKind::kCharLit, begin, pos_, false};
+      }
+    }
+    return Span{TokKind::kIdent, begin, pos_, false};
+  }
+
+  // pp-number: digits plus identifier chars, '.', digit separators, and a
+  // sign directly after an exponent marker. Consuming 1'000'000 here is what
+  // keeps the separator quote from opening a bogus char literal.
+  void LexNumber() {
+    ++pos_;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (IsIdentChar(c) || c == '.') {
+        ++pos_;
+      } else if (c == '\'' && IsIdentChar(Peek(1)) && pos_ > 0 &&
+                 IsIdentChar(text_[pos_ - 1])) {
+        pos_ += 2;
+      } else if ((c == '+' || c == '-') && pos_ > 0 &&
+                 (text_[pos_ - 1] == 'e' || text_[pos_ - 1] == 'E' ||
+                  text_[pos_ - 1] == 'p' || text_[pos_ - 1] == 'P')) {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+  }
+
+  // Ordinary quoted literal with backslash escapes; an unescaped newline or
+  // end of input terminates it (keeps the lexer in sync on malformed text).
+  void LexQuoted(char quote) {
+    ++pos_;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == '\\' && pos_ + 1 < text_.size()) {
+        pos_ += 2;
+      } else if (c == quote) {
+        ++pos_;
+        return;
+      } else if (c == '\n') {
+        return;
+      } else {
+        ++pos_;
+      }
+    }
+  }
+
+  // R"delim( ... )delim" with the prefix already consumed; pos_ is at '"'.
+  void LexRawString() {
+    ++pos_;
+    std::string delim;
+    while (pos_ < text_.size() && text_[pos_] != '(' && text_[pos_] != '\n') {
+      delim.push_back(text_[pos_]);
+      ++pos_;
+    }
+    if (pos_ >= text_.size() || text_[pos_] != '(') return;  // malformed
+    ++pos_;
+    const std::string closer = ")" + delim + "\"";
+    const std::size_t at = text_.find(closer, pos_);
+    pos_ = at == std::string::npos ? text_.size() : at + closer.size();
+  }
+
+  void LexPunct() {
+    for (const char* p : kPuncts) {
+      const std::size_t n = std::string(p).size();
+      if (text_.compare(pos_, n, p) == 0) {
+        pos_ += n;
+        return;
+      }
+    }
+    ++pos_;
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::vector<Token> Tokenize(const std::string& contents) {
+  std::vector<Token> tokens;
+  std::size_t line = 1;
+  std::size_t scanned_to = 0;
+  for (const Span& span : Lexer(contents).Run()) {
+    line += static_cast<std::size_t>(
+        std::count(contents.begin() + static_cast<std::ptrdiff_t>(scanned_to),
+                   contents.begin() + static_cast<std::ptrdiff_t>(span.begin),
+                   '\n'));
+    scanned_to = span.begin;
+    if (!span.is_space) {
+      Token t;
+      t.kind = span.kind;
+      t.text = contents.substr(span.begin, span.end - span.begin);
+      t.line = line;
+      tokens.push_back(std::move(t));
+    }
+  }
+  return tokens;
+}
+
+std::string ScrubSource(const std::string& contents) {
+  std::string out = contents;
+  for (const Span& span : Lexer(contents).Run()) {
+    if (span.kind == TokKind::kComment || span.kind == TokKind::kString ||
+        span.kind == TokKind::kCharLit) {
+      for (std::size_t i = span.begin; i < span.end; ++i) {
+        if (out[i] != '\n') out[i] = ' ';
+      }
+    }
+  }
+  return out;
+}
+
+std::string StringValue(const Token& token) {
+  if (token.kind != TokKind::kString) return "";
+  const std::size_t open = token.text.find('"');
+  const std::size_t close = token.text.rfind('"');
+  if (open == std::string::npos || close <= open) return "";
+  std::string value = token.text.substr(open + 1, close - open - 1);
+  // Raw string: strip the delim( ... )delim wrapper.
+  const bool raw = open > 0 && token.text[open - 1] == 'R';
+  if (raw) {
+    const std::size_t lparen = value.find('(');
+    const std::size_t rparen = value.rfind(')');
+    if (lparen != std::string::npos && rparen != std::string::npos &&
+        rparen >= lparen) {
+      value = value.substr(lparen + 1, rparen - lparen - 1);
+    }
+  }
+  return value;
+}
+
+std::set<std::string> ParseAllows(const std::string& line) {
+  std::set<std::string> rules;
+  for (const char* marker :
+       {"whitenrec-lint: allow(", "whitenrec-analyze: allow("}) {
+    std::size_t pos = line.find(marker);
+    if (pos == std::string::npos) continue;
+    pos += std::string(marker).size();
+    const std::size_t close = line.find(')', pos);
+    if (close == std::string::npos) continue;
+    std::string rule;
+    for (std::size_t i = pos; i <= close; ++i) {
+      const char c = line[i];
+      if (c == ',' || c == ')') {
+        if (!rule.empty()) rules.insert(rule);
+        rule.clear();
+      } else if (!std::isspace(static_cast<unsigned char>(c))) {
+        rule.push_back(c);
+      }
+    }
+  }
+  return rules;
+}
+
+}  // namespace analyze
+}  // namespace whitenrec

@@ -1,0 +1,60 @@
+#ifndef WHITENREC_TOOLS_ANALYZE_TOKENIZE_H_
+#define WHITENREC_TOOLS_ANALYZE_TOKENIZE_H_
+
+#include <cstddef>
+#include <set>
+#include <string>
+#include <vector>
+
+// Shared C++ token scanner for the repo's static-analysis tools. Both the
+// determinism linter (tools/lint) and the cross-TU analyzer (tools/analyze)
+// sit on this one lexer, so "what counts as a string literal" cannot diverge
+// between them. The scanner is a real maximal-munch lexer, not a regex pile:
+// it understands encoding prefixes on string/char literals (u8"", L'', and
+// the u8R"( / LR"( raw-string family the old per-character scrubber
+// mis-lexed), digit separators (1'000'000 is one number token, not a char
+// literal), and pp-numbers with signed exponents (1e-3).
+
+namespace whitenrec {
+namespace analyze {
+
+enum class TokKind {
+  kIdent,    // identifiers and keywords
+  kNumber,   // pp-numbers, incl. hex / exponents / digit separators
+  kString,   // string literal, any encoding prefix, incl. raw strings
+  kCharLit,  // character literal, any encoding prefix
+  kPunct,    // operators and punctuation (maximal munch, "::" is one token)
+  kComment,  // line or block comment, text without the trailing newline
+};
+
+struct Token {
+  TokKind kind = TokKind::kPunct;
+  std::string text;      // raw source text, incl. quotes/prefix for literals
+  std::size_t line = 0;  // 1-based line of the token's first character
+};
+
+// Lexes `contents` into a token stream. Every byte of input is covered by
+// exactly one token or by inter-token whitespace; unterminated literals are
+// closed at end of input so the scanner never loses sync on partial files.
+std::vector<Token> Tokenize(const std::string& contents);
+
+// Replaces comments, string literals, and char literals with spaces while
+// preserving line structure (same byte count of '\n', code text untouched).
+// This is the scrubbed text the line-oriented lint rules run on.
+std::string ScrubSource(const std::string& contents);
+
+// Returns the string-literal value of a kString token (text between the
+// outermost quotes, raw-string delimiters stripped), or "" for other kinds.
+std::string StringValue(const Token& token);
+
+// Parses tool suppressions from one ORIGINAL (unscrubbed) source line. Both
+// spellings are honored by both tools:
+//   // whitenrec-lint: allow(rule-a, rule-b)
+//   // whitenrec-analyze: allow(rule-a)
+// so a file annotated for one tool does not regress under the other.
+std::set<std::string> ParseAllows(const std::string& line);
+
+}  // namespace analyze
+}  // namespace whitenrec
+
+#endif  // WHITENREC_TOOLS_ANALYZE_TOKENIZE_H_

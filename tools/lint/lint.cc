@@ -9,6 +9,8 @@
 #include <sstream>
 #include <unordered_set>
 
+#include "tools/analyze/tokenize.h"
+
 namespace whitenrec {
 namespace lint {
 namespace {
@@ -55,25 +57,10 @@ std::size_t CountWord(const std::string& text, const std::string& word) {
 }
 
 // Parses "// whitenrec-lint: allow(rule-a, rule-b)" suppressions from the
-// ORIGINAL (unscrubbed) line, since they live inside comments.
+// ORIGINAL (unscrubbed) line, since they live inside comments. Shared with
+// tools/analyze, which also honors the whitenrec-analyze spelling.
 std::set<std::string> ParseAllows(const std::string& line) {
-  std::set<std::string> rules;
-  const std::string marker = "whitenrec-lint: allow(";
-  std::size_t pos = line.find(marker);
-  if (pos == std::string::npos) return rules;
-  pos += marker.size();
-  const std::size_t close = line.find(')', pos);
-  if (close == std::string::npos) return rules;
-  std::stringstream ss(line.substr(pos, close - pos));
-  std::string rule;
-  while (std::getline(ss, rule, ',')) {
-    rule.erase(std::remove_if(rule.begin(), rule.end(),
-                              [](char c) { return std::isspace(
-                                  static_cast<unsigned char>(c)); }),
-               rule.end());
-    if (!rule.empty()) rules.insert(rule);
-  }
-  return rules;
+  return analyze::ParseAllows(line);
 }
 
 struct FileContext {
@@ -563,110 +550,9 @@ void CheckIncludeGuard(const FileContext& ctx) {
 }  // namespace
 
 std::string ScrubSource(const std::string& contents) {
-  std::string out;
-  out.reserve(contents.size());
-  enum class State {
-    kCode,
-    kLineComment,
-    kBlockComment,
-    kString,
-    kChar,
-    kRawString,
-  };
-  State state = State::kCode;
-  std::string raw_delim;  // for raw strings: ")<delim>\""
-  for (std::size_t i = 0; i < contents.size(); ++i) {
-    const char c = contents[i];
-    const char next = i + 1 < contents.size() ? contents[i + 1] : '\0';
-    switch (state) {
-      case State::kCode:
-        if (c == '/' && next == '/') {
-          state = State::kLineComment;
-          out += "  ";
-          ++i;
-        } else if (c == '/' && next == '*') {
-          state = State::kBlockComment;
-          out += "  ";
-          ++i;
-        } else if (c == 'R' && next == '"' &&
-                   (i == 0 || (!std::isalnum(static_cast<unsigned char>(
-                                   contents[i - 1])) &&
-                               contents[i - 1] != '_'))) {
-          // Raw string literal: R"delim( ... )delim"
-          std::size_t open = contents.find('(', i + 2);
-          if (open == std::string::npos) {
-            out.push_back(' ');
-            break;
-          }
-          raw_delim = ")" + contents.substr(i + 2, open - (i + 2)) + "\"";
-          out += "  ";
-          for (std::size_t k = i + 2; k <= open; ++k) out.push_back(' ');
-          i = open;
-          state = State::kRawString;
-        } else if (c == '"') {
-          state = State::kString;
-          out.push_back(' ');
-        } else if (c == '\'') {
-          state = State::kChar;
-          out.push_back(' ');
-        } else {
-          out.push_back(c);
-        }
-        break;
-      case State::kLineComment:
-        if (c == '\n') {
-          state = State::kCode;
-          out.push_back('\n');
-        } else {
-          out.push_back(' ');
-        }
-        break;
-      case State::kBlockComment:
-        if (c == '*' && next == '/') {
-          state = State::kCode;
-          out += "  ";
-          ++i;
-        } else {
-          out.push_back(c == '\n' ? '\n' : ' ');
-        }
-        break;
-      case State::kString:
-        if (c == '\\') {
-          out += "  ";
-          ++i;
-          if (next == '\n') out.back() = '\n';
-        } else if (c == '"') {
-          state = State::kCode;
-          out.push_back(' ');
-        } else {
-          out.push_back(c == '\n' ? '\n' : ' ');
-        }
-        break;
-      case State::kChar:
-        if (c == '\\') {
-          out += "  ";
-          ++i;
-        } else if (c == '\'') {
-          state = State::kCode;
-          out.push_back(' ');
-        } else {
-          out.push_back(c == '\n' ? '\n' : ' ');
-        }
-        break;
-      case State::kRawString:
-        if (contents.compare(i, raw_delim.size(), raw_delim) == 0) {
-          for (std::size_t k = 0; k < raw_delim.size(); ++k) {
-            out.push_back(' ');
-          }
-          i += raw_delim.size() - 1;
-          state = State::kCode;
-        } else {
-          out.push_back(c == '\n' ? '\n' : ' ');
-        }
-        break;
-    }
-  }
-  return out;
+  // One lexer for both tools: the analyzer's token scanner decides where
+  // every comment and literal begins and ends (see lint.h).
+  return analyze::ScrubSource(contents);
 }
 
 std::vector<Finding> LintFile(const std::string& path,

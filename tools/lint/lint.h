@@ -67,7 +67,11 @@ std::vector<Finding> LintFile(const std::string& path,
 std::vector<Finding> LintTree(const std::string& root);
 
 // Replaces string literals, char literals, and comments with spaces while
-// preserving line structure. Exposed for tests.
+// preserving line structure. Exposed for tests. Delegates to the shared
+// token scanner in tools/analyze/tokenize.h, so the linter and the cross-TU
+// analyzer agree byte-for-byte on literal boundaries — including the
+// prefixed raw strings (u8R"(...)" etc.) the old per-character state
+// machine mis-lexed as ordinary strings.
 std::string ScrubSource(const std::string& contents);
 
 }  // namespace lint
