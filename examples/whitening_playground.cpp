@@ -1,14 +1,26 @@
 // Whitening playground: applies every transform in the library to the same
 // anisotropic embedding cloud and reports isotropy diagnostics — a compact
 // tour of the whitening/whitening API (ZCA / PCA / CD / BN, group whitening, and
-// the BERT-flow surrogate).
+// the BERT-flow surrogate). Compressed-inference flags (DESIGN.md §12):
+//
+//   --whiten-k N             add a rank-N truncated PCA whitening row
+//   --item-quant fp32|int8|bf16
+//                            quantize the whitened table and report the
+//                            packed footprint and roundtrip error
+//
+// Both flags are strictly parsed: a malformed value aborts with a message
+// instead of silently doing something else.
 
+#include <cmath>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 
 #include "whitening/flow_whitening.h"
 #include "whitening/whitening.h"
 #include "data/generator.h"
 #include "linalg/eigen.h"
+#include "linalg/quant.h"
 #include "linalg/stats.h"
 
 namespace {
@@ -25,10 +37,51 @@ void Report(const char* name, const whitenrec::linalg::Matrix& z) {
               kappa.ok() ? kappa.value() : -1.0);
 }
 
+[[noreturn]] void UsageError(const char* message) {
+  std::fprintf(stderr,
+               "%s\nusage: whitening_playground [--whiten-k N] "
+               "[--item-quant fp32|int8|bf16]\n",
+               message);
+  std::exit(2);
+}
+
+std::size_t ParseWhitenK(const char* value) {
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(value, &end, 10);
+  if (end == value || *end != '\0' || value[0] == '-') {
+    UsageError("--whiten-k: expected a non-negative integer");
+  }
+  return static_cast<std::size_t>(parsed);
+}
+
+whitenrec::linalg::ItemQuantKind ParseItemQuant(const char* value) {
+  using whitenrec::linalg::ItemQuantKind;
+  if (std::strcmp(value, "fp32") == 0) return ItemQuantKind::kFp32;
+  if (std::strcmp(value, "int8") == 0) return ItemQuantKind::kInt8;
+  if (std::strcmp(value, "bf16") == 0) return ItemQuantKind::kBf16;
+  UsageError("--item-quant: expected fp32, int8 or bf16");
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace whitenrec;
+
+  std::size_t whiten_k = 0;
+  bool quant_requested = false;
+  linalg::ItemQuantKind quant_kind = linalg::ItemQuantKind::kFp32;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--whiten-k") == 0) {
+      if (i + 1 >= argc) UsageError("--whiten-k: missing value");
+      whiten_k = ParseWhitenK(argv[++i]);
+    } else if (std::strcmp(argv[i], "--item-quant") == 0) {
+      if (i + 1 >= argc) UsageError("--item-quant: missing value");
+      quant_kind = ParseItemQuant(argv[++i]);
+      quant_requested = true;
+    } else {
+      UsageError("unknown flag");
+    }
+  }
 
   // Item text embeddings from the Arts profile: the realistic anisotropic
   // input (mean pairwise cosine calibrated to ~0.85).
@@ -57,6 +110,53 @@ int main() {
     FlowWhitening flow;
     WR_CHECK(flow.Fit(x, 3).ok());
     Report("flow", flow.Apply(x));
+  }
+  if (whiten_k > 0) {
+    // Rank-k truncation: keep only the top-k whitened dimensions. The
+    // truncated output is still isotropic — just k-dimensional.
+    auto z = WhitenMatrix(x, 1, WhiteningKind::kPca, 1e-5, whiten_k);
+    if (!z.ok()) {
+      std::fprintf(stderr, "--whiten-k %zu: %s\n", whiten_k,
+                   z.status().message().c_str());
+      return 2;
+    }
+    char label[32];
+    std::snprintf(label, sizeof(label), "PCA k=%zu", whiten_k);
+    Report(label, z.value());
+  }
+
+  if (quant_requested) {
+    auto z = WhitenMatrix(x, 1, WhiteningKind::kPca, 1e-5,
+                          whiten_k);  // 0 = full rank
+    WR_CHECK(z.ok());
+    const linalg::Matrix& table = z.value();
+    const std::size_t dense_bytes =
+        table.rows() * table.cols() * sizeof(double);
+    std::printf("\nitem-table quantization (%s, %zu x %zu):\n",
+                linalg::ItemQuantKindName(quant_kind), table.rows(),
+                table.cols());
+    if (quant_kind == linalg::ItemQuantKind::kFp32) {
+      std::printf("  fp32 keeps the native table: %zu bytes (1.00x)\n",
+                  dense_bytes);
+    } else {
+      linalg::QuantizedItemTable packed;
+      packed.Pack(table, quant_kind);
+      linalg::Matrix deq;
+      packed.DequantizeRowsInto(0, table.rows(), &deq);
+      double max_err = 0.0;
+      for (std::size_t r = 0; r < table.rows(); ++r) {
+        for (std::size_t c = 0; c < table.cols(); ++c) {
+          max_err = std::max(max_err, std::fabs(deq(r, c) - table(r, c)));
+        }
+      }
+      std::printf(
+          "  %zu bytes -> %zu bytes (%.2fx smaller), max roundtrip error "
+          "%.3g\n",
+          dense_bytes, packed.PackedBytes(),
+          static_cast<double>(dense_bytes) /
+              static_cast<double>(packed.PackedBytes()),
+          max_err);
+    }
   }
 
   std::printf(

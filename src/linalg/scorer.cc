@@ -4,6 +4,7 @@
 
 #include "core/check.h"
 #include "linalg/gemm.h"
+#include "linalg/quant.h"
 
 namespace whitenrec {
 namespace linalg {
@@ -11,12 +12,21 @@ namespace {
 
 // Exact fused scoring: the streamed GEMM + per-row bounded selector pass,
 // verbatim the pre-Scorer serving/eval epilogue so the exact backend stays
-// bitwise identical to the old inline code.
+// bitwise identical to the old inline code. When WHITENREC_ITEM_QUANT picks
+// a compressed representation, Rebuild packs the table once and TopKBatch
+// streams through the dequantize-in-tile driver — same epilogue, different
+// producer, so compression is invisible to every Scorer consumer.
 class ExactScorer final : public Scorer {
  public:
   void Rebuild(const Matrix& items) override {
     items_ = &items;
     num_items_ = items.rows();
+    const ItemQuantKind kind = CurrentItemQuantKind();
+    if (kind == ItemQuantKind::kFp32) {
+      quant_.Clear();
+    } else {
+      quant_.Pack(items, kind);
+    }
   }
 
   void TopKBatch(
@@ -27,8 +37,7 @@ class ExactScorer final : public Scorer {
     WR_CHECK_EQ(selectors->size(), users.rows());
     WR_CHECK(exclusions.empty() || exclusions.size() == users.rows());
     static const std::vector<std::size_t> kNoExclusions;
-    StreamMatMulTransB(
-        users, *items_,
+    const ScoreRowsFn push =
         [&](std::size_t i0, std::size_t i1, std::size_t j0, std::size_t jn,
             const Matrix& panel) {
           for (std::size_t r = i0; r < i1; ++r) {
@@ -45,13 +54,19 @@ class ExactScorer final : public Scorer {
               sel.Push(item, prow[c]);
             }
           }
-        });
+        };
+    if (quant_.empty()) {
+      StreamMatMulTransB(users, *items_, push);
+    } else {
+      StreamQuantMatMulTransB(users, quant_, push);
+    }
   }
 
   const char* name() const override { return "exact"; }
 
  private:
   const Matrix* items_ = nullptr;  // borrowed
+  QuantizedItemTable quant_;       // packed at Rebuild when quant is on
 };
 
 }  // namespace

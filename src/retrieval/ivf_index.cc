@@ -52,24 +52,28 @@ IvfIndex IvfIndex::Build(const Matrix& items, const IvfBuildConfig& config) {
   return index;
 }
 
-void IvfIndex::Search(const Matrix& queries, std::size_t qi,
-                      const Matrix& items, std::size_t nprobe,
-                      const std::vector<std::size_t>& sorted_exclusions,
-                      linalg::TopKSelector* selector) const {
-  WR_CHECK(selector != nullptr);
-  WR_CHECK_EQ(items.rows(), num_items_);
+std::vector<linalg::ScoredItem> IvfIndex::ProbeClusters(
+    const Matrix& queries, std::size_t qi, std::size_t nprobe) const {
   WR_CHECK_EQ(queries.cols(), centroids_.cols());
   const std::size_t probes =
       std::max<std::size_t>(1, std::min(nprobe, clusters()));
-
   // Probe selection: top-`probes` centroids by inner product under the
   // canonical total order. O(clusters * d) work, O(probes) state.
   linalg::TopKSelector probe_selector(probes);
   for (std::size_t c = 0; c < centroids_.rows(); ++c) {
     probe_selector.Push(c, linalg::RowDotTransB(queries, qi, centroids_, c));
   }
+  return probe_selector.SortedDescending();
+}
+
+void IvfIndex::Search(const Matrix& queries, std::size_t qi,
+                      const Matrix& items, std::size_t nprobe,
+                      const std::vector<std::size_t>& sorted_exclusions,
+                      linalg::TopKSelector* selector) const {
+  WR_CHECK(selector != nullptr);
+  WR_CHECK_EQ(items.rows(), num_items_);
   const std::vector<linalg::ScoredItem> probed =
-      probe_selector.SortedDescending();
+      ProbeClusters(queries, qi, nprobe);
 
   // Exact rerank of the gathered candidates. RowDotTransB reproduces the
   // exact path's GEMM scores bit-for-bit, and the selector's total order is
@@ -83,6 +87,32 @@ void IvfIndex::Search(const Matrix& queries, std::size_t qi,
         continue;
       }
       selector->Push(item, linalg::RowDotTransB(queries, qi, items, item));
+    }
+  }
+}
+
+void IvfIndex::Search(const Matrix& queries, std::size_t qi,
+                      const linalg::QuantizedItemTable& items,
+                      std::size_t nprobe,
+                      const std::vector<std::size_t>& sorted_exclusions,
+                      linalg::TopKSelector* selector) const {
+  WR_CHECK(selector != nullptr);
+  WR_CHECK_EQ(items.rows(), num_items_);
+  const std::vector<linalg::ScoredItem> probed =
+      ProbeClusters(queries, qi, nprobe);
+
+  // Quantized rerank: QuantizedItemTable::RowDot dequantizes per element and
+  // accumulates in the same canonical chain as the streamed quantized GEMM,
+  // so this path agrees bit-for-bit with the exact quantized backend on
+  // every candidate it gathers.
+  const std::vector<std::size_t>& excl = sorted_exclusions;
+  for (const linalg::ScoredItem& probe : probed) {
+    for (std::size_t item : members_[probe.item]) {
+      if (!excl.empty() &&
+          std::binary_search(excl.begin(), excl.end(), item)) {
+        continue;
+      }
+      selector->Push(item, items.RowDot(queries, qi, item));
     }
   }
 }

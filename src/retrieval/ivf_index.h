@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "linalg/matrix.h"
+#include "linalg/quant.h"
 #include "linalg/topk.h"
 #include "retrieval/kmeans.h"
 
@@ -67,7 +68,25 @@ class IvfIndex {
               const std::vector<std::size_t>& sorted_exclusions,
               linalg::TopKSelector* selector) const;
 
+  // Same search against a quantized item table (compressed inference,
+  // DESIGN.md §12). Probing is unchanged — centroids stay full-precision
+  // fp64, built from the table the index was built on — only the candidate
+  // rerank reads the packed table, through QuantizedItemTable::RowDot, whose
+  // canonical ascending-k chain is bitwise identical to the exact quantized
+  // streaming path. So nprobe == clusters still recovers the exact backend's
+  // selection under the same quantization, ties included.
+  void Search(const linalg::Matrix& queries, std::size_t qi,
+              const linalg::QuantizedItemTable& items, std::size_t nprobe,
+              const std::vector<std::size_t>& sorted_exclusions,
+              linalg::TopKSelector* selector) const;
+
  private:
+  // Shared probe stage: top-nprobe centroid ids for query row qi, in the
+  // canonical score-desc/id-asc order.
+  std::vector<linalg::ScoredItem> ProbeClusters(const linalg::Matrix& queries,
+                                                std::size_t qi,
+                                                std::size_t nprobe) const;
+
   std::size_t num_items_ = 0;
   linalg::Matrix centroids_;                       // (clusters, d)
   std::vector<std::vector<std::size_t>> members_;  // ascending ids per cluster

@@ -7,6 +7,7 @@
 
 #include "core/check.h"
 #include "core/parallel.h"
+#include "linalg/quant.h"
 #include "retrieval/ivf_index.h"
 
 namespace whitenrec {
@@ -44,7 +45,16 @@ class IvfScorer final : public Scorer {
     build.iterations = config_.iterations;
     build.max_train_rows = config_.max_train_rows;
     build.seed = config_.seed;
+    // Clustering always runs on the full-precision table (available at
+    // rebuild time anyway); only the rerank reads the packed copy, so
+    // compression changes candidate SCORES but never the partition.
     index_ = IvfIndex::Build(items, build);
+    const linalg::ItemQuantKind kind = linalg::CurrentItemQuantKind();
+    if (kind == linalg::ItemQuantKind::kFp32) {
+      quant_.Clear();
+    } else {
+      quant_.Pack(items, kind);
+    }
   }
 
   void TopKBatch(
@@ -59,8 +69,13 @@ class IvfScorer final : public Scorer {
       for (std::size_t r = r0; r < r1; ++r) {
         const std::vector<std::size_t>& excl =
             exclusions.empty() ? kNoExclusions : exclusions[r];
-        index_.Search(users, r, *items_, config_.nprobe, excl,
-                      &(*selectors)[r]);
+        if (quant_.empty()) {
+          index_.Search(users, r, *items_, config_.nprobe, excl,
+                        &(*selectors)[r]);
+        } else {
+          index_.Search(users, r, quant_, config_.nprobe, excl,
+                        &(*selectors)[r]);
+        }
       }
     });
   }
@@ -69,8 +84,9 @@ class IvfScorer final : public Scorer {
 
  private:
   ScorerConfig config_;
-  const Matrix* items_ = nullptr;  // borrowed
+  const Matrix* items_ = nullptr;    // borrowed
   IvfIndex index_;
+  linalg::QuantizedItemTable quant_;  // packed at Rebuild when quant is on
 };
 
 }  // namespace

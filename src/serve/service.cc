@@ -273,6 +273,13 @@ Status RecommendService::EnableIngest(const Matrix& raw_features,
   whiten_options_ = WhiteningOptions();
   whiten_options_.kind = kind;
   whiten_options_.epsilon = epsilon;
+  // A rank-truncated encoder's frozen feature table is narrower than the raw
+  // catalog (whiten_k < d); refits must reproduce that width or
+  // ReplaceFeatures would reject the new table. The encoder itself records
+  // the rank, so ingest needs no extra configuration.
+  if (encoder->features().cols() < raw_features.cols()) {
+    whiten_options_.rank = encoder->features().cols();
+  }
   raw_features_ = raw_features;
   whiten_acc_ = IncrementalWhitening(raw_features.cols());
   whiten_acc_.Add(raw_features);

@@ -1,0 +1,150 @@
+#include "whitening/compression_report.h"
+
+#include <cmath>
+#include <cstdarg>
+#include <cstdio>
+
+#include "core/json.h"
+
+namespace whitenrec {
+namespace {
+
+void AppendF(std::string* out, const char* fmt, ...) {
+  char buf[320];
+  va_list ap;
+  va_start(ap, fmt);
+  std::vsnprintf(buf, sizeof(buf), fmt, ap);
+  va_end(ap);
+  out->append(buf);
+}
+
+bool KnownQuantName(const std::string& name) {
+  return name == "fp32" || name == "int8" || name == "bf16";
+}
+
+}  // namespace
+
+std::string CompressionBenchJson(const CompressionBenchResult& result) {
+  std::string out;
+  out += "{\n";
+  out += "  \"bench\": \"compression\",\n";
+  AppendF(&out, "  \"top_k\": %zu,\n", result.top_k);
+  AppendF(&out, "  \"dim\": %zu,\n", result.dim);
+  AppendF(&out, "  \"queries\": %zu,\n", result.queries);
+  AppendF(&out, "  \"catalog_items\": %zu,\n", result.catalog_items);
+  AppendF(&out, "  \"baseline_bytes\": %zu,\n", result.baseline_bytes);
+  AppendF(&out, "  \"baseline_ndcg\": %.10g,\n", result.baseline_ndcg);
+  out += "  \"cells\": [\n";
+  for (std::size_t c = 0; c < result.cells.size(); ++c) {
+    const CompressionCell& cell = result.cells[c];
+    AppendF(&out,
+            "    {\"rank\": %zu, \"quant\": \"%s\", \"table_bytes\": %zu, "
+            "\"compression_ratio\": %.10g, \"scoring_qps\": %.6g, "
+            "\"ndcg_at_k\": %.10g, \"recall_vs_reference\": %.10g, "
+            "\"ndcg_loss_frac\": %.10g}%s\n",
+            cell.rank, cell.quant.c_str(), cell.table_bytes,
+            cell.compression_ratio, cell.scoring_qps, cell.ndcg_at_k,
+            cell.recall_vs_reference, cell.ndcg_loss_frac,
+            c + 1 < result.cells.size() ? "," : "");
+  }
+  out += "  ]\n";
+  out += "}\n";
+  return out;
+}
+
+Status ValidateCompressionBenchJson(const std::string& text) {
+  using core::JsonValue;
+  JsonValue root;
+  Status parsed = core::ParseJson(text, &root);
+  if (!parsed.ok()) return parsed;
+  if (root.kind != JsonValue::Kind::kObject) {
+    return Status::InvalidArgument("top level must be an object");
+  }
+  const auto bench = root.object.find("bench");
+  if (bench == root.object.end() ||
+      bench->second.kind != JsonValue::Kind::kString ||
+      bench->second.str != "compression") {
+    return Status::InvalidArgument(
+        "\"bench\" must be the string \"compression\"");
+  }
+  double dim = 0.0;
+  double baseline_bytes = 0.0;
+  for (const char* key : {"top_k", "queries", "catalog_items"}) {
+    Status s = core::RequireJsonNumber(root, key, nullptr);
+    if (!s.ok()) return s;
+  }
+  Status s = core::RequireJsonNumber(root, "dim", &dim);
+  if (s.ok()) s = core::RequireJsonNumber(root, "baseline_bytes", &baseline_bytes);
+  if (s.ok()) s = core::RequireJsonNumber(root, "baseline_ndcg", nullptr);
+  if (!s.ok()) return s;
+  const auto cells = root.object.find("cells");
+  if (cells == root.object.end() ||
+      cells->second.kind != JsonValue::Kind::kArray ||
+      cells->second.array.empty()) {
+    return Status::InvalidArgument("missing non-empty \"cells\" array");
+  }
+  bool has_reference = false;
+  bool meets_acceptance = false;
+  for (const JsonValue& cell : cells->second.array) {
+    if (cell.kind != JsonValue::Kind::kObject) {
+      return Status::InvalidArgument("cells entries must be objects");
+    }
+    const auto quant = cell.object.find("quant");
+    if (quant == cell.object.end() ||
+        quant->second.kind != JsonValue::Kind::kString ||
+        !KnownQuantName(quant->second.str)) {
+      return Status::InvalidArgument(
+          "each cell needs \"quant\" in {fp32, int8, bf16}");
+    }
+    double rank = 0.0;
+    double table_bytes = 0.0;
+    double ratio = 0.0;
+    double ndcg = 0.0;
+    double recall = 0.0;
+    double loss = 0.0;
+    Status cs = core::RequireJsonNumber(cell, "rank", &rank);
+    if (cs.ok()) cs = core::RequireJsonNumber(cell, "table_bytes", &table_bytes);
+    if (cs.ok()) cs = core::RequireJsonNumber(cell, "compression_ratio", &ratio);
+    if (cs.ok()) cs = core::RequireJsonNumber(cell, "scoring_qps", nullptr);
+    if (cs.ok()) cs = core::RequireJsonNumber(cell, "ndcg_at_k", &ndcg);
+    if (cs.ok()) {
+      cs = core::RequireJsonNumber(cell, "recall_vs_reference", &recall);
+    }
+    if (cs.ok()) cs = core::RequireJsonNumber(cell, "ndcg_loss_frac", &loss);
+    if (!cs.ok()) return cs;
+    if (rank < 1.0 || rank > dim) {
+      return Status::InvalidArgument("cell rank must be in [1, dim]");
+    }
+    if (table_bytes <= 0.0 || ratio <= 0.0) {
+      return Status::InvalidArgument(
+          "table_bytes and compression_ratio must be positive");
+    }
+    if (ndcg < 0.0 || ndcg > 1.0 || recall < 0.0 || recall > 1.0) {
+      return Status::InvalidArgument(
+          "ndcg_at_k and recall_vs_reference must be in [0, 1]");
+    }
+    if (quant->second.str == "fp32" && rank == dim) {
+      // The reference cell measures the uncompressed table against itself.
+      if (std::fabs(ratio - 1.0) > 1e-9 || std::fabs(loss) > 1e-12) {
+        return Status::InvalidArgument(
+            "the fp32 full-rank cell must have ratio 1 and zero loss");
+      }
+      has_reference = true;
+    }
+    if (ratio >= 4.0 && loss <= 0.01) meets_acceptance = true;
+  }
+  if (!has_reference) {
+    return Status::InvalidArgument(
+        "cells must include the fp32 full-rank reference");
+  }
+  // The PR's acceptance floor, enforced on the artifact itself so a
+  // regression in either the truncation math or the quantizer fails the
+  // gate even if every structural key is intact.
+  if (!meets_acceptance) {
+    return Status::InvalidArgument(
+        "no cell reaches >= 4x memory reduction at <= 1% NDCG loss");
+  }
+  return Status::OK();
+}
+
+}  // namespace whitenrec

@@ -1,0 +1,51 @@
+#ifndef WHITENREC_WHITENING_COMPRESSION_REPORT_H_
+#define WHITENREC_WHITENING_COMPRESSION_REPORT_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/status.h"
+
+namespace whitenrec {
+
+// Result schema for bench_compression (out/BENCH_compression.json): a grid
+// of (whitening rank x item-table representation) cells, each measured
+// against the fp32 full-rank reference — item-table bytes, scoring
+// throughput, NDCG@K against the known target, and recall@K of the cell's
+// top-K lists vs the reference lists. The validator enforces the structural
+// schema AND the PR's acceptance floor: at least one cell must reach >= 4x
+// memory reduction at <= 1% NDCG@K loss.
+struct CompressionCell {
+  std::size_t rank = 0;           // whitened dims kept (<= dim)
+  std::string quant;              // "fp32" | "int8" | "bf16"
+  std::size_t table_bytes = 0;    // packed item-table footprint
+  double compression_ratio = 0.0; // baseline_bytes / table_bytes
+  double scoring_qps = 0.0;
+  double ndcg_at_k = 0.0;         // mean over queries, in [0, 1]
+  double recall_vs_reference = 0.0;
+  double ndcg_loss_frac = 0.0;    // (baseline_ndcg - ndcg_at_k) / baseline
+};
+
+struct CompressionBenchResult {
+  std::size_t top_k = 0;
+  std::size_t dim = 0;
+  std::size_t queries = 0;
+  std::size_t catalog_items = 0;
+  std::size_t baseline_bytes = 0; // catalog_items * dim * sizeof(double)
+  double baseline_ndcg = 0.0;     // fp32 full-rank cell's NDCG@K
+  std::vector<CompressionCell> cells;
+};
+
+// Serializes the result to the BENCH_compression.json document.
+std::string CompressionBenchJson(const CompressionBenchResult& result);
+
+// Validates a BENCH_compression.json document: required keys, metrics in
+// range, ranks within [1, dim], known quant names, the fp32 full-rank
+// reference cell present at ratio 1, and the acceptance floor (some cell
+// with compression_ratio >= 4 and ndcg_loss_frac <= 0.01).
+Status ValidateCompressionBenchJson(const std::string& text);
+
+}  // namespace whitenrec
+
+#endif  // WHITENREC_WHITENING_COMPRESSION_REPORT_H_

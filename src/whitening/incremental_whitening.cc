@@ -1,10 +1,6 @@
 #include "whitening/incremental_whitening.h"
 
-#include <cmath>
-
 #include "core/check.h"
-#include "linalg/cholesky.h"
-#include "linalg/eigen.h"
 
 namespace whitenrec {
 
@@ -99,65 +95,10 @@ Result<FittedWhitening> IncrementalWhitening::Fit(
   }
   Result<Matrix> cov = CovarianceMatrix(options.epsilon);
   if (!cov.ok()) return cov.status();
-  const Matrix& sigma = cov.value();
-
-  FittedWhitening out;
-  out.mean = mean_;
-  if (options.newton_iterations > 0) {
-    if (options.kind != WhiteningKind::kZca) {
-      return Status::InvalidArgument(
-          "IncrementalWhitening: Newton-Schulz only applies to ZCA");
-    }
-    Result<Matrix> inv_sqrt =
-        linalg::NewtonSchulzInverseSqrt(sigma, options.newton_iterations);
-    if (!inv_sqrt.ok()) return inv_sqrt.status();
-    out.phi = std::move(inv_sqrt).ValueOrDie();
-    return out;
-  }
-
-  switch (options.kind) {
-    case WhiteningKind::kBatchNorm: {
-      out.phi = Matrix(dims_, dims_);
-      for (std::size_t i = 0; i < dims_; ++i) {
-        const double var = sigma(i, i);
-        if (var <= 0.0) {
-          return Status::NumericalError("IncrementalWhitening: zero variance");
-        }
-        out.phi(i, i) = 1.0 / std::sqrt(var);
-      }
-      return out;
-    }
-    case WhiteningKind::kCholesky: {
-      Result<Matrix> l = linalg::Cholesky(sigma);
-      if (!l.ok()) return l.status();
-      Result<Matrix> linv = linalg::LowerTriangularInverse(l.value());
-      if (!linv.ok()) return linv.status();
-      out.phi = std::move(linv).ValueOrDie();
-      return out;
-    }
-    case WhiteningKind::kZca:
-    case WhiteningKind::kPca: {
-      Result<linalg::EigenDecomposition> eig = linalg::SymmetricEigen(sigma);
-      if (!eig.ok()) return eig.status();
-      const linalg::EigenDecomposition& e = eig.value();
-      Matrix lam_half_inv(dims_, dims_);
-      for (std::size_t i = 0; i < dims_; ++i) {
-        if (e.values[i] <= 0.0) {
-          return Status::NumericalError(
-              "IncrementalWhitening: non-positive eigenvalue");
-        }
-        const double s = 1.0 / std::sqrt(e.values[i]);
-        for (std::size_t j = 0; j < dims_; ++j) {
-          lam_half_inv(i, j) = s * e.vectors(j, i);
-        }
-      }
-      out.phi = options.kind == WhiteningKind::kPca
-                    ? std::move(lam_half_inv)
-                    : linalg::MatMul(e.vectors, lam_half_inv);
-      return out;
-    }
-  }
-  return Status::InvalidArgument("IncrementalWhitening: unknown kind");
+  // Same phi construction as the batch fit — including rank truncation — so
+  // a streamed fit agrees with a batch fit on the same moments by
+  // construction, not by parallel maintenance of two eigensolve paths.
+  return FitWhiteningFromMoments(mean_, cov.value(), options);
 }
 
 }  // namespace whitenrec

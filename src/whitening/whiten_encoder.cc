@@ -311,7 +311,8 @@ void WhitenRecPlusEncoder::CollectParameters(
 Result<std::unique_ptr<ItemEncoder>> MakeWhitenRecEncoder(
     const Matrix& features, const WhitenRecConfig& config, linalg::Rng* rng) {
   Result<Matrix> z = WhitenMatrix(features, config.full_groups,
-                                  config.whitening, config.epsilon);
+                                  config.whitening, config.epsilon,
+                                  config.whiten_k);
   if (!z.ok()) return z.status();
   std::unique_ptr<ItemEncoder> enc = std::make_unique<TextFeatureEncoder>(
       std::move(z).ValueOrDie(), config.out_dim, config.head, rng,
@@ -321,6 +322,14 @@ Result<std::unique_ptr<ItemEncoder>> MakeWhitenRecEncoder(
 
 Result<std::unique_ptr<ItemEncoder>> MakeWhitenRecPlusEncoder(
     const Matrix& features, const WhitenRecConfig& config, linalg::Rng* rng) {
+  if (config.whiten_k > 0) {
+    // The ensemble stacks/concats the full and relaxed branches, so their
+    // column counts must match; truncating only the full branch breaks that
+    // and truncating both would defeat the relaxed branch's purpose.
+    return Status::InvalidArgument(
+        "MakeWhitenRecPlusEncoder: whiten_k truncation is not supported "
+        "(branch dims must match); use MakeWhitenRecEncoder");
+  }
   Result<Matrix> z_full = WhitenMatrix(features, config.full_groups,
                                        config.whitening, config.epsilon);
   if (!z_full.ok()) return z_full.status();

@@ -135,6 +135,11 @@ struct WhitenRecConfig {
   double epsilon = 1e-5;
   HeadKind head = HeadKind::kMlp2;
   EnsembleKind ensemble = EnsembleKind::kSum;
+  // Whitening-k truncation: keep only the top-`whiten_k` whitened dims
+  // (0 = full rank). Defaults from WHITENREC_WHITEN_K so the knob reaches
+  // every bench/experiment without plumbing. Requires full_groups == 1 and
+  // is rejected by MakeWhitenRecPlusEncoder (the branch widths must match).
+  std::size_t whiten_k = WhitenKFromEnv();
 };
 
 // WhitenRec: whitens `features` (groups = config.full_groups) and wraps them

@@ -1,6 +1,8 @@
 #include "whitening/whitening.h"
 
 #include <cmath>
+#include <cstdio>
+#include <cstdlib>
 
 #include "core/check.h"
 #include "core/parallel.h"
@@ -24,15 +26,70 @@ const char* WhiteningKindName(WhiteningKind kind) {
 
 namespace {
 
-// Builds phi from an already-estimated covariance.
-Result<FittedWhitening> FitFromCovariance(const Matrix& x, Matrix sigma,
-                                          WhiteningKind kind) {
-  const std::size_t d = x.cols();
-  FittedWhitening out;
-  out.mean = linalg::ColumnMean(x);
+std::size_t WhitenKParsedFromEnv() {
+  const char* s = std::getenv("WHITENREC_WHITEN_K");
+  if (s == nullptr || *s == '\0') return 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(s, &end, 10);
+  if (end == s || *end != '\0') {
+    std::fprintf(stderr,
+                 "invalid WHITENREC_WHITEN_K value '%s' (expected a "
+                 "non-negative integer; 0 = full rank)\n",
+                 s);
+    std::abort();
+  }
+  return static_cast<std::size_t>(v);
+}
 
-  switch (kind) {
+}  // namespace
+
+std::size_t WhitenKFromEnv() {
+  static const std::size_t k = WhitenKParsedFromEnv();
+  return k;
+}
+
+Result<FittedWhitening> FitWhiteningFromMoments(
+    std::vector<double> mean, const Matrix& sigma,
+    const WhiteningOptions& options) {
+  const std::size_t d = sigma.rows();
+  WR_CHECK_EQ(sigma.cols(), d);
+  WR_CHECK_EQ(mean.size(), d);
+  // rank == d is the full-rank fit spelled explicitly; only 0 < rank < d
+  // actually truncates, so the default path stays bitwise untouched.
+  if (options.rank > d) {
+    return Status::InvalidArgument(
+        "FitWhitening: rank " + std::to_string(options.rank) +
+        " exceeds feature dim " + std::to_string(d));
+  }
+  const bool truncate = options.rank > 0 && options.rank < d;
+
+  FittedWhitening out;
+  out.mean = std::move(mean);
+
+  if (options.newton_iterations > 0) {
+    if (options.kind != WhiteningKind::kZca) {
+      return Status::InvalidArgument(
+          "FitWhitening: Newton-Schulz only applies to ZCA");
+    }
+    if (truncate) {
+      return Status::InvalidArgument(
+          "FitWhitening: Newton-Schulz computes the full-rank inverse "
+          "square root; rank truncation needs the exact eigensolve");
+    }
+    Result<Matrix> inv_sqrt =
+        linalg::NewtonSchulzInverseSqrt(sigma, options.newton_iterations);
+    if (!inv_sqrt.ok()) return inv_sqrt.status();
+    out.phi = std::move(inv_sqrt).ValueOrDie();
+    return out;
+  }
+
+  switch (options.kind) {
     case WhiteningKind::kBatchNorm: {
+      if (truncate) {
+        return Status::InvalidArgument(
+            "FitWhitening: rank truncation needs an eigenbasis; "
+            "BN has no spectrum to truncate (use ZCA or PCA)");
+      }
       // Phi = diag(1/sigma_i): standardize, no cross-dim decorrelation.
       out.phi = Matrix(d, d);
       for (std::size_t i = 0; i < d; ++i) {
@@ -45,6 +102,11 @@ Result<FittedWhitening> FitFromCovariance(const Matrix& x, Matrix sigma,
       return out;
     }
     case WhiteningKind::kCholesky: {
+      if (truncate) {
+        return Status::InvalidArgument(
+            "FitWhitening: rank truncation needs an eigenbasis; "
+            "Cholesky whitening has none (use ZCA or PCA)");
+      }
       // Sigma = L L^T, Phi = L^{-1}; then Phi Sigma Phi^T = I.
       Result<Matrix> l = linalg::Cholesky(sigma);
       if (!l.ok()) return l.status();
@@ -58,9 +120,13 @@ Result<FittedWhitening> FitFromCovariance(const Matrix& x, Matrix sigma,
       Result<linalg::EigenDecomposition> eig = linalg::SymmetricEigen(sigma);
       if (!eig.ok()) return eig.status();
       const linalg::EigenDecomposition& e = eig.value();
-      // lam_half_inv = Lambda^{-1/2} D^T.
-      Matrix lam_half_inv(d, d);
-      for (std::size_t i = 0; i < d; ++i) {
+      // lam_half_inv = Lambda^{-1/2} D^T, keeping only the top-k rows when
+      // truncating. SymmetricEigen sorts eigenvalues descending, so rows
+      // [0, k) are exactly the largest-variance directions and the
+      // truncated phi is the row prefix of the full-rank PCA phi.
+      const std::size_t k = truncate ? options.rank : d;
+      Matrix lam_half_inv(k, d);
+      for (std::size_t i = 0; i < k; ++i) {
         const double lam = e.values[i];
         if (lam <= 0.0) {
           return Status::NumericalError(
@@ -71,7 +137,9 @@ Result<FittedWhitening> FitFromCovariance(const Matrix& x, Matrix sigma,
           lam_half_inv(i, j) = s * e.vectors(j, i);
         }
       }
-      if (kind == WhiteningKind::kPca) {
+      if (options.kind == WhiteningKind::kPca || truncate) {
+        // Truncated ZCA degenerates to the PCA-basis map: the rotate-back
+        // would re-embed into R^d and undo the dimensionality reduction.
         out.phi = std::move(lam_half_inv);
       } else {
         // ZCA adds the rotation back: Phi = D Lambda^{-1/2} D^T.
@@ -82,8 +150,6 @@ Result<FittedWhitening> FitFromCovariance(const Matrix& x, Matrix sigma,
   }
   return Status::InvalidArgument("FitWhitening: unknown kind");
 }
-
-}  // namespace
 
 Result<FittedWhitening> FitWhitening(const Matrix& x, WhiteningKind kind,
                                      double epsilon) {
@@ -109,20 +175,7 @@ Result<FittedWhitening> FitWhiteningAdvanced(const Matrix& x,
       sigma(i, i) += options.epsilon;
     }
   }
-  if (options.newton_iterations > 0) {
-    if (options.kind != WhiteningKind::kZca) {
-      return Status::InvalidArgument(
-          "FitWhiteningAdvanced: Newton-Schulz only applies to ZCA");
-    }
-    FittedWhitening out;
-    out.mean = linalg::ColumnMean(x);
-    Result<Matrix> inv_sqrt =
-        linalg::NewtonSchulzInverseSqrt(sigma, options.newton_iterations);
-    if (!inv_sqrt.ok()) return inv_sqrt.status();
-    out.phi = std::move(inv_sqrt).ValueOrDie();
-    return out;
-  }
-  return FitFromCovariance(x, std::move(sigma), options.kind);
+  return FitWhiteningFromMoments(linalg::ColumnMean(x), sigma, options);
 }
 
 Matrix ApplyWhitening(const FittedWhitening& w, const Matrix& x) {
@@ -142,18 +195,27 @@ Matrix ApplyWhitening(const FittedWhitening& w, const Matrix& x) {
 }
 
 Status GroupWhitening::Fit(const Matrix& x, std::size_t groups,
-                           WhiteningKind kind, double epsilon) {
+                           WhiteningKind kind, double epsilon,
+                           std::size_t rank) {
   if (groups == 0 || x.cols() % groups != 0) {
     return Status::InvalidArgument(
         "GroupWhitening: groups must divide feature dims");
+  }
+  if (rank > 0 && groups != 1) {
+    return Status::InvalidArgument(
+        "GroupWhitening: rank truncation requires groups == 1");
   }
   dims_ = x.cols();
   kind_ = kind;
   group_transforms_.clear();
   const std::size_t group_dim = x.cols() / groups;
+  WhiteningOptions options;
+  options.kind = kind;
+  options.epsilon = epsilon;
+  options.rank = rank;
   for (std::size_t g = 0; g < groups; ++g) {
     const Matrix block = x.ColSlice(g * group_dim, (g + 1) * group_dim);
-    Result<FittedWhitening> fitted = FitWhitening(block, kind, epsilon);
+    Result<FittedWhitening> fitted = FitWhiteningAdvanced(block, options);
     if (!fitted.ok()) return fitted.status();
     group_transforms_.push_back(std::move(fitted).ValueOrDie());
   }
@@ -164,19 +226,25 @@ Matrix GroupWhitening::Apply(const Matrix& x) const {
   WR_CHECK_MSG(fitted(), "GroupWhitening::Apply before Fit");
   WR_CHECK_EQ(x.cols(), dims_);
   const std::size_t group_dim = dims_ / group_transforms_.size();
-  Matrix out(x.rows(), dims_);
+  // Output width follows the fitted transforms: group_dim per group for
+  // full-rank fits, the truncation rank for a rank-truncated single group.
+  std::size_t out_dims = 0;
+  for (const FittedWhitening& t : group_transforms_) out_dims += t.out_dims();
+  Matrix out(x.rows(), out_dims);
+  std::size_t out_col = 0;
   for (std::size_t g = 0; g < group_transforms_.size(); ++g) {
     const Matrix block = x.ColSlice(g * group_dim, (g + 1) * group_dim);
-    out.SetColSlice(g * group_dim,
-                    ApplyWhitening(group_transforms_[g], block));
+    out.SetColSlice(out_col, ApplyWhitening(group_transforms_[g], block));
+    out_col += group_transforms_[g].out_dims();
   }
   return out;
 }
 
 Result<Matrix> WhitenMatrix(const Matrix& x, std::size_t groups,
-                            WhiteningKind kind, double epsilon) {
+                            WhiteningKind kind, double epsilon,
+                            std::size_t rank) {
   GroupWhitening gw;
-  Status st = gw.Fit(x, groups, kind, epsilon);
+  Status st = gw.Fit(x, groups, kind, epsilon, rank);
   if (!st.ok()) return st;
   return gw.Apply(x);
 }

@@ -30,10 +30,14 @@ enum class WhiteningKind {
 const char* WhiteningKindName(WhiteningKind kind);
 
 // A fitted whitening transform for one dimension group: the column means and
-// the d x d matrix phi applied as z = phi * (x - mu).
+// the (k x d) matrix phi applied as z = phi * (x - mu). k == d for the full-
+// rank fits; k < d for rank-truncated fits (WhiteningOptions::rank).
 struct FittedWhitening {
   std::vector<double> mean;
   linalg::Matrix phi;
+
+  // Output dimensionality of the transform (phi rows).
+  std::size_t out_dims() const { return phi.rows(); }
 };
 
 // Fits a whitening transform on X with covariance regularizer epsilon
@@ -51,15 +55,45 @@ Result<FittedWhitening> FitWhitening(const linalg::Matrix& x,
 //  - newton_iterations > 0: compute the ZCA map Sigma^{-1/2} with the
 //    coupled Newton-Schulz iteration (the DBN trick) instead of an exact
 //    eigensolve; only valid for kZca.
+//  - rank > 0: keep only the top-`rank` whitened dimensions (the
+//    whitening-k trick): phi becomes the (rank x d) map
+//    Lambda_k^{-1/2} D_k^T over the largest-eigenvalue directions, so
+//    z = phi (x - mu) lives in R^rank. The eigendecomposition the full fit
+//    already pays for makes this free, and because SymmetricEigen orders
+//    eigenvalues descending, the truncated phi is exactly the leading rows
+//    of the full-rank PCA phi. Only kZca and kPca accept rank (a rotated-
+//    back ZCA output would stay d-dimensional, defeating the truncation;
+//    under truncation both kinds yield the PCA-basis map — an orthogonal
+//    rotation of coordinates the learned projection head absorbs).
+//    rank == 0 or rank == d is the untouched full-rank path.
 struct WhiteningOptions {
   WhiteningKind kind = WhiteningKind::kZca;
   double epsilon = 1e-5;
   bool ledoit_wolf = false;
   int newton_iterations = 0;  // 0 = exact eigensolve
+  std::size_t rank = 0;       // 0 = full rank (no truncation)
 };
 
 Result<FittedWhitening> FitWhiteningAdvanced(const linalg::Matrix& x,
                                              const WhiteningOptions& options);
+
+// Fits phi from already-estimated moments: `mean` and the (regularized)
+// covariance `sigma`. This is the single implementation behind both the
+// batch path (FitWhiteningAdvanced, which estimates moments from rows) and
+// the streaming path (IncrementalWhitening::Fit, which maintains them with
+// Welford updates) — sharing it makes batch-vs-incremental agreement
+// structural, including under rank truncation. `options.ledoit_wolf` is
+// ignored here (shrinkage happens while estimating sigma).
+Result<FittedWhitening> FitWhiteningFromMoments(std::vector<double> mean,
+                                                const linalg::Matrix& sigma,
+                                                const WhiteningOptions& options);
+
+// Whitening truncation rank from WHITENREC_WHITEN_K (0 = full rank, the
+// default). Parsed strictly on first use: a set-but-malformed value is a
+// fatal configuration error, same contract as the WHITENREC_GEMM family.
+// WhitenRecConfig defaults its whiten_k from this, so the knob reaches every
+// encoder factory without call-site plumbing.
+std::size_t WhitenKFromEnv();
 
 // Applies a fitted transform: Z = (X - 1 mu^T) phi^T.
 linalg::Matrix ApplyWhitening(const FittedWhitening& w,
@@ -78,9 +112,13 @@ class GroupWhitening {
  public:
   GroupWhitening() = default;
 
-  // Fits on X. `groups` must divide x.cols().
+  // Fits on X. `groups` must divide x.cols(). rank > 0 truncates to the
+  // top-`rank` whitened dimensions and requires groups == 1 (a per-group
+  // truncation would change every group's output width; the relaxed branch
+  // exists precisely to keep cross-group correlation, which truncation
+  // would discard asymmetrically).
   Status Fit(const linalg::Matrix& x, std::size_t groups, WhiteningKind kind,
-             double epsilon = 1e-5);
+             double epsilon = 1e-5, std::size_t rank = 0);
 
   bool fitted() const { return !group_transforms_.empty(); }
   std::size_t groups() const { return group_transforms_.size(); }
@@ -98,9 +136,12 @@ class GroupWhitening {
 
 // Convenience: fit-and-apply in one call (the precomputation path used by
 // WhitenRec; transforms are computed once before training, Sec. IV-E).
+// rank > 0 requires groups == 1 (see GroupWhitening::Fit) and yields an
+// (n x rank) output.
 Result<linalg::Matrix> WhitenMatrix(const linalg::Matrix& x,
                                     std::size_t groups, WhiteningKind kind,
-                                    double epsilon = 1e-5);
+                                    double epsilon = 1e-5,
+                                    std::size_t rank = 0);
 
 // Diagnostics asserting isotropy of a whitened matrix.
 struct IsotropyDiagnostics {

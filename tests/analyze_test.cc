@@ -466,6 +466,32 @@ TEST(HotAllocTest, SizedVectorInStreamLambdaFires) {
   EXPECT_EQ(f[0].line, 3u);
 }
 
+TEST(HotAllocTest, QuantStreamLambdaIsHot) {
+  // The dequantize-in-tile scoring entry points (DESIGN.md §12) are hot
+  // positions too: their ScoreRowsFn runs once per score tile.
+  const SourceTree tree = TreeOf(
+      {{"src/linalg/k.cc",
+        "void F(const QuantizedItemTable& q) {\n"
+        "  StreamQuantMatMulTransB(a, q, [&](std::size_t r0, std::size_t r1,\n"
+        "                                    std::size_t j0, std::size_t jn,\n"
+        "                                    const Matrix& panel) {\n"
+        "    std::vector<double> buf(jn, 0.0);\n"
+        "    (void)buf;\n"
+        "  });\n"
+        "  StreamQuantMatMulTransBTiles(a, q, 64, [&](std::size_t r0,\n"
+        "                                             std::size_t r1,\n"
+        "                                             std::size_t j0,\n"
+        "                                             std::size_t jn,\n"
+        "                                             const Matrix& panel) {\n"
+        "    Matrix tmp(2, 2);\n"
+        "    (void)tmp;\n"
+        "  });\n"
+        "}\n"}});
+  const std::vector<Finding> f = CheckHotAlloc(tree);
+  ASSERT_EQ(f.size(), 2u);
+  EXPECT_NE(f[0].message.find("StreamQuantMatMulTransB"), std::string::npos);
+}
+
 TEST(HotAllocTest, NestedTemplateVectorFires) {
   // std::vector<std::vector<int>> closes with a '>>' shift token; the angle
   // matcher must still find the declared identifier after it.

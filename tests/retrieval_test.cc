@@ -32,6 +32,7 @@
 #include "data/split.h"
 #include "eval/metrics.h"
 #include "linalg/gemm.h"
+#include "linalg/quant.h"
 #include "linalg/rng.h"
 #include "linalg/topk.h"
 #include "retrieval/ann_report.h"
@@ -344,12 +345,22 @@ TEST(Scorer, ExactBackendMatchesBruteForce) {
   std::vector<linalg::TopKSelector> selectors;
   for (std::size_t r = 0; r < users.rows(); ++r) selectors.emplace_back(6);
   scorer->TopKBatch(users, exclusions, &selectors);
+  // Score the table the way the ambient WHITENREC_ITEM_QUANT representation
+  // does, so check-compress can re-run this suite under int8: the brute
+  // force reference must read the packed values the scorer actually scores.
+  const linalg::ItemQuantKind quant_kind = linalg::CurrentItemQuantKind();
+  linalg::QuantizedItemTable quant_table;
+  if (quant_kind != linalg::ItemQuantKind::kFp32) {
+    quant_table.Pack(items, quant_kind);
+  }
   for (std::size_t r = 0; r < users.rows(); ++r) {
     linalg::TopKSelector brute(6);
     for (std::size_t j = 0; j < items.rows(); ++j) {
       const std::vector<std::size_t>& excl = exclusions[r];
       if (std::binary_search(excl.begin(), excl.end(), j)) continue;
-      brute.Push(j, linalg::RowDotTransB(users, r, items, j));
+      brute.Push(j, quant_table.empty()
+                        ? linalg::RowDotTransB(users, r, items, j)
+                        : quant_table.RowDot(users, r, j));
     }
     const std::vector<ScoredItem> want = brute.SortedDescending();
     const std::vector<ScoredItem> got = selectors[r].SortedDescending();

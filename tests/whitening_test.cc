@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "whitening/flow_whitening.h"
+#include "whitening/incremental_whitening.h"
 #include "whitening/parametric_whitening.h"
 #include "whitening/whiten_encoder.h"
 #include "whitening/whitening.h"
@@ -503,6 +504,198 @@ TEST(NamesTest, HumanReadableNames) {
   EXPECT_STREQ(WhiteningKindName(WhiteningKind::kCholesky), "CD");
   EXPECT_STREQ(HeadKindName(HeadKind::kMlp2), "MLP-2");
   EXPECT_STREQ(EnsembleKindName(EnsembleKind::kSum), "Sum");
+}
+
+// ---------------------------------------------------------------------------
+// Rank-k truncated whitening (compressed inference, DESIGN.md §12)
+// ---------------------------------------------------------------------------
+
+TEST(TruncatedWhiteningTest, TruncatedCovarianceIsIdentityK) {
+  Rng rng(71);
+  const Matrix x = AnisotropicCloud(600, 8, &rng);
+  WhiteningOptions options;
+  options.kind = WhiteningKind::kPca;
+  options.epsilon = 1e-8;
+  options.rank = 3;
+  auto fitted = FitWhiteningAdvanced(x, options);
+  ASSERT_TRUE(fitted.ok());
+  EXPECT_EQ(fitted.value().out_dims(), 3u);
+  const Matrix z = ApplyWhitening(fitted.value(), x);
+  ASSERT_EQ(z.cols(), 3u);
+  const IsotropyDiagnostics diag = MeasureIsotropy(z);
+  EXPECT_LT(diag.max_diag_error, 1e-4);
+  EXPECT_LT(diag.max_offdiag_cov, 1e-4);
+}
+
+TEST(TruncatedWhiteningTest, TruncatedPhiIsPrefixOfFullPcaPhi) {
+  Rng rng(72);
+  const Matrix x = AnisotropicCloud(500, 6, &rng);
+  auto full = FitWhitening(x, WhiteningKind::kPca, 1e-6);
+  ASSERT_TRUE(full.ok());
+  WhiteningOptions options;
+  options.kind = WhiteningKind::kPca;
+  options.epsilon = 1e-6;
+  options.rank = 2;
+  auto truncated = FitWhiteningAdvanced(x, options);
+  ASSERT_TRUE(truncated.ok());
+  // SymmetricEigen orders eigenvalues descending, so the rank-k map is the
+  // leading rows of the full PCA map BITWISE — what lets bench_compression
+  // slice columns of the full-rank whitened table instead of refitting.
+  ASSERT_EQ(truncated.value().phi.rows(), 2u);
+  for (std::size_t i = 0; i < 2u; ++i) {
+    for (std::size_t j = 0; j < 6u; ++j) {
+      EXPECT_EQ(truncated.value().phi(i, j), full.value().phi(i, j));
+    }
+  }
+}
+
+TEST(TruncatedWhiteningTest, ZcaTruncationDegeneratesToPcaBasis) {
+  Rng rng(73);
+  const Matrix x = AnisotropicCloud(500, 6, &rng);
+  WhiteningOptions zca;
+  zca.kind = WhiteningKind::kZca;
+  zca.epsilon = 1e-6;
+  zca.rank = 3;
+  WhiteningOptions pca = zca;
+  pca.kind = WhiteningKind::kPca;
+  auto a = FitWhiteningAdvanced(x, zca);
+  auto b = FitWhiteningAdvanced(x, pca);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  const Matrix diff = linalg::Sub(a.value().phi, b.value().phi);
+  EXPECT_EQ(diff.MaxAbs(), 0.0);
+}
+
+TEST(TruncatedWhiteningTest, FullRankValuesLeaveFitUntouched) {
+  Rng rng(74);
+  const Matrix x = AnisotropicCloud(400, 5, &rng);
+  auto reference = FitWhitening(x, WhiteningKind::kZca, 1e-6);
+  ASSERT_TRUE(reference.ok());
+  for (std::size_t rank : {std::size_t{0}, std::size_t{5}}) {
+    WhiteningOptions options;
+    options.kind = WhiteningKind::kZca;
+    options.epsilon = 1e-6;
+    options.rank = rank;
+    auto fitted = FitWhiteningAdvanced(x, options);
+    ASSERT_TRUE(fitted.ok());
+    EXPECT_EQ(fitted.value().out_dims(), 5u);
+    const Matrix diff = linalg::Sub(fitted.value().phi, reference.value().phi);
+    EXPECT_EQ(diff.MaxAbs(), 0.0) << "rank=" << rank;
+  }
+}
+
+// PCA reconstruction from the truncated fit: recover the orthonormal basis
+// by normalizing phi's rows (phi_i = u_i / sqrt(lambda_i)), project the
+// centered data, and measure the squared residual. Adding a dimension can
+// only remove the newly-explained component from the residual, so the error
+// must be non-increasing in k.
+TEST(TruncatedWhiteningTest, ReconstructionErrorMonotoneInRank) {
+  Rng rng(75);
+  const std::size_t d = 8;
+  const Matrix x = AnisotropicCloud(600, d, &rng);
+  double prev_error = -1.0;
+  std::vector<double> errors;
+  for (std::size_t rank = 1; rank <= d; ++rank) {
+    WhiteningOptions options;
+    options.kind = WhiteningKind::kPca;
+    options.epsilon = 0.0;
+    options.rank = rank;
+    auto fitted = FitWhiteningAdvanced(x, options);
+    ASSERT_TRUE(fitted.ok());
+    const FittedWhitening& w = fitted.value();
+    // Orthonormal basis rows u_i from phi rows.
+    Matrix basis = w.phi;
+    for (std::size_t i = 0; i < basis.rows(); ++i) {
+      double norm = 0.0;
+      for (std::size_t j = 0; j < d; ++j) norm += basis(i, j) * basis(i, j);
+      norm = std::sqrt(norm);
+      ASSERT_GT(norm, 0.0);
+      for (std::size_t j = 0; j < d; ++j) basis(i, j) /= norm;
+    }
+    double error = 0.0;
+    for (std::size_t r = 0; r < x.rows(); ++r) {
+      std::vector<double> centered(d);
+      for (std::size_t j = 0; j < d; ++j) {
+        centered[j] = x(r, j) - w.mean[j];
+      }
+      std::vector<double> recon(d, 0.0);
+      for (std::size_t i = 0; i < basis.rows(); ++i) {
+        double coeff = 0.0;
+        for (std::size_t j = 0; j < d; ++j) coeff += basis(i, j) * centered[j];
+        for (std::size_t j = 0; j < d; ++j) recon[j] += coeff * basis(i, j);
+      }
+      for (std::size_t j = 0; j < d; ++j) {
+        const double resid = centered[j] - recon[j];
+        error += resid * resid;
+      }
+    }
+    if (prev_error >= 0.0) {
+      EXPECT_LE(error, prev_error + 1e-9) << "rank=" << rank;
+    }
+    prev_error = error;
+    errors.push_back(error);
+  }
+  // Full rank reconstructs (numerically) exactly; rank 1 leaves most of the
+  // anisotropic cloud unexplained, so the decrease is also non-trivial.
+  EXPECT_LT(errors.back(), 1e-12 * errors.front());
+}
+
+TEST(TruncatedWhiteningTest, RejectsUnsupportedCombinations) {
+  Rng rng(76);
+  const Matrix x = AnisotropicCloud(300, 6, &rng);
+  WhiteningOptions options;
+  options.epsilon = 1e-6;
+  options.rank = 3;
+  options.kind = WhiteningKind::kCholesky;
+  EXPECT_FALSE(FitWhiteningAdvanced(x, options).ok());
+  options.kind = WhiteningKind::kBatchNorm;
+  EXPECT_FALSE(FitWhiteningAdvanced(x, options).ok());
+  options.kind = WhiteningKind::kZca;
+  options.newton_iterations = 8;
+  EXPECT_FALSE(FitWhiteningAdvanced(x, options).ok());
+  options.newton_iterations = 0;
+  options.rank = 7;  // > d
+  EXPECT_FALSE(FitWhiteningAdvanced(x, options).ok());
+  // Group whitening only truncates the single-group (full) branch.
+  GroupWhitening group;
+  EXPECT_FALSE(group.Fit(x, 2, WhiteningKind::kZca, 1e-6, 3).ok());
+  EXPECT_TRUE(group.Fit(x, 1, WhiteningKind::kZca, 1e-6, 3).ok());
+  EXPECT_EQ(group.Apply(x).cols(), 3u);
+}
+
+TEST(TruncatedWhiteningTest, IncrementalTruncatedFitMatchesBatch) {
+  Rng rng(77);
+  const Matrix x = AnisotropicCloud(300, 6, &rng);
+  IncrementalWhitening acc(6);
+  acc.Add(x.RowSlice(0, 111));
+  acc.Add(x.RowSlice(111, 300));
+  WhiteningOptions options;
+  options.kind = WhiteningKind::kPca;
+  options.epsilon = 1e-6;
+  options.rank = 3;
+  auto inc = acc.Fit(options);
+  auto batch = FitWhiteningAdvanced(x, options);
+  ASSERT_TRUE(inc.ok());
+  ASSERT_TRUE(batch.ok());
+  ASSERT_EQ(inc.value().out_dims(), 3u);
+  const Matrix diff = linalg::Sub(inc.value().phi, batch.value().phi);
+  EXPECT_LT(diff.MaxAbs(), 1e-6 * std::max(1.0, batch.value().phi.MaxAbs()));
+}
+
+TEST(TruncatedWhiteningTest, EncoderFactoryHonorsWhitenK) {
+  Rng rng(78);
+  const Matrix features = AnisotropicCloud(80, 8, &rng);
+  WhitenRecConfig config;
+  config.out_dim = 4;
+  config.head = HeadKind::kLinear;
+  config.whiten_k = 3;
+  auto encoder = MakeWhitenRecEncoder(features, config, &rng);
+  ASSERT_TRUE(encoder.ok());
+  auto* text = static_cast<TextFeatureEncoder*>(encoder.value().get());
+  EXPECT_EQ(text->features().cols(), 3u);
+  EXPECT_EQ(text->output_dim(), 4u);
+  // WhitenRec+ needs equal branch widths; truncation is rejected up front.
+  EXPECT_FALSE(MakeWhitenRecPlusEncoder(features, config, &rng).ok());
 }
 
 }  // namespace

@@ -25,8 +25,8 @@
 //               rules: unregistered-knob, dead-knob, undocumented-knob,
 //                      lax-knob-parse
 //   hotalloc  no Matrix / std::vector construction inside ParallelFor /
-//             StreamMatMulTransB* lambdas or RowBlockHook / ScoreRowsFn /
-//             ScorePanelFn bodies — per-iteration allocation in the hot
+//             Stream(Quant)MatMulTransB* lambdas or RowBlockHook /
+//             ScoreRowsFn / ScorePanelFn bodies — per-iteration allocation in the hot
 //             kernels belongs in the linalg::Workspace arena or hoisted out.
 //               rule: hot-alloc
 //

@@ -11,7 +11,7 @@
 // chunk / score tile, so a Matrix or std::vector constructed inside them
 // turns into O(chunks) heap traffic that the linalg::Workspace arena exists
 // to absorb (DESIGN.md §4). The pass finds lambda bodies in hot positions —
-// arguments of core::ParallelFor and the StreamMatMulTransB family, and
+// arguments of core::ParallelFor and the Stream(Quant)MatMulTransB family, and
 // initializers of RowBlockHook / ScoreRowsFn / ScorePanelFn callbacks — and
 // flags Matrix / std::vector constructions inside them (rule hot-alloc).
 //
@@ -27,8 +27,10 @@ namespace {
 
 const std::set<std::string>& HotCallees() {
   static const std::set<std::string> kCallees = {
-      "ParallelFor", "ParallelReduceSum", "StreamMatMulTransB",
-      "StreamMatMulTransBTiles", "StreamMatMulTransBPanels"};
+      "ParallelFor",           "ParallelReduceSum",
+      "StreamMatMulTransB",    "StreamMatMulTransBTiles",
+      "StreamMatMulTransBPanels", "StreamQuantMatMulTransB",
+      "StreamQuantMatMulTransBTiles"};
   return kCallees;
 }
 
