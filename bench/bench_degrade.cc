@@ -1,0 +1,131 @@
+// Degradation benchmark: trains a WhitenRec model, then drives the
+// overload-resilient serving path (admission queue + degradation ladder +
+// poisoned-ingest fault stream) across load multipliers on the virtual
+// clock, with the chaos plane injecting latency spikes, corrupted ingest
+// rows, and refit failures. Writes out/BENCH_degrade.json (schema-checked
+// against the written artifact, including the availability floor at every
+// load point).
+//
+// Knobs: --threads/-t, WHITENREC_SCALE, WHITENREC_EPOCHS, WHITENREC_OUT_DIR,
+// WHITENREC_DEGRADE_REQUESTS (trace length, default 2048 * scale), and the
+// WHITENREC_CHAOS_{SEED,RATE} pair (default here: seed 42, rate 0.25 — the
+// acceptance operating point — unless the env sets them).
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "bench_common.h"
+#include "bench_json.h"
+#include "core/faultfs.h"
+#include "seqrec/baselines.h"
+#include "serve/chaos.h"
+#include "serve/degrade_harness.h"
+
+namespace whitenrec {
+namespace {
+
+int Run(int argc, char** argv) {
+  bench::ApplyThreadsFlag(argc, argv);
+  const double scale = bench::EnvScale();
+
+  data::GeneratedData data = bench::LoadDataset(data::ToysProfile(scale));
+  const data::Split split = data::LeaveOneOutSplit(data.dataset);
+  const seqrec::SasRecConfig model_config = bench::DefaultModelConfig();
+  WhitenRecConfig wconfig;
+  wconfig.out_dim = model_config.hidden_dim;
+
+  std::printf("[train] WhitenRec for degradation sweep ...\n");
+  auto rec = seqrec::MakeWhitenRec(data.dataset, model_config, wconfig);
+  rec->Fit(split, bench::DefaultTrainConfig());
+  seqrec::SasRecModel* model = rec->model();
+
+  // The acceptance operating point is 25% chaos; an explicit env setting
+  // (already consumed by the injector at construction) wins.
+  if (std::getenv("WHITENREC_CHAOS_RATE") == nullptr) {
+    serve::ChaosInjector::Global().Configure(/*seed=*/42, /*rate=*/0.25);
+  }
+
+  serve::DegradeConfig config;
+  config.traffic.num_sessions = data.dataset.sequences.size();
+  const char* requests_env = std::getenv("WHITENREC_DEGRADE_REQUESTS");
+  config.traffic.num_requests =
+      requests_env != nullptr
+          ? bench::ParseSizeOrDie("WHITENREC_DEGRADE_REQUESTS", requests_env)
+          : static_cast<std::size_t>(2048 * scale);
+  config.traffic.mean_interarrival_ns = 100000;  // 10k rps offered at 1x
+  config.traffic.deadline_ns = 20000000;         // 20 ms per request
+  config.serve.max_batch = 64;
+  config.serve.queue_max = 256;
+  // Refit often enough that the sweep also exercises the guarded swap (and,
+  // under chaos, the mid-swap rollback) even at the short check-degrade
+  // trace length, where only ~a dozen rows survive the corrupt-ingest chaos.
+  config.serve.refit_every = 8;
+  Result<std::vector<serve::LadderRung>> rungs =
+      serve::ParseLadderSpec("exact,ivf:8,ivf:2,popularity");
+  config.serve.ladder.rungs = std::move(rungs).ValueOrDie();
+  // Popularity counts from the training sequences back the bottom rung.
+  std::vector<std::size_t> popularity(data.dataset.num_items, 0);
+  for (const std::vector<std::size_t>& seq : data.dataset.sequences) {
+    for (std::size_t item : seq) ++popularity[item];
+  }
+  config.serve.popularity = std::move(popularity);
+  config.load_multipliers = {1.0, 2.0, 4.0};
+  config.ingest_every = 64;
+  config.ingest_kind = wconfig.whitening;
+  config.ingest_epsilon = wconfig.epsilon;
+
+  std::printf("[degrade] sweeping %zu load multipliers over %zu requests "
+              "(chaos rate %.2f) ...\n",
+              config.load_multipliers.size(), config.traffic.num_requests,
+              serve::ChaosInjector::Global().rate());
+  serve::DegradeBenchResult result = serve::RunDegradeHarness(
+      model, data.dataset.sequences, &data.dataset.text_embeddings, config);
+
+  for (const serve::DegradePoint& p : result.points) {
+    std::printf(
+        "[degrade] load=%.1fx offered=%zu served=%zu shed=%zu+%zu "
+        "avail=%.4f miss=%.4f p99=%lluns quarantined=%zu rollbacks=%zu\n",
+        p.load_multiplier, p.offered, p.served, p.shed_overflow,
+        p.shed_deadline, p.availability, p.deadline_miss_rate,
+        static_cast<unsigned long long>(p.p99_ns), p.quarantined, p.rollbacks);
+    for (std::size_t r = 0; r < p.rung_served.size(); ++r) {
+      std::printf("[degrade]   rung %zu (%s): served=%zu ndcg@%zu=%.4f\n", r,
+                  serve::RungKindName(config.serve.ladder.rungs[r].kind),
+                  p.rung_served[r], config.ndcg_k, p.rung_ndcg[r]);
+    }
+  }
+
+  const std::string json = serve::DegradeBenchJson(result);
+  const std::string path = bench::OutPath("BENCH_degrade.json");
+  Status wrote = core::AtomicWriteFile(path, json);
+  if (!wrote.ok()) {
+    std::fprintf(stderr, "write %s: %s\n", path.c_str(),
+                 wrote.message().c_str());
+    return 1;
+  }
+  std::printf("[out] %s\n", path.c_str());
+
+  // Schema-check the artifact actually on disk, with the acceptance floor:
+  // >= 99% availability at every load point, the 4x overload one included.
+  Result<std::string> readback = core::ReadFileToString(path);
+  if (!readback.ok()) {
+    std::fprintf(stderr, "readback %s: %s\n", path.c_str(),
+                 readback.status().message().c_str());
+    return 1;
+  }
+  Status valid = serve::ValidateDegradeBenchJson(readback.value(),
+                                                 /*min_availability=*/0.99);
+  if (!valid.ok()) {
+    std::fprintf(stderr, "BENCH_degrade.json schema check failed: %s\n",
+                 valid.message().c_str());
+    return 1;
+  }
+  std::printf("[degrade] BENCH_degrade.json schema check passed\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace whitenrec
+
+int main(int argc, char** argv) { return whitenrec::Run(argc, argv); }

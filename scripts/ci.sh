@@ -21,6 +21,10 @@
 #  12. check-compress — quantization suite, retrieval + serving suites
 #      re-run under WHITENREC_ITEM_QUANT=int8, and a schema-checked
 #      out/BENCH_compression.json from a small bench_compression sweep
+#  13. check-degrade — overload-resilience suite (admission, ladder,
+#      quarantine, rollback), chaos soak + resilience tests under TSan,
+#      and a schema-checked out/BENCH_degrade.json (>= 99% availability
+#      at every load point) from a small bench_degrade sweep
 #
 # Usage: scripts/ci.sh [build-dir]   (default: build-ci)
 #
@@ -34,42 +38,45 @@ BUILD_DIR="${1:-build-ci}"
 
 JOBS="$(nproc 2>/dev/null || echo 2)"
 
-echo "==> [1/12] configure + build (WHITENREC_WERROR=ON)"
+echo "==> [1/13] configure + build (WHITENREC_WERROR=ON)"
 cmake -S . -B "${BUILD_DIR}" -DWHITENREC_WERROR=ON
 cmake --build "${BUILD_DIR}" --parallel "${JOBS}"
 
-echo "==> [2/12] tier-1 tests"
+echo "==> [2/13] tier-1 tests"
 ctest --test-dir "${BUILD_DIR}" -L tier1 --output-on-failure -j "${JOBS}"
 
-echo "==> [3/12] tier-1 tests (WHITENREC_SCORING=fused)"
+echo "==> [3/13] tier-1 tests (WHITENREC_SCORING=fused)"
 WHITENREC_SCORING=fused \
   ctest --test-dir "${BUILD_DIR}" -L tier1 --output-on-failure -j "${JOBS}"
 
-echo "==> [4/12] check-lint"
+echo "==> [4/13] check-lint"
 cmake --build "${BUILD_DIR}" --target check-lint
 
-echo "==> [5/12] check-tidy"
+echo "==> [5/13] check-tidy"
 cmake --build "${BUILD_DIR}" --target check-tidy
 
-echo "==> [6/12] check-faults"
+echo "==> [6/13] check-faults"
 cmake --build "${BUILD_DIR}" --target check-faults
 
-echo "==> [7/12] check-asan"
+echo "==> [7/13] check-asan"
 cmake --build "${BUILD_DIR}" --target check-asan
 
-echo "==> [8/12] check-tsan"
+echo "==> [8/13] check-tsan"
 cmake --build "${BUILD_DIR}" --target check-tsan
 
-echo "==> [9/12] check-serve"
+echo "==> [9/13] check-serve"
 cmake --build "${BUILD_DIR}" --target check-serve
 
-echo "==> [10/12] check-ann"
+echo "==> [10/13] check-ann"
 cmake --build "${BUILD_DIR}" --target check-ann
 
-echo "==> [11/12] check-analyze"
+echo "==> [11/13] check-analyze"
 cmake --build "${BUILD_DIR}" --target check-analyze
 
-echo "==> [12/12] check-compress"
+echo "==> [12/13] check-compress"
 cmake --build "${BUILD_DIR}" --target check-compress
+
+echo "==> [13/13] check-degrade"
+cmake --build "${BUILD_DIR}" --target check-degrade
 
 echo "==> CI green"

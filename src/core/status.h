@@ -19,6 +19,8 @@ enum class StatusCode {
   kOutOfRange,
   kIOError,          // the filesystem failed us: open/write/rename/read errors
   kDataLoss,         // bytes arrived but are unusable: bad magic/CRC/truncation
+  kDeadlineExceeded, // the request's deadline passed before it could be served
+  kUnavailable,      // shed under overload: retriable, nothing is corrupted
 };
 
 // A cheap value type carrying success or an error code plus message.
@@ -46,6 +48,12 @@ class Status {
   }
   static Status DataLoss(std::string msg) {
     return Status(StatusCode::kDataLoss, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

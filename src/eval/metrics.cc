@@ -133,5 +133,27 @@ double RecallVsReference(const std::vector<linalg::ScoredItem>& candidate,
   return RecallVsReference(cand, ref);
 }
 
+double NdcgVsReference(const std::vector<linalg::ScoredItem>& candidate,
+                       const std::vector<linalg::ScoredItem>& reference,
+                       std::size_t k) {
+  if (reference.empty()) return 1.0;
+  std::vector<std::size_t> ref(reference.size());
+  for (std::size_t i = 0; i < reference.size(); ++i) ref[i] = reference[i].item;
+  std::sort(ref.begin(), ref.end());
+  double dcg = 0.0;
+  const std::size_t depth = std::min(k, candidate.size());
+  for (std::size_t i = 0; i < depth; ++i) {
+    if (std::binary_search(ref.begin(), ref.end(), candidate[i].item)) {
+      dcg += 1.0 / std::log2(static_cast<double>(i) + 2.0);
+    }
+  }
+  double ideal = 0.0;
+  const std::size_t relevant = std::min(k, reference.size());
+  for (std::size_t i = 0; i < relevant; ++i) {
+    ideal += 1.0 / std::log2(static_cast<double>(i) + 2.0);
+  }
+  return ideal > 0.0 ? dcg / ideal : 1.0;
+}
+
 }  // namespace eval
 }  // namespace whitenrec

@@ -95,6 +95,18 @@ double RecallVsReference(const std::vector<std::size_t>& candidate,
 double RecallVsReference(const std::vector<linalg::ScoredItem>& candidate,
                          const std::vector<linalg::ScoredItem>& reference);
 
+// NDCG@K of a candidate ranking against a reference top-K list under binary
+// relevance: position i of the candidate list (0-based, first k entries)
+// gains 1/log2(i + 2) when that item is anywhere in the reference set;
+// the ideal DCG assumes min(k, |reference|) relevant items packed at the
+// top. Unlike RecallVsReference this is order-sensitive — it penalizes a
+// degraded rung for ranking the right items in the wrong order, which is
+// exactly the loss the degrade bench reports per rung. An empty reference
+// scores 1.0.
+double NdcgVsReference(const std::vector<linalg::ScoredItem>& candidate,
+                       const std::vector<linalg::ScoredItem>& reference,
+                       std::size_t k);
+
 }  // namespace eval
 }  // namespace whitenrec
 

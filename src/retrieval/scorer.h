@@ -4,8 +4,10 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <vector>
 
 #include "linalg/scorer.h"
+#include "retrieval/ivf_index.h"
 
 namespace whitenrec {
 namespace retrieval {
@@ -42,6 +44,48 @@ struct ScorerConfig {
 };
 
 std::unique_ptr<Scorer> MakeScorer(const ScorerConfig& config);
+
+// One IVF index shared by several Scorer views at different nprobe values —
+// the degradation ladder's IVF rungs (DESIGN.md §13). The expensive part of
+// an IVF scorer is the deterministic k-means build; ladder rungs differ only
+// in how many clusters they probe, so the service clusters once per refit
+// via Rebuild() and hands each rung a cheap MakeView(nprobe).
+//
+// Lifecycle mirrors linalg::Scorer: Rebuild(items) borrows the table (it
+// must stay alive and unchanged until the next Rebuild) and re-clusters;
+// views borrow the family and must not outlive it. Calling Rebuild on a view
+// does not re-cluster — it checks the family has already indexed that same
+// table and refreshes the view's num_items().
+class SharedIvfIndex {
+ public:
+  explicit SharedIvfIndex(const ScorerConfig& config) : config_(config) {}
+
+  void Rebuild(const linalg::Matrix& items);
+  std::unique_ptr<Scorer> MakeView(std::size_t nprobe) const;
+
+  std::size_t clusters() const { return index_.clusters(); }
+  std::size_t num_items() const { return index_.num_items(); }
+  const linalg::Matrix* items() const { return items_; }
+  const IvfIndex& index() const { return index_; }
+  const linalg::QuantizedItemTable& quant() const { return quant_; }
+
+ private:
+  ScorerConfig config_;
+  const linalg::Matrix* items_ = nullptr;  // borrowed
+  IvfIndex index_;
+  linalg::QuantizedItemTable quant_;  // packed at Rebuild when quant is on
+};
+
+// Popularity-prior fallback scorer: the ladder's bottom rung. Ranks the
+// whole catalog once per Rebuild by (interaction count desc, item id asc) —
+// the same deterministic tie-break as eval::PopularityHeadSet — and answers
+// every query with the most popular non-excluded items, scored by their
+// counts. User rows are ignored: this rung costs O(K + |exclusions|) per
+// request and needs no embeddings, which is exactly why it can absorb any
+// overload. Items beyond popularity.size() (ingested after the counts were
+// taken) rank as count 0.
+std::unique_ptr<Scorer> MakePopularityScorer(
+    std::vector<std::size_t> popularity);
 
 }  // namespace retrieval
 }  // namespace whitenrec

@@ -1,0 +1,88 @@
+#include "serve/admission.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace whitenrec {
+namespace serve {
+namespace {
+
+constexpr std::uint64_t kNoDeadline = std::numeric_limits<std::uint64_t>::max();
+
+std::uint64_t EffectiveDeadline(const ServeRequest& request) {
+  return request.deadline_ns == 0 ? kNoDeadline : request.deadline_ns;
+}
+
+}  // namespace
+
+AdmissionQueue::AdmissionQueue(const AdmissionConfig& config)
+    : config_(config) {}
+
+AdmissionQueue::OfferResult AdmissionQueue::Offer(
+    const ServeRequest& request) {
+  ++offered_;
+  Entry entry;
+  entry.effective_deadline = EffectiveDeadline(request);
+  entry.seq = next_seq_++;
+  entry.request = request;
+  OfferResult result;
+  result.seq = entry.seq;
+  if (queue_.size() < config_.queue_max) {
+    queue_.insert(entry);
+    return result;
+  }
+  ++shed_overflow_;
+  if (queue_.empty()) {
+    // queue_max == 0: nothing is ever admitted.
+    result.shed = AdmittedRequest{entry.request, entry.seq};
+    return result;
+  }
+  // Shed the maximum under the EDF order — the entry the scheduler would
+  // serve last — which is the incoming request itself when it sorts at or
+  // past the current worst.
+  const auto worst = std::prev(queue_.end());
+  if (EdfOrder()(entry, *worst)) {
+    result.shed = AdmittedRequest{worst->request, worst->seq};
+    queue_.erase(worst);
+    queue_.insert(entry);
+    return result;
+  }
+  result.shed = AdmittedRequest{entry.request, entry.seq};
+  return result;
+}
+
+std::vector<AdmittedRequest> AdmissionQueue::DropOverdue(
+    std::uint64_t now_ns) {
+  // Overdue entries form the EDF prefix: every deadline <= now sorts before
+  // every deadline > now and before every deadline-free entry (kNoDeadline).
+  std::vector<AdmittedRequest> dropped;
+  while (!queue_.empty()) {
+    const Entry& front = *queue_.begin();
+    if (front.request.deadline_ns == 0 || front.request.deadline_ns > now_ns) {
+      break;
+    }
+    dropped.push_back(AdmittedRequest{front.request, front.seq});
+    queue_.erase(queue_.begin());
+  }
+  shed_overdue_ += dropped.size();
+  return dropped;
+}
+
+std::vector<AdmittedRequest> AdmissionQueue::PopBatch(std::size_t max_n) {
+  std::vector<AdmittedRequest> batch;
+  while (batch.size() < max_n && !queue_.empty()) {
+    const Entry& front = *queue_.begin();
+    batch.push_back(AdmittedRequest{front.request, front.seq});
+    queue_.erase(queue_.begin());
+  }
+  // EDF picks the set; seq order replays it as it arrived, so per-session
+  // appends inside the batch happen in arrival order.
+  std::sort(batch.begin(), batch.end(),
+            [](const AdmittedRequest& a, const AdmittedRequest& b) {
+              return a.seq < b.seq;
+            });
+  return batch;
+}
+
+}  // namespace serve
+}  // namespace whitenrec

@@ -1,0 +1,392 @@
+#include "serve/degrade_harness.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdarg>
+#include <cstdio>
+#include <limits>
+#include <utility>
+
+#include "core/check.h"
+#include "core/json.h"
+#include "eval/metrics.h"
+#include "serve/chaos.h"
+#include "serve/latency_histogram.h"
+#include "whitening/whiten_encoder.h"
+
+namespace whitenrec {
+namespace serve {
+namespace {
+
+void AppendF(std::string* out, const char* fmt, ...) {
+  char buf[512];
+  va_list ap;
+  va_start(ap, fmt);
+  std::vsnprintf(buf, sizeof(buf), fmt, ap);
+  va_end(ap);
+  out->append(buf);
+}
+
+double RungCostFactor(const LadderConfig& ladder, std::size_t rung) {
+  if (ladder.rungs.empty()) return 1.0;
+  WR_CHECK_LT(rung, ladder.rungs.size());
+  return ladder.rungs[rung].cost_factor;
+}
+
+}  // namespace
+
+DegradeBenchResult RunDegradeHarness(
+    seqrec::SasRecModel* model,
+    const std::vector<std::vector<std::size_t>>& sequences,
+    const linalg::Matrix* raw_features, const DegradeConfig& config) {
+  WR_CHECK(model != nullptr);
+  WR_CHECK(!config.load_multipliers.empty());
+  if (config.ingest_every > 0) WR_CHECK(raw_features != nullptr);
+
+  ChaosInjector& chaos = ChaosInjector::Global();
+  const std::uint64_t chaos_seed = chaos.seed();
+  const double chaos_rate = chaos.rate();
+
+  // The ingest stream's committed refits mutate the shared model's encoder
+  // (the catalog grows). Snapshot the feature table once so every sweep
+  // point starts from the identical model — points stay independent and
+  // individually reproducible.
+  auto* encoder =
+      dynamic_cast<TextFeatureEncoder*>(model->encoder());
+  linalg::Matrix pristine_features;
+  if (config.ingest_every > 0 && encoder != nullptr) {
+    pristine_features = encoder->features();
+  }
+
+  DegradeBenchResult result;
+  result.config = config;
+  result.chaos_seed = chaos_seed;
+  result.chaos_rate = chaos_rate;
+
+  const std::size_t num_rungs =
+      std::max<std::size_t>(1, config.serve.ladder.rungs.size());
+
+  for (double mult : config.load_multipliers) {
+    WR_CHECK(mult > 0.0);
+    // Each point replays its own chaos schedule from the same seed, so
+    // points are independent: reordering or dropping multipliers never
+    // changes another point's numbers.
+    chaos.Configure(chaos_seed, chaos_rate);
+
+    TrafficConfig traffic = config.traffic;
+    traffic.mean_interarrival_ns = config.traffic.mean_interarrival_ns / mult;
+    const std::vector<TraceRequest> trace = GenerateTrace(sequences, traffic);
+
+    RecommendService service(model, config.serve);
+    result.catalog_items = service.num_items();
+    bool ingest_armed = false;
+    if (config.ingest_every > 0) {
+      ingest_armed = service
+                         .EnableIngest(*raw_features, config.ingest_kind,
+                                       config.ingest_epsilon)
+                         .ok();
+    }
+
+    // Simulated single-server loop on the virtual clock: enqueue every
+    // arrival at or before `now`, serve one ServeQueued round, advance the
+    // clock by the modeled batch cost, repeat. All control decisions read
+    // the virtual clock only.
+    std::vector<ServeOutcome> outcomes;
+    std::vector<std::vector<linalg::ScoredItem>> refs;
+    LatencyHistogram hist;
+    std::vector<double> ndcg_sum(num_rungs, 0.0);
+    std::vector<std::size_t> ndcg_count(num_rungs, 0);
+    std::uint64_t now_ns = 0;
+    std::size_t next = 0;
+    std::size_t ref_cursor = 0;
+    std::size_t served = 0;
+    std::size_t missed = 0;
+    std::size_t batches = 0;
+    std::size_t ingest_cursor = 0;
+    while (next < trace.size() || service.queue_depth() > 0) {
+      if (service.queue_depth() == 0 && next < trace.size() &&
+          trace[next].arrival_ns > now_ns) {
+        now_ns = trace[next].arrival_ns;  // idle server: jump to next arrival
+      }
+      while (next < trace.size() && trace[next].arrival_ns <= now_ns) {
+        ServeRequest req;
+        req.session_id = trace[next].session_id;
+        req.item = trace[next].item;
+        req.arrival_ns = trace[next].arrival_ns;
+        req.deadline_ns = trace[next].deadline_ns;
+        service.Enqueue(req, &outcomes);
+        ++next;
+      }
+
+      const std::size_t before = outcomes.size();
+      service.ServeQueued(now_ns, &outcomes, &refs);
+      std::size_t n_served = 0;
+      std::size_t rung = 0;
+      for (std::size_t o = before; o < outcomes.size(); ++o) {
+        if (outcomes[o].kind == ServeOutcomeKind::kServed) {
+          ++n_served;
+          rung = outcomes[o].response.rung;  // one rung per round
+        }
+      }
+      if (n_served == 0) continue;  // everything overdue; clock already set
+      ++batches;
+
+      std::uint64_t cost_ns = static_cast<std::uint64_t>(
+          static_cast<double>(config.base_batch_cost_ns +
+                              config.per_request_cost_ns * n_served) *
+          RungCostFactor(config.serve.ladder, rung));
+      if (cost_ns < 1) cost_ns = 1;
+      if (chaos.Next({ChaosKind::kLatencySpike}) == ChaosKind::kLatencySpike) {
+        cost_ns += config.chaos_spike_ns;
+      }
+      const std::uint64_t completion_ns = now_ns + cost_ns;
+      for (std::size_t o = before; o < outcomes.size(); ++o) {
+        if (outcomes[o].kind != ServeOutcomeKind::kServed) continue;
+        const ServeRequest& req = outcomes[o].request;
+        hist.Record(completion_ns - req.arrival_ns);
+        ++served;
+        if (req.deadline_ns != 0 && completion_ns > req.deadline_ns) {
+          ++missed;  // served, but late
+          hist.RecordDeadlineMiss();
+        }
+        WR_CHECK_LT(ref_cursor, refs.size());
+        ndcg_sum[rung] += eval::NdcgVsReference(
+            outcomes[o].response.topk, refs[ref_cursor], config.ndcg_k);
+        ++ndcg_count[rung];
+        ++ref_cursor;
+      }
+      now_ns = completion_ns;
+
+      // Poisoned-ingest fault stream: one synthetic row per ingest_every
+      // SERVED requests (request-keyed, so the cadence survives batch
+      // coalescing under load), sometimes corrupted by the chaos plane
+      // before the service ever sees it. The defense (validation,
+      // quarantine, guarded refit + rollback) decides whether anything
+      // changes; serving continues either way.
+      while (ingest_armed && config.ingest_every > 0 &&
+             ingest_cursor < served / config.ingest_every) {
+        std::vector<double> feature =
+            raw_features->Row(ingest_cursor % raw_features->rows());
+        ++ingest_cursor;
+        if (chaos.Next({ChaosKind::kCorruptIngest}) ==
+            ChaosKind::kCorruptIngest) {
+          feature[chaos.NextBelow(feature.size())] =
+              std::numeric_limits<double>::quiet_NaN();
+        }
+        (void)service.IngestItem(feature);  // rejection is the defense working
+      }
+    }
+
+    DegradePoint point;
+    point.load_multiplier = mult;
+    point.offered = trace.size();
+    point.served = served;
+    const ServeStats& stats = service.stats();
+    point.shed_overflow = stats.queue_sheds;
+    point.shed_deadline = stats.deadline_sheds;
+    for (std::size_t s = 0; s < point.shed_overflow + point.shed_deadline;
+         ++s) {
+      hist.RecordShed();
+    }
+    point.availability =
+        point.offered == 0
+            ? 1.0
+            : static_cast<double>(served) / static_cast<double>(point.offered);
+    point.deadline_miss_rate =
+        served == 0 ? 0.0
+                    : static_cast<double>(missed) / static_cast<double>(served);
+    point.p50_ns = hist.Quantile(0.50);
+    point.p99_ns = hist.Quantile(0.99);
+    point.quarantined = stats.quarantined;
+    point.refit_failures = stats.refit_failures;
+    point.rollbacks = stats.rollbacks;
+    point.rung_served = service.rung_served();
+    point.rung_ndcg.assign(num_rungs, -1.0);
+    for (std::size_t r = 0; r < num_rungs; ++r) {
+      if (ndcg_count[r] > 0) {
+        point.rung_ndcg[r] =
+            ndcg_sum[r] / static_cast<double>(ndcg_count[r]);
+      }
+    }
+    result.points.push_back(std::move(point));
+
+    // Undo any committed refits before the next point reuses the model
+    // (RestoreFeatures allows the catalog to shrink back; this point's
+    // service, the only thing referencing the grown table, is going away).
+    if (config.ingest_every > 0 && encoder != nullptr &&
+        service.table_version() > 0) {
+      Status restored = encoder->RestoreFeatures(pristine_features);
+      WR_CHECK(restored.ok());
+    }
+  }
+  // Leave the global injector as the sweep found it (schedule restarted).
+  chaos.Configure(chaos_seed, chaos_rate);
+  return result;
+}
+
+std::string DegradeBenchJson(const DegradeBenchResult& result) {
+  std::string out;
+  out += "{\n";
+  out += "  \"bench\": \"degrade\",\n";
+  AppendF(&out, "  \"catalog_items\": %zu,\n", result.catalog_items);
+  AppendF(&out, "  \"ndcg_k\": %zu,\n", result.config.ndcg_k);
+  AppendF(&out,
+          "  \"chaos\": {\"seed\": %llu, \"rate\": %.6g},\n",
+          static_cast<unsigned long long>(result.chaos_seed),
+          result.chaos_rate);
+  AppendF(&out,
+          "  \"cost_model\": {\"base_batch_cost_ns\": %llu, "
+          "\"per_request_cost_ns\": %llu, \"chaos_spike_ns\": %llu},\n",
+          static_cast<unsigned long long>(result.config.base_batch_cost_ns),
+          static_cast<unsigned long long>(result.config.per_request_cost_ns),
+          static_cast<unsigned long long>(result.config.chaos_spike_ns));
+  const TrafficConfig& t = result.config.traffic;
+  AppendF(&out,
+          "  \"traffic\": {\"num_sessions\": %zu, \"num_requests\": %zu, "
+          "\"zipf_exponent\": %.6g, \"mean_interarrival_ns\": %.6g, "
+          "\"deadline_ns\": %llu, \"seed\": %llu},\n",
+          t.num_sessions, t.num_requests, t.zipf_exponent,
+          t.mean_interarrival_ns,
+          static_cast<unsigned long long>(t.deadline_ns),
+          static_cast<unsigned long long>(t.seed));
+  out += "  \"sweep\": [\n";
+  for (std::size_t i = 0; i < result.points.size(); ++i) {
+    const DegradePoint& p = result.points[i];
+    AppendF(&out,
+            "    {\"load_multiplier\": %.6g, \"offered\": %zu, "
+            "\"served\": %zu, \"shed_overflow\": %zu, \"shed_deadline\": %zu, "
+            "\"availability\": %.8g, \"deadline_miss_rate\": %.8g, "
+            "\"p50_ns\": %llu, \"p99_ns\": %llu, \"quarantined\": %zu, "
+            "\"refit_failures\": %zu, \"rollbacks\": %zu, ",
+            p.load_multiplier, p.offered, p.served, p.shed_overflow,
+            p.shed_deadline, p.availability, p.deadline_miss_rate,
+            static_cast<unsigned long long>(p.p50_ns),
+            static_cast<unsigned long long>(p.p99_ns), p.quarantined,
+            p.refit_failures, p.rollbacks);
+    out += "\"rung_served\": [";
+    for (std::size_t r = 0; r < p.rung_served.size(); ++r) {
+      AppendF(&out, "%s%zu", r == 0 ? "" : ", ", p.rung_served[r]);
+    }
+    out += "], \"rung_ndcg\": [";
+    for (std::size_t r = 0; r < p.rung_ndcg.size(); ++r) {
+      AppendF(&out, "%s%.8g", r == 0 ? "" : ", ", p.rung_ndcg[r]);
+    }
+    AppendF(&out, "]}%s\n", i + 1 < result.points.size() ? "," : "");
+  }
+  out += "  ]\n";
+  out += "}\n";
+  return out;
+}
+
+Status ValidateDegradeBenchJson(const std::string& text,
+                                double min_availability) {
+  using core::JsonValue;
+  using core::RequireJsonNumber;
+  JsonValue root;
+  Status parsed = core::ParseJson(text, &root);
+  if (!parsed.ok()) return parsed;
+  if (root.kind != JsonValue::Kind::kObject) {
+    return Status::InvalidArgument("top level must be an object");
+  }
+  const auto bench = root.object.find("bench");
+  if (bench == root.object.end() ||
+      bench->second.kind != JsonValue::Kind::kString ||
+      bench->second.str != "degrade") {
+    return Status::InvalidArgument("\"bench\" must be the string \"degrade\"");
+  }
+  for (const char* key : {"catalog_items", "ndcg_k"}) {
+    Status s = RequireJsonNumber(root, key, nullptr);
+    if (!s.ok()) return s;
+  }
+  const auto chaos = root.object.find("chaos");
+  if (chaos == root.object.end() ||
+      chaos->second.kind != JsonValue::Kind::kObject) {
+    return Status::InvalidArgument("missing \"chaos\" object");
+  }
+  for (const char* key : {"seed", "rate"}) {
+    Status s = RequireJsonNumber(chaos->second, key, nullptr);
+    if (!s.ok()) return s;
+  }
+  const auto traffic = root.object.find("traffic");
+  if (traffic == root.object.end() ||
+      traffic->second.kind != JsonValue::Kind::kObject) {
+    return Status::InvalidArgument("missing \"traffic\" object");
+  }
+  const auto sweep = root.object.find("sweep");
+  if (sweep == root.object.end() ||
+      sweep->second.kind != JsonValue::Kind::kArray) {
+    return Status::InvalidArgument("missing \"sweep\" array");
+  }
+  if (sweep->second.array.empty()) {
+    return Status::InvalidArgument("\"sweep\" must be non-empty");
+  }
+  for (const JsonValue& point : sweep->second.array) {
+    if (point.kind != JsonValue::Kind::kObject) {
+      return Status::InvalidArgument("sweep entries must be objects");
+    }
+    double offered = 0.0;
+    double point_served = 0.0;
+    double shed_overflow = 0.0;
+    double shed_deadline = 0.0;
+    double availability = 0.0;
+    double miss_rate = 0.0;
+    double p50 = 0.0;
+    double p99 = 0.0;
+    Status s = RequireJsonNumber(point, "load_multiplier", nullptr);
+    if (s.ok()) s = RequireJsonNumber(point, "offered", &offered);
+    if (s.ok()) s = RequireJsonNumber(point, "served", &point_served);
+    if (s.ok()) s = RequireJsonNumber(point, "shed_overflow", &shed_overflow);
+    if (s.ok()) s = RequireJsonNumber(point, "shed_deadline", &shed_deadline);
+    if (s.ok()) s = RequireJsonNumber(point, "availability", &availability);
+    if (s.ok()) s = RequireJsonNumber(point, "deadline_miss_rate", &miss_rate);
+    if (s.ok()) s = RequireJsonNumber(point, "p50_ns", &p50);
+    if (s.ok()) s = RequireJsonNumber(point, "p99_ns", &p99);
+    if (s.ok()) s = RequireJsonNumber(point, "quarantined", nullptr);
+    if (s.ok()) s = RequireJsonNumber(point, "refit_failures", nullptr);
+    if (s.ok()) s = RequireJsonNumber(point, "rollbacks", nullptr);
+    if (!s.ok()) return s;
+    if (availability < 0.0 || availability > 1.0 || miss_rate < 0.0 ||
+        miss_rate > 1.0) {
+      return Status::InvalidArgument(
+          "availability and deadline_miss_rate must lie in [0, 1]");
+    }
+    if (offered != point_served + shed_overflow + shed_deadline) {
+      return Status::InvalidArgument(
+          "offered must equal served + shed_overflow + shed_deadline");
+    }
+    if (p50 > p99) {
+      return Status::InvalidArgument("p50_ns must be <= p99_ns");
+    }
+    if (min_availability > 0.0 && availability < min_availability) {
+      return Status::InvalidArgument(
+          "availability below the required floor");
+    }
+    const auto rung_served = point.object.find("rung_served");
+    const auto rung_ndcg = point.object.find("rung_ndcg");
+    if (rung_served == point.object.end() ||
+        rung_served->second.kind != JsonValue::Kind::kArray ||
+        rung_ndcg == point.object.end() ||
+        rung_ndcg->second.kind != JsonValue::Kind::kArray) {
+      return Status::InvalidArgument(
+          "missing \"rung_served\" / \"rung_ndcg\" arrays");
+    }
+    if (rung_served->second.array.size() != rung_ndcg->second.array.size() ||
+        rung_served->second.array.empty()) {
+      return Status::InvalidArgument(
+          "rung arrays must be non-empty and of equal length");
+    }
+    for (const JsonValue& v : rung_ndcg->second.array) {
+      if (v.kind != JsonValue::Kind::kNumber) {
+        return Status::InvalidArgument("rung_ndcg entries must be numbers");
+      }
+      if (v.number != -1.0 && (v.number < 0.0 || v.number > 1.0)) {
+        return Status::InvalidArgument(
+            "rung_ndcg entries must be -1 (unused) or in [0, 1]");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace serve
+}  // namespace whitenrec

@@ -1,0 +1,114 @@
+#ifndef WHITENREC_SERVE_DEGRADE_HARNESS_H_
+#define WHITENREC_SERVE_DEGRADE_HARNESS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/status.h"
+#include "seqrec/model.h"
+#include "serve/service.h"
+#include "serve/traffic.h"
+#include "whitening/whitening.h"
+
+namespace whitenrec {
+namespace serve {
+
+// Overload / chaos sweep configuration (bench_degrade, check-degrade).
+//
+// Unlike the latency harness (serve/harness.h), which times real batches,
+// this harness runs ENTIRELY on the virtual clock: batch cost is a model
+// (base + per-request, scaled by the serving rung's cost factor, plus
+// injected latency spikes), so availability, deadline misses, ladder
+// transitions, and per-rung quality are bitwise reproducible on any machine
+// at any thread count — chaos included, because the fault plane draws from
+// the seeded serve::ChaosInjector.
+struct DegradeConfig {
+  // Offered load at multiplier 1.0; deadline_ns should be set so requests
+  // carry deadlines into the admission queue.
+  TrafficConfig traffic;
+  // Must usually carry a ladder + queue bound; serve.max_batch caps the
+  // per-round service batch.
+  ServeConfig serve;
+  // Each sweep point divides the mean interarrival gap by its multiplier
+  // (4.0 = 4x overload) and replays a freshly generated trace.
+  std::vector<double> load_multipliers = {1.0, 2.0, 4.0};
+
+  // Virtual service-cost model, in virtual ns: serving a batch of n requests
+  // costs (base + per_request * n) * rung_cost_factor, plus chaos_spike_ns
+  // when ChaosKind::kLatencySpike fires for the batch.
+  std::uint64_t base_batch_cost_ns = 50000;
+  std::uint64_t per_request_cost_ns = 40000;
+  std::uint64_t chaos_spike_ns = 2000000;
+
+  // Poisoned-ingest fault stream: every `ingest_every` served requests,
+  // offer one synthetic raw feature row to IngestItem;
+  // ChaosKind::kCorruptIngest replaces a value with NaN first, exercising
+  // the validation + quarantine path (and, via refits, the guarded swap +
+  // rollback). 0 disables; needs raw_features at RunDegradeHarness.
+  std::size_t ingest_every = 0;
+  WhiteningKind ingest_kind = WhiteningKind::kZca;
+  double ingest_epsilon = 1e-5;
+
+  std::size_t ndcg_k = 10;
+};
+
+// One load-multiplier sweep point.
+struct DegradePoint {
+  double load_multiplier = 0.0;
+  std::size_t offered = 0;
+  std::size_t served = 0;
+  std::size_t shed_overflow = 0;  // typed kUnavailable
+  std::size_t shed_deadline = 0;  // typed kDeadlineExceeded
+  double availability = 0.0;      // served / offered
+  double deadline_miss_rate = 0.0;  // served past their deadline / served
+  std::uint64_t p50_ns = 0;       // virtual completion - arrival
+  std::uint64_t p99_ns = 0;
+  std::size_t quarantined = 0;
+  std::size_t refit_failures = 0;
+  std::size_t rollbacks = 0;
+  // Parallel arrays over ladder rungs (size = max(1, ladder rungs)):
+  // responses served per rung, and the mean NDCG@k of each rung's responses
+  // against the rung-0 (undegraded) top-K from the same forward pass.
+  // rung_ndcg is -1 for a rung that served nothing.
+  std::vector<std::size_t> rung_served;
+  std::vector<double> rung_ndcg;
+};
+
+struct DegradeBenchResult {
+  DegradeConfig config;
+  std::size_t catalog_items = 0;
+  std::uint64_t chaos_seed = 0;
+  double chaos_rate = 0.0;
+  std::vector<DegradePoint> points;
+};
+
+// Runs the sweep: per load multiplier, a fresh RecommendService is driven by
+// a deterministic trace through Enqueue/ServeQueued on a simulated
+// single-server virtual clock (arrivals <= now enqueue; one ServeQueued
+// round serves a batch whose modeled cost advances the clock). The chaos
+// injector is re-seeded at the start of every point, so points are
+// independent and individually reproducible. `raw_features` backs the
+// optional ingest fault stream (pass nullptr when ingest_every == 0).
+DegradeBenchResult RunDegradeHarness(
+    seqrec::SasRecModel* model,
+    const std::vector<std::vector<std::size_t>>& sequences,
+    const linalg::Matrix* raw_features, const DegradeConfig& config);
+
+// Renders the result as the out/BENCH_degrade.json document.
+std::string DegradeBenchJson(const DegradeBenchResult& result);
+
+// Schema check for BENCH_degrade.json: required keys and types, non-empty
+// sweep, availability/miss rates in [0, 1], per-point accounting identity
+// offered == served + shed_overflow + shed_deadline, aligned rung arrays
+// with NDCG in [0, 1] (or -1 for unused rungs), and p50 <= p99. When
+// min_availability > 0, additionally requires every point to meet it (the
+// check-degrade floor).
+Status ValidateDegradeBenchJson(const std::string& text,
+                                double min_availability = 0.0);
+
+}  // namespace serve
+}  // namespace whitenrec
+
+#endif  // WHITENREC_SERVE_DEGRADE_HARNESS_H_

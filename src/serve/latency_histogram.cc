@@ -32,8 +32,12 @@ LatencyHistogram::LatencyHistogram()
       min_(std::numeric_limits<std::uint64_t>::max()) {}
 
 std::size_t LatencyHistogram::NumBuckets() {
-  // Exponents kLogShift+1 .. 63 each contribute kLogSubBuckets buckets.
-  return kExactMax + (63 - kLogShift - 1) * kLogSubBuckets;
+  // Exponents kLogShift+1 .. 63 each contribute kLogSubBuckets buckets:
+  // that is 63 - kLogShift runs. (The previous count dropped the final
+  // exponent-63 run, so Record(v) for v >= 2^63 wrote one full sub-bucket
+  // run past the end of buckets_ — the overflow bucket now exists, and the
+  // last bucket's lower bound (2^63 + 127 * 2^56) still fits uint64.)
+  return kExactMax + (63 - kLogShift) * kLogSubBuckets;
 }
 
 std::size_t LatencyHistogram::BucketIndex(std::uint64_t value) {
@@ -70,6 +74,8 @@ void LatencyHistogram::Merge(const LatencyHistogram& other) {
   sum_ += other.sum_;
   min_ = std::min(min_, other.min_);
   max_ = std::max(max_, other.max_);
+  deadline_misses_ += other.deadline_misses_;
+  sheds_ += other.sheds_;
 }
 
 std::uint64_t LatencyHistogram::min() const {

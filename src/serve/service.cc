@@ -1,6 +1,7 @@
 #include "serve/service.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -8,8 +9,10 @@
 
 #include "core/check.h"
 #include "core/parallel.h"
+#include "eval/conditioning.h"
 #include "whitening/whiten_encoder.h"
 #include "linalg/gemm.h"
+#include "serve/chaos.h"
 
 namespace whitenrec {
 namespace serve {
@@ -37,6 +40,10 @@ std::uint64_t EnvU64(const char* name, std::uint64_t fallback) {
       EnvSize(name, static_cast<std::size_t>(fallback)));
 }
 
+// Quarantined feature rows kept for inspection; the ServeStats counter keeps
+// counting past the cap so a poisoning flood is still visible in full.
+constexpr std::size_t kQuarantineCap = 256;
+
 }  // namespace
 
 ServeConfig ServeConfig::FromEnv() {
@@ -49,21 +56,76 @@ ServeConfig ServeConfig::FromEnv() {
       EnvU64("WHITENREC_SERVE_WINDOW_NS", config.batch_window_ns);
   config.refit_every = EnvSize("WHITENREC_SERVE_REFIT_EVERY",
                                config.refit_every);
+  config.deadline_ns =
+      EnvU64("WHITENREC_SERVE_DEADLINE_NS", config.deadline_ns);
+  config.queue_max = EnvSize("WHITENREC_SERVE_QUEUE_MAX", config.queue_max);
+  const char* ladder = std::getenv("WHITENREC_DEGRADE_LADDER");
+  if (ladder != nullptr && *ladder != '\0') {
+    Result<std::vector<LadderRung>> rungs = ParseLadderSpec(ladder);
+    if (!rungs.ok()) {
+      std::fprintf(stderr, "WHITENREC_DEGRADE_LADDER: %s\n",
+                   rungs.status().message().c_str());
+      std::abort();
+    }
+    config.ladder.rungs = std::move(rungs).ValueOrDie();
+  }
   config.scorer = retrieval::ScorerConfig::FromEnv();
   return config;
 }
 
 RecommendService::RecommendService(seqrec::SasRecModel* model,
                                    const ServeConfig& config)
-    : model_(model), config_(config) {
+    : model_(model),
+      config_(config),
+      queue_(AdmissionConfig{config.queue_max}) {
   WR_CHECK(model != nullptr);
   WR_CHECK(config.top_k > 0);
   WR_CHECK(config.max_batch > 0);
   WR_CHECK(config.refit_every > 0);
   item_table_ = model_->EncodeItems(/*train=*/false);
   scorer_ = retrieval::MakeScorer(config.scorer);
+  if (!config_.ladder.rungs.empty()) {
+    ladder_ = std::make_unique<DegradationLadder>(config_.ladder);
+  }
+  rung_served_.assign(std::max<std::size_t>(1, config_.ladder.rungs.size()),
+                      0);
+  RebuildScorers();
+}
+
+void RecommendService::RebuildScorers() {
   scorer_->Rebuild(item_table_);
   ++stats_.index_rebuilds;
+  rung_scorers_.clear();
+  const std::vector<LadderRung>& rungs = config_.ladder.rungs;
+  if (rungs.empty()) return;
+  bool any_ivf = false;
+  for (const LadderRung& rung : rungs) {
+    if (rung.kind == RungKind::kIvf) any_ivf = true;
+  }
+  if (any_ivf) {
+    // One deterministic k-means build feeds every IVF rung's view.
+    if (shared_ivf_ == nullptr) {
+      shared_ivf_ =
+          std::make_unique<retrieval::SharedIvfIndex>(config_.scorer);
+    }
+    shared_ivf_->Rebuild(item_table_);
+  }
+  for (const LadderRung& rung : rungs) {
+    std::unique_ptr<retrieval::Scorer> scorer;
+    switch (rung.kind) {
+      case RungKind::kExact:
+        scorer = linalg::MakeExactScorer();
+        break;
+      case RungKind::kIvf:
+        scorer = shared_ivf_->MakeView(rung.nprobe);
+        break;
+      case RungKind::kPopularity:
+        scorer = retrieval::MakePopularityScorer(config_.popularity);
+        break;
+    }
+    scorer->Rebuild(item_table_);
+    rung_scorers_.push_back(std::move(scorer));
+  }
 }
 
 bool RecommendService::AppendAndEncode(Session* session, std::size_t item,
@@ -144,9 +206,11 @@ void RecommendService::EvictFor(const std::vector<std::uint64_t>& needed) {
   }
 }
 
-void RecommendService::HandleSlice(const std::vector<ServeRequest>& requests,
-                                   std::size_t begin, std::size_t end,
-                                   std::vector<ServeResponse>* responses) {
+void RecommendService::HandleSlice(
+    const std::vector<ServeRequest>& requests, std::size_t begin,
+    std::size_t end, std::vector<ServeResponse>* responses,
+    const retrieval::Scorer* scorer, const retrieval::Scorer* reference,
+    std::vector<std::vector<linalg::ScoredItem>>* refs_out) {
   const std::size_t n = end - begin;
   const std::size_t hidden = model_->config().hidden_dim;
 
@@ -221,7 +285,29 @@ void RecommendService::HandleSlice(const std::vector<ServeRequest>& requests,
   std::vector<linalg::TopKSelector> selectors;
   selectors.reserve(n);
   for (std::size_t r = 0; r < n; ++r) selectors.emplace_back(config_.top_k);
-  scorer_->TopKBatch(users, exclusions, &selectors);
+  scorer->TopKBatch(users, exclusions, &selectors);
+
+  // Undegraded baseline: score the SAME user states through the reference
+  // scorer. Session state advanced once above; this second scoring pass is
+  // stateless, so serving degraded + recording the baseline cannot drift
+  // from serving undegraded.
+  if (reference != nullptr && refs_out != nullptr) {
+    if (reference == scorer) {
+      for (std::size_t r = 0; r < n; ++r) {
+        refs_out->push_back(selectors[r].SortedDescending());
+      }
+    } else {
+      std::vector<linalg::TopKSelector> ref_selectors;
+      ref_selectors.reserve(n);
+      for (std::size_t r = 0; r < n; ++r) {
+        ref_selectors.emplace_back(config_.top_k);
+      }
+      reference->TopKBatch(users, exclusions, &ref_selectors);
+      for (std::size_t r = 0; r < n; ++r) {
+        refs_out->push_back(ref_selectors[r].SortedDescending());
+      }
+    }
+  }
 
   for (std::size_t r = 0; r < n; ++r) {
     ServeResponse& response = (*responses)[begin + r];
@@ -241,7 +327,7 @@ void RecommendService::HandleSlice(const std::vector<ServeRequest>& requests,
 ServeResponse RecommendService::Handle(const ServeRequest& request) {
   std::vector<ServeRequest> one(1, request);
   std::vector<ServeResponse> responses(1);
-  HandleSlice(one, 0, 1, &responses);
+  HandleSlice(one, 0, 1, &responses, scorer_.get(), nullptr, nullptr);
   return std::move(responses[0]);
 }
 
@@ -252,9 +338,82 @@ std::vector<ServeResponse> RecommendService::HandleBatch(
        begin += config_.max_batch) {
     const std::size_t end =
         std::min(requests.size(), begin + config_.max_batch);
-    HandleSlice(requests, begin, end, &responses);
+    HandleSlice(requests, begin, end, &responses, scorer_.get(), nullptr,
+                nullptr);
   }
   return responses;
+}
+
+std::size_t RecommendService::current_rung() const {
+  return ladder_ == nullptr ? 0 : ladder_->rung();
+}
+
+std::uint64_t RecommendService::Enqueue(const ServeRequest& request,
+                                        std::vector<ServeOutcome>* outcomes) {
+  WR_CHECK(outcomes != nullptr);
+  ServeRequest stamped = request;
+  if (stamped.deadline_ns == 0 && config_.deadline_ns > 0) {
+    stamped.deadline_ns = stamped.arrival_ns + config_.deadline_ns;
+  }
+  AdmissionQueue::OfferResult offer = queue_.Offer(stamped);
+  if (offer.shed.has_value()) {
+    ServeOutcome outcome;
+    outcome.seq = offer.shed->seq;
+    outcome.kind = ServeOutcomeKind::kShedOverflow;
+    outcome.status = Status::Unavailable("admission queue full");
+    outcome.request = offer.shed->request;
+    outcomes->push_back(std::move(outcome));
+    ++stats_.queue_sheds;
+  }
+  return offer.seq;
+}
+
+void RecommendService::ServeQueued(
+    std::uint64_t now_ns, std::vector<ServeOutcome>* outcomes,
+    std::vector<std::vector<linalg::ScoredItem>>* reference) {
+  WR_CHECK(outcomes != nullptr);
+  // Per-batch deadline check: a request whose deadline has already passed
+  // is dropped HERE, before it can touch session state — a shed request
+  // leaves the service bitwise as if it had never arrived.
+  for (const AdmittedRequest& dropped : queue_.DropOverdue(now_ns)) {
+    ServeOutcome outcome;
+    outcome.seq = dropped.seq;
+    outcome.kind = ServeOutcomeKind::kShedDeadline;
+    outcome.status =
+        Status::DeadlineExceeded("deadline passed before service");
+    outcome.request = dropped.request;
+    outcomes->push_back(std::move(outcome));
+    ++stats_.deadline_sheds;
+  }
+  // The ladder observes the post-drop backlog — the work actually waiting.
+  std::size_t rung = 0;
+  if (ladder_ != nullptr) rung = ladder_->Observe(queue_.size());
+  if (queue_.empty()) return;
+
+  std::vector<AdmittedRequest> admitted = queue_.PopBatch(config_.max_batch);
+  std::vector<ServeRequest> requests;
+  requests.reserve(admitted.size());
+  for (const AdmittedRequest& a : admitted) requests.push_back(a.request);
+
+  const retrieval::Scorer* scorer =
+      rung_scorers_.empty() ? scorer_.get() : rung_scorers_[rung].get();
+  const retrieval::Scorer* ref_scorer = nullptr;
+  if (reference != nullptr) {
+    ref_scorer = rung_scorers_.empty() ? scorer : rung_scorers_[0].get();
+  }
+  std::vector<ServeResponse> responses(requests.size());
+  HandleSlice(requests, 0, requests.size(), &responses, scorer, ref_scorer,
+              reference);
+  rung_served_[rung] += requests.size();
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    ServeOutcome outcome;
+    outcome.seq = admitted[i].seq;
+    outcome.kind = ServeOutcomeKind::kServed;
+    outcome.request = requests[i];
+    responses[i].rung = rung;
+    outcome.response = std::move(responses[i]);
+    outcomes->push_back(std::move(outcome));
+  }
 }
 
 Status RecommendService::EnableIngest(const Matrix& raw_features,
@@ -284,16 +443,74 @@ Status RecommendService::EnableIngest(const Matrix& raw_features,
   whiten_acc_ = IncrementalWhitening(raw_features.cols());
   whiten_acc_.Add(raw_features);
   pending_ingests_ = 0;
+  // The armed state IS the first good snapshot: a refit that fails before
+  // ever committing rolls back to exactly this accumulator and catalog.
+  last_good_acc_ = whiten_acc_;
+  last_good_raw_rows_ = raw_features_.rows();
   ingest_enabled_ = true;
   return Status::OK();
+}
+
+Status RecommendService::ValidateIngestFeature(
+    const std::vector<double>& raw_feature) const {
+  if (raw_feature.size() != raw_features_.cols()) {
+    return Status::InvalidArgument("raw feature dimension mismatch");
+  }
+  for (double v : raw_feature) {
+    if (!std::isfinite(v)) {
+      return Status::InvalidArgument("raw feature has a non-finite value");
+    }
+    if (config_.ingest_max_abs > 0.0 &&
+        std::abs(v) > config_.ingest_max_abs) {
+      return Status::InvalidArgument(
+          "raw feature magnitude exceeds ingest_max_abs");
+    }
+  }
+  return Status::OK();
+}
+
+void RecommendService::Quarantine(const std::vector<double>& raw_feature,
+                                  std::string reason) {
+  ++stats_.quarantined;
+  if (quarantine_.size() < kQuarantineCap) {
+    QuarantinedFeature q;
+    q.feature = raw_feature;
+    q.reason = std::move(reason);
+    quarantine_.push_back(std::move(q));
+  }
+}
+
+Status RecommendService::RollbackPending(Status cause) {
+  // Pending (uncommitted) rows are dropped into quarantine: the guard cannot
+  // tell WHICH ingested row poisoned the moments, so everything since the
+  // last committed refit is suspect.
+  const std::size_t rows = raw_features_.rows();
+  for (std::size_t r = last_good_raw_rows_; r < rows; ++r) {
+    Quarantine(raw_features_.Row(r), "dropped by refit rollback");
+  }
+  if (rows != last_good_raw_rows_) {
+    Matrix trimmed(last_good_raw_rows_, raw_features_.cols());
+    for (std::size_t r = 0; r < last_good_raw_rows_; ++r) {
+      trimmed.SetRow(r, raw_features_.Row(r));
+    }
+    raw_features_ = std::move(trimmed);
+  }
+  whiten_acc_ = last_good_acc_;
+  pending_ingests_ = 0;
+  return cause;
 }
 
 Status RecommendService::IngestItem(const std::vector<double>& raw_feature) {
   if (!ingest_enabled_) {
     return Status::InvalidArgument("call EnableIngest first");
   }
-  if (raw_feature.size() != raw_features_.cols()) {
-    return Status::InvalidArgument("raw feature dimension mismatch");
+  // Poisoned-ingest defense: validate BEFORE the feature can touch the
+  // whitening moments. A rejected row leaves the accumulator, the catalog,
+  // and the scorer bitwise unchanged — only the quarantine records it.
+  Status valid = ValidateIngestFeature(raw_feature);
+  if (!valid.ok()) {
+    Quarantine(raw_feature, valid.message());
+    return valid;
   }
   // Append the row to the raw catalog and fold it into the streaming
   // whitening statistics (exact Welford update, no rescan).
@@ -327,20 +544,79 @@ Status RecommendService::RefitNow() {
 Status RecommendService::Refit() {
   auto* encoder = dynamic_cast<TextFeatureEncoder*>(model_->encoder());
   WR_CHECK(encoder != nullptr);  // EnableIngest verified this
+
+  // Refit guard: a poisoned batch that slipped past the per-row bounds still
+  // shows up as a sick covariance (blown condition number or collapsed
+  // spectrum). Refuse the refit and roll the pending rows back rather than
+  // bake a near-singular transform into the serving path.
+  if (config_.refit_max_condition > 0.0 || config_.refit_eigen_floor > 0.0) {
+    Result<Matrix> cov = whiten_acc_.CovarianceMatrix();
+    if (!cov.ok()) {
+      ++stats_.refit_failures;
+      return RollbackPending(cov.status());
+    }
+    const eval::CovarianceConditioning cond =
+        eval::AnalyzeCovarianceConditioning(cov.value());
+    if (config_.refit_max_condition > 0.0 &&
+        cond.condition_number > config_.refit_max_condition) {
+      ++stats_.refit_failures;
+      return RollbackPending(Status::NumericalError(
+          "refit guard: covariance condition number exceeds bound"));
+    }
+    if (config_.refit_eigen_floor > 0.0 &&
+        cond.min_eigenvalue < config_.refit_eigen_floor) {
+      ++stats_.refit_failures;
+      return RollbackPending(Status::NumericalError(
+          "refit guard: covariance eigenvalue below floor"));
+    }
+  }
+
   Result<FittedWhitening> fitted = whiten_acc_.Fit(whiten_options_);
-  if (!fitted.ok()) return fitted.status();
+  if (!fitted.ok()) {
+    ++stats_.refit_failures;
+    return RollbackPending(fitted.status());
+  }
   Matrix whitened = ApplyWhitening(fitted.value(), raw_features_);
+
+  // Versioned swap: snapshot the encoder's current (last good) feature table
+  // before replacing it, so an interrupted swap can restore it bitwise.
+  Matrix old_features = encoder->features();
   Status replaced = encoder->ReplaceFeatures(std::move(whitened));
-  if (!replaced.ok()) return replaced;
-  // The whole item table changed: rebuild it, re-index it, and invalidate
-  // every cached session state. Windows are kept — the next request per
-  // session replays them against the new table (counted as a recompute, not
-  // an error). The scorer rebuild runs on every refit, so the index cadence
-  // mirrors the whitening refit cadence and responses stay a pure function
-  // of the ingest history.
+  if (!replaced.ok()) {
+    ++stats_.refit_failures;
+    return RollbackPending(replaced);
+  }
+
+  // Injected failure window (ChaosKind::kRefitFailure): the crash lands at
+  // the worst moment — features swapped, table and index not yet rebuilt.
+  // Rollback restores the old features and re-derives table + index from
+  // them; EncodeItems and the index build are deterministic pure functions
+  // of the feature table, so the restored state is bitwise the pre-refit
+  // state and cached sessions stay valid.
+  if (ChaosInjector::Global().Next({ChaosKind::kRefitFailure}) ==
+      ChaosKind::kRefitFailure) {
+    // RestoreFeatures (not ReplaceFeatures): the catalog must shrink back to
+    // the snapshot, and nothing can reference the dropped rows because the
+    // swap never became visible to a request.
+    Status restored = encoder->RestoreFeatures(std::move(old_features));
+    WR_CHECK(restored.ok());
+    item_table_ = model_->EncodeItems(/*train=*/false);
+    RebuildScorers();
+    ++stats_.rollbacks;
+    ++stats_.refit_failures;
+    return RollbackPending(Status::Unavailable(
+        "refit interrupted by injected failure; rolled back to last good "
+        "transform"));
+  }
+
+  // Commit. The whole item table changed: rebuild it, re-index it, and
+  // invalidate every cached session state. Windows are kept — the next
+  // request per session replays them against the new table (counted as a
+  // recompute, not an error). The scorer rebuild runs on every refit, so the
+  // index cadence mirrors the whitening refit cadence and responses stay a
+  // pure function of the ingest history.
   item_table_ = model_->EncodeItems(/*train=*/false);
-  scorer_->Rebuild(item_table_);
-  ++stats_.index_rebuilds;
+  RebuildScorers();
   for (auto& entry : sessions_) {
     if (entry.second.has_state) {
       entry.second.state.Clear();
@@ -349,6 +625,9 @@ Status RecommendService::Refit() {
   }
   stateful_sessions_ = 0;
   pending_ingests_ = 0;
+  last_good_acc_ = whiten_acc_;
+  last_good_raw_rows_ = raw_features_.rows();
+  ++table_version_;
   ++stats_.refits;
   return Status::OK();
 }

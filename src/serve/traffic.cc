@@ -56,6 +56,9 @@ std::vector<TraceRequest> GenerateTrace(
     req.arrival_ns = clock_ns;
     req.session_id = session;
     req.item = hist[cursor[session]++ % hist.size()];
+    if (config.deadline_ns > 0) {
+      req.deadline_ns = clock_ns + config.deadline_ns;
+    }
     trace.push_back(req);
   }
   return trace;

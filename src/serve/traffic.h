@@ -20,12 +20,17 @@ struct TrafficConfig {
   double zipf_exponent = 1.0;          // 0 = uniform session popularity
   double mean_interarrival_ns = 1e5;   // ~10k requests/sec virtual offered load
   std::uint64_t seed = 17;
+  // Per-request deadline budget relative to arrival; 0 = no deadlines.
+  // Deadlines monotone in arrival (arrival + constant) can never invert a
+  // session's EDF order (serve/admission.h).
+  std::uint64_t deadline_ns = 0;
 };
 
 struct TraceRequest {
   std::uint64_t arrival_ns = 0;   // virtual clock, strictly increasing
   std::uint64_t session_id = 0;
   std::size_t item = 0;           // item the session just consumed
+  std::uint64_t deadline_ns = 0;  // absolute deadline; 0 = none
 };
 
 // Builds a request trace over the given user histories (data::Dataset

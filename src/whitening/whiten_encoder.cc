@@ -184,6 +184,19 @@ Status TextFeatureEncoder::ReplaceFeatures(Matrix features) {
   return Status::OK();
 }
 
+Status TextFeatureEncoder::RestoreFeatures(Matrix features) {
+  if (features.cols() != head_.in_dim()) {
+    return Status::InvalidArgument(
+        "RestoreFeatures: feature dim " + std::to_string(features.cols()) +
+        " != head input dim " + std::to_string(head_.in_dim()));
+  }
+  if (features.rows() < 2) {
+    return Status::InvalidArgument("RestoreFeatures: need >= 2 items");
+  }
+  features_ = std::move(features);
+  return Status::OK();
+}
+
 WhitenRecPlusEncoder::WhitenRecPlusEncoder(Matrix z_full, Matrix z_relaxed,
                                            std::size_t out_dim,
                                            EnsembleKind ensemble,

@@ -85,6 +85,14 @@ class TextFeatureEncoder : public ItemEncoder {
   // head is kept, only its frozen input changes.
   Status ReplaceFeatures(linalg::Matrix features);
 
+  // Rollback variant: swaps in a previously captured feature table, allowing
+  // the row count to SHRINK (which ReplaceFeatures forbids, since serving
+  // sessions may hold references to high item ids). Callers must guarantee
+  // nothing references the dropped rows — the serving refit rollback does,
+  // because it restores the snapshot before any request can see the swapped
+  // table (DESIGN.md §13).
+  Status RestoreFeatures(linalg::Matrix features);
+
  private:
   linalg::Matrix features_;  // frozen
   ProjectionHead head_;

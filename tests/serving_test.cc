@@ -14,9 +14,12 @@
 // The *Soak* test doubles as the randomized-traffic TSan workload run by
 // `make check-serve` (WHITENREC_SERVE_SOAK scales it up).
 
+#include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <cstdlib>
 #include <cstring>
+#include <limits>
 #include <memory>
 #include <string>
 #include <vector>
@@ -26,9 +29,14 @@
 #include "core/parallel.h"
 #include "data/batcher.h"
 #include "data/generator.h"
+#include "eval/metrics.h"
 #include "linalg/rng.h"
 #include "seqrec/baselines.h"
 #include "seqrec/trainer.h"
+#include "serve/admission.h"
+#include "serve/chaos.h"
+#include "serve/degrade.h"
+#include "serve/degrade_harness.h"
 #include "serve/harness.h"
 #include "serve/latency_histogram.h"
 #include "serve/service.h"
@@ -391,7 +399,9 @@ TEST(Traffic, ArrivalsStrictlyIncreaseAndZipfSkews) {
   const std::vector<TraceRequest> trace = GenerateTrace(sequences, config);
   std::vector<std::size_t> hits(config.num_sessions, 0);
   for (std::size_t i = 0; i < trace.size(); ++i) {
-    if (i > 0) ASSERT_GT(trace[i].arrival_ns, trace[i - 1].arrival_ns);
+    if (i > 0) {
+      ASSERT_GT(trace[i].arrival_ns, trace[i - 1].arrival_ns);
+    }
     ASSERT_LT(trace[i].session_id, config.num_sessions);
     ++hits[trace[i].session_id];
   }
@@ -534,21 +544,35 @@ TEST(ServeConfig, FromEnvOverlaysKnobs) {
   ASSERT_EQ(setenv("WHITENREC_SERVE_MAX_BATCH", "33", 1), 0);
   ASSERT_EQ(setenv("WHITENREC_SERVE_CACHE_SESSIONS", "99", 1), 0);
   ASSERT_EQ(setenv("WHITENREC_SERVE_REFIT_EVERY", "5", 1), 0);
+  ASSERT_EQ(setenv("WHITENREC_SERVE_DEADLINE_NS", "123456", 1), 0);
+  ASSERT_EQ(setenv("WHITENREC_SERVE_QUEUE_MAX", "77", 1), 0);
+  ASSERT_EQ(setenv("WHITENREC_DEGRADE_LADDER", "exact,ivf:3,popularity", 1), 0);
   const ServeConfig config = ServeConfig::FromEnv();
   EXPECT_EQ(config.top_k, 25u);
   EXPECT_EQ(config.batch_window_ns, 777u);
   EXPECT_EQ(config.max_batch, 33u);
   EXPECT_EQ(config.max_cached_sessions, 99u);
   EXPECT_EQ(config.refit_every, 5u);
+  EXPECT_EQ(config.deadline_ns, 123456u);
+  EXPECT_EQ(config.queue_max, 77u);
+  ASSERT_EQ(config.ladder.rungs.size(), 3u);
+  EXPECT_EQ(config.ladder.rungs[0].kind, RungKind::kExact);
+  EXPECT_EQ(config.ladder.rungs[1].kind, RungKind::kIvf);
+  EXPECT_EQ(config.ladder.rungs[1].nprobe, 3u);
+  EXPECT_EQ(config.ladder.rungs[2].kind, RungKind::kPopularity);
   for (const char* name :
        {"WHITENREC_SERVE_TOPK", "WHITENREC_SERVE_WINDOW_NS",
         "WHITENREC_SERVE_MAX_BATCH", "WHITENREC_SERVE_CACHE_SESSIONS",
-        "WHITENREC_SERVE_REFIT_EVERY"}) {
+        "WHITENREC_SERVE_REFIT_EVERY", "WHITENREC_SERVE_DEADLINE_NS",
+        "WHITENREC_SERVE_QUEUE_MAX", "WHITENREC_DEGRADE_LADDER"}) {
     unsetenv(name);
   }
   const ServeConfig defaults = ServeConfig::FromEnv();
   EXPECT_EQ(defaults.top_k, ServeConfig().top_k);
   EXPECT_EQ(defaults.batch_window_ns, ServeConfig().batch_window_ns);
+  EXPECT_EQ(defaults.deadline_ns, ServeConfig().deadline_ns);
+  EXPECT_EQ(defaults.queue_max, ServeConfig().queue_max);
+  EXPECT_TRUE(defaults.ladder.rungs.empty());
 }
 
 // ---------------------------------------------------------------------------
@@ -739,6 +763,800 @@ TEST(Soak, RandomizedTrafficWithIngestStaysWellFormed) {
   }
   EXPECT_EQ(served, trace.size());
   EXPECT_GT(service.stats().evictions, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Overload resilience (ISSUE 10): admission control, degradation ladder,
+// poisoned-ingest defense, chaos plane. DESIGN.md §13.
+// ---------------------------------------------------------------------------
+
+TEST(Admission, EdfOrderOverflowShedAndOverdueDropHandComputed) {
+  AdmissionConfig config;
+  config.queue_max = 3;
+  AdmissionQueue queue(config);
+
+  // Offers: (session, deadline). seq is assigned in offer order 0, 1, 2.
+  auto offer = [&queue](std::uint64_t session, std::uint64_t deadline) {
+    ServeRequest request;
+    request.session_id = session;
+    request.item = 0;
+    request.deadline_ns = deadline;
+    return queue.Offer(request);
+  };
+
+  EXPECT_FALSE(offer(10, 500).shed.has_value());   // seq 0
+  EXPECT_FALSE(offer(11, 100).shed.has_value());   // seq 1
+  EXPECT_FALSE(offer(12, 0).shed.has_value());     // seq 2: no deadline, last
+  EXPECT_EQ(queue.size(), 3u);
+
+  // Overflow sheds the unique EDF maximum: the deadline-free seq 2.
+  const AdmissionQueue::OfferResult r3 = offer(13, 300);  // seq 3
+  ASSERT_TRUE(r3.shed.has_value());
+  EXPECT_EQ(r3.seq, 3u);
+  EXPECT_EQ(r3.shed->seq, 2u);
+  EXPECT_EQ(r3.shed->request.session_id, 12u);
+  EXPECT_EQ(queue.size(), 3u);
+  EXPECT_EQ(queue.shed_overflow(), 1u);
+
+  // An offer that is itself the EDF maximum sheds itself.
+  const AdmissionQueue::OfferResult r4 = offer(14, 900);  // seq 4
+  ASSERT_TRUE(r4.shed.has_value());
+  EXPECT_EQ(r4.shed->seq, 4u);
+  EXPECT_EQ(r4.shed->request.session_id, 14u);
+
+  // DropOverdue removes exactly the expired EDF prefix: deadlines 100, 300.
+  const std::vector<AdmittedRequest> overdue = queue.DropOverdue(300);
+  ASSERT_EQ(overdue.size(), 2u);
+  EXPECT_EQ(overdue[0].request.session_id, 11u);
+  EXPECT_EQ(overdue[1].request.session_id, 13u);
+  EXPECT_EQ(queue.shed_overdue(), 2u);
+
+  // PopBatch returns the EDF prefix sorted back into seq (arrival) order.
+  EXPECT_FALSE(offer(15, 200).shed.has_value());  // seq 5: earliest deadline
+  const std::vector<AdmittedRequest> batch = queue.PopBatch(8);
+  ASSERT_EQ(batch.size(), 2u);
+  EXPECT_EQ(batch[0].seq, 0u);  // seq order, not deadline order
+  EXPECT_EQ(batch[1].seq, 5u);
+  EXPECT_TRUE(queue.empty());
+  EXPECT_EQ(queue.offered(), 6u);
+}
+
+TEST(Admission, ShedSetIsPureFunctionOfTheOfferSequence) {
+  // Same randomized offer/pop schedule twice: identical shed sets, identical
+  // pop order — the queue consumes no clocks and no thread identity.
+  auto run = [] {
+    AdmissionConfig config;
+    config.queue_max = 5;
+    AdmissionQueue queue(config);
+    linalg::Rng rng(404);
+    std::vector<std::uint64_t> shed_seqs;
+    std::vector<std::uint64_t> popped_seqs;
+    for (std::size_t i = 0; i < 200; ++i) {
+      ServeRequest request;
+      request.session_id = rng.UniformInt(9);
+      request.deadline_ns = 1 + rng.UniformInt(1000);
+      const AdmissionQueue::OfferResult result = queue.Offer(request);
+      if (result.shed.has_value()) shed_seqs.push_back(result.shed->seq);
+      if (i % 3 == 2) {
+        for (const AdmittedRequest& r : queue.PopBatch(2)) {
+          popped_seqs.push_back(r.seq);
+        }
+      }
+    }
+    shed_seqs.push_back(queue.shed_overflow());
+    return std::make_pair(shed_seqs, popped_seqs);
+  };
+  const auto a = run();
+  const auto b = run();
+  EXPECT_EQ(a.first, b.first);
+  EXPECT_EQ(a.second, b.second);
+}
+
+TEST(DegradationLadder, HysteresisDegradesFastAndRecoversSlow) {
+  LadderConfig config;
+  config.rungs = {LadderRung{RungKind::kExact, 0, 1.0},
+                  LadderRung{RungKind::kIvf, 8, 0.55},
+                  LadderRung{RungKind::kPopularity, 0, 0.02}};
+  config.high_watermark = 10;
+  config.low_watermark = 2;
+  config.degrade_after = 1;
+  config.recover_after = 3;
+  DegradationLadder ladder(config);
+
+  EXPECT_EQ(ladder.Observe(5), 0u);   // dead band: stay
+  EXPECT_EQ(ladder.Observe(10), 1u);  // >= high once: step down
+  EXPECT_EQ(ladder.Observe(12), 2u);  // again: bottom rung
+  EXPECT_EQ(ladder.Observe(50), 2u);  // clamped at the bottom
+  EXPECT_EQ(ladder.Observe(2), 2u);   // <= low run 1 of 3
+  EXPECT_EQ(ladder.Observe(0), 2u);   // run 2
+  EXPECT_EQ(ladder.Observe(1), 1u);   // run 3: step up one rung
+  EXPECT_EQ(ladder.Observe(2), 1u);   // run restarts after the step
+  EXPECT_EQ(ladder.Observe(5), 1u);   // dead band resets the low run
+  EXPECT_EQ(ladder.Observe(2), 1u);
+  EXPECT_EQ(ladder.Observe(2), 1u);
+  EXPECT_EQ(ladder.Observe(2), 0u);   // three consecutive lows: recovered
+  EXPECT_EQ(ladder.Observe(0), 0u);   // clamped at the top
+
+  ladder.Reset();
+  EXPECT_EQ(ladder.rung(), 0u);
+}
+
+TEST(DegradationLadder, TrajectoryIsPureFunctionOfDepthSequence) {
+  LadderConfig config;
+  config.rungs = {LadderRung{RungKind::kExact, 0, 1.0},
+                  LadderRung{RungKind::kIvf, 4, 0.35},
+                  LadderRung{RungKind::kIvf, 2, 0.25},
+                  LadderRung{RungKind::kPopularity, 0, 0.02}};
+  config.high_watermark = 12;
+  config.low_watermark = 3;
+  config.degrade_after = 2;
+  config.recover_after = 4;
+
+  linalg::Rng rng(77);
+  std::vector<std::size_t> depths(500);
+  for (std::size_t& d : depths) d = rng.UniformInt(20);
+
+  auto replay = [&config, &depths] {
+    DegradationLadder ladder(config);
+    std::vector<std::size_t> rungs;
+    rungs.reserve(depths.size());
+    for (std::size_t d : depths) rungs.push_back(ladder.Observe(d));
+    return rungs;
+  };
+  const std::vector<std::size_t> first = replay();
+  const std::vector<std::size_t> second = replay();
+  EXPECT_EQ(first, second);
+  // The trajectory actually moves: some batch was served degraded.
+  EXPECT_GT(*std::max_element(first.begin(), first.end()), 0u);
+}
+
+bool SameOutcomes(const std::vector<ServeOutcome>& a,
+                  const std::vector<ServeOutcome>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].seq != b[i].seq) return false;
+    if (a[i].kind != b[i].kind) return false;
+    if (a[i].status.code() != b[i].status.code()) return false;
+    if (a[i].request.session_id != b[i].request.session_id) return false;
+    if (a[i].request.item != b[i].request.item) return false;
+    if (a[i].kind != ServeOutcomeKind::kServed) continue;
+    if (a[i].response.rung != b[i].response.rung) return false;
+    if (a[i].response.session_len != b[i].response.session_len) return false;
+    if (a[i].response.topk.size() != b[i].response.topk.size()) return false;
+    for (std::size_t k = 0; k < a[i].response.topk.size(); ++k) {
+      if (a[i].response.topk[k].item != b[i].response.topk[k].item) {
+        return false;
+      }
+      if (!BitwiseEqualRows(&a[i].response.topk[k].score,
+                            &b[i].response.topk[k].score, 1)) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+struct QueuedRun {
+  std::vector<ServeOutcome> outcomes;
+  std::vector<std::size_t> rung_served;
+  ServeStats stats;
+};
+
+// Deterministic single-server drive of the admission-controlled path on the
+// virtual clock: enqueue `serve_every` arrivals, cut one batch whose modeled
+// cost advances the clock, repeat; then drain. Cutting batch `stall_at`
+// additionally freezes the server for stall_ns (a simulated pause), so the
+// queued requests outlive their deadlines and the overdue-drop path fires.
+// Every control decision is a pure function of the trace, so the outcome
+// stream must be bitwise reproducible at any thread count.
+QueuedRun DriveQueued(seqrec::SasRecModel* model,
+                      const std::vector<TraceRequest>& trace,
+                      const ServeConfig& config, std::size_t serve_every,
+                      std::uint64_t batch_cost_ns, std::size_t stall_at = 0,
+                      std::uint64_t stall_ns = 0) {
+  RecommendService service(model, config);
+  QueuedRun run;
+  std::uint64_t now_ns = 0;
+  std::size_t since_batch = 0;
+  std::size_t batches = 0;
+  for (const TraceRequest& t : trace) {
+    now_ns = std::max(now_ns, t.arrival_ns);
+    ServeRequest request;
+    request.session_id = t.session_id;
+    request.item = t.item;
+    request.arrival_ns = t.arrival_ns;
+    request.deadline_ns = t.deadline_ns;
+    service.Enqueue(request, &run.outcomes);
+    if (++since_batch == serve_every) {
+      since_batch = 0;
+      service.ServeQueued(now_ns, &run.outcomes);
+      now_ns += batch_cost_ns;
+      if (++batches == stall_at) now_ns += stall_ns;
+    }
+  }
+  while (service.queue_depth() > 0) {
+    service.ServeQueued(now_ns, &run.outcomes);
+    now_ns += batch_cost_ns;
+  }
+  run.rung_served = service.rung_served();
+  run.stats = service.stats();
+  return run;
+}
+
+TEST(Resilience, QueuedPathBitwiseMatchesDirectPathWhenUnloaded) {
+  // No ladder, no deadlines, roomy queue: Enqueue + ServeQueued must be the
+  // direct HandleBatch computation, rung-0 labeled, in arrival order.
+  seqrec::SasRecModel* model = Fixture().model();
+  TrafficConfig traffic;
+  traffic.num_sessions = 10;
+  traffic.num_requests = 96;
+  traffic.seed = 71;
+  const std::vector<TraceRequest> trace =
+      GenerateTrace(Fixture().data.dataset.sequences, traffic);
+
+  ServeConfig config;
+  config.top_k = 6;
+  config.max_batch = 16;
+  config.queue_max = 1024;
+
+  std::vector<ServeRequest> all;
+  for (const TraceRequest& t : trace) {
+    all.push_back(ServeRequest{t.session_id, t.item});
+  }
+  const std::vector<ServeResponse> direct =
+      RecommendService(model, config).HandleBatch(all);
+
+  const QueuedRun run = DriveQueued(model, trace, config,
+                                    /*serve_every=*/trace.size(),
+                                    /*batch_cost_ns=*/1);
+  ASSERT_EQ(run.outcomes.size(), trace.size());
+  ASSERT_EQ(run.rung_served.size(), 1u);
+  EXPECT_EQ(run.rung_served[0], trace.size());
+  for (std::size_t i = 0; i < run.outcomes.size(); ++i) {
+    ASSERT_EQ(run.outcomes[i].kind, ServeOutcomeKind::kServed);
+    EXPECT_EQ(run.outcomes[i].seq, i);
+    EXPECT_EQ(run.outcomes[i].response.rung, 0u);
+    ASSERT_EQ(run.outcomes[i].response.topk.size(), direct[i].topk.size());
+    for (std::size_t k = 0; k < direct[i].topk.size(); ++k) {
+      EXPECT_EQ(run.outcomes[i].response.topk[k].item, direct[i].topk[k].item);
+      EXPECT_TRUE(BitwiseEqualRows(&run.outcomes[i].response.topk[k].score,
+                                   &direct[i].topk[k].score, 1));
+    }
+  }
+}
+
+// Overloaded serving config shared by the determinism and soak tests: a
+// bounded queue fed faster than it drains, tight deadlines, and a full
+// ladder, so overflow sheds, deadline sheds, and degraded rungs all occur.
+ServeConfig OverloadConfig() {
+  ServeConfig config;
+  config.top_k = 8;
+  config.max_batch = 8;
+  config.queue_max = 12;
+  config.ladder.rungs =
+      ParseLadderSpec("exact,ivf:4,popularity").ValueOrDie();
+  config.ladder.high_watermark = 6;
+  config.ladder.low_watermark = 2;
+  // degrade_after 2 so the first (already overloaded) cut still serves at
+  // rung 0: the tests below then see full-quality AND degraded service.
+  config.ladder.degrade_after = 2;
+  config.ladder.recover_after = 2;
+  std::vector<std::size_t> popularity(Fixture().data.dataset.num_items, 0);
+  for (const std::vector<std::size_t>& seq :
+       Fixture().data.dataset.sequences) {
+    for (std::size_t item : seq) ++popularity[item];
+  }
+  config.popularity = std::move(popularity);
+  return config;
+}
+
+std::vector<TraceRequest> OverloadTrace(std::size_t num_requests,
+                                        std::uint64_t seed) {
+  TrafficConfig traffic;
+  traffic.num_sessions = 20;
+  traffic.num_requests = num_requests;
+  traffic.mean_interarrival_ns = 50000;
+  traffic.deadline_ns = 2000000;  // 2 ms: tight against the modeled cost
+  traffic.seed = seed;
+  return GenerateTrace(Fixture().data.dataset.sequences, traffic);
+}
+
+TEST(Resilience, OutcomesShedSetsAndRungsBitwiseIdenticalAcrossThreadCounts) {
+  seqrec::SasRecModel* model = Fixture().model();
+  const std::vector<TraceRequest> trace = OverloadTrace(400, 909);
+  const ServeConfig config = OverloadConfig();
+
+  core::SetNumThreads(1);
+  const QueuedRun reference =
+      DriveQueued(model, trace, config, /*serve_every=*/20,
+                  /*batch_cost_ns=*/800000, /*stall_at=*/10,
+                  /*stall_ns=*/5000000);
+  // The run must actually exercise every disposition and a degraded rung;
+  // otherwise the determinism claim below is vacuous.
+  ASSERT_GT(reference.stats.queue_sheds, 0u);
+  ASSERT_GT(reference.stats.deadline_sheds, 0u);
+  std::size_t degraded = 0;
+  for (std::size_t r = 1; r < reference.rung_served.size(); ++r) {
+    degraded += reference.rung_served[r];
+  }
+  ASSERT_GT(degraded, 0u);
+  ASSERT_GT(reference.rung_served[0], 0u);
+
+  for (std::size_t threads : {std::size_t{1}, std::size_t{2}, std::size_t{4}}) {
+    core::SetNumThreads(threads);
+    const QueuedRun got =
+        DriveQueued(model, trace, config, /*serve_every=*/20,
+                    /*batch_cost_ns=*/800000, /*stall_at=*/10,
+                    /*stall_ns=*/5000000);
+    ASSERT_TRUE(SameOutcomes(reference.outcomes, got.outcomes))
+        << "threads=" << threads;
+    ASSERT_EQ(reference.rung_served, got.rung_served) << "threads=" << threads;
+    EXPECT_EQ(reference.stats.queue_sheds, got.stats.queue_sheds);
+    EXPECT_EQ(reference.stats.deadline_sheds, got.stats.deadline_sheds);
+  }
+  core::SetNumThreads(0);
+}
+
+TEST(Resilience, DeadlineShedLeavesSessionStateUntouched) {
+  seqrec::SasRecModel* model = Fixture().model();
+  ServeConfig config;
+  config.top_k = 6;
+  const std::size_t items = Fixture().data.dataset.num_items;
+
+  RecommendService shed_service(model, config);
+  RecommendService control(model, config);
+  const std::uint64_t session = 5;
+  for (std::size_t i : {std::size_t{3} % items, std::size_t{9} % items}) {
+    (void)shed_service.Handle(ServeRequest{session, i});
+    (void)control.Handle(ServeRequest{session, i});
+  }
+
+  // A request for the same session whose deadline passes before service: it
+  // must be dropped with a typed status and must NOT advance the session.
+  std::vector<ServeOutcome> outcomes;
+  ServeRequest overdue;
+  overdue.session_id = session;
+  overdue.item = 1 % items;
+  overdue.arrival_ns = 100;
+  overdue.deadline_ns = 200;
+  shed_service.Enqueue(overdue, &outcomes);
+  shed_service.ServeQueued(/*now_ns=*/500, &outcomes);
+  ASSERT_EQ(outcomes.size(), 1u);
+  EXPECT_EQ(outcomes[0].kind, ServeOutcomeKind::kShedDeadline);
+  EXPECT_EQ(outcomes[0].status.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(shed_service.stats().deadline_sheds, 1u);
+
+  const ServeResponse after =
+      shed_service.Handle(ServeRequest{session, 7 % items});
+  const ServeResponse expected =
+      control.Handle(ServeRequest{session, 7 % items});
+  EXPECT_EQ(after.session_len, expected.session_len);
+  ASSERT_TRUE(SameResponses({after}, {expected}));
+}
+
+TEST(Resilience, PopularityRungMatchesHeadSetTieBreak) {
+  // A single-rung popularity ladder: responses must rank by (count desc,
+  // item id asc) — the eval::PopularityHeadSet tie-break — after history
+  // exclusion, with no model scoring involved.
+  seqrec::SasRecModel* model = Fixture().model();
+  const std::size_t items = Fixture().data.dataset.num_items;
+  ServeConfig config;
+  config.top_k = 7;
+  config.ladder.rungs = ParseLadderSpec("popularity").ValueOrDie();
+  std::vector<std::size_t> popularity(items);
+  for (std::size_t i = 0; i < items; ++i) popularity[i] = (i * 13) % 5;
+  config.popularity = popularity;
+
+  RecommendService service(model, config);
+  const std::size_t consumed = 2 % items;
+  std::vector<ServeOutcome> outcomes;
+  ServeRequest request;
+  request.session_id = 77;
+  request.item = consumed;
+  service.Enqueue(request, &outcomes);
+  service.ServeQueued(/*now_ns=*/0, &outcomes);
+  ASSERT_EQ(outcomes.size(), 1u);
+  ASSERT_EQ(outcomes[0].kind, ServeOutcomeKind::kServed);
+  const std::vector<ScoredItem>& topk = outcomes[0].response.topk;
+  ASSERT_EQ(topk.size(), config.top_k);
+
+  // Expected order, computed independently.
+  std::vector<std::size_t> ids(items);
+  for (std::size_t i = 0; i < items; ++i) ids[i] = i;
+  std::stable_sort(ids.begin(), ids.end(),
+                   [&popularity](std::size_t a, std::size_t b) {
+                     if (popularity[a] != popularity[b]) {
+                       return popularity[a] > popularity[b];
+                     }
+                     return a < b;
+                   });
+  std::vector<std::size_t> expected;
+  for (std::size_t id : ids) {
+    if (id == consumed) continue;  // history exclusion
+    expected.push_back(id);
+    if (expected.size() == config.top_k) break;
+  }
+  for (std::size_t k = 0; k < config.top_k; ++k) {
+    EXPECT_EQ(topk[k].item, expected[k]) << "k=" << k;
+  }
+
+  // Consistency with the eval-side head set: the served top-K (plus the
+  // excluded item) sits inside the popularity head of the same size.
+  const std::vector<char> head =
+      eval::PopularityHeadSet(popularity, config.top_k + 1);
+  for (const ScoredItem& hit : topk) {
+    EXPECT_TRUE(head[hit.item]) << "item " << hit.item
+                                << " served but outside the popularity head";
+  }
+}
+
+TEST(Ingest, RejectsPoisonedFeaturesIntoQuarantineWithTypedStatus) {
+  auto rec = FreshModel();
+  ServeConfig config;
+  config.refit_every = 100;
+  config.ingest_max_abs = 10.0;
+  RecommendService service(rec->model(), config);
+  const Matrix& raw = Fixture().data.dataset.text_embeddings;
+  ASSERT_TRUE(
+      service.EnableIngest(raw, WhiteningKind::kZca, /*epsilon=*/1e-5).ok());
+  const std::size_t items_before = service.num_items();
+
+  std::vector<double> nan_row = raw.Row(0);
+  nan_row[nan_row.size() / 2] = std::numeric_limits<double>::quiet_NaN();
+  std::vector<double> inf_row = raw.Row(1 % raw.rows());
+  inf_row[0] = std::numeric_limits<double>::infinity();
+  std::vector<double> big_row = raw.Row(2 % raw.rows());
+  big_row.back() = -100.0;  // |value| > ingest_max_abs
+  const std::vector<double> short_row(raw.cols() - 1, 0.0);
+
+  std::size_t rejected = 0;
+  const std::vector<const std::vector<double>*> poisons = {
+      &nan_row, &inf_row, &big_row, &short_row};
+  for (const std::vector<double>* poison : poisons) {
+    const Status status = service.IngestItem(*poison);
+    ASSERT_FALSE(status.ok());
+    EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+    EXPECT_FALSE(status.message().empty());
+    ++rejected;
+    EXPECT_EQ(service.stats().quarantined, rejected);
+    ASSERT_EQ(service.quarantine().size(), rejected);
+    EXPECT_EQ(service.quarantine().back().reason, status.message());
+    EXPECT_EQ(service.pending_ingests(), 0u);
+    EXPECT_EQ(service.num_items(), items_before);
+  }
+
+  // Rejected rows leave the whitening moments bitwise untouched: a service
+  // that saw the poison interleaved with valid rows must refit to exactly
+  // the state of one that saw only the valid rows.
+  auto rec_clean = FreshModel();
+  RecommendService clean(rec_clean->model(), config);
+  ASSERT_TRUE(
+      clean.EnableIngest(raw, WhiteningKind::kZca, /*epsilon=*/1e-5).ok());
+  for (std::size_t i = 0; i < 4; ++i) {
+    ASSERT_FALSE(service.IngestItem(nan_row).ok());
+    ASSERT_TRUE(service.IngestItem(raw.Row(i % raw.rows())).ok());
+    ASSERT_TRUE(clean.IngestItem(raw.Row(i % raw.rows())).ok());
+  }
+  ASSERT_TRUE(service.RefitNow().ok());
+  ASSERT_TRUE(clean.RefitNow().ok());
+  const ServeRequest probe{3, 0};
+  ASSERT_TRUE(SameResponses({service.Handle(probe)}, {clean.Handle(probe)}));
+}
+
+TEST(Ingest, RefitGuardRefusesIllConditionedRefitAndRollsBack) {
+  const Matrix& raw = Fixture().data.dataset.text_embeddings;
+
+  // Eigenvalue floor set impossibly high: the guard must refuse the refit,
+  // quarantine the pending rows, and leave serving on the pre-ingest state.
+  auto rec = FreshModel();
+  ServeConfig config;
+  config.refit_every = 3;
+  config.refit_eigen_floor = 1e9;
+  RecommendService guarded(rec->model(), config);
+  ASSERT_TRUE(
+      guarded.EnableIngest(raw, WhiteningKind::kZca, /*epsilon=*/1e-5).ok());
+  const std::size_t items_before = guarded.num_items();
+
+  Status refit_status = Status::OK();
+  for (std::size_t i = 0; i < config.refit_every; ++i) {
+    refit_status = guarded.IngestItem(raw.Row(i));
+  }
+  ASSERT_FALSE(refit_status.ok());  // the boundary ingest surfaced the guard
+  EXPECT_EQ(guarded.stats().refit_failures, 1u);
+  EXPECT_EQ(guarded.stats().refits, 0u);
+  EXPECT_EQ(guarded.table_version(), 0u);
+  EXPECT_EQ(guarded.pending_ingests(), 0u);
+  EXPECT_EQ(guarded.num_items(), items_before);
+  ASSERT_EQ(guarded.quarantine().size(), config.refit_every);
+  for (const QuarantinedFeature& q : guarded.quarantine()) {
+    EXPECT_EQ(q.reason, "dropped by refit rollback");
+  }
+
+  // Serving is bitwise the pre-ingest computation.
+  auto rec_control = FreshModel();
+  RecommendService control(rec_control->model(), ServeConfig());
+  const ServeRequest probe{11, 1 % items_before};
+  ASSERT_TRUE(SameResponses({guarded.Handle(probe)}, {control.Handle(probe)}));
+
+  // Condition-number variant trips with its own message.
+  auto rec_cond = FreshModel();
+  ServeConfig cond_config;
+  cond_config.refit_every = 2;
+  cond_config.refit_max_condition = 1.0;  // any real covariance exceeds this
+  RecommendService conditioned(rec_cond->model(), cond_config);
+  ASSERT_TRUE(conditioned.EnableIngest(raw, WhiteningKind::kZca, 1e-5).ok());
+  Status cond_status = Status::OK();
+  for (std::size_t i = 0; i < cond_config.refit_every; ++i) {
+    cond_status = conditioned.IngestItem(raw.Row(i));
+  }
+  ASSERT_FALSE(cond_status.ok());
+  EXPECT_EQ(cond_status.code(), StatusCode::kNumericalError);
+  EXPECT_NE(cond_status.message().find("condition"), std::string::npos);
+}
+
+TEST(Ingest, ChaosRefitFailureRollsBackToLastGoodStateBitwise) {
+  // With the chaos plane forcing every refit to fail mid-swap, the service
+  // must restore the last good whitening transform, item table, and index —
+  // bitwise: responses equal a control service that never ingested at all.
+  const Matrix& raw = Fixture().data.dataset.text_embeddings;
+  auto rec = FreshModel();
+  ServeConfig config;
+  config.refit_every = 4;
+  RecommendService service(rec->model(), config);
+  ASSERT_TRUE(
+      service.EnableIngest(raw, WhiteningKind::kZca, /*epsilon=*/1e-5).ok());
+  const std::size_t items_before = service.num_items();
+
+  {
+    ScopedChaosConfig chaos(/*seed=*/7, /*rate=*/1.0);
+    Status refit_status = Status::OK();
+    for (std::size_t i = 0; i < config.refit_every; ++i) {
+      refit_status = service.IngestItem(raw.Row(i));
+    }
+    ASSERT_FALSE(refit_status.ok());
+    EXPECT_EQ(refit_status.code(), StatusCode::kUnavailable);
+  }
+  EXPECT_EQ(service.stats().rollbacks, 1u);
+  EXPECT_EQ(service.stats().refit_failures, 1u);
+  EXPECT_EQ(service.table_version(), 0u);
+  EXPECT_EQ(service.num_items(), items_before);
+  EXPECT_EQ(service.pending_ingests(), 0u);
+  EXPECT_EQ(service.quarantine().size(), config.refit_every);
+
+  auto rec_control = FreshModel();
+  RecommendService control(rec_control->model(), ServeConfig());
+  for (std::uint64_t session : {std::uint64_t{1}, std::uint64_t{2}}) {
+    for (std::size_t step = 0; step < 3; ++step) {
+      const ServeRequest probe{session, (session + step) % items_before};
+      ASSERT_TRUE(
+          SameResponses({service.Handle(probe)}, {control.Handle(probe)}))
+          << "session=" << session << " step=" << step;
+    }
+  }
+
+  // With chaos off, the same ingest stream commits: the rollback cost
+  // nothing but the dropped rows.
+  {
+    ScopedChaosConfig chaos(/*seed=*/7, /*rate=*/0.0);
+    for (std::size_t i = 0; i < config.refit_every; ++i) {
+      ASSERT_TRUE(service.IngestItem(raw.Row(i)).ok());
+    }
+  }
+  EXPECT_EQ(service.table_version(), 1u);
+  EXPECT_EQ(service.num_items(), items_before + config.refit_every);
+}
+
+TEST(Soak, ChaosSoakServesCorrectlyOrShedsTyped) {
+  // At fault rates 5% and 25%, every request offered to the admission path
+  // ends exactly one way: served with a well-formed rung-labeled response,
+  // or shed with a typed retriable status. Nothing is silently wrong.
+  const Matrix& raw = Fixture().data.dataset.text_embeddings;
+  for (const double rate : {0.05, 0.25}) {
+    ScopedChaosConfig chaos(/*seed=*/1234, rate);
+    auto rec = FreshModel();
+    seqrec::SasRecModel* model = rec->model();
+    ServeConfig config = OverloadConfig();
+    config.refit_every = 8;
+    RecommendService service(model, config);
+    ASSERT_TRUE(
+        service.EnableIngest(raw, WhiteningKind::kZca, /*epsilon=*/1e-5).ok());
+
+    const std::vector<TraceRequest> trace = OverloadTrace(360, 4242);
+    std::vector<ServeOutcome> outcomes;
+    std::uint64_t now_ns = 0;
+    std::size_t since_batch = 0;
+    std::size_t ingested = 0;
+    for (const TraceRequest& t : trace) {
+      now_ns = std::max(now_ns, t.arrival_ns);
+      ServeRequest request;
+      request.session_id = t.session_id;
+      request.item = t.item;
+      request.arrival_ns = t.arrival_ns;
+      request.deadline_ns = t.deadline_ns;
+      service.Enqueue(request, &outcomes);
+      if (++since_batch == 18) {
+        since_batch = 0;
+        service.ServeQueued(now_ns, &outcomes);
+        now_ns += 700000;
+        // Poisoned-ingest stream: every third row carries a NaN and must be
+        // quarantined; the rest commit through (possibly chaos-failed)
+        // refits.
+        std::vector<double> feature = raw.Row(ingested % raw.rows());
+        if (ingested % 3 == 1) {
+          feature[ingested % feature.size()] =
+              std::numeric_limits<double>::quiet_NaN();
+          ASSERT_FALSE(service.IngestItem(feature).ok());
+        } else {
+          (void)service.IngestItem(feature);  // chaos may fail the refit
+        }
+        ++ingested;
+      }
+    }
+    while (service.queue_depth() > 0) {
+      service.ServeQueued(now_ns, &outcomes);
+      now_ns += 700000;
+    }
+
+    ASSERT_EQ(outcomes.size(), trace.size()) << "rate=" << rate;
+    std::size_t served = 0;
+    std::size_t shed = 0;
+    for (const ServeOutcome& outcome : outcomes) {
+      switch (outcome.kind) {
+        case ServeOutcomeKind::kServed:
+          ++served;
+          ASSERT_TRUE(outcome.status.ok());
+          ASSERT_EQ(outcome.response.topk.size(), config.top_k);
+          ASSERT_LT(outcome.response.rung, config.ladder.rungs.size());
+          for (std::size_t k = 0; k < outcome.response.topk.size(); ++k) {
+            ASSERT_TRUE(std::isfinite(outcome.response.topk[k].score));
+            ASSERT_LT(outcome.response.topk[k].item, service.num_items());
+            if (k > 0) {
+              ASSERT_TRUE(linalg::RanksBefore(outcome.response.topk[k - 1],
+                                              outcome.response.topk[k]));
+            }
+          }
+          break;
+        case ServeOutcomeKind::kShedOverflow:
+          ++shed;
+          ASSERT_EQ(outcome.status.code(), StatusCode::kUnavailable);
+          break;
+        case ServeOutcomeKind::kShedDeadline:
+          ++shed;
+          ASSERT_EQ(outcome.status.code(), StatusCode::kDeadlineExceeded);
+          break;
+      }
+    }
+    EXPECT_EQ(served + shed, trace.size()) << "rate=" << rate;
+    EXPECT_GT(served, 0u);
+    EXPECT_GT(service.stats().quarantined, 0u) << "rate=" << rate;
+  }
+}
+
+TEST(LatencyHistogram, OverflowBucketAndResilienceCounters) {
+  // The largest possible value must land inside the table (an off-by-one
+  // here was once an out-of-bounds write) and round-trip through quantiles.
+  const std::uint64_t huge = std::numeric_limits<std::uint64_t>::max();
+  const std::size_t index = LatencyHistogram::BucketIndex(huge);
+  ASSERT_LT(index, LatencyHistogram::NumBuckets());
+  ASSERT_LE(LatencyHistogram::BucketLowerBound(index), huge);
+
+  LatencyHistogram hist;
+  hist.Record(huge);
+  hist.Record(1);
+  EXPECT_EQ(hist.count(), 2u);
+  EXPECT_EQ(hist.max(), huge);
+  EXPECT_EQ(hist.Quantile(0.5), 1u);
+  EXPECT_EQ(hist.Quantile(1.0), LatencyHistogram::BucketLowerBound(index));
+
+  // Deadline-miss / shed counters ride the histogram and merge with it.
+  LatencyHistogram a;
+  a.RecordDeadlineMiss();
+  a.RecordDeadlineMiss();
+  a.RecordShed();
+  LatencyHistogram b;
+  b.RecordShed();
+  b.Record(5);
+  a.Merge(b);
+  EXPECT_EQ(a.deadline_misses(), 2u);
+  EXPECT_EQ(a.sheds(), 2u);
+  EXPECT_EQ(a.count(), 1u);  // sheds never contribute a latency sample
+  EXPECT_EQ(a.sum(), 5u);
+}
+
+TEST(DegradeHarness, SweepProducesValidSchemaCheckedJson) {
+  // Tiny, ingest-free sweep on the shared fixture model (ingest would mutate
+  // it). The harness itself re-seeds the chaos injector per point.
+  ScopedChaosConfig chaos(/*seed=*/5, /*rate=*/0.25);
+  DegradeConfig config;
+  config.traffic.num_sessions = 12;
+  config.traffic.num_requests = 150;
+  config.traffic.mean_interarrival_ns = 100000;
+  config.traffic.deadline_ns = 10000000;
+  config.serve = OverloadConfig();
+  config.serve.queue_max = 64;
+  config.load_multipliers = {1.0, 4.0};
+  const DegradeBenchResult result = RunDegradeHarness(
+      Fixture().model(), Fixture().data.dataset.sequences,
+      /*raw_features=*/nullptr, config);
+  ASSERT_EQ(result.points.size(), 2u);
+  for (const DegradePoint& point : result.points) {
+    EXPECT_EQ(point.offered,
+              point.served + point.shed_overflow + point.shed_deadline);
+    EXPECT_GE(point.availability, 0.0);
+    EXPECT_LE(point.availability, 1.0);
+    ASSERT_EQ(point.rung_served.size(), config.serve.ladder.rungs.size());
+    ASSERT_EQ(point.rung_ndcg.size(), point.rung_served.size());
+    for (std::size_t r = 0; r < point.rung_served.size(); ++r) {
+      if (point.rung_served[r] == 0) {
+        EXPECT_EQ(point.rung_ndcg[r], -1.0);
+      } else {
+        EXPECT_GE(point.rung_ndcg[r], 0.0);
+        EXPECT_LE(point.rung_ndcg[r], 1.0);
+      }
+    }
+  }
+  // Rung 0 serves against itself: where it served, quality is exactly 1.
+  ASSERT_GT(result.points[0].rung_served[0], 0u);
+  EXPECT_DOUBLE_EQ(result.points[0].rung_ndcg[0], 1.0);
+
+  const std::string json = DegradeBenchJson(result);
+  EXPECT_TRUE(ValidateDegradeBenchJson(json).ok())
+      << ValidateDegradeBenchJson(json).message();
+  // Availability can never exceed 1, so a floor above 1 must always reject:
+  // the check-degrade gate's floor is actually enforced per point.
+  EXPECT_FALSE(ValidateDegradeBenchJson(json, /*min_availability=*/1.01).ok());
+}
+
+TEST(DegradeHarness, SchemaCheckerRejectsMalformedDocuments) {
+  EXPECT_FALSE(ValidateDegradeBenchJson("").ok());
+  EXPECT_FALSE(ValidateDegradeBenchJson("[3]").ok());
+  EXPECT_FALSE(ValidateDegradeBenchJson("{\"bench\": \"serving\"}").ok());
+
+  const std::string valid =
+      "{\"bench\": \"degrade\", \"catalog_items\": 10, \"ndcg_k\": 10, "
+      "\"chaos\": {\"seed\": 1, \"rate\": 0.25}, \"traffic\": {}, "
+      "\"sweep\": [{\"load_multiplier\": 1, \"offered\": 10, \"served\": 9, "
+      "\"shed_overflow\": 1, \"shed_deadline\": 0, \"availability\": 0.9, "
+      "\"deadline_miss_rate\": 0, \"p50_ns\": 10, \"p99_ns\": 20, "
+      "\"quarantined\": 0, \"refit_failures\": 0, \"rollbacks\": 0, "
+      "\"rung_served\": [9, 0], \"rung_ndcg\": [1, -1]}]}";
+  ASSERT_TRUE(ValidateDegradeBenchJson(valid).ok())
+      << ValidateDegradeBenchJson(valid).message();
+  // The hand-built point has availability 0.9: the floor must reject it.
+  EXPECT_FALSE(ValidateDegradeBenchJson(valid, /*min_availability=*/0.99).ok());
+
+  auto mutate = [&valid](const std::string& from, const std::string& to) {
+    std::string doc = valid;
+    const std::size_t at = doc.find(from);
+    EXPECT_NE(at, std::string::npos) << from;
+    doc.replace(at, from.size(), to);
+    return doc;
+  };
+  // Accounting identity: offered != served + sheds.
+  EXPECT_FALSE(
+      ValidateDegradeBenchJson(mutate("\"served\": 9", "\"served\": 8")).ok());
+  // Inverted percentiles.
+  EXPECT_FALSE(
+      ValidateDegradeBenchJson(mutate("\"p50_ns\": 10", "\"p50_ns\": 30"))
+          .ok());
+  // Out-of-range availability.
+  EXPECT_FALSE(ValidateDegradeBenchJson(
+                   mutate("\"availability\": 0.9", "\"availability\": 1.5"))
+                   .ok());
+  // Rung arrays of unequal length.
+  EXPECT_FALSE(ValidateDegradeBenchJson(
+                   mutate("\"rung_served\": [9, 0]", "\"rung_served\": [9]"))
+                   .ok());
+  // NDCG outside [0, 1] and not the -1 sentinel.
+  EXPECT_FALSE(ValidateDegradeBenchJson(
+                   mutate("\"rung_ndcg\": [1, -1]", "\"rung_ndcg\": [1, 2]"))
+                   .ok());
+  // Empty sweep.
+  const std::string empty_sweep =
+      "{\"bench\": \"degrade\", \"catalog_items\": 10, \"ndcg_k\": 10, "
+      "\"chaos\": {\"seed\": 1, \"rate\": 0}, \"traffic\": {}, "
+      "\"sweep\": []}";
+  EXPECT_FALSE(ValidateDegradeBenchJson(empty_sweep).ok());
 }
 
 }  // namespace
